@@ -1,0 +1,64 @@
+// Reproduces Figure 3: OKB relation linking accuracy on ReVerb45K for
+// Falcon, EARL, KBPearl, Rematch and JOCL (the paper plots a bar chart;
+// we print the series plus an ASCII bar rendering).
+#include "baselines/relation_linking.h"
+#include "bench/bench_common.h"
+
+namespace jocl {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  const char* method;
+  double accuracy;  // read off the paper's Figure 3 bars
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Falcon", 0.23}, {"EARL", 0.17}, {"KBPearl", 0.31},
+    {"Rematch", 0.26}, {"JOCL", 0.45},
+};
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  Banner("Figure 3: OKB relation linking accuracy (ReVerb45K-like)", env);
+  Stopwatch watch;
+  std::unique_ptr<DataPack> pack = DataPack::ReVerb(env);
+  const auto& ds = pack->dataset();
+  const auto& sig = pack->signals();
+  const auto& eval = pack->eval_triples();
+  std::vector<int64_t> gold = pack->GoldRelations();
+  std::vector<size_t> linkable = pack->LinkableRpMentions();
+
+  Jocl jocl;
+  JoclResult jocl_result = jocl.Run(ds, sig, eval).MoveValueOrDie();
+
+  auto acc = [&](const std::vector<int64_t>& links) {
+    return LinkingAccuracySubset(links, gold, linkable);
+  };
+  struct Row {
+    const char* method;
+    double accuracy;
+  };
+  std::vector<Row> rows = {
+      {"Falcon", acc(FalconRelationLink(ds, sig, eval))},
+      {"EARL", acc(EarlRelationLink(ds, sig, eval))},
+      {"KBPearl", acc(KbpearlRelationLink(ds, sig, eval))},
+      {"Rematch", acc(RematchRelationLink(ds, sig, eval))},
+      {"JOCL", acc(jocl_result.rp_link)},
+  };
+
+  TablePrinter table({"Method", "Accuracy", "Paper", "Bar"});
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::string bar(static_cast<size_t>(rows[r].accuracy * 40), '#');
+    table.AddRow({rows[r].method, TablePrinter::Num(rows[r].accuracy),
+                  TablePrinter::Num(kPaper[r].accuracy, 2), bar});
+  }
+  std::printf("%s\nelapsed: %.1fs\n", table.Render().c_str(),
+              watch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jocl
+
+int main() { jocl::bench::Run(); }

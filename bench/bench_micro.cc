@@ -1,0 +1,181 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// string similarities, IDF scoring, HAC, SGNS training, LBP sweeps and
+// factor-graph construction.
+#include <benchmark/benchmark.h>
+
+#include "cluster/hac.h"
+#include "data/generator.h"
+#include "embedding/word2vec.h"
+#include "graph/lbp.h"
+#include "text/porter_stemmer.h"
+#include "text/similarity.h"
+#include "util/rng.h"
+
+namespace jocl {
+namespace {
+
+std::vector<std::string> MakePhrases(size_t n) {
+  Rng rng(7);
+  std::vector<std::string> phrases;
+  static const char* kWords[] = {"university", "maryland", "institute",
+                                 "warren",     "buffett",  "company",
+                                 "kandor",     "merith",   "salvor"};
+  for (size_t i = 0; i < n; ++i) {
+    std::string p;
+    size_t words = 1 + rng.UniformUint64(3);
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) p += ' ';
+      p += kWords[rng.UniformUint64(std::size(kWords))];
+    }
+    phrases.push_back(std::move(p));
+  }
+  return phrases;
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  auto phrases = MakePhrases(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LevenshteinSimilarity(phrases[i % 64], phrases[(i + 7) % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  auto phrases = MakePhrases(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaroWinklerSimilarity(phrases[i % 64], phrases[(i + 7) % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_NgramSimilarity(benchmark::State& state) {
+  auto phrases = MakePhrases(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NgramSimilarity(phrases[i % 64], phrases[(i + 7) % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_NgramSimilarity);
+
+void BM_IdfSimilarity(benchmark::State& state) {
+  auto phrases = MakePhrases(256);
+  IdfTable idf;
+  idf.AddPhrases(phrases);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        idf.Similarity(phrases[i % 256], phrases[(i + 13) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IdfSimilarity);
+
+void BM_PorterStem(benchmark::State& state) {
+  static const char* kWords[] = {"relational", "canonicalization",
+                                 "organizations", "founded", "membership"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PorterStem(kWords[i % 5]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_Hac(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> matrix(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    matrix[i * n + i] = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = rng.UniformDouble();
+      matrix[i * n + j] = s;
+      matrix[j * n + i] = s;
+    }
+  }
+  HacOptions options;
+  options.threshold = 0.7;
+  options.linkage = Linkage::kAverage;
+  Hac hac(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hac.ClusterMatrix(n, matrix));
+  }
+}
+BENCHMARK(BM_Hac)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Word2VecEpoch(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<std::string>> corpus;
+  auto vocab = MakePhrases(128);
+  for (int s = 0; s < 500; ++s) {
+    std::vector<std::string> sentence;
+    for (int w = 0; w < 8; ++w) {
+      sentence.push_back(vocab[rng.UniformUint64(vocab.size())]);
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  Word2VecOptions options;
+  options.dim = 32;
+  options.epochs = 1;
+  for (auto _ : state) {
+    Word2Vec trainer(options);
+    benchmark::DoNotOptimize(trainer.Train(corpus));
+  }
+}
+BENCHMARK(BM_Word2VecEpoch);
+
+void BM_LbpSweep(benchmark::State& state) {
+  // A grid-ish loopy graph with binary variables.
+  const size_t side = static_cast<size_t>(state.range(0));
+  FactorGraph g;
+  g.set_weight_count(1);
+  std::vector<VariableId> vars;
+  for (size_t i = 0; i < side * side; ++i) vars.push_back(g.AddVariable(2));
+  auto table = [] {
+    return FeatureTable::Uniform(0, {0.7, 0.3, 0.3, 0.7});
+  };
+  for (size_t r = 0; r < side; ++r) {
+    for (size_t c = 0; c < side; ++c) {
+      if (c + 1 < side) {
+        (void)g.AddFactor({vars[r * side + c], vars[r * side + c + 1]},
+                          table());
+      }
+      if (r + 1 < side) {
+        (void)g.AddFactor({vars[r * side + c], vars[(r + 1) * side + c]},
+                          table());
+      }
+    }
+  }
+  std::vector<double> weights = {1.0};
+  for (auto _ : state) {
+    LbpOptions options;
+    options.max_iterations = 1;  // a single sweep
+    LbpEngine engine(&g, &weights, options);
+    benchmark::DoNotOptimize(engine.Run());
+  }
+}
+BENCHMARK(BM_LbpSweep)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_GenerateDataset(benchmark::State& state) {
+  for (auto _ : state) {
+    GeneratorOptions options;
+    options.num_entities = 100;
+    options.num_relations = 12;
+    options.num_triples = 500;
+    benchmark::DoNotOptimize(GenerateDataset(options, "bench"));
+  }
+}
+BENCHMARK(BM_GenerateDataset);
+
+}  // namespace
+}  // namespace jocl
+
+BENCHMARK_MAIN();

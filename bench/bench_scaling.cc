@@ -1,0 +1,55 @@
+// Extra engineering bench: end-to-end wall clock vs workload size. Shows
+// where the time goes (signal construction, graph building, LBP) and that
+// the pipeline scales roughly linearly in the number of triples at a
+// fixed ambiguity level.
+#include "bench/bench_common.h"
+#include "core/graph_builder.h"
+#include "core/problem.h"
+
+namespace jocl {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  Banner("End-to-end scaling (ReVerb45K-like)", env);
+
+  TablePrinter table({"Triples", "Signals (s)", "Graph build (s)",
+                      "LBP+decode (s)", "Vars", "Factors"});
+  for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+    Stopwatch total;
+    Dataset ds = GenerateReVerb45K(scale * env.scale, env.seed)
+                     .MoveValueOrDie();
+    Stopwatch signal_watch;
+    SignalBundle sig = BuildSignals(ds).MoveValueOrDie();
+    double signal_s = signal_watch.ElapsedSeconds();
+
+    Stopwatch build_watch;
+    JoclProblem problem = BuildProblem(ds, sig, ds.test_triples);
+    JoclGraph jgraph = BuildJoclGraph(problem, sig, ds.ckb);
+    double build_s = build_watch.ElapsedSeconds();
+
+    Stopwatch infer_watch;
+    Jocl jocl;
+    JoclResult result =
+        jocl.Infer(ds, sig, ds.test_triples).MoveValueOrDie();
+    double infer_s = infer_watch.ElapsedSeconds();
+    (void)result;
+
+    table.AddRow({std::to_string(ds.okb.size()),
+                  TablePrinter::Num(signal_s, 2),
+                  TablePrinter::Num(build_s, 2),
+                  TablePrinter::Num(infer_s, 2),
+                  std::to_string(jgraph.graph.variable_count()),
+                  std::to_string(jgraph.graph.factor_count())});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("(Infer includes problem + graph construction a second time;\n"
+              " the isolated columns show each phase's cost.)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jocl
+
+int main() { jocl::bench::Run(); }

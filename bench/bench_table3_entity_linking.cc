@@ -1,0 +1,79 @@
+// Reproduces Table 3: OKB entity linking accuracy over both data sets for
+// Falcon, EARL, Spotlight, TagMe, KBPearl and JOCL.
+#include "baselines/entity_linking.h"
+#include "bench/bench_common.h"
+
+namespace jocl {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  const char* method;
+  double reverb;
+  double nyt;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Falcon", 0.541, 0.33}, {"EARL", 0.473, 0.25},
+    {"Spotlight", 0.716, 0.26}, {"TagMe", 0.316, 0.30},
+    {"KBPearl", 0.522, 0.46}, {"JOCL", 0.761, 0.48},
+};
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  Banner("Table 3: OKB entity linking accuracy", env);
+  Stopwatch watch;
+
+  std::vector<std::pair<const char*, std::unique_ptr<DataPack>>> packs;
+  packs.emplace_back("ReVerb45K-like", DataPack::ReVerb(env));
+  packs.emplace_back("NYTimes2018-like", DataPack::NyTimes(env));
+
+  TablePrinter table({"Method", "ReVerb45K-like", "Paper", "NYTimes2018-like",
+                      "Paper"});
+  std::vector<std::vector<double>> accuracy(6);
+  std::vector<double> transfer_weights;
+  for (auto& [name, pack] : packs) {
+    const auto& ds = pack->dataset();
+    const auto& sig = pack->signals();
+    const auto& eval = pack->eval_triples();
+    std::vector<int64_t> gold = pack->GoldEntities();
+    std::vector<size_t> linkable = pack->LinkableNpMentions();
+
+    Jocl jocl;
+    std::vector<double> weights;
+    if (!ds.validation_triples.empty()) {
+      weights = jocl.LearnWeights(ds, sig).MoveValueOrDie();
+      transfer_weights = weights;
+    } else {
+      weights = transfer_weights.empty() ? Jocl::DefaultWeights()
+                                         : transfer_weights;
+    }
+    JoclResult jocl_result =
+        jocl.Infer(ds, sig, eval, weights).MoveValueOrDie();
+
+    auto acc = [&](const std::vector<int64_t>& links) {
+      return LinkingAccuracySubset(links, gold, linkable);
+    };
+    accuracy[0].push_back(acc(FalconLink(ds, sig, eval)));
+    accuracy[1].push_back(acc(EarlLink(ds, sig, eval)));
+    accuracy[2].push_back(acc(SpotlightLink(ds, sig, eval)));
+    accuracy[3].push_back(acc(TagMeLink(ds, sig, eval)));
+    accuracy[4].push_back(acc(KbpearlLink(ds, sig, eval)));
+    accuracy[5].push_back(acc(jocl_result.np_link));
+  }
+
+  for (size_t r = 0; r < 6; ++r) {
+    table.AddRow({kPaper[r].method, TablePrinter::Num(accuracy[r][0]),
+                  TablePrinter::Num(kPaper[r].reverb),
+                  TablePrinter::Num(accuracy[r][1]),
+                  TablePrinter::Num(kPaper[r].nyt)});
+  }
+  std::printf("%s\nelapsed: %.1fs\n", table.Render().c_str(),
+              watch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jocl
+
+int main() { jocl::bench::Run(); }

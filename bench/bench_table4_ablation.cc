@@ -1,0 +1,69 @@
+// Reproduces Table 4: the interaction ablation on ReVerb45K — JOCLcano
+// (canonicalization factors only), JOCLlink (linking factors only) and the
+// full joint framework.
+#include "bench/bench_common.h"
+
+namespace jocl {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  Banner("Table 4: interaction ablation (ReVerb45K-like)", env);
+  Stopwatch watch;
+  std::unique_ptr<DataPack> pack = DataPack::ReVerb(env);
+  const auto& ds = pack->dataset();
+  const auto& sig = pack->signals();
+  const auto& eval = pack->eval_triples();
+  std::vector<size_t> gold_np = pack->GoldNp();
+  std::vector<int64_t> gold_entities = pack->GoldEntities();
+
+  struct Variant {
+    const char* name;
+    JoclOptions options;
+    bool report_cano;
+    bool report_link;
+    double paper_avg_f1;
+    double paper_accuracy;
+  };
+  std::vector<Variant> variants = {
+      {"JOCLcano", JoclOptions::CanonicalizationOnly(), true, false, 0.735,
+       -1.0},
+      {"JOCLlink", JoclOptions::LinkingOnly(), false, true, -1.0, 0.744},
+      {"JOCL", JoclOptions(), true, true, 0.818, 0.761},
+  };
+
+  TablePrinter table({"Variant", "Macro F1", "Micro F1", "Pairwise F1",
+                      "Average F1", "Accuracy", "Paper AvgF1",
+                      "Paper Acc"});
+  for (auto& variant : variants) {
+    Jocl jocl(variant.options);
+    JoclResult result = jocl.Run(ds, sig, eval).MoveValueOrDie();
+    std::vector<std::string> cells = {variant.name};
+    if (variant.report_cano) {
+      ClusteringScore score = EvaluateClustering(result.np_cluster, gold_np);
+      AddScoreCells(score, &cells);
+    } else {
+      cells.insert(cells.end(), {"-", "-", "-", "-"});
+    }
+    cells.push_back(variant.report_link
+                        ? TablePrinter::Num(LinkingAccuracy(result.np_link,
+                                                            gold_entities))
+                        : "-");
+    cells.push_back(variant.paper_avg_f1 < 0
+                        ? "-"
+                        : TablePrinter::Num(variant.paper_avg_f1));
+    cells.push_back(variant.paper_accuracy < 0
+                        ? "-"
+                        : TablePrinter::Num(variant.paper_accuracy));
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s\nelapsed: %.1fs\n", table.Render().c_str(),
+              watch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jocl
+
+int main() { jocl::bench::Run(); }

@@ -1,0 +1,74 @@
+// Reproduces Table 5 + Figure 4: the feature-combination variants
+// JOCL-single / JOCL-double / JOCL-all, evaluated on NP canonicalization
+// (Figure 4a) and OKB entity linking (Figure 4b) over ReVerb45K.
+#include "bench/bench_common.h"
+
+namespace jocl {
+namespace bench {
+namespace {
+
+// Approximate bar heights from the paper's Figure 4 (average F1 /
+// accuracy).
+struct PaperRow {
+  const char* variant;
+  double fig4a_avg_f1;
+  double fig4b_accuracy;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"JOCL-single", 0.63, 0.60},
+    {"JOCL-double", 0.74, 0.69},
+    {"JOCL-all", 0.818, 0.761},
+};
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  Banner("Table 5 / Figure 4: feature-combination variants (ReVerb45K-like)",
+         env);
+  Stopwatch watch;
+  std::unique_ptr<DataPack> pack = DataPack::ReVerb(env);
+  const auto& ds = pack->dataset();
+  const auto& sig = pack->signals();
+  const auto& eval = pack->eval_triples();
+  std::vector<size_t> gold_np = pack->GoldNp();
+  std::vector<int64_t> gold_entities = pack->GoldEntities();
+
+  std::printf("Table 5 feature sets:\n"
+              "  JOCL-single: F1/F3 f_idf | F2 f_idf | F4/F6 f_pop | F5 "
+              "f_ngram\n"
+              "  JOCL-double: + f_emb everywhere\n"
+              "  JOCL-all   : every feature function\n\n");
+
+  struct Variant {
+    const char* name;
+    FeatureMask mask;
+  };
+  std::vector<Variant> variants = {
+      {"JOCL-single", FeatureMask::Single()},
+      {"JOCL-double", FeatureMask::Double()},
+      {"JOCL-all", FeatureMask::All()},
+  };
+
+  TablePrinter table({"Variant", "NP Avg F1 (Fig 4a)", "Paper",
+                      "Linking Acc (Fig 4b)", "Paper"});
+  for (size_t v = 0; v < variants.size(); ++v) {
+    JoclOptions options;
+    options.builder.features = variants[v].mask;
+    Jocl jocl(options);
+    JoclResult result = jocl.Run(ds, sig, eval).MoveValueOrDie();
+    ClusteringScore score = EvaluateClustering(result.np_cluster, gold_np);
+    double accuracy = LinkingAccuracy(result.np_link, gold_entities);
+    table.AddRow({variants[v].name, TablePrinter::Num(score.average_f1),
+                  TablePrinter::Num(kPaper[v].fig4a_avg_f1, 2),
+                  TablePrinter::Num(accuracy),
+                  TablePrinter::Num(kPaper[v].fig4b_accuracy, 2)});
+  }
+  std::printf("%s\nelapsed: %.1fs\n", table.Render().c_str(),
+              watch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jocl
+
+int main() { jocl::bench::Run(); }

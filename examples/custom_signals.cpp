@@ -1,0 +1,96 @@
+// Extending JOCL with a new signal — the paper's §3 flexibility claim
+// ("JOCL is flexible to fit any new signals via adding suitable factor
+// nodes") demonstrated on the raw factor-graph API.
+//
+// Scenario: we know (from some external resource) that two noun phrases
+// have the same *type* (person / organization / place). Type agreement is
+// weak positive evidence for co-reference, disagreement strong negative.
+// We build a miniature canonicalization graph by hand, add the paper's
+// IDF factor plus our new type-agreement factor, and watch the marginals
+// move.
+//
+//   $ ./custom_signals
+#include <cstdio>
+
+#include "graph/factor_graph.h"
+#include "graph/lbp.h"
+#include "text/similarity.h"
+
+using namespace jocl;
+
+namespace {
+
+// Feature layout for this mini-model: weight 0 = IDF signal, weight 1 =
+// the new type-agreement signal.
+constexpr WeightId kIdfWeight = 0;
+constexpr WeightId kTypeWeight = 1;
+
+// The paper's two-state encoding: a signal with similarity `sim`
+// contributes `sim` to the "same meaning" state and `1 - sim` to the
+// "different" state.
+FeatureTable PairFactor(WeightId weight, double sim) {
+  FeatureTable table(2);
+  table.Add(0, weight, 1.0 - sim);
+  table.Add(1, weight, sim);
+  return table;
+}
+
+}  // namespace
+
+int main() {
+  // Three NP pairs with hand-set evidence:
+  //   pair 0: "warren buffett" / "buffett"      — high IDF, same type
+  //   pair 1: "paris" / "paris hilton"          — high IDF, DIFFERENT type
+  //   pair 2: "ibm" / "big blue"                — zero IDF, same type
+  struct PairCase {
+    const char* a;
+    const char* b;
+    double type_agreement;  // 1 same type, 0 different
+  };
+  PairCase cases[] = {
+      {"warren buffett", "buffett", 1.0},
+      {"paris", "paris hilton", 0.0},
+      {"ibm", "big blue", 1.0},
+  };
+
+  IdfTable idf;
+  for (const auto& c : cases) {
+    idf.AddPhrase(c.a);
+    idf.AddPhrase(c.b);
+  }
+
+  FactorGraph graph;
+  graph.set_weight_count(2);
+  std::vector<VariableId> x_vars;
+  for (const auto& c : cases) {
+    VariableId x = graph.AddVariable(2);
+    x_vars.push_back(x);
+    // The paper's F1 with its IDF feature...
+    (void)graph.AddFactor({x}, PairFactor(kIdfWeight,
+                                          idf.Similarity(c.a, c.b)));
+    // ...plus OUR new signal as one more factor node on the same
+    // variable. No engine changes needed — that is the whole point.
+    (void)graph.AddFactor({x}, PairFactor(kTypeWeight, c.type_agreement));
+  }
+
+  auto report = [&](const char* title, const std::vector<double>& weights) {
+    LbpEngine engine(&graph, &weights, {});
+    engine.Run();
+    std::printf("%s\n", title);
+    for (size_t p = 0; p < x_vars.size(); ++p) {
+      std::printf("  P(same | \"%s\", \"%s\") = %.3f\n", cases[p].a,
+                  cases[p].b, engine.Marginal(x_vars[p])[1]);
+    }
+    std::printf("\n");
+  };
+
+  // Without the type signal (its weight zeroed) IDF rules alone:
+  report("IDF signal only:", {1.5, 0.0});
+  // With the type signal active, "paris"/"paris hilton" is pushed apart
+  // and "ibm"/"big blue" pulled together despite zero string overlap:
+  report("IDF + type-agreement signal:", {1.5, 1.5});
+
+  std::printf("Adding a signal = adding factor nodes; weights are learned\n"
+              "with FactorGraphLearner exactly like the built-in ones.\n");
+  return 0;
+}

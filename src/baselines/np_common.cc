@@ -1,0 +1,56 @@
+#include "baselines/np_common.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace jocl {
+
+NpSurfaceView BuildNpSurfaceView(const Dataset& dataset,
+                                 const std::vector<size_t>& subset) {
+  NpSurfaceView view;
+  view.triples = subset;
+  std::sort(view.triples.begin(), view.triples.end());
+  view.triples.erase(std::unique(view.triples.begin(), view.triples.end()),
+                     view.triples.end());
+  std::unordered_map<std::string, size_t> index;
+  auto intern = [&](const std::string& phrase) {
+    auto [it, inserted] = index.emplace(phrase, view.surfaces.size());
+    if (inserted) view.surfaces.push_back(phrase);
+    return it->second;
+  };
+  for (size_t t : view.triples) {
+    const OieTriple& triple = dataset.okb.triple(t);
+    view.mention_surface.push_back(intern(triple.subject));
+    view.mention_surface.push_back(intern(triple.object));
+  }
+  return view;
+}
+
+RpSurfaceView BuildRpSurfaceView(const Dataset& dataset,
+                                 const std::vector<size_t>& subset) {
+  RpSurfaceView view;
+  view.triples = subset;
+  std::sort(view.triples.begin(), view.triples.end());
+  view.triples.erase(std::unique(view.triples.begin(), view.triples.end()),
+                     view.triples.end());
+  std::unordered_map<std::string, size_t> index;
+  for (size_t t : view.triples) {
+    const std::string& phrase = dataset.okb.triple(t).predicate;
+    auto [it, inserted] = index.emplace(phrase, view.surfaces.size());
+    if (inserted) view.surfaces.push_back(phrase);
+    view.mention_surface.push_back(it->second);
+  }
+  return view;
+}
+
+std::vector<size_t> SurfaceToMentionLabels(
+    const std::vector<size_t>& mention_surface,
+    const std::vector<size_t>& surface_labels) {
+  std::vector<size_t> labels(mention_surface.size());
+  for (size_t m = 0; m < mention_surface.size(); ++m) {
+    labels[m] = surface_labels[mention_surface[m]];
+  }
+  return labels;
+}
+
+}  // namespace jocl

@@ -1,0 +1,46 @@
+#ifndef JOCL_BASELINES_NP_COMMON_H_
+#define JOCL_BASELINES_NP_COMMON_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace jocl {
+
+/// \brief Distinct-NP-surface view of a triple subset, shared by the
+/// canonicalization baselines (which, like CESI/SIST, cluster surface
+/// strings rather than individual mentions).
+struct NpSurfaceView {
+  /// Triples covered, ascending.
+  std::vector<size_t> triples;
+  /// Distinct NP surfaces across both roles, first-appearance order.
+  std::vector<std::string> surfaces;
+  /// Surface index per NP mention (2 per triple: subject then object).
+  std::vector<size_t> mention_surface;
+};
+
+/// \brief Builds the surface view for a subset of triples.
+NpSurfaceView BuildNpSurfaceView(const Dataset& dataset,
+                                 const std::vector<size_t>& subset);
+
+/// \brief Distinct-RP-surface view (1 mention per triple).
+struct RpSurfaceView {
+  std::vector<size_t> triples;
+  std::vector<std::string> surfaces;
+  std::vector<size_t> mention_surface;
+};
+
+/// \brief Builds the RP surface view for a subset of triples.
+RpSurfaceView BuildRpSurfaceView(const Dataset& dataset,
+                                 const std::vector<size_t>& subset);
+
+/// \brief Maps surface-level cluster labels back to mention-level labels.
+std::vector<size_t> SurfaceToMentionLabels(
+    const std::vector<size_t>& mention_surface,
+    const std::vector<size_t>& surface_labels);
+
+}  // namespace jocl
+
+#endif  // JOCL_BASELINES_NP_COMMON_H_

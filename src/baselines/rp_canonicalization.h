@@ -1,0 +1,39 @@
+#ifndef JOCL_BASELINES_RP_CANONICALIZATION_H_
+#define JOCL_BASELINES_RP_CANONICALIZATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/np_common.h"
+#include "core/signals.h"
+#include "data/dataset.h"
+
+namespace jocl {
+
+/// All baselines return cluster labels per RP mention (1 per triple of the
+/// subset), comparable with `Dataset::GoldRpLabels()` on those mentions.
+
+/// \brief AMIE (Galárraga et al. 2013): RPs connected by bidirectional
+/// Horn rules (support & confidence thresholds) form one group. Coverage
+/// is sparse — most RPs never reach the support threshold (paper §4.2.2).
+std::vector<size_t> AmieCanonicalize(const Dataset& dataset,
+                                     const SignalBundle& signals,
+                                     const std::vector<size_t>& subset);
+
+/// \brief PATTY-style (Nakashole et al. 2012): RPs sharing enough NP
+/// argument pairs (the SOL-pattern support sets) merge, as do RPs equal
+/// after morphological normalization (synset membership).
+std::vector<size_t> PattyCanonicalize(const Dataset& dataset,
+                                      const std::vector<size_t>& subset,
+                                      size_t min_shared_pairs = 2);
+
+/// \brief SIST-style RP canonicalization: HAC over a blend of IDF overlap,
+/// embeddings, PPDB and the KBP relation-category signal.
+std::vector<size_t> SistRpCanonicalize(const Dataset& dataset,
+                                       const SignalBundle& signals,
+                                       const std::vector<size_t>& subset,
+                                       double threshold = 0.6);
+
+}  // namespace jocl
+
+#endif  // JOCL_BASELINES_RP_CANONICALIZATION_H_

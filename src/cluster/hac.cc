@@ -1,0 +1,105 @@
+#include "cluster/hac.h"
+
+#include <limits>
+#include <cstddef>
+#include <queue>
+
+#include "cluster/union_find.h"
+
+namespace jocl {
+namespace {
+
+struct Candidate {
+  double similarity;
+  size_t a;  // cluster ids at push time
+  size_t b;
+  bool operator<(const Candidate& other) const {
+    // max-heap on similarity; tie-break on ids for determinism
+    if (similarity != other.similarity) return similarity < other.similarity;
+    if (a != other.a) return a > other.a;
+    return b > other.b;
+  }
+};
+
+}  // namespace
+
+std::vector<size_t> Hac::Cluster(
+    size_t n, const std::function<double(size_t, size_t)>& similarity) const {
+  if (n == 0) return {};
+  std::vector<double> matrix(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    matrix[i * n + i] = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = similarity(i, j);
+      matrix[i * n + j] = s;
+      matrix[j * n + i] = s;
+    }
+  }
+  return ClusterMatrix(n, matrix);
+}
+
+std::vector<size_t> Hac::ClusterMatrix(
+    size_t n, const std::vector<double>& matrix) const {
+  if (n == 0) return {};
+  // Working similarity between current clusters; entry [i][j] is only valid
+  // while both i and j are alive. Cluster ids are reused from members: the
+  // merged cluster keeps the smaller id, the other dies.
+  std::vector<double> sim(matrix);
+  std::vector<bool> alive(n, true);
+  std::vector<size_t> cluster_size(n, 1);
+  UnionFind uf(n);
+
+  std::priority_queue<Candidate> heap;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (sim[i * n + j] >= options_.threshold) {
+        heap.push({sim[i * n + j], i, j});
+      }
+    }
+  }
+
+  while (!heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    if (!alive[top.a] || !alive[top.b]) continue;
+    // Stale entry: the stored similarity must match the current value.
+    if (sim[top.a * n + top.b] != top.similarity) continue;
+    if (top.similarity < options_.threshold) break;
+
+    size_t keep = top.a < top.b ? top.a : top.b;
+    size_t drop = top.a < top.b ? top.b : top.a;
+    uf.Union(keep, drop);
+    alive[drop] = false;
+
+    // Lance-Williams update of similarities to the merged cluster.
+    for (size_t k = 0; k < n; ++k) {
+      if (!alive[k] || k == keep) continue;
+      double s_keep = sim[keep * n + k];
+      double s_drop = sim[drop * n + k];
+      double merged = 0.0;
+      switch (options_.linkage) {
+        case Linkage::kSingle:
+          merged = std::max(s_keep, s_drop);
+          break;
+        case Linkage::kComplete:
+          merged = std::min(s_keep, s_drop);
+          break;
+        case Linkage::kAverage: {
+          double wa = static_cast<double>(cluster_size[keep]);
+          double wb = static_cast<double>(cluster_size[drop]);
+          merged = (wa * s_keep + wb * s_drop) / (wa + wb);
+          break;
+        }
+      }
+      sim[keep * n + k] = merged;
+      sim[k * n + keep] = merged;
+      if (merged >= options_.threshold) {
+        heap.push({merged, std::min(keep, k), std::max(keep, k)});
+      }
+    }
+    cluster_size[keep] += cluster_size[drop];
+  }
+  return uf.Labels();
+}
+
+}  // namespace jocl

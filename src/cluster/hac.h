@@ -1,0 +1,52 @@
+#ifndef JOCL_CLUSTER_HAC_H_
+#define JOCL_CLUSTER_HAC_H_
+
+#include <functional>
+#include <cstddef>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Linkage criteria for hierarchical agglomerative clustering.
+enum class Linkage {
+  kSingle,    ///< cluster similarity = max pairwise similarity
+  kComplete,  ///< cluster similarity = min pairwise similarity
+  kAverage,   ///< cluster similarity = mean pairwise similarity
+};
+
+/// \brief Options for a HAC run.
+struct HacOptions {
+  Linkage linkage = Linkage::kComplete;
+  /// Merging stops when the best available cluster similarity drops below
+  /// this threshold (similarities, not distances — higher is closer).
+  double threshold = 0.5;
+};
+
+/// \brief Hierarchical agglomerative clustering over a user similarity.
+///
+/// The canonicalization baselines (Text Similarity, IDF Token Overlap, CESI,
+/// SIST — Galárraga et al. 2014; Vashishth et al. 2018; Lin & Chen 2019) all
+/// cluster with HAC over different similarity functions; this is the shared
+/// engine. Runs on a dense n×n similarity matrix via the Lance-Williams
+/// style iterative merge, O(n^2 log n) with a candidate heap.
+class Hac {
+ public:
+  explicit Hac(HacOptions options = {}) : options_(options) {}
+
+  /// Clusters items `0..n-1` given a symmetric pairwise similarity callback.
+  /// Returns cluster labels in `[0, k)`. \p similarity must be symmetric;
+  /// only the upper triangle is evaluated.
+  std::vector<size_t> Cluster(
+      size_t n, const std::function<double(size_t, size_t)>& similarity) const;
+
+  /// As above but with a precomputed dense matrix (row-major, n×n).
+  std::vector<size_t> ClusterMatrix(size_t n,
+                                    const std::vector<double>& matrix) const;
+
+ private:
+  HacOptions options_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_CLUSTER_HAC_H_

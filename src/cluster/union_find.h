@@ -1,0 +1,51 @@
+#ifndef JOCL_CLUSTER_UNION_FIND_H_
+#define JOCL_CLUSTER_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Disjoint-set forest with union-by-rank and path compression.
+///
+/// Used to materialize canonicalization groups from pairwise same-meaning
+/// decisions (the transitive closure of `x_ij = 1` edges) and inside the
+/// baselines that group by a shared key.
+class UnionFind {
+ public:
+  /// Creates \p n singleton sets, ids `0..n-1`.
+  explicit UnionFind(size_t n);
+
+  /// Returns the representative of \p id's set.
+  size_t Find(size_t id);
+
+  /// Merges the sets containing \p a and \p b; returns true if they were
+  /// previously distinct.
+  bool Union(size_t a, size_t b);
+
+  /// Returns true iff \p a and \p b are in the same set.
+  bool Connected(size_t a, size_t b);
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of distinct sets.
+  size_t set_count() const { return set_count_; }
+
+  /// Materializes the current partition as cluster-id labels in
+  /// `[0, set_count)`, in first-appearance order (deterministic).
+  std::vector<size_t> Labels();
+
+  /// Materializes the partition as explicit member lists.
+  std::vector<std::vector<size_t>> Groups();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t set_count_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_CLUSTER_UNION_FIND_H_

@@ -1,0 +1,86 @@
+#include "core/decode.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cluster/union_find.h"
+
+namespace jocl {
+
+std::vector<size_t> ClusterPairGraph(size_t n,
+                                     const std::vector<PairEdge>& edges,
+                                     double threshold) {
+  // Deduplicated edge lookup (max weight wins) + adjacency.
+  std::unordered_map<uint64_t, double> weight_of;
+  auto key_of = [](size_t a, size_t b) {
+    return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+  for (const auto& [a, b, weight] : edges) {
+    auto [it, inserted] = weight_of.emplace(key_of(a, b), weight);
+    if (!inserted) it->second = std::max(it->second, weight);
+  }
+  std::vector<std::tuple<double, size_t, size_t>> ordered;
+  ordered.reserve(weight_of.size());
+  for (const auto& [a, b, weight] : edges) {
+    auto it = weight_of.find(key_of(a, b));
+    if (it != weight_of.end() && it->second >= threshold) {
+      ordered.emplace_back(it->second, std::min(a, b), std::max(a, b));
+      weight_of.erase(it);  // emit each surviving edge once
+    }
+  }
+  // Restore the lookup (consumed above to dedupe the ordered list).
+  for (const auto& [a, b, weight] : edges) {
+    auto [it, inserted] = weight_of.emplace(key_of(a, b), weight);
+    if (!inserted) it->second = std::max(it->second, weight);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& x, const auto& y) {
+              if (std::get<0>(x) != std::get<0>(y)) {
+                return std::get<0>(x) > std::get<0>(y);
+              }
+              if (std::get<1>(x) != std::get<1>(y)) {
+                return std::get<1>(x) < std::get<1>(y);
+              }
+              return std::get<2>(x) < std::get<2>(y);
+            });
+
+  UnionFind uf(n);
+  std::unordered_map<size_t, std::vector<size_t>> members;
+  auto members_of = [&](size_t root) -> std::vector<size_t>& {
+    auto [it, inserted] = members.emplace(root, std::vector<size_t>{});
+    if (inserted) it->second.push_back(root);
+    return it->second;
+  };
+  for (const auto& [weight, a, b] : ordered) {
+    size_t ra = uf.Find(a);
+    size_t rb = uf.Find(b);
+    if (ra == rb) continue;
+    std::vector<size_t>& ma = members_of(ra);
+    std::vector<size_t>& mb = members_of(rb);
+    // Average the model's beliefs over every OBSERVED cross edge.
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t x : ma) {
+      for (size_t y : mb) {
+        auto it = weight_of.find(key_of(x, y));
+        if (it != weight_of.end()) {
+          sum += it->second;
+          ++count;
+        }
+      }
+    }
+    if (count > 0 && sum / static_cast<double>(count) < threshold) {
+      continue;  // contradicted merge
+    }
+    uf.Union(ra, rb);
+    size_t new_root = uf.Find(ra);
+    std::vector<size_t> merged = std::move(ma);
+    merged.insert(merged.end(), mb.begin(), mb.end());
+    members.erase(ra);
+    members.erase(rb);
+    members[new_root] = std::move(merged);
+  }
+  return uf.Labels();
+}
+
+}  // namespace jocl

@@ -1,0 +1,35 @@
+#ifndef JOCL_CORE_DECODE_H_
+#define JOCL_CORE_DECODE_H_
+
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+namespace jocl {
+
+/// \brief A weighted undirected edge of the pair graph: two node ids plus
+/// the model's same-meaning belief (marginal of `x = 1`).
+using PairEdge = std::tuple<size_t, size_t, double>;
+
+/// \brief Clusters a sparse pair graph of LBP marginals with conflict
+/// vetoes (§3.5 applied at decode time).
+///
+/// Plain transitive closure over `x = 1` edges lets a handful of
+/// confident-but-wrong edges chain everything into one giant cluster.
+/// Instead, candidate edges (weight >= \p threshold) are processed in
+/// decreasing confidence, and a merge of two clusters is vetoed when the
+/// *observed* cross edges between them average below the threshold — a
+/// merge most of the model's own pairwise beliefs contradict is rejected.
+/// Edges absent from the graph stay neutral, so sparse-but-consistent
+/// clusters still assemble.
+///
+/// Duplicate edges keep their maximum weight. Returns dense cluster labels
+/// in `[0, k)` for nodes `0..n-1`; the result is deterministic (ties break
+/// on node ids).
+std::vector<size_t> ClusterPairGraph(size_t n,
+                                     const std::vector<PairEdge>& edges,
+                                     double threshold);
+
+}  // namespace jocl
+
+#endif  // JOCL_CORE_DECODE_H_

@@ -1,0 +1,51 @@
+#include "core/feature_config.h"
+
+namespace jocl {
+
+std::string WeightLayout::Name(size_t weight) {
+  static const char* kNames[kCount] = {
+      "alpha1.idf",  "alpha1.emb",  "alpha1.ppdb", "alpha1.cand",
+      "alpha2.idf",  "alpha2.emb",  "alpha2.ppdb", "alpha2.amie",
+      "alpha2.kbp",
+      "alpha3.idf",  "alpha3.emb",  "alpha3.ppdb", "alpha3.cand",
+      "alpha4.pop",  "alpha4.emb",  "alpha4.ppdb",
+      "alpha5.ngram", "alpha5.ld",  "alpha5.emb",  "alpha5.ppdb",
+      "alpha6.pop",  "alpha6.emb",  "alpha6.ppdb",
+      "beta1.trans_s", "beta2.trans_p", "beta3.trans_o",
+      "beta4.fact",
+      "beta5.cons_s", "beta6.cons_p", "beta7.cons_o",
+  };
+  if (weight >= kCount) return "unknown";
+  return kNames[weight];
+}
+
+FeatureMask FeatureMask::Single() {
+  FeatureMask mask;
+  mask.np_emb = false;
+  mask.np_ppdb = false;
+  mask.np_cand = false;
+  mask.rp_amie = false;
+  mask.rp_kbp = false;
+  mask.link_emb = false;
+  mask.link_ppdb = false;
+  mask.rel_ld = false;
+  mask.rel_emb = false;
+  mask.rel_ppdb = false;
+  return mask;
+}
+
+FeatureMask FeatureMask::Double() {
+  FeatureMask mask;
+  mask.np_ppdb = false;
+  mask.np_cand = false;
+  mask.rp_amie = false;
+  mask.rp_kbp = false;
+  mask.link_ppdb = false;
+  mask.rel_ld = false;
+  mask.rel_ppdb = false;
+  return mask;
+}
+
+FeatureMask FeatureMask::All() { return FeatureMask(); }
+
+}  // namespace jocl

@@ -1,0 +1,83 @@
+#ifndef JOCL_CORE_FEATURE_CONFIG_H_
+#define JOCL_CORE_FEATURE_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Layout of the shared weight vector (paper §3: α1..α6, β1..β7).
+///
+/// Every factor's feature entries index into one global vector so that all
+/// F1 factors share α1, all U5 factors share β5, and so on. 28 weights
+/// total.
+struct WeightLayout {
+  // α1 — F1 subject canonicalization: f_idf, f_emb, f_PPDB, f_cand.
+  // f_cand (candidate-agreement, the SIST-style side signal) is an
+  // extension beyond the paper's three — added through exactly the
+  // mechanism §3 advertises ("flexible ... to fit any new signals").
+  static constexpr size_t kAlpha1 = 0;
+  // α2 — F2 predicate canonicalization: f_idf, f_emb, f_PPDB, f_AMIE, f_KBP.
+  static constexpr size_t kAlpha2 = 4;
+  // α3 — F3 object canonicalization: f_idf, f_emb, f_PPDB, f_cand.
+  static constexpr size_t kAlpha3 = 9;
+  // α4 — F4 subject linking: f_pop, f'_emb, f'_PPDB.
+  static constexpr size_t kAlpha4 = 13;
+  // α5 — F5 predicate linking: f_ngram, f_LD, f'_emb, f'_PPDB.
+  static constexpr size_t kAlpha5 = 16;
+  // α6 — F6 object linking: f_pop, f'_emb, f'_PPDB.
+  static constexpr size_t kAlpha6 = 20;
+  // β1..β3 — U1..U3 transitive relation factors.
+  static constexpr size_t kBeta1 = 23;
+  static constexpr size_t kBeta2 = 24;
+  static constexpr size_t kBeta3 = 25;
+  // β4 — U4 fact inclusion factor.
+  static constexpr size_t kBeta4 = 26;
+  // β5..β7 — U5..U7 consistency factors.
+  static constexpr size_t kBeta5 = 27;
+  static constexpr size_t kBeta6 = 28;
+  static constexpr size_t kBeta7 = 29;
+
+  static constexpr size_t kCount = 30;
+
+  /// Human-readable name of a weight (diagnostics and EXPERIMENTS.md).
+  static std::string Name(size_t weight);
+};
+
+/// \brief Which feature functions are active per factor family — the knob
+/// behind Table 5's JOCL-single / JOCL-double / JOCL-all variants.
+/// Disabled features are simply not emitted into the factor tables (their
+/// weights stay unused).
+struct FeatureMask {
+  // F1/F3 (and the NP side generally).
+  bool np_idf = true;
+  bool np_emb = true;
+  bool np_ppdb = true;
+  /// Extension signal: candidate-agreement between the two NPs' entity
+  /// candidate sets (soft overlap weighted by popularity).
+  bool np_cand = true;
+  // F2 extras.
+  bool rp_amie = true;
+  bool rp_kbp = true;
+  // F4/F6.
+  bool link_pop = true;
+  bool link_emb = true;
+  bool link_ppdb = true;
+  // F5.
+  bool rel_ngram = true;
+  bool rel_ld = true;
+  bool rel_emb = true;
+  bool rel_ppdb = true;
+
+  /// Table 5 row "JOCL-single": f_idf / f_idf / f_pop / f_ngram.
+  static FeatureMask Single();
+  /// Table 5 row "JOCL-double": adds the embedding feature everywhere.
+  static FeatureMask Double();
+  /// Table 5 row "JOCL-all": every feature function (the default).
+  static FeatureMask All();
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_CORE_FEATURE_CONFIG_H_

@@ -1,0 +1,109 @@
+#ifndef JOCL_CORE_JOCL_H_
+#define JOCL_CORE_JOCL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph_builder.h"
+#include "core/problem.h"
+#include "core/signals.h"
+#include "graph/learner.h"
+
+namespace jocl {
+
+/// \brief End-to-end configuration of the JOCL pipeline.
+struct JoclOptions {
+  ProblemOptions problem;
+  GraphBuilderOptions builder;
+  /// Weight learning (paper §3.4): gradient ascent at lr 0.05 with
+  /// LBP-approximated expectations.
+  LearnerOptions learner;
+  /// Inference-time LBP (paper: converges within 20 sweeps).
+  LbpOptions inference;
+  /// Learning-graph size cap: the validation split is subsampled to at most
+  /// this many triples (deterministically) to bound training cost.
+  size_t max_learning_triples = 300;
+  /// Conflict resolution (§3.5) only fires for pairs whose same-meaning
+  /// marginal is at least this confident; at 0.5 it reduces to the paper's
+  /// bare argmax rule, higher values resolve only confident conflicts.
+  double conflict_confidence = 0.75;
+  uint64_t seed = 17;
+
+  JoclOptions() {
+    learner.learning_rate = 0.05;  // paper §4.1
+    learner.iterations = 15;
+    learner.l2 = 0.08;             // stay close to the uniform prior
+    learner.lbp.max_iterations = 8;
+    inference.max_iterations = 20;
+  }
+
+  /// Table 4 variant "JOCLcano": canonicalization factors only.
+  static JoclOptions CanonicalizationOnly();
+  /// Table 4 variant "JOCLlink": linking factors only.
+  static JoclOptions LinkingOnly();
+  /// Full JOCL without the consistency factors (no interaction), used to
+  /// isolate the interaction's contribution.
+  static JoclOptions WithoutConsistency();
+};
+
+/// \brief Joint output of the pipeline over a triple subset.
+///
+/// Mention order: NP mentions are (subject of t0, object of t0, subject of
+/// t1, ...) over the subset's triples in ascending-triple order; RP
+/// mentions are one per triple in the same order.
+struct JoclResult {
+  /// Canonicalization: cluster label per NP mention.
+  std::vector<size_t> np_cluster;
+  /// Cluster label per RP mention.
+  std::vector<size_t> rp_cluster;
+  /// Linking: CKB entity id (or kNilId) per NP mention.
+  std::vector<int64_t> np_link;
+  /// CKB relation id (or kNilId) per RP mention.
+  std::vector<int64_t> rp_link;
+  /// The triples covered, ascending (mention vectors align with these).
+  std::vector<size_t> triples;
+  /// LBP diagnostics of the inference pass.
+  LbpResult diagnostics;
+  /// Weights used at inference time.
+  std::vector<double> weights;
+};
+
+/// \brief The JOCL pipeline (paper §3): build the joint factor graph over
+/// an OKB + CKB, learn shared weights on the labeled validation split, run
+/// staged LBP, decode marginals, and resolve canonicalization/linking
+/// conflicts.
+class Jocl {
+ public:
+  explicit Jocl(JoclOptions options = {});
+
+  /// Uniform initial weights (1.0 everywhere) — the weights used when no
+  /// validation data exists.
+  static std::vector<double> DefaultWeights();
+
+  /// Learns weights from `dataset.validation_triples` (paper protocol:
+  /// the 20%-of-entities ReVerb45K split). Returns DefaultWeights() when
+  /// the data set has no validation split.
+  Result<std::vector<double>> LearnWeights(const Dataset& dataset,
+                                           const SignalBundle& signals) const;
+
+  /// Joint inference over the given triples with the given weights (empty
+  /// = DefaultWeights()).
+  Result<JoclResult> Infer(const Dataset& dataset,
+                           const SignalBundle& signals,
+                           const std::vector<size_t>& triple_subset,
+                           std::vector<double> weights = {}) const;
+
+  /// Convenience: LearnWeights on the validation split then Infer on the
+  /// given subset.
+  Result<JoclResult> Run(const Dataset& dataset, const SignalBundle& signals,
+                         const std::vector<size_t>& triple_subset) const;
+
+  const JoclOptions& options() const { return options_; }
+
+ private:
+  JoclOptions options_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_CORE_JOCL_H_

@@ -1,0 +1,84 @@
+#include "core/weights_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/feature_config.h"
+#include "util/string_util.h"
+
+namespace jocl {
+
+Status SaveWeights(const std::vector<double>& weights,
+                   const std::string& path) {
+  if (weights.size() != WeightLayout::kCount) {
+    return Status::InvalidArgument(
+        "weight vector must have WeightLayout::kCount entries");
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  for (size_t k = 0; k < weights.size(); ++k) {
+    out << WeightLayout::Name(k) << '\t' << weights[k] << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<double>> LoadWeights(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::unordered_map<std::string, size_t> index;
+  for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+    index.emplace(WeightLayout::Name(k), k);
+  }
+  std::vector<double> weights(WeightLayout::kCount, 1.0);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> cells = Split(line, '\t');
+    if (cells.size() != 2) {
+      return Status::IOError("malformed weights line " +
+                             std::to_string(line_number));
+    }
+    auto it = index.find(cells[0]);
+    if (it == index.end()) {
+      return Status::IOError("unknown weight name '" + cells[0] + "'");
+    }
+    try {
+      weights[it->second] = std::stod(cells[1]);
+    } catch (const std::exception&) {
+      return Status::IOError("non-numeric weight at line " +
+                             std::to_string(line_number));
+    }
+  }
+  return weights;
+}
+
+std::string FormatWeightReport(const std::vector<double>& weights) {
+  std::vector<size_t> order(weights.size());
+  for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double da = std::abs(weights[a] - 1.0);
+    double db = std::abs(weights[b] - 1.0);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  std::ostringstream out;
+  out.precision(4);
+  out << std::fixed;
+  for (size_t k : order) {
+    out << WeightLayout::Name(k) << " = " << weights[k] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace jocl

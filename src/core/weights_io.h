@@ -1,0 +1,30 @@
+#ifndef JOCL_CORE_WEIGHTS_IO_H_
+#define JOCL_CORE_WEIGHTS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace jocl {
+
+/// \brief Saves a learned weight vector as `name\tvalue` TSV rows using
+/// the WeightLayout names (alpha1.idf, beta5.cons_s, ...). Weights are the
+/// unit of transfer in the paper's protocol (learn on the ReVerb45K
+/// validation split, apply everywhere), so they deserve a stable on-disk
+/// form.
+Status SaveWeights(const std::vector<double>& weights,
+                   const std::string& path);
+
+/// \brief Loads weights saved by SaveWeights. Entries are matched by
+/// name, so the file survives reordering; missing entries default to 1.0
+/// (the uniform prior) and unknown names are an error.
+Result<std::vector<double>> LoadWeights(const std::string& path);
+
+/// \brief Renders the weights as a human-readable report (one line per
+/// weight, sorted by |value - 1| so the most-adjusted signals lead).
+std::string FormatWeightReport(const std::vector<double>& weights);
+
+}  // namespace jocl
+
+#endif  // JOCL_CORE_WEIGHTS_IO_H_

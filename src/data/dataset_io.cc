@@ -1,0 +1,73 @@
+#include "data/dataset_io.h"
+
+#include <fstream>
+#include <cstddef>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace jocl {
+
+Status SaveTriplesTsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  std::unordered_set<size_t> validation(dataset.validation_triples.begin(),
+                                        dataset.validation_triples.end());
+  for (size_t t = 0; t < dataset.okb.size(); ++t) {
+    const OieTriple& triple = dataset.okb.triple(t);
+    out << triple.subject << '\t' << triple.predicate << '\t'
+        << triple.object << '\t' << dataset.gold_subject_entity[t] << '\t'
+        << dataset.gold_relation[t] << '\t' << dataset.gold_object_entity[t]
+        << '\t' << dataset.gold_np_group[t * 2] << '\t'
+        << dataset.gold_np_group[t * 2 + 1] << '\t'
+        << dataset.gold_rp_group[t] << '\t'
+        << (validation.count(t) > 0 ? "validation" : "test") << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadTriplesTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  Dataset dataset;
+  dataset.name = path;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> cells = Split(line, '\t');
+    if (cells.size() != 10) {
+      return Status::IOError("malformed TSV at line " +
+                             std::to_string(line_number) + ": expected 10 "
+                             "columns, got " + std::to_string(cells.size()));
+    }
+    Status st = dataset.okb.AddTriple(cells[0], cells[1], cells[2]);
+    if (!st.ok()) return st;
+    try {
+      dataset.gold_subject_entity.push_back(std::stoll(cells[3]));
+      dataset.gold_relation.push_back(std::stoll(cells[4]));
+      dataset.gold_object_entity.push_back(std::stoll(cells[5]));
+      dataset.gold_np_group.push_back(std::stoll(cells[6]));
+      dataset.gold_np_group.push_back(std::stoll(cells[7]));
+      dataset.gold_rp_group.push_back(std::stoll(cells[8]));
+    } catch (const std::exception&) {
+      return Status::IOError("non-numeric gold label at line " +
+                             std::to_string(line_number));
+    }
+    size_t triple_index = dataset.okb.size() - 1;
+    if (cells[9] == "validation") {
+      dataset.validation_triples.push_back(triple_index);
+    } else {
+      dataset.test_triples.push_back(triple_index);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace jocl

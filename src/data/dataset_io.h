@@ -1,0 +1,25 @@
+#ifndef JOCL_DATA_DATASET_IO_H_
+#define JOCL_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace jocl {
+
+/// \brief Persists the OKB portion of a data set as TSV:
+/// `subject \t predicate \t object \t gold_s \t gold_r \t gold_o \t
+///  np_group_s \t np_group_o \t rp_group \t split`.
+/// One row per triple, `split` in {validation, test}. Intended for
+/// inspection and for exchanging generated workloads between runs.
+Status SaveTriplesTsv(const Dataset& dataset, const std::string& path);
+
+/// \brief Loads triples + gold labels saved by SaveTriplesTsv into a fresh
+/// Dataset (CKB and side resources are not round-tripped; use the
+/// generator to rebuild those, or carry them separately).
+Result<Dataset> LoadTriplesTsv(const std::string& path);
+
+}  // namespace jocl
+
+#endif  // JOCL_DATA_DATASET_IO_H_

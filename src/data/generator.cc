@@ -1,0 +1,536 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/lexicon.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jocl {
+namespace {
+
+// World-side records. World ids are gold canonicalization groups; ckb ids
+// are kNilId for novel (out-of-CKB) entities/relations.
+struct WorldEntity {
+  int64_t world_id = 0;
+  EntityId ckb_id = kNilId;
+  std::string canonical;
+  std::vector<std::string> aliases;   // includes canonical
+  std::unordered_set<std::string> typo_aliases;  // noise variants
+  std::vector<std::string> context;   // topic words for aux sentences
+  double popularity = 0.0;
+};
+
+struct WorldRelation {
+  int64_t world_id = 0;
+  RelationId ckb_id = kNilId;
+  std::string canonical;
+  std::vector<std::string> paraphrases;
+  std::vector<std::string> context;
+};
+
+struct GoldFact {
+  size_t subject;  // world entity index
+  size_t relation; // world relation index
+  size_t object;   // world entity index
+};
+
+std::string InjectTypo(const std::string& phrase, Rng* rng) {
+  // Drop one interior character of the longest token.
+  std::vector<std::string> tokens = SplitWhitespace(phrase);
+  size_t longest = 0;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (tokens[i].size() > tokens[longest].size()) longest = i;
+  }
+  if (tokens.empty() || tokens[longest].size() < 4) return phrase;
+  std::string& word = tokens[longest];
+  size_t pos = 1 + rng->UniformUint64(word.size() - 2);
+  word.erase(pos, 1);
+  return Join(tokens, " ");
+}
+
+std::string Acronym(const std::string& phrase) {
+  std::string out;
+  for (const auto& token : Tokenize(phrase)) {
+    out += token.front();
+  }
+  return out;
+}
+
+// Inserts a modifier before the last token ("be a member of" ->
+// "be a early member of" is avoided by inserting before the content word).
+std::string InsertModifier(const std::string& phrase,
+                           const std::string& modifier) {
+  std::vector<std::string> tokens = SplitWhitespace(phrase);
+  if (tokens.size() < 2) return modifier + " " + phrase;
+  // Insert before the second-to-last token's successor: i.e. before the
+  // final content word when the phrase ends "... <content> <prep>".
+  size_t pos = tokens.size() - 1;
+  const auto& stop = StopWords();
+  if (stop.count(tokens.back()) > 0 && tokens.size() >= 2) {
+    pos = tokens.size() - 2;  // "... member of" -> before "member"
+  }
+  tokens.insert(tokens.begin() + static_cast<ptrdiff_t>(pos), modifier);
+  return Join(tokens, " ");
+}
+
+class GeneratorImpl {
+ public:
+  GeneratorImpl(const GeneratorOptions& options, std::string name)
+      : options_(options),
+        name_(std::move(name)),
+        rng_(options.seed),
+        lexicon_(std::max<size_t>(64, options.num_entities), &rng_) {}
+
+  Result<Dataset> Run() {
+    if (options_.num_entities < 8 || options_.num_relations < 2 ||
+        options_.num_triples < 4) {
+      return Status::InvalidArgument(
+          "generator needs >= 8 entities, >= 2 relations, >= 4 triples");
+    }
+    BuildEntities();
+    BuildRelations();
+    BuildFacts();
+    RenderTriples();
+    BuildCkbFacts();
+    BuildPpdb();
+    BuildAuxSentences();
+    BuildSplits();
+    dataset_.name = name_;
+    JOCL_LOG(kDebug) << "generated " << dataset_.okb.size() << " triples, "
+                     << dataset_.ckb.entity_count() << " CKB entities, "
+                     << dataset_.ckb.fact_count() << " CKB facts";
+    return std::move(dataset_);
+  }
+
+ private:
+  // ---- entities -----------------------------------------------------------
+
+  void BuildEntities() {
+    Rng rng = rng_.Split(1);
+    ZipfSampler word_zipf(lexicon_.distinct_words().size(),
+                          options_.popularity_zipf);
+    std::unordered_set<std::string> used_names;
+    entities_.reserve(options_.num_entities);
+
+    for (size_t i = 0; i < options_.num_entities; ++i) {
+      WorldEntity entity;
+      entity.world_id = static_cast<int64_t>(i);
+      bool is_person = rng.Bernoulli(0.4);
+      // Retry until the canonical name is globally unique.
+      for (int attempt = 0;; ++attempt) {
+        if (is_person) {
+          const auto& firsts = lexicon_.first_names();
+          const auto& lasts = lexicon_.last_names();
+          std::string first = firsts[rng.UniformUint64(firsts.size())];
+          std::string last = lasts[rng.UniformUint64(lasts.size())];
+          if (attempt > 2) last += " " + Lexicon::MakeSyntheticWord(&rng);
+          entity.canonical = first + " " + last;
+        } else {
+          const auto& types = lexicon_.type_words();
+          std::string type = types[rng.UniformUint64(types.size())];
+          std::string distinct =
+              lexicon_.distinct_words()[word_zipf.Sample(&rng)];
+          if (attempt > 2) distinct += " " + Lexicon::MakeSyntheticWord(&rng);
+          entity.canonical = rng.Bernoulli(0.5)
+                                 ? type + " of " + distinct
+                                 : distinct + " " + type;
+        }
+        if (used_names.insert(entity.canonical).second) break;
+      }
+      // Alias inventory.
+      std::vector<std::string> pool;
+      pool.push_back(entity.canonical);
+      if (rng.Bernoulli(options_.nickname_probability)) {
+        // Token-disjoint nickname; string similarity is blind to it.
+        pool.push_back(Lexicon::MakeSyntheticWord(&rng));
+      }
+      std::vector<std::string> tokens = Tokenize(entity.canonical);
+      if (is_person) {
+        if (tokens.size() >= 2) {
+          pool.push_back(tokens.back());                        // "buffett"
+          pool.push_back(tokens.front().substr(0, 1) + " " +
+                         tokens.back());                        // "w buffett"
+          pool.push_back(tokens.front());                       // "warren"
+        }
+      } else {
+        std::vector<std::string> content = ContentTokens(entity.canonical);
+        if (content.size() >= 2) {
+          // Distinct-words-only form ("maryland") and reordered form.
+          pool.push_back(content.back() == tokens.back()
+                             ? content.front()
+                             : content.back());
+          pool.push_back(content.back() + " " + content.front());
+        }
+        if (tokens.size() >= 2) pool.push_back(Acronym(entity.canonical));
+        pool.push_back("the " + entity.canonical);
+      }
+      // Select the alias count and apply typos.
+      size_t target = options_.min_aliases +
+                      rng.UniformUint64(options_.max_aliases -
+                                        options_.min_aliases + 1);
+      std::unordered_set<std::string> chosen;
+      chosen.insert(entity.canonical);
+      size_t pool_pos = 1;
+      while (chosen.size() < target && pool_pos < pool.size()) {
+        std::string alias = pool[pool_pos++];
+        if (rng.Bernoulli(options_.typo_probability)) {
+          std::string corrupted = InjectTypo(alias, &rng);
+          if (corrupted != alias) entity.typo_aliases.insert(corrupted);
+          alias = std::move(corrupted);
+        }
+        chosen.insert(alias);
+      }
+      entity.aliases.assign(chosen.begin(), chosen.end());
+      std::sort(entity.aliases.begin(), entity.aliases.end());
+
+      // Topic context words for the synthetic source text.
+      for (int k = 0; k < 3; ++k) {
+        entity.context.push_back(
+            lexicon_.distinct_words()[word_zipf.Sample(&rng)]);
+      }
+      entities_.push_back(std::move(entity));
+    }
+
+    // Popularity ranks (entity 0 need not be the most popular).
+    std::vector<size_t> order(entities_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(&order);
+    ZipfSampler pop_zipf(entities_.size(), options_.popularity_zipf);
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      entities_[order[rank]].popularity = pop_zipf.Pmf(rank);
+    }
+
+    // CKB registration + anchors for the non-novel entities.
+    Rng anchor_rng = rng_.Split(2);
+    for (auto& entity : entities_) {
+      if (anchor_rng.Bernoulli(options_.novel_entity_fraction)) {
+        continue;  // novel entity: stays out of the CKB, gold link NIL
+      }
+      entity.ckb_id = dataset_.ckb.AddEntity(entity.canonical);
+    }
+    for (auto& entity : entities_) {
+      if (entity.ckb_id == kNilId) continue;
+      for (const auto& alias : entity.aliases) {
+        double pref = anchor_rng.UniformDouble(0.5, 1.5);
+        int64_t count = std::max<int64_t>(
+            1, static_cast<int64_t>(entity.popularity * 200000.0 * pref));
+        double coverage = options_.anchor_coverage;
+        if (entity.typo_aliases.count(alias) > 0) {
+          coverage *= options_.typo_anchor_coverage;
+        }
+        if (anchor_rng.Bernoulli(coverage)) {
+          (void)dataset_.ckb.AddAnchor(alias, entity.ckb_id, count);
+        }
+        // Ambiguous surface form: also points at an unrelated entity,
+        // sometimes with MORE anchor mass than the true reading — and
+        // independently of whether the true reading made it into the
+        // dictionary (the hardest case: the only anchor is wrong).
+        if (anchor_rng.Bernoulli(options_.ambiguous_alias_probability)) {
+          const WorldEntity& other =
+              entities_[anchor_rng.UniformUint64(entities_.size())];
+          if (other.ckb_id != kNilId && other.ckb_id != entity.ckb_id) {
+            int64_t side = std::max<int64_t>(
+                1, static_cast<int64_t>(
+                       static_cast<double>(count) *
+                       anchor_rng.UniformDouble(
+                           options_.ambiguous_strength_min,
+                           options_.ambiguous_strength_max)));
+            (void)dataset_.ckb.AddAnchor(alias, other.ckb_id, side);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- relations -----------------------------------------------------------
+
+  void BuildRelations() {
+    Rng rng = rng_.Split(3);
+    const auto& synsets = lexicon_.verb_synsets();
+    const auto& types = lexicon_.type_words();
+    std::unordered_set<std::string> used_names;
+    relations_.reserve(options_.num_relations);
+
+    for (size_t i = 0; i < options_.num_relations; ++i) {
+      WorldRelation relation;
+      relation.world_id = static_cast<int64_t>(i);
+      // One synset per relation: two relations must never share a verb, or
+      // their rendered RP surfaces would collide and the canonicalization
+      // gold would contradict itself. When more relations than synsets are
+      // requested, reused synsets get a type-word suffix in every
+      // paraphrase so surfaces stay relation-specific.
+      const VerbSynset& synset = synsets[i % synsets.size()];
+      const size_t reuse_round = i / synsets.size();
+      const std::string& type = types[(i / synsets.size()) % types.size()];
+      std::string suffix = reuse_round > 0 ? " the " + type : "";
+      relation.canonical = synset.noun + "_" + type;
+      if (!used_names.insert(relation.canonical).second) {
+        relation.canonical += "_" + std::to_string(i);
+        used_names.insert(relation.canonical);
+      }
+
+      // Paraphrase inventory: inflections of one verb (string-similar) plus
+      // synonym verbs and a nominal form (string-dissimilar).
+      std::vector<std::string> pool;
+      const auto& preps = lexicon_.prepositions();
+      const std::string prep = preps[rng.UniformUint64(preps.size())];
+      for (const VerbForms& verb : synset.verbs) {
+        pool.push_back(verb.past + " " + prep + suffix);     // "founded by"
+        pool.push_back("be " + verb.past + " " + prep + suffix);
+        pool.push_back(verb.third + " " + prep + suffix);    // "founds by"
+        pool.push_back("have " + verb.past + suffix);        // "have founded"
+      }
+      pool.push_back("be a " + synset.noun + " of" + suffix);
+      pool.push_back("be the " + synset.noun + " of" + suffix);
+      rng.Shuffle(&pool);
+      size_t target = options_.min_paraphrases +
+                      rng.UniformUint64(options_.max_paraphrases -
+                                        options_.min_paraphrases + 1);
+      std::unordered_set<std::string> chosen;
+      for (const auto& p : pool) {
+        if (chosen.size() >= target) break;
+        chosen.insert(p);
+      }
+      relation.paraphrases.assign(chosen.begin(), chosen.end());
+      std::sort(relation.paraphrases.begin(), relation.paraphrases.end());
+
+      for (int k = 0; k < 2; ++k) {
+        relation.context.push_back(Lexicon::MakeSyntheticWord(&rng));
+      }
+
+      if (!rng.Bernoulli(options_.novel_relation_fraction)) {
+        relation.ckb_id = dataset_.ckb.AddRelation(relation.canonical);
+        // Relation aliases mirror rdfs:label-style metadata: verb form,
+        // noun, and a readable name. Paraphrase inventories stay private.
+        (void)dataset_.ckb.AddRelationAlias(relation.ckb_id,
+                                            synset.verbs.front().past);
+        (void)dataset_.ckb.AddRelationAlias(relation.ckb_id, synset.noun);
+        (void)dataset_.ckb.AddRelationAlias(
+            relation.ckb_id, synset.noun + " of " + type);
+      }
+      relations_.push_back(std::move(relation));
+    }
+  }
+
+  // ---- facts and triples ----------------------------------------------------
+
+  void BuildFacts() {
+    Rng rng = rng_.Split(4);
+    // Repeated rendering of the same fact with different paraphrases is
+    // what feeds AMIE, so aim for ~1.8 renderings per fact.
+    size_t num_facts = std::max<size_t>(2, options_.num_triples * 5 / 9);
+    std::vector<double> entity_weights(entities_.size());
+    for (size_t i = 0; i < entities_.size(); ++i) {
+      entity_weights[i] = entities_[i].popularity;
+    }
+    std::unordered_set<std::string> seen;
+    facts_.reserve(num_facts);
+    while (facts_.size() < num_facts) {
+      size_t s = rng.Discrete(entity_weights);
+      size_t o = rng.Discrete(entity_weights);
+      if (s == o) continue;
+      size_t r = rng.UniformUint64(relations_.size());
+      std::string key = std::to_string(s) + ":" + std::to_string(r) + ":" +
+                        std::to_string(o);
+      if (!seen.insert(key).second) continue;
+      facts_.push_back(GoldFact{s, r, o});
+    }
+  }
+
+  const std::string& SampleAlias(const WorldEntity& entity, Rng* rng) {
+    // The canonical form dominates but variants are common, mirroring the
+    // long tail of surface forms in web extractions.
+    size_t n = entity.aliases.size();
+    if (n == 1 || rng->Bernoulli(options_.canonical_alias_preference)) {
+      // Prefer canonical when present.
+      for (const auto& alias : entity.aliases) {
+        if (alias == entity.canonical) return alias;
+      }
+    }
+    return entity.aliases[rng->UniformUint64(n)];
+  }
+
+  void RenderTriples() {
+    Rng rng = rng_.Split(5);
+    ZipfSampler fact_zipf(facts_.size(), 0.8);
+    const auto& modifiers = lexicon_.modifiers();
+
+    for (size_t t = 0; t < options_.num_triples; ++t) {
+      const GoldFact& fact = facts_[fact_zipf.Sample(&rng)];
+      const WorldEntity& subject = entities_[fact.subject];
+      const WorldEntity& object = entities_[fact.object];
+      const WorldRelation& relation = relations_[fact.relation];
+
+      std::string s_surface = SampleAlias(subject, &rng);
+      std::string o_surface = SampleAlias(object, &rng);
+      std::string p_surface =
+          relation.paraphrases[rng.UniformUint64(relation.paraphrases.size())];
+      if (rng.Bernoulli(options_.modifier_probability)) {
+        p_surface = InsertModifier(
+            p_surface, modifiers[rng.UniformUint64(modifiers.size())]);
+      }
+
+      (void)dataset_.okb.AddTriple(s_surface, p_surface, o_surface);
+      dataset_.gold_subject_entity.push_back(subject.ckb_id);
+      dataset_.gold_relation.push_back(relation.ckb_id);
+      dataset_.gold_object_entity.push_back(object.ckb_id);
+      dataset_.gold_np_group.push_back(subject.world_id);
+      dataset_.gold_np_group.push_back(object.world_id);
+      dataset_.gold_rp_group.push_back(relation.world_id);
+      triple_facts_.push_back(fact);
+    }
+  }
+
+  void BuildCkbFacts() {
+    Rng rng = rng_.Split(6);
+    std::unordered_set<std::string> done;
+    for (const GoldFact& fact : triple_facts_) {
+      const WorldEntity& s = entities_[fact.subject];
+      const WorldEntity& o = entities_[fact.object];
+      const WorldRelation& r = relations_[fact.relation];
+      if (s.ckb_id == kNilId || o.ckb_id == kNilId || r.ckb_id == kNilId) {
+        continue;
+      }
+      std::string key = std::to_string(s.ckb_id) + ":" +
+                        std::to_string(r.ckb_id) + ":" +
+                        std::to_string(o.ckb_id);
+      if (!done.insert(key).second) continue;
+      if (rng.Bernoulli(options_.fact_coverage)) {
+        (void)dataset_.ckb.AddFact(s.ckb_id, r.ckb_id, o.ckb_id);
+      }
+    }
+  }
+
+  // ---- side resources ---------------------------------------------------------
+
+  void BuildPpdb() {
+    Rng rng = rng_.Split(7);
+    auto add_noisy_cluster = [&](const std::vector<std::string>& members) {
+      if (!rng.Bernoulli(options_.ppdb_cluster_coverage)) return;
+      std::vector<std::string> kept;
+      for (const auto& member : members) {
+        if (rng.Bernoulli(options_.ppdb_member_keep)) kept.push_back(member);
+      }
+      if (kept.size() < 2) return;
+      if (rng.Bernoulli(options_.ppdb_error_rate) && !entities_.empty()) {
+        // Inject a wrong phrase from a random other entity.
+        const WorldEntity& wrong =
+            entities_[rng.UniformUint64(entities_.size())];
+        kept.push_back(wrong.canonical);
+      }
+      dataset_.ppdb.AddCluster(kept);
+    };
+    for (const auto& entity : entities_) {
+      add_noisy_cluster(entity.aliases);
+    }
+    for (const auto& relation : relations_) {
+      add_noisy_cluster(relation.paraphrases);
+    }
+  }
+
+  void BuildAuxSentences() {
+    Rng rng = rng_.Split(8);
+    auto emit = [&](const std::string& phrase,
+                    const std::vector<std::string>& context) {
+      for (size_t k = 0; k < options_.aux_sentences_per_phrase; ++k) {
+        std::vector<std::string> sentence = Tokenize(phrase);
+        // Two topic words in random positions bind the cluster together.
+        for (int c = 0; c < 2 && !context.empty(); ++c) {
+          sentence.push_back(context[rng.UniformUint64(context.size())]);
+        }
+        rng.Shuffle(&sentence);
+        dataset_.aux_sentences.push_back(std::move(sentence));
+      }
+    };
+    for (const auto& entity : entities_) {
+      for (const auto& alias : entity.aliases) emit(alias, entity.context);
+    }
+    for (const auto& relation : relations_) {
+      for (const auto& paraphrase : relation.paraphrases) {
+        emit(paraphrase, relation.context);
+      }
+    }
+  }
+
+  // ---- splits -------------------------------------------------------------------
+
+  void BuildSplits() {
+    Rng rng = rng_.Split(9);
+    std::unordered_set<int64_t> validation_entities;
+    if (options_.validation_entity_fraction > 0.0) {
+      for (const auto& entity : entities_) {
+        if (entity.ckb_id == kNilId) continue;
+        if (rng.Bernoulli(options_.validation_entity_fraction)) {
+          validation_entities.insert(entity.world_id);
+        }
+      }
+    }
+    for (size_t t = 0; t < dataset_.okb.size(); ++t) {
+      int64_t subject_world = dataset_.gold_np_group[t * 2];
+      if (validation_entities.count(subject_world) > 0) {
+        dataset_.validation_triples.push_back(t);
+      } else {
+        dataset_.test_triples.push_back(t);
+      }
+    }
+  }
+
+  GeneratorOptions options_;
+  std::string name_;
+  Rng rng_;
+  Lexicon lexicon_;
+  Dataset dataset_;
+  std::vector<WorldEntity> entities_;
+  std::vector<WorldRelation> relations_;
+  std::vector<GoldFact> facts_;
+  std::vector<GoldFact> triple_facts_;  // aligned with okb triples
+};
+
+}  // namespace
+
+Result<Dataset> GenerateDataset(const GeneratorOptions& options,
+                                std::string name) {
+  return GeneratorImpl(options, std::move(name)).Run();
+}
+
+Result<Dataset> GenerateReVerb45K(double scale, uint64_t seed) {
+  GeneratorOptions options;
+  options.num_entities = static_cast<size_t>(600 * scale);
+  options.num_relations = static_cast<size_t>(40 * std::max(0.5, scale));
+  options.num_triples = static_cast<size_t>(3000 * scale);
+  options.novel_entity_fraction = 0.0;
+  options.novel_relation_fraction = 0.0;
+  options.anchor_coverage = 0.95;
+  options.validation_entity_fraction = 0.2;
+  options.seed = seed;
+  return GenerateDataset(options, "ReVerb45K-like");
+}
+
+Result<Dataset> GenerateNYTimes2018(double scale, uint64_t seed) {
+  GeneratorOptions options;
+  options.num_entities = static_cast<size_t>(500 * scale);
+  options.num_relations = static_cast<size_t>(36 * std::max(0.5, scale));
+  options.num_triples = static_cast<size_t>(2300 * scale);
+  // News extraction: many entities/relations missing from the CKB, sparse
+  // anchors, noisier surfaces, no training labels.
+  options.novel_entity_fraction = 0.35;
+  options.novel_relation_fraction = 0.30;
+  options.anchor_coverage = 0.45;
+  options.typo_probability = 0.14;
+  options.ambiguous_alias_probability = 0.5;
+  options.ambiguous_strength_max = 1.9;
+  options.fact_coverage = 0.12;
+  options.canonical_alias_preference = 0.2;
+  options.ppdb_cluster_coverage = 0.7;  // PPDB is domain-general
+  options.fact_coverage = 0.35;
+  options.validation_entity_fraction = 0.0;
+  options.seed = seed;
+  return GenerateDataset(options, "NYTimes2018-like");
+}
+
+}  // namespace jocl

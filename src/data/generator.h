@@ -1,0 +1,115 @@
+#ifndef JOCL_DATA_GENERATOR_H_
+#define JOCL_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace jocl {
+
+/// \brief Knobs of the synthetic benchmark generator.
+///
+/// Defaults are tuned so the generated sets mirror the statistical regime
+/// of the real benchmarks at roughly 1/10 scale (benchmarks accept a scale
+/// multiplier). See DESIGN.md §4 for the substitution rationale.
+struct GeneratorOptions {
+  /// Entities in the synthetic world (some may stay out of the CKB).
+  size_t num_entities = 600;
+  /// Relations in the synthetic world.
+  size_t num_relations = 40;
+  /// OIE triples to emit.
+  size_t num_triples = 3000;
+
+  /// Fraction of world entities absent from the CKB (their mentions have
+  /// gold link NIL). ReVerb45K-like: 0 (every NP is annotated);
+  /// NYTimes2018-like: substantial.
+  double novel_entity_fraction = 0.0;
+  /// Fraction of world relations absent from the CKB.
+  double novel_relation_fraction = 0.0;
+
+  /// Aliases generated per entity, uniform in [min, max]. The paper's
+  /// ReVerb45K keeps only entities with >= 2 aliases.
+  size_t min_aliases = 2;
+  size_t max_aliases = 5;
+
+  /// Probability that an alias also gets attached to a second, unrelated
+  /// entity — ambiguous surface forms. The side reading's anchor count is
+  /// drawn from `ambiguous_strength` below and can exceed the true
+  /// reading's, which is what defeats popularity-only linkers.
+  double ambiguous_alias_probability = 0.38;
+  /// Relative anchor mass of the wrong reading, uniform in
+  /// [min, max] times the true reading's count.
+  double ambiguous_strength_min = 0.2;
+  double ambiguous_strength_max = 1.7;
+  /// Probability an alias is corrupted by a one-character typo.
+  double typo_probability = 0.08;
+  /// Anchor-coverage multiplier for typo'd aliases: extraction noise is
+  /// rarely a Wikipedia surface form, so typo variants mostly miss the
+  /// anchor dictionary (which is what defeats dictionary-only linkers).
+  double typo_anchor_coverage = 0.25;
+  /// Fraction of entity aliases registered in the anchor table. Lower
+  /// values starve `f_pop` (NYTimes2018-like regime).
+  double anchor_coverage = 0.95;
+
+  /// Probability a rendered mention uses the entity's canonical surface
+  /// (otherwise a uniformly drawn alias). Web extractions are
+  /// canonical-heavy; news text references entities in varied ways.
+  double canonical_alias_preference = 0.45;
+
+  /// RP paraphrase variants per relation, uniform in [min, max].
+  size_t min_paraphrases = 3;
+  size_t max_paraphrases = 5;
+  /// Probability a rendered RP gains an inserted modifier
+  /// ("be an early member of").
+  double modifier_probability = 0.12;
+
+  /// Probability an entity additionally carries a "nickname" alias with no
+  /// token overlap with its canonical name ("Big Blue" for IBM). Only
+  /// popularity, PPDB and embeddings can recover these.
+  double nickname_probability = 0.25;
+
+  /// Fraction of rendered gold facts also stored in the CKB fact table.
+  /// Deliberately low: OIE triples mostly express facts the CKB does NOT
+  /// have (that is the enrichment motivation), so fact inclusion is a
+  /// helpful but far-from-oracle signal.
+  double fact_coverage = 0.2;
+
+  /// PPDB noise model: probability a paraphrase cluster is covered, the
+  /// per-member keep probability within a covered cluster, and the
+  /// probability of a wrong phrase being injected into a cluster.
+  double ppdb_cluster_coverage = 0.7;
+  double ppdb_member_keep = 0.85;
+  double ppdb_error_rate = 0.04;
+
+  /// Synthetic source-text sentences per alias/paraphrase for embedding
+  /// training.
+  size_t aux_sentences_per_phrase = 6;
+
+  /// Fraction of CKB entities assigned to the validation split (labels
+  /// usable for training). 0 disables the split (NYTimes2018 protocol).
+  double validation_entity_fraction = 0.2;
+
+  /// Zipf exponent of entity popularity (anchor mass, fact participation).
+  double popularity_zipf = 1.05;
+
+  uint64_t seed = 7;
+};
+
+/// \brief Generates a ReVerb45K-like data set: every NP annotated with a
+/// CKB entity, >= 2 aliases per entity, 20% validation split.
+/// \p scale multiplies entity/relation/triple counts (1.0 = defaults).
+Result<Dataset> GenerateReVerb45K(double scale = 1.0, uint64_t seed = 7);
+
+/// \brief Generates a NYTimes2018-like data set: noisier news extraction —
+/// many NIL entities/relations, sparse anchors, no training labels.
+Result<Dataset> GenerateNYTimes2018(double scale = 1.0, uint64_t seed = 13);
+
+/// \brief Fully custom generation.
+Result<Dataset> GenerateDataset(const GeneratorOptions& options,
+                                std::string name);
+
+}  // namespace jocl
+
+#endif  // JOCL_DATA_GENERATOR_H_

@@ -1,0 +1,138 @@
+#include "data/lexicon.h"
+
+#include <unordered_set>
+#include <cstddef>
+
+namespace jocl {
+namespace {
+
+// Regular inflection good enough for the template verbs below (irregulars
+// are listed explicitly where they matter).
+VerbForms Regular(const std::string& base) {
+  std::string stem = base;
+  bool ends_e = !stem.empty() && stem.back() == 'e';
+  std::string past = ends_e ? stem + "d" : stem + "ed";
+  std::string gerund =
+      ends_e ? stem.substr(0, stem.size() - 1) + "ing" : stem + "ing";
+  std::string third = stem + "s";
+  return VerbForms{base, past, gerund, third};
+}
+
+}  // namespace
+
+Lexicon::Lexicon(size_t distinct_word_count, Rng* rng) {
+  type_words_ = {
+      "university", "institute", "company",  "city",    "college",
+      "museum",     "river",     "bank",     "group",   "party",
+      "club",       "council",   "agency",   "center",  "school",
+      "hospital",   "church",    "theater",  "library", "foundation",
+      "county",     "island",    "valley",   "festival", "union",
+  };
+  first_names_ = {
+      "warren", "maria",  "david",  "elena",  "james",  "sofia",
+      "robert", "laura",  "daniel", "teresa", "martin", "helena",
+      "victor", "paula",  "oscar",  "irene",  "hector", "nadia",
+      "felix",  "clara",  "ramon",  "alice",  "bruno",  "diana",
+  };
+  last_names_ = {
+      "buffett",  "kovach",   "marlowe", "santoro", "whitfield",
+      "drummond", "castellan", "verago",  "linwood", "bramford",
+      "ostrek",   "manzini",  "harlock", "devereux", "quintana",
+      "ashford",  "belmonte", "corwin",  "delgado",  "everhart",
+      "falkner",  "giradel",  "holloway", "iverson", "jarmusch",
+  };
+
+  verb_synsets_ = {
+      {{Regular("found"), Regular("establish"), Regular("create")},
+       "founder"},
+      {{Regular("locate"), Regular("situate"), Regular("base")}, "location"},
+      {{Regular("join"), Regular("enter"),
+        VerbForms{"become part of", "became part of", "becoming part of",
+                  "becomes part of"}},
+       "member"},
+      {{Regular("lead"), Regular("head"), Regular("direct")}, "leader"},
+      {{Regular("own"), Regular("control"), Regular("acquire")}, "owner"},
+      {{Regular("produce"), Regular("manufacture"), Regular("release")},
+       "producer"},
+      {{Regular("study"), Regular("attend"), Regular("visit")}, "student"},
+      {{Regular("marry"), Regular("wed")}, "spouse"},
+      {{Regular("employ"), Regular("hire"), Regular("recruit")}, "employer"},
+      {{Regular("fund"), Regular("finance"), Regular("sponsor")}, "sponsor"},
+      {{Regular("teach"), Regular("instruct"), Regular("train")}, "teacher"},
+      {{Regular("publish"), Regular("print"), Regular("issue")}, "publisher"},
+      {{Regular("design"), Regular("plan"), Regular("develop")}, "designer"},
+      {{Regular("manage"), Regular("operate"), Regular("run")}, "manager"},
+      {{Regular("advise"), Regular("counsel"), Regular("guide")}, "advisor"},
+      {{Regular("support"), Regular("back"), Regular("endorse")},
+       "supporter"},
+      {{Regular("compete"), Regular("play"), Regular("participate")},
+       "competitor"},
+      {{Regular("represent"), Regular("serve")}, "representative"},
+      {{Regular("border"), Regular("neighbor"), Regular("adjoin")},
+       "neighbor"},
+      {{Regular("host"), Regular("organize"), Regular("stage")}, "host"},
+      {{Regular("write"), Regular("author"), Regular("compose")}, "writer"},
+      {{Regular("win"), Regular("secure"), Regular("claim")}, "winner"},
+      {{Regular("buy"), Regular("purchase")}, "buyer"},
+      {{Regular("sell"), Regular("trade"), Regular("offer")}, "seller"},
+      {{Regular("build"), Regular("construct"), Regular("erect")},
+       "builder"},
+      {{Regular("open"), Regular("launch"), Regular("start")}, "opener"},
+      {{Regular("sign"), Regular("contract"), Regular("engage")}, "signee"},
+      {{Regular("coach"), Regular("mentor")}, "coach"},
+      {{Regular("edit"), Regular("revise"), Regular("curate")}, "editor"},
+      {{Regular("translate"), Regular("render"), Regular("adapt")},
+       "translator"},
+      {{Regular("record"), Regular("tape"), Regular("register")}, "recorder"},
+      {{Regular("perform"), Regular("present"), Regular("deliver")},
+       "performer"},
+      {{Regular("tour"), Regular("travel"), Regular("journey")}, "tourist"},
+      {{Regular("merge"), Regular("combine"), Regular("unite")}, "merger"},
+      {{Regular("chair"), Regular("preside"), Regular("moderate")},
+       "chairman"},
+      {{Regular("donate"), Regular("gift"), Regular("contribute")}, "donor"},
+      {{Regular("invest"), Regular("stake")}, "investor"},
+      {{Regular("rent"), Regular("lease"), Regular("let")}, "tenant"},
+      {{Regular("protect"), Regular("defend"), Regular("guard")},
+       "protector"},
+      {{Regular("discover"), Regular("detect"), Regular("identify")},
+       "discoverer"},
+  };
+
+  modifiers_ = {"early",  "new",    "former", "senior", "major",
+                "active", "famous", "local",  "young",  "leading"};
+  prepositions_ = {"of", "in", "at", "for", "with", "by", "to"};
+
+  // Procedural distinctive words; dedupe so frequencies depend only on the
+  // generator's Zipf draws, not on collisions.
+  std::unordered_set<std::string> seen(type_words_.begin(), type_words_.end());
+  seen.insert(first_names_.begin(), first_names_.end());
+  seen.insert(last_names_.begin(), last_names_.end());
+  distinct_words_.reserve(distinct_word_count);
+  while (distinct_words_.size() < distinct_word_count) {
+    std::string word = MakeSyntheticWord(rng);
+    if (seen.insert(word).second) distinct_words_.push_back(std::move(word));
+  }
+}
+
+std::string Lexicon::MakeSyntheticWord(Rng* rng) {
+  static const char* kOnsets[] = {"b",  "d",  "f",  "g",  "k",  "l",
+                                  "m",  "n",  "p",  "r",  "s",  "t",
+                                  "v",  "br", "dr", "gr", "kr", "st",
+                                  "tr", "sl", "pl", "ch", "sh", "th"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+  static const char* kCodas[] = {"",  "",  "n", "r", "l", "s",
+                                 "t", "m", "k", "nd", "rt", "x"};
+  size_t syllables = 2 + rng->UniformUint64(2);  // 2..3
+  std::string word;
+  for (size_t i = 0; i < syllables; ++i) {
+    word += kOnsets[rng->UniformUint64(std::size(kOnsets))];
+    word += kVowels[rng->UniformUint64(std::size(kVowels))];
+    if (i + 1 == syllables) {
+      word += kCodas[rng->UniformUint64(std::size(kCodas))];
+    }
+  }
+  return word;
+}
+
+}  // namespace jocl

@@ -1,0 +1,83 @@
+#ifndef JOCL_DATA_LEXICON_H_
+#define JOCL_DATA_LEXICON_H_
+
+#include <string>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace jocl {
+
+/// \brief A verb with the inflected forms the paraphrase templates need.
+struct VerbForms {
+  std::string base;    ///< "found"
+  std::string past;    ///< "founded"
+  std::string gerund;  ///< "founding"
+  std::string third;   ///< "founds"
+};
+
+/// \brief A group of interchangeable verbs (synonyms) plus the noun used by
+/// nominal paraphrases ("be a member of").
+struct VerbSynset {
+  std::vector<VerbForms> verbs;
+  std::string noun;  ///< "member", "founder", ...
+};
+
+/// \brief Word pools for the synthetic benchmark generators.
+///
+/// The lexicon mixes a fixed inventory of real English head words (entity
+/// type words, relation verbs with synonym sets, modifiers) with
+/// procedurally generated distinctive words ("salvor", "kandoma") so that:
+///  * IDF token overlap is informative — type words are frequent, and
+///    distinctive words rare;
+///  * string-based signals fail exactly where the paper's do — synonym
+///    verbs and acronyms share no tokens, so only PPDB / embeddings /
+///    AMIE / popularity can recover them.
+class Lexicon {
+ public:
+  /// Builds a lexicon with \p distinct_word_count procedural words.
+  Lexicon(size_t distinct_word_count, Rng* rng);
+
+  /// Common entity "type" head words (university, company, city, ...).
+  const std::vector<std::string>& type_words() const { return type_words_; }
+
+  /// Rare distinctive words, procedurally generated.
+  const std::vector<std::string>& distinct_words() const {
+    return distinct_words_;
+  }
+
+  /// Synthetic person first names.
+  const std::vector<std::string>& first_names() const { return first_names_; }
+
+  /// Synthetic person family names.
+  const std::vector<std::string>& last_names() const { return last_names_; }
+
+  /// Relation verb synonym sets.
+  const std::vector<VerbSynset>& verb_synsets() const { return verb_synsets_; }
+
+  /// Modifier adjectives inserted into RP variants ("be an early member
+  /// of") — the paper's Figure 1 example.
+  const std::vector<std::string>& modifiers() const { return modifiers_; }
+
+  /// Prepositions for paraphrase templates.
+  const std::vector<std::string>& prepositions() const {
+    return prepositions_;
+  }
+
+  /// Generates one pronounceable synthetic word of 2-3 syllables.
+  static std::string MakeSyntheticWord(Rng* rng);
+
+ private:
+  std::vector<std::string> type_words_;
+  std::vector<std::string> distinct_words_;
+  std::vector<std::string> first_names_;
+  std::vector<std::string> last_names_;
+  std::vector<VerbSynset> verb_synsets_;
+  std::vector<std::string> modifiers_;
+  std::vector<std::string> prepositions_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_DATA_LEXICON_H_

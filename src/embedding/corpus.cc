@@ -1,0 +1,31 @@
+#include "embedding/corpus.h"
+
+#include "text/tokenizer.h"
+
+namespace jocl {
+
+std::vector<std::vector<std::string>> BuildTripleCorpus(const OpenKb& okb) {
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(okb.size());
+  for (const auto& triple : okb.triples()) {
+    std::vector<std::string> sentence;
+    for (const auto& token : Tokenize(triple.subject)) {
+      sentence.push_back(token);
+    }
+    for (const auto& token : Tokenize(triple.predicate)) {
+      sentence.push_back(token);
+    }
+    for (const auto& token : Tokenize(triple.object)) {
+      sentence.push_back(token);
+    }
+    if (!sentence.empty()) corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+void AppendSentences(const std::vector<std::vector<std::string>>& extra,
+                     std::vector<std::vector<std::string>>* corpus) {
+  corpus->insert(corpus->end(), extra.begin(), extra.end());
+}
+
+}  // namespace jocl

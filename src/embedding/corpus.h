@@ -1,0 +1,26 @@
+#ifndef JOCL_EMBEDDING_CORPUS_H_
+#define JOCL_EMBEDDING_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/open_kb.h"
+
+namespace jocl {
+
+/// \brief Builds a word2vec training corpus from an OKB.
+///
+/// Each triple becomes one sentence: the tokens of subject, predicate and
+/// object in order. \p repetitions controls how many shuffled passes are
+/// materialized (the generator's paraphrases then co-occur with the same
+/// context tokens across triples, which is what makes `Sim_emb` informative).
+std::vector<std::vector<std::string>> BuildTripleCorpus(const OpenKb& okb);
+
+/// \brief Extends a corpus in place with the supplied auxiliary sentences
+/// (e.g. the synthetic "source text" sentences the data generator emits).
+void AppendSentences(const std::vector<std::vector<std::string>>& extra,
+                     std::vector<std::vector<std::string>>* corpus);
+
+}  // namespace jocl
+
+#endif  // JOCL_EMBEDDING_CORPUS_H_

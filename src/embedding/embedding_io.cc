@@ -1,0 +1,56 @@
+#include "embedding/embedding_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace jocl {
+
+Status SaveEmbeddingsText(const EmbeddingTable& table,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << table.size() << ' ' << table.dim() << '\n';
+  // EmbeddingTable has no iteration API by design (hot-path lookups only),
+  // so serialization walks the words via the index snapshot.
+  for (const auto& word : table.Words()) {
+    const float* v = table.Vector(word);
+    out << word;
+    for (size_t d = 0; d < table.dim(); ++d) out << ' ' << v[d];
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EmbeddingTable> LoadEmbeddingsText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  size_t count = 0;
+  size_t dim = 0;
+  if (!(in >> count >> dim) || dim == 0) {
+    return Status::IOError("malformed embedding header in " + path);
+  }
+  EmbeddingTable table(dim);
+  std::string word;
+  std::vector<float> vector(dim);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(in >> word)) {
+      return Status::IOError("unexpected end of embeddings at row " +
+                             std::to_string(i));
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      if (!(in >> vector[d])) {
+        return Status::IOError("truncated vector for word '" + word + "'");
+      }
+    }
+    table.Set(word, vector);
+  }
+  return table;
+}
+
+}  // namespace jocl

@@ -1,0 +1,90 @@
+#include "embedding/embedding_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+#include "text/tokenizer.h"
+
+namespace jocl {
+
+void EmbeddingTable::Set(std::string_view word,
+                         const std::vector<float>& vector) {
+  assert(vector.size() == dim_ && "vector length must equal table dim");
+  auto [it, inserted] = index_.emplace(std::string(word), index_.size());
+  if (inserted) {
+    data_.insert(data_.end(), vector.begin(), vector.end());
+  } else {
+    std::copy(vector.begin(), vector.end(),
+              data_.begin() + static_cast<ptrdiff_t>(it->second * dim_));
+  }
+}
+
+bool EmbeddingTable::Contains(std::string_view word) const {
+  return index_.find(std::string(word)) != index_.end();
+}
+
+const float* EmbeddingTable::Vector(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) return nullptr;
+  return data_.data() + it->second * dim_;
+}
+
+std::vector<float> EmbeddingTable::PhraseVector(
+    std::string_view phrase) const {
+  std::vector<float> sum(dim_, 0.0f);
+  size_t known = 0;
+  for (const auto& token : Tokenize(phrase)) {
+    const float* v = Vector(token);
+    if (v == nullptr) continue;
+    for (size_t d = 0; d < dim_; ++d) sum[d] += v[d];
+    ++known;
+  }
+  if (known > 1) {
+    float inv = 1.0f / static_cast<float>(known);
+    for (float& x : sum) x *= inv;
+  }
+  return sum;
+}
+
+double EmbeddingTable::Cosine(const std::vector<float>& a,
+                              const std::vector<float>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    dot += static_cast<double>(a[d]) * b[d];
+    norm_a += static_cast<double>(a[d]) * a[d];
+    norm_b += static_cast<double>(b[d]) * b[d];
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+std::vector<std::string> EmbeddingTable::Words() const {
+  std::vector<std::string> words;
+  words.reserve(index_.size());
+  for (const auto& [word, row] : index_) words.push_back(word);
+  std::sort(words.begin(), words.end());
+  return words;
+}
+
+double EmbeddingTable::PhraseSimilarity(std::string_view a,
+                                        std::string_view b,
+                                        double fallback) const {
+  std::vector<float> va = PhraseVector(a);
+  std::vector<float> vb = PhraseVector(b);
+  auto is_zero = [](const std::vector<float>& v) {
+    for (float x : v) {
+      if (x != 0.0f) return false;
+    }
+    return true;
+  };
+  if (is_zero(va) || is_zero(vb)) return fallback;
+  double cosine = Cosine(va, vb);
+  return cosine < 0.0 ? 0.0 : cosine;
+}
+
+}  // namespace jocl

@@ -1,0 +1,63 @@
+#ifndef JOCL_EMBEDDING_EMBEDDING_TABLE_H_
+#define JOCL_EMBEDDING_EMBEDDING_TABLE_H_
+
+#include <string>
+#include <cstddef>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Dense word-embedding store with phrase composition.
+///
+/// JOCL's `Sim_emb` signal (§3.1.3): a phrase embedding is the average of
+/// its word vectors ("for a NP which contains several words, we average the
+/// vectors of all the single words"), and phrase similarity is the cosine
+/// between the averages, clamped to [0, 1] so it can feed the two-state
+/// feature functions directly.
+class EmbeddingTable {
+ public:
+  /// Constructs an empty table with the given dimensionality.
+  explicit EmbeddingTable(size_t dim = 0) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return index_.size(); }
+
+  /// Inserts or overwrites the vector of \p word; the vector length must
+  /// equal dim().
+  void Set(std::string_view word, const std::vector<float>& vector);
+
+  /// True iff the word has a vector.
+  bool Contains(std::string_view word) const;
+
+  /// Pointer to the word's vector (length dim()), or nullptr.
+  const float* Vector(std::string_view word) const;
+
+  /// Average of the vectors of the phrase's known tokens. Returns a zero
+  /// vector when no token is known (callers should treat that as "no
+  /// evidence", similarity 0.5 neutral is up to the signal layer).
+  std::vector<float> PhraseVector(std::string_view phrase) const;
+
+  /// Cosine similarity of two raw vectors; 0 when either has zero norm.
+  static double Cosine(const std::vector<float>& a,
+                       const std::vector<float>& b);
+
+  /// Cosine of the two phrase vectors clamped to [0, 1]. Returns
+  /// \p fallback when either phrase has no known token.
+  double PhraseSimilarity(std::string_view a, std::string_view b,
+                          double fallback = 0.5) const;
+
+  /// Snapshot of all words in the table (deterministic order: sorted).
+  /// Intended for serialization and diagnostics, not hot paths.
+  std::vector<std::string> Words() const;
+
+ private:
+  size_t dim_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<float> data_;  // row-major, one row per word
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_EMBEDDING_EMBEDDING_TABLE_H_

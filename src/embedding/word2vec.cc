@@ -1,0 +1,193 @@
+#include "embedding/word2vec.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cmath>
+#include <unordered_map>
+
+namespace jocl {
+namespace {
+
+// Precomputed logistic table, the classic word2vec trick: sigmoid(x) for
+// x in [-kMaxExp, kMaxExp] quantized into kTableSize bins.
+constexpr int kTableSize = 1000;
+constexpr double kMaxExp = 6.0;
+
+const std::vector<float>& SigmoidTable() {
+  static const std::vector<float>* const kTable = [] {
+    auto* table = new std::vector<float>(kTableSize);
+    for (int i = 0; i < kTableSize; ++i) {
+      double x = (2.0 * i / kTableSize - 1.0) * kMaxExp;
+      (*table)[static_cast<size_t>(i)] =
+          static_cast<float>(1.0 / (1.0 + std::exp(-x)));
+    }
+    return table;
+  }();
+  return *kTable;
+}
+
+inline float FastSigmoid(float x) {
+  if (x >= kMaxExp) return 1.0f;
+  if (x <= -kMaxExp) return 0.0f;
+  int index = static_cast<int>((x + kMaxExp) * (kTableSize / (2.0 * kMaxExp)));
+  index = std::clamp(index, 0, kTableSize - 1);
+  return SigmoidTable()[static_cast<size_t>(index)];
+}
+
+}  // namespace
+
+Word2Vec::Word2Vec(Word2VecOptions options) : options_(options) {}
+
+Result<EmbeddingTable> Word2Vec::Train(
+    const std::vector<std::vector<std::string>>& corpus) const {
+  // ---- vocabulary -------------------------------------------------------
+  std::unordered_map<std::string, size_t> counts_map;
+  for (const auto& sentence : corpus) {
+    for (const auto& word : sentence) ++counts_map[word];
+  }
+  std::vector<std::pair<std::string, size_t>> vocab;
+  for (auto& [word, count] : counts_map) {
+    if (count >= options_.min_count) vocab.emplace_back(word, count);
+  }
+  if (vocab.empty()) {
+    return Status::InvalidArgument("word2vec: empty corpus or vocabulary");
+  }
+  // Deterministic ordering: by count desc, then lexicographic.
+  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::unordered_map<std::string, int> word_to_id;
+  std::vector<size_t> counts(vocab.size());
+  size_t total_tokens = 0;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    word_to_id[vocab[i].first] = static_cast<int>(i);
+    counts[i] = vocab[i].second;
+    total_tokens += vocab[i].second;
+  }
+  const size_t v = vocab.size();
+  const size_t dim = options_.dim;
+
+  // ---- negative-sampling table (unigram^0.75) ----------------------------
+  std::vector<double> weights(v);
+  for (size_t i = 0; i < v; ++i) {
+    weights[i] = std::pow(static_cast<double>(counts[i]), 0.75);
+  }
+  // Alias-free sampling via cumulative weights (binary search per draw).
+  std::vector<double> cumulative(v);
+  double acc = 0.0;
+  for (size_t i = 0; i < v; ++i) {
+    acc += weights[i];
+    cumulative[i] = acc;
+  }
+  for (double& c : cumulative) c /= acc;
+  Rng rng(options_.seed);
+  auto sample_negative = [&]() -> int {
+    double u = rng.UniformDouble();
+    auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    if (it == cumulative.end()) return static_cast<int>(v) - 1;
+    return static_cast<int>(it - cumulative.begin());
+  };
+
+  // ---- parameter init ----------------------------------------------------
+  std::vector<float> syn0(v * dim);  // input vectors (the result)
+  std::vector<float> syn1(v * dim, 0.0f);  // output vectors
+  for (float& x : syn0) {
+    x = static_cast<float>((rng.UniformDouble() - 0.5) / dim);
+  }
+
+  // ---- SGD over (center, context) pairs -----------------------------------
+  const size_t total_sentences = corpus.size() * options_.epochs;
+  size_t processed_sentences = 0;
+  std::vector<float> grad_center(dim);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& sentence : corpus) {
+      double progress = static_cast<double>(processed_sentences) /
+                        static_cast<double>(std::max<size_t>(1, total_sentences));
+      float lr = static_cast<float>(
+          options_.learning_rate * std::max(0.05, 1.0 - progress));
+      ++processed_sentences;
+
+      // Map to ids, apply frequent-word subsampling.
+      std::vector<int> ids;
+      ids.reserve(sentence.size());
+      for (const auto& word : sentence) {
+        auto it = word_to_id.find(word);
+        if (it == word_to_id.end()) continue;
+        if (options_.subsample > 0.0) {
+          double freq = static_cast<double>(counts[static_cast<size_t>(
+                            it->second)]) /
+                        static_cast<double>(total_tokens);
+          double keep = (std::sqrt(freq / options_.subsample) + 1.0) *
+                        options_.subsample / freq;
+          if (keep < 1.0 && rng.UniformDouble() > keep) continue;
+        }
+        ids.push_back(it->second);
+      }
+      if (ids.size() < 2) continue;
+
+      for (size_t pos = 0; pos < ids.size(); ++pos) {
+        size_t reduced = 1 + static_cast<size_t>(
+            rng.UniformUint64(options_.window));
+        size_t lo = pos >= reduced ? pos - reduced : 0;
+        size_t hi = std::min(ids.size(), pos + reduced + 1);
+        int center = ids[pos];
+        float* center_vec = syn0.data() + static_cast<size_t>(center) * dim;
+
+        for (size_t cpos = lo; cpos < hi; ++cpos) {
+          if (cpos == pos) continue;
+          int context = ids[cpos];
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+
+          // One positive + `negatives` negative updates.
+          for (size_t k = 0; k <= options_.negatives; ++k) {
+            int target;
+            float label;
+            if (k == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = sample_negative();
+              if (target == context) continue;
+              label = 0.0f;
+            }
+            float* target_vec =
+                syn1.data() + static_cast<size_t>(target) * dim;
+            float dot = 0.0f;
+            for (size_t d = 0; d < dim; ++d) dot += center_vec[d] * target_vec[d];
+            float grad = (label - FastSigmoid(dot)) * lr;
+            for (size_t d = 0; d < dim; ++d) {
+              grad_center[d] += grad * target_vec[d];
+              target_vec[d] += grad * center_vec[d];
+            }
+          }
+          for (size_t d = 0; d < dim; ++d) center_vec[d] += grad_center[d];
+        }
+      }
+    }
+  }
+
+  // ---- export -------------------------------------------------------------
+  // Common-component removal: raw SGNS vectors are anisotropic (every
+  // cosine lands near 1, starving downstream features of signal), so the
+  // corpus-mean vector is subtracted from every word vector first — the
+  // standard "all-but-the-top" isotropy fix.
+  std::vector<float> mean(dim, 0.0f);
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t d = 0; d < dim; ++d) mean[d] += syn0[i * dim + d];
+  }
+  for (float& m : mean) m /= static_cast<float>(v);
+
+  EmbeddingTable table(dim);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = syn0[i * dim + d] - mean[d];
+    }
+    table.Set(vocab[i].first, row);
+  }
+  return table;
+}
+
+}  // namespace jocl

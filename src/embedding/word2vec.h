@@ -1,0 +1,49 @@
+#ifndef JOCL_EMBEDDING_WORD2VEC_H_
+#define JOCL_EMBEDDING_WORD2VEC_H_
+
+#include <string>
+#include <cstddef>
+#include <vector>
+
+#include "embedding/embedding_table.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jocl {
+
+/// \brief Hyper-parameters for skip-gram negative-sampling training.
+struct Word2VecOptions {
+  size_t dim = 48;            ///< embedding dimensionality
+  size_t window = 4;          ///< max context window (actual is sampled 1..window)
+  size_t negatives = 5;       ///< negative samples per positive pair
+  double learning_rate = 0.025;  ///< initial SGD step, linearly decayed
+  size_t epochs = 5;          ///< passes over the corpus
+  double subsample = 1e-3;    ///< frequent-word subsampling threshold (0 = off)
+  size_t min_count = 1;       ///< discard words rarer than this
+  uint64_t seed = 42;         ///< RNG seed (training is deterministic)
+};
+
+/// \brief From-scratch word2vec (Mikolov et al. 2013) skip-gram trainer
+/// with negative sampling.
+///
+/// This is the library's substitute for the paper's pre-trained fastText
+/// Common-Crawl vectors (§3.1.3): the corpus is synthesized from the OKB
+/// triples themselves, so paraphrased NPs/RPs share contexts and end up
+/// with high cosine similarity — the same distributional-semantics signal,
+/// trained rather than downloaded.
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecOptions options = {});
+
+  /// Trains on the corpus (one token sequence per sentence) and returns the
+  /// learned input vectors. Fails on an empty corpus/vocabulary.
+  Result<EmbeddingTable> Train(
+      const std::vector<std::vector<std::string>>& corpus) const;
+
+ private:
+  Word2VecOptions options_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_EMBEDDING_WORD2VEC_H_

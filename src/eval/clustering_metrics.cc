@@ -1,0 +1,114 @@
+#include "eval/clustering_metrics.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+
+namespace jocl {
+namespace {
+
+using LabelMap = std::unordered_map<size_t, std::vector<size_t>>;
+
+// Groups element indices by label.
+LabelMap GroupByLabel(const std::vector<size_t>& labels,
+                      const std::vector<size_t>& subset) {
+  LabelMap groups;
+  for (size_t element : subset) {
+    groups[labels[element]].push_back(element);
+  }
+  return groups;
+}
+
+// Macro precision of `a` against `b`: fraction of a-clusters whose members
+// all share one b-label.
+double MacroPrecision(const LabelMap& a, const std::vector<size_t>& b) {
+  if (a.empty()) return 1.0;
+  size_t pure = 0;
+  for (const auto& [label, members] : a) {
+    bool is_pure = true;
+    size_t first = b[members.front()];
+    for (size_t member : members) {
+      if (b[member] != first) {
+        is_pure = false;
+        break;
+      }
+    }
+    if (is_pure) ++pure;
+  }
+  return static_cast<double>(pure) / static_cast<double>(a.size());
+}
+
+// Micro precision of `a` against `b`: purity.
+double MicroPrecision(const LabelMap& a, const std::vector<size_t>& b,
+                      size_t total) {
+  if (total == 0) return 1.0;
+  size_t hits = 0;
+  for (const auto& [label, members] : a) {
+    std::unordered_map<size_t, size_t> counts;
+    size_t best = 0;
+    for (size_t member : members) {
+      size_t c = ++counts[b[member]];
+      best = std::max(best, c);
+    }
+    hits += best;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+// Pairwise precision of `a` against `b`: co-clustered pairs that agree.
+double PairwisePrecision(const LabelMap& a, const std::vector<size_t>& b) {
+  size_t total_pairs = 0;
+  size_t hit_pairs = 0;
+  for (const auto& [label, members] : a) {
+    // Count same-b pairs inside this a-cluster via label histogram.
+    std::unordered_map<size_t, size_t> counts;
+    for (size_t member : members) ++counts[b[member]];
+    size_t m = members.size();
+    total_pairs += m * (m - 1) / 2;
+    for (const auto& [blabel, c] : counts) {
+      hit_pairs += c * (c - 1) / 2;
+    }
+  }
+  if (total_pairs == 0) return 1.0;
+  return static_cast<double>(hit_pairs) / static_cast<double>(total_pairs);
+}
+
+}  // namespace
+
+double F1(double precision, double recall) {
+  if (precision + recall <= 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+ClusteringScore EvaluateClusteringSubset(const std::vector<size_t>& predicted,
+                                         const std::vector<size_t>& gold,
+                                         const std::vector<size_t>& subset) {
+  ClusteringScore score;
+  LabelMap pred_groups = GroupByLabel(predicted, subset);
+  LabelMap gold_groups = GroupByLabel(gold, subset);
+
+  score.macro.precision = MacroPrecision(pred_groups, gold);
+  score.macro.recall = MacroPrecision(gold_groups, predicted);
+  score.macro.f1 = F1(score.macro.precision, score.macro.recall);
+
+  score.micro.precision = MicroPrecision(pred_groups, gold, subset.size());
+  score.micro.recall = MicroPrecision(gold_groups, predicted, subset.size());
+  score.micro.f1 = F1(score.micro.precision, score.micro.recall);
+
+  score.pairwise.precision = PairwisePrecision(pred_groups, gold);
+  score.pairwise.recall = PairwisePrecision(gold_groups, predicted);
+  score.pairwise.f1 = F1(score.pairwise.precision, score.pairwise.recall);
+
+  score.average_f1 =
+      (score.macro.f1 + score.micro.f1 + score.pairwise.f1) / 3.0;
+  return score;
+}
+
+ClusteringScore EvaluateClustering(const std::vector<size_t>& predicted,
+                                   const std::vector<size_t>& gold) {
+  std::vector<size_t> all(predicted.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return EvaluateClusteringSubset(predicted, gold, all);
+}
+
+}  // namespace jocl

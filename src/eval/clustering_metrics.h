@@ -1,0 +1,59 @@
+#ifndef JOCL_EVAL_CLUSTERING_METRICS_H_
+#define JOCL_EVAL_CLUSTERING_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Precision / recall / F1 triple for one clustering metric.
+struct PrecisionRecallF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// \brief The canonicalization evaluation bundle the paper reports
+/// (Tables 1, 2, 4): macro, micro and pairwise F1 plus their average.
+///
+/// Definitions follow Galárraga et al., CIKM 2014 (adopted unchanged by
+/// CESI, SIST and JOCL):
+///  * macro precision — fraction of predicted clusters that are *pure*
+///    (every element shares one gold cluster); macro recall is the same
+///    with predicted and gold swapped.
+///  * micro precision — purity: sum over predicted clusters of the largest
+///    gold overlap, divided by the number of elements; micro recall is
+///    symmetric.
+///  * pairwise precision — fraction of co-clustered element pairs ("hits")
+///    that are also co-clustered in gold; pairwise recall is symmetric.
+/// Conventions: an empty clustering scores precision 1 (vacuous), and a
+/// clustering with no same-cluster pairs scores pairwise precision 1.
+struct ClusteringScore {
+  PrecisionRecallF1 macro;
+  PrecisionRecallF1 micro;
+  PrecisionRecallF1 pairwise;
+  /// Mean of the three F1 scores ("average F1" in the paper).
+  double average_f1 = 0.0;
+};
+
+/// \brief Scores a predicted partition against gold.
+///
+/// \param predicted cluster label per element.
+/// \param gold gold cluster label per element; must be the same length.
+/// Labels are opaque ids; only co-membership matters.
+ClusteringScore EvaluateClustering(const std::vector<size_t>& predicted,
+                                   const std::vector<size_t>& gold);
+
+/// \brief Scores only the elements listed in \p subset (indices into the
+/// label vectors). Mirrors the paper's protocol of evaluating NYTimes2018 on
+/// a manually labeled sample of non-singleton gold groups.
+ClusteringScore EvaluateClusteringSubset(const std::vector<size_t>& predicted,
+                                         const std::vector<size_t>& gold,
+                                         const std::vector<size_t>& subset);
+
+/// \brief Harmonic mean helper; 0 when both inputs are 0.
+double F1(double precision, double recall);
+
+}  // namespace jocl
+
+#endif  // JOCL_EVAL_CLUSTERING_METRICS_H_

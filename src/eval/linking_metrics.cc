@@ -1,0 +1,46 @@
+#include "eval/linking_metrics.h"
+
+namespace jocl {
+
+double LinkingAccuracySubset(const std::vector<int64_t>& predicted,
+                             const std::vector<int64_t>& gold,
+                             const std::vector<size_t>& subset) {
+  if (subset.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t index : subset) {
+    if (predicted[index] == gold[index]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(subset.size());
+}
+
+double LinkingAccuracy(const std::vector<int64_t>& predicted,
+                       const std::vector<int64_t>& gold) {
+  std::vector<size_t> all(predicted.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return LinkingAccuracySubset(predicted, gold, all);
+}
+
+LinkingBreakdown EvaluateLinking(const std::vector<int64_t>& predicted,
+                                 const std::vector<int64_t>& gold) {
+  LinkingBreakdown out;
+  out.total = predicted.size();
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == gold[i]) {
+      ++out.correct;
+      if (gold[i] == kNilId) ++out.correct_nil;
+    } else if (predicted[i] == kNilId) {
+      ++out.spurious_nil;
+    } else if (gold[i] == kNilId) {
+      ++out.missed_nil;
+    } else {
+      ++out.wrong_entity;
+    }
+  }
+  out.accuracy = out.total == 0
+                     ? 0.0
+                     : static_cast<double>(out.correct) /
+                           static_cast<double>(out.total);
+  return out;
+}
+
+}  // namespace jocl

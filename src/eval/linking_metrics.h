@@ -1,0 +1,40 @@
+#ifndef JOCL_EVAL_LINKING_METRICS_H_
+#define JOCL_EVAL_LINKING_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace jocl {
+
+/// \brief Accuracy of a linking assignment: correctly linked mentions over
+/// all mentions (paper §4.1). A NIL prediction is correct iff gold is NIL.
+double LinkingAccuracy(const std::vector<int64_t>& predicted,
+                       const std::vector<int64_t>& gold);
+
+/// \brief Accuracy restricted to the mentions listed in \p subset, mirroring
+/// the paper's manually-labeled 100-triple samples.
+double LinkingAccuracySubset(const std::vector<int64_t>& predicted,
+                             const std::vector<int64_t>& gold,
+                             const std::vector<size_t>& subset);
+
+/// \brief Breakdown used by the extra diagnostics benches.
+struct LinkingBreakdown {
+  size_t total = 0;
+  size_t correct = 0;
+  size_t correct_nil = 0;       ///< predicted NIL, gold NIL
+  size_t wrong_entity = 0;      ///< predicted a wrong non-NIL id
+  size_t missed_nil = 0;        ///< predicted non-NIL, gold NIL
+  size_t spurious_nil = 0;      ///< predicted NIL, gold non-NIL
+  double accuracy = 0.0;
+};
+
+/// \brief Computes the detailed breakdown over all mentions.
+LinkingBreakdown EvaluateLinking(const std::vector<int64_t>& predicted,
+                                 const std::vector<int64_t>& gold);
+
+}  // namespace jocl
+
+#endif  // JOCL_EVAL_LINKING_METRICS_H_

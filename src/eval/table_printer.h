@@ -1,0 +1,40 @@
+#ifndef JOCL_EVAL_TABLE_PRINTER_H_
+#define JOCL_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Fixed-width ASCII table renderer shared by the benchmark
+/// harnesses so every reproduced table/figure prints in one format.
+///
+/// Usage:
+///   TablePrinter t({"Method", "Macro F1", "Micro F1"});
+///   t.AddRow({"CESI", "0.618", "0.845"});
+///   std::cout << t.Render();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string Num(double value, int precision = 3);
+
+  /// Renders the full table including borders.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Each row is either cells, or empty vector == separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,70 @@
+#include "graph/factor_graph.h"
+
+namespace jocl {
+
+VariableId FactorGraph::AddVariable(size_t cardinality, std::string name) {
+  VariableId id = variables_.size();
+  variables_.push_back(VariableNode{cardinality, -1, std::move(name)});
+  attachments_.emplace_back();
+  return id;
+}
+
+Result<FactorId> FactorGraph::AddFactor(std::vector<VariableId> scope,
+                                        FeatureTable features,
+                                        std::string name) {
+  size_t expected = 1;
+  for (VariableId v : scope) {
+    if (v >= variables_.size()) {
+      return Status::InvalidArgument("factor scope references unknown variable");
+    }
+    expected *= variables_[v].cardinality;
+  }
+  if (features.assignment_count() != expected) {
+    return Status::InvalidArgument(
+        "feature table size does not match scope cardinality product");
+  }
+  FactorId id = factors_.size();
+  for (size_t slot = 0; slot < scope.size(); ++slot) {
+    attachments_[scope[slot]].emplace_back(id, slot);
+  }
+  factors_.push_back(
+      FactorNode{std::move(scope), std::move(features), std::move(name)});
+  return id;
+}
+
+Status FactorGraph::Clamp(VariableId id, size_t state) {
+  if (id >= variables_.size()) {
+    return Status::InvalidArgument("clamp: unknown variable");
+  }
+  if (state >= variables_[id].cardinality) {
+    return Status::InvalidArgument("clamp: state out of range");
+  }
+  variables_[id].clamped_state = static_cast<int64_t>(state);
+  return Status::OK();
+}
+
+void FactorGraph::UnclampAll() {
+  for (auto& v : variables_) v.clamped_state = -1;
+}
+
+size_t FactorGraph::AssignmentCount(FactorId id) const {
+  size_t count = 1;
+  for (VariableId v : factors_[id].scope) {
+    count *= variables_[v].cardinality;
+  }
+  return count;
+}
+
+void FactorGraph::DecodeAssignment(FactorId id, size_t assignment,
+                                   std::vector<size_t>* states) const {
+  const auto& scope = factors_[id].scope;
+  states->resize(scope.size());
+  // Row-major with the last scope variable fastest.
+  for (size_t slot = scope.size(); slot-- > 0;) {
+    size_t card = variables_[scope[slot]].cardinality;
+    (*states)[slot] = assignment % card;
+    assignment /= card;
+  }
+}
+
+}  // namespace jocl

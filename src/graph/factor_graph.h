@@ -1,0 +1,183 @@
+#ifndef JOCL_GRAPH_FACTOR_GRAPH_H_
+#define JOCL_GRAPH_FACTOR_GRAPH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace jocl {
+
+/// Index of a variable node within a FactorGraph.
+using VariableId = size_t;
+/// Index of a factor node within a FactorGraph.
+using FactorId = size_t;
+/// Index into the shared weight vector.
+using WeightId = size_t;
+
+/// \brief One (weight, value) entry of a feature vector.
+struct FeatureEntry {
+  WeightId weight = 0;
+  double value = 0.0;
+};
+
+/// \brief Per-assignment features of a factor.
+///
+/// A factor over variables with cardinalities (c_1, .., c_k) has
+/// `c_1 * .. * c_k` assignments, indexed row-major with the *last* scope
+/// variable fastest. Each assignment carries a feature vector; the
+/// factor's log-potential under weights `w` is
+/// `log phi(a) = sum_i w[entry_i.weight] * entry_i.value` — the paper's
+/// exponential-linear factor function `H_j(C_j) ∝ exp{w^T h_j(C_j)}`
+/// (Eq. 1; the local normalizer `Z_j` cancels in message passing and
+/// gradient, so it is never materialized).
+///
+/// Two storage modes:
+///  * sparse — arbitrary (weight, value) lists per assignment (the F1–F6
+///    signal factors, a handful of features over few assignments);
+///  * uniform — one shared weight with a dense value per assignment (the
+///    U1–U7 heuristic factors, one weight over many assignments). This is
+///    ~5x smaller, which matters with tens of thousands of ternary factors.
+class FeatureTable {
+ public:
+  FeatureTable() = default;
+
+  /// Creates a sparse table for the given number of assignments.
+  explicit FeatureTable(size_t assignment_count)
+      : sparse_(assignment_count) {}
+
+  /// Creates a uniform table: a single weight whose feature value is
+  /// `values[assignment]`.
+  static FeatureTable Uniform(WeightId weight, std::vector<double> values) {
+    FeatureTable table;
+    table.uniform_ = true;
+    table.uniform_weight_ = weight;
+    table.uniform_values_ = std::move(values);
+    return table;
+  }
+
+  size_t assignment_count() const {
+    return uniform_ ? uniform_values_.size() : sparse_.size();
+  }
+
+  /// Appends one feature entry to the given assignment (sparse mode only).
+  void Add(size_t assignment, WeightId weight, double value) {
+    sparse_[assignment].push_back(FeatureEntry{weight, value});
+  }
+
+  /// Log-potential of the assignment under the weights.
+  double LogPotential(size_t assignment,
+                      const std::vector<double>& weights) const {
+    if (uniform_) {
+      return weights[uniform_weight_] * uniform_values_[assignment];
+    }
+    double total = 0.0;
+    for (const auto& entry : sparse_[assignment]) {
+      total += weights[entry.weight] * entry.value;
+    }
+    return total;
+  }
+
+  /// Invokes `fn(weight, value)` for each feature of the assignment.
+  template <typename Fn>
+  void ForEachFeature(size_t assignment, Fn&& fn) const {
+    if (uniform_) {
+      fn(uniform_weight_, uniform_values_[assignment]);
+      return;
+    }
+    for (const auto& entry : sparse_[assignment]) {
+      fn(entry.weight, entry.value);
+    }
+  }
+
+ private:
+  std::vector<std::vector<FeatureEntry>> sparse_;
+  bool uniform_ = false;
+  WeightId uniform_weight_ = 0;
+  std::vector<double> uniform_values_;
+};
+
+/// \brief A factor node: a scope of variables plus a feature table.
+struct FactorNode {
+  std::vector<VariableId> scope;
+  FeatureTable features;
+  std::string name;
+};
+
+/// \brief A variable node: its cardinality and optional clamping state.
+struct VariableNode {
+  size_t cardinality = 2;
+  /// Observed state for clamped inference; < 0 means free.
+  int64_t clamped_state = -1;
+  std::string name;
+};
+
+/// \brief A bipartite factor graph with shared log-linear weights.
+///
+/// Variables have arbitrary finite cardinality. Factors attach a
+/// FeatureTable whose entries reference a *global* weight vector, so many
+/// factors share the same parameters (all F1 factors share α1, etc.) —
+/// the structure the paper's learning algorithm (§3.4) requires.
+class FactorGraph {
+ public:
+  FactorGraph() = default;
+
+  /// Adds a variable with the given number of states; returns its id.
+  VariableId AddVariable(size_t cardinality, std::string name = "");
+
+  /// Adds a factor over \p scope with per-assignment features.
+  /// The feature table must have exactly prod(cardinality of scope vars)
+  /// assignments; returns an error otherwise.
+  Result<FactorId> AddFactor(std::vector<VariableId> scope,
+                             FeatureTable features, std::string name = "");
+
+  /// Declares the size of the shared weight vector. Feature entries must
+  /// reference weights below this count.
+  void set_weight_count(size_t count) { weight_count_ = count; }
+  size_t weight_count() const { return weight_count_; }
+
+  size_t variable_count() const { return variables_.size(); }
+  size_t factor_count() const { return factors_.size(); }
+
+  const VariableNode& variable(VariableId id) const { return variables_[id]; }
+  const FactorNode& factor(FactorId id) const { return factors_[id]; }
+
+  /// Factors attached to a variable, as (factor, slot-in-scope) pairs.
+  const std::vector<std::pair<FactorId, size_t>>& AttachedFactors(
+      VariableId id) const {
+    return attachments_[id];
+  }
+
+  /// Clamps a variable to an observed state (for conditioned inference).
+  Status Clamp(VariableId id, size_t state);
+
+  /// Removes the clamp from a variable.
+  void Unclamp(VariableId id) { variables_[id].clamped_state = -1; }
+
+  /// Removes all clamps.
+  void UnclampAll();
+
+  /// True iff the variable is currently clamped.
+  bool IsClamped(VariableId id) const {
+    return variables_[id].clamped_state >= 0;
+  }
+
+  /// Number of joint assignments of a factor's scope.
+  size_t AssignmentCount(FactorId id) const;
+
+  /// Decodes a row-major assignment index into per-slot states.
+  void DecodeAssignment(FactorId id, size_t assignment,
+                        std::vector<size_t>* states) const;
+
+ private:
+  std::vector<VariableNode> variables_;
+  std::vector<FactorNode> factors_;
+  std::vector<std::vector<std::pair<FactorId, size_t>>> attachments_;
+  size_t weight_count_ = 0;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_GRAPH_FACTOR_GRAPH_H_

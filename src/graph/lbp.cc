@@ -1,0 +1,392 @@
+#include "graph/lbp.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace jocl {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Normalizes a log-space message so its max entry is 0 (avoids drift).
+void NormalizeLog(std::vector<double>* message) {
+  double mx = kNegInf;
+  for (double v : *message) mx = std::max(mx, v);
+  if (mx == kNegInf) return;
+  for (double& v : *message) v -= mx;
+}
+
+}  // namespace
+
+double LogSumExp(const std::vector<double>& values) {
+  double mx = kNegInf;
+  for (double v : values) mx = std::max(mx, v);
+  if (mx == kNegInf) return kNegInf;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - mx);
+  return mx + std::log(sum);
+}
+
+LbpEngine::LbpEngine(const FactorGraph* graph,
+                     const std::vector<double>* weights, LbpOptions options)
+    : graph_(graph), weights_(weights), options_(std::move(options)) {
+  const size_t nf = graph_->factor_count();
+  msg_f2v_.resize(nf);
+  msg_v2f_.resize(nf);
+  for (FactorId f = 0; f < nf; ++f) {
+    const auto& scope = graph_->factor(f).scope;
+    msg_f2v_[f].resize(scope.size());
+    msg_v2f_[f].resize(scope.size());
+    for (size_t slot = 0; slot < scope.size(); ++slot) {
+      size_t card = graph_->variable(scope[slot]).cardinality;
+      msg_f2v_[f][slot].assign(card, 0.0);
+      msg_v2f_[f][slot].assign(card, 0.0);
+    }
+  }
+  belief_sums_.resize(graph_->variable_count());
+  marginals_.resize(graph_->variable_count());
+
+  // Build the factor schedule: caller-provided groups, then leftovers.
+  std::unordered_set<FactorId> scheduled;
+  for (const auto& group : options_.factor_schedule) {
+    schedule_.push_back(group);
+    scheduled.insert(group.begin(), group.end());
+  }
+  std::vector<FactorId> rest;
+  for (FactorId f = 0; f < nf; ++f) {
+    if (scheduled.count(f) == 0) rest.push_back(f);
+  }
+  if (!rest.empty()) schedule_.push_back(std::move(rest));
+}
+
+void LbpEngine::RefreshVariableSums() {
+  // belief_sums_[v][x] = sum over attached factors of msg_f2v, with clamped
+  // variables forced to a delta.
+  for (VariableId v = 0; v < graph_->variable_count(); ++v) {
+    size_t card = graph_->variable(v).cardinality;
+    auto& sums = belief_sums_[v];
+    sums.assign(card, 0.0);
+    if (graph_->IsClamped(v)) {
+      size_t observed = static_cast<size_t>(graph_->variable(v).clamped_state);
+      for (size_t x = 0; x < card; ++x) {
+        sums[x] = (x == observed) ? 0.0 : kNegInf;
+      }
+      continue;
+    }
+    for (const auto& [f, slot] : graph_->AttachedFactors(v)) {
+      const auto& incoming = msg_f2v_[f][slot];
+      for (size_t x = 0; x < card; ++x) sums[x] += incoming[x];
+    }
+    NormalizeLog(&sums);
+  }
+  // Variable -> factor messages: cavity sums (subtract own incoming).
+  for (FactorId f = 0; f < graph_->factor_count(); ++f) {
+    const auto& scope = graph_->factor(f).scope;
+    for (size_t slot = 0; slot < scope.size(); ++slot) {
+      VariableId v = scope[slot];
+      size_t card = graph_->variable(v).cardinality;
+      auto& outgoing = msg_v2f_[f][slot];
+      if (graph_->IsClamped(v)) {
+        size_t observed =
+            static_cast<size_t>(graph_->variable(v).clamped_state);
+        for (size_t x = 0; x < card; ++x) {
+          outgoing[x] = (x == observed) ? 0.0 : kNegInf;
+        }
+        continue;
+      }
+      const auto& incoming = msg_f2v_[f][slot];
+      for (size_t x = 0; x < card; ++x) {
+        outgoing[x] = belief_sums_[v][x] - incoming[x];
+      }
+      NormalizeLog(&outgoing);
+    }
+  }
+}
+
+void LbpEngine::UpdateFactorMessages(FactorId f, double* residual) {
+  const FactorNode& node = graph_->factor(f);
+  const size_t arity = node.scope.size();
+  const size_t assignments = graph_->AssignmentCount(f);
+
+  // Fresh outgoing accumulators, LSE per (slot, state).
+  std::vector<std::vector<double>> fresh(arity);
+  for (size_t slot = 0; slot < arity; ++slot) {
+    fresh[slot].assign(graph_->variable(node.scope[slot]).cardinality,
+                       kNegInf);
+  }
+
+  std::vector<size_t> states(arity);
+  // Enumerate assignments once; for each, distribute the cavity total to
+  // every slot. Row-major decode is done incrementally for speed.
+  std::fill(states.begin(), states.end(), 0);
+  for (size_t a = 0; a < assignments; ++a) {
+    double total = node.features.LogPotential(a, *weights_);
+    bool feasible = true;
+    for (size_t slot = 0; slot < arity; ++slot) {
+      double m = msg_v2f_[f][slot][states[slot]];
+      if (m == kNegInf) {
+        feasible = false;
+        break;
+      }
+      total += m;
+    }
+    if (feasible) {
+      for (size_t slot = 0; slot < arity; ++slot) {
+        double cavity = total - msg_v2f_[f][slot][states[slot]];
+        double& cell = fresh[slot][states[slot]];
+        if (options_.mode == LbpMode::kMaxProduct) {
+          cell = std::max(cell, cavity);
+        } else if (cell == kNegInf) {
+          cell = cavity;  // LSE accumulate below
+        } else if (cavity > cell) {
+          cell = cavity + std::log1p(std::exp(cell - cavity));
+        } else {
+          cell = cell + std::log1p(std::exp(cavity - cell));
+        }
+      }
+    }
+    // Increment mixed-radix counter (last slot fastest).
+    for (size_t slot = arity; slot-- > 0;) {
+      if (++states[slot] < graph_->variable(node.scope[slot]).cardinality) {
+        break;
+      }
+      states[slot] = 0;
+    }
+  }
+
+  for (size_t slot = 0; slot < arity; ++slot) {
+    NormalizeLog(&fresh[slot]);
+    auto& old = msg_f2v_[f][slot];
+    for (size_t x = 0; x < old.size(); ++x) {
+      double updated = fresh[slot][x];
+      if (options_.damping > 0.0 && old[x] != kNegInf &&
+          updated != kNegInf) {
+        updated = (1.0 - options_.damping) * updated +
+                  options_.damping * old[x];
+      }
+      double delta = std::abs(updated - old[x]);
+      if (std::isfinite(delta)) *residual = std::max(*residual, delta);
+      old[x] = updated;
+    }
+  }
+}
+
+LbpResult LbpEngine::Run() {
+  LbpResult result;
+  RefreshVariableSums();
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double residual = 0.0;
+    // Paper §3.4: factor->variable updates proceed group by group, with
+    // variable->factor messages refreshed between groups.
+    for (const auto& group : schedule_) {
+      for (FactorId f : group) UpdateFactorMessages(f, &residual);
+      RefreshVariableSums();
+    }
+    result.iterations = iter + 1;
+    result.final_residual = residual;
+    result.residual_history.push_back(residual);
+    if (residual < options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final marginals from belief sums.
+  for (VariableId v = 0; v < graph_->variable_count(); ++v) {
+    size_t card = graph_->variable(v).cardinality;
+    std::vector<double> log_belief = belief_sums_[v];
+    double lse = LogSumExp(log_belief);
+    marginals_[v].assign(card, 0.0);
+    if (lse == kNegInf) {
+      // All states impossible (should not happen); fall back to uniform.
+      for (size_t x = 0; x < card; ++x) {
+        marginals_[v][x] = 1.0 / static_cast<double>(card);
+      }
+    } else {
+      for (size_t x = 0; x < card; ++x) {
+        marginals_[v][x] = std::exp(log_belief[x] - lse);
+      }
+    }
+  }
+  result.marginals = marginals_;
+  return result;
+}
+
+std::vector<double> LbpEngine::FactorBelief(FactorId f) const {
+  const FactorNode& node = graph_->factor(f);
+  const size_t arity = node.scope.size();
+  const size_t assignments = graph_->AssignmentCount(f);
+  std::vector<double> log_belief(assignments);
+  std::vector<size_t> states(arity, 0);
+  for (size_t a = 0; a < assignments; ++a) {
+    double total = node.features.LogPotential(a, *weights_);
+    for (size_t slot = 0; slot < arity; ++slot) {
+      total += msg_v2f_[f][slot][states[slot]];
+    }
+    log_belief[a] = total;
+    for (size_t slot = arity; slot-- > 0;) {
+      if (++states[slot] < graph_->variable(node.scope[slot]).cardinality) {
+        break;
+      }
+      states[slot] = 0;
+    }
+  }
+  double lse = LogSumExp(log_belief);
+  std::vector<double> belief(assignments, 0.0);
+  if (lse == kNegInf) {
+    for (double& b : belief) b = 1.0 / static_cast<double>(assignments);
+  } else {
+    for (size_t a = 0; a < assignments; ++a) {
+      belief[a] = std::exp(log_belief[a] - lse);
+    }
+  }
+  return belief;
+}
+
+void LbpEngine::AccumulateExpectedFeatures(
+    std::vector<double>* expectations) const {
+  assert(expectations->size() == graph_->weight_count());
+  for (FactorId f = 0; f < graph_->factor_count(); ++f) {
+    std::vector<double> belief = FactorBelief(f);
+    const FeatureTable& features = graph_->factor(f).features;
+    for (size_t a = 0; a < belief.size(); ++a) {
+      if (belief[a] <= 0.0) continue;
+      features.ForEachFeature(a, [&](WeightId weight, double value) {
+        (*expectations)[weight] += belief[a] * value;
+      });
+    }
+  }
+}
+
+std::vector<size_t> LbpEngine::Decode() const {
+  std::vector<size_t> states(graph_->variable_count(), 0);
+  for (VariableId v = 0; v < graph_->variable_count(); ++v) {
+    const auto& m = marginals_[v];
+    size_t best = 0;
+    for (size_t x = 1; x < m.size(); ++x) {
+      if (m[x] > m[best]) best = x;
+    }
+    states[v] = best;
+  }
+  return states;
+}
+
+std::vector<size_t> ExactMap(const FactorGraph& graph,
+                             const std::vector<double>& weights) {
+  const size_t nv = graph.variable_count();
+  std::vector<size_t> states(nv, 0);
+  for (VariableId v = 0; v < nv; ++v) {
+    if (graph.IsClamped(v)) {
+      states[v] = static_cast<size_t>(graph.variable(v).clamped_state);
+    }
+  }
+  std::vector<size_t> free_vars;
+  for (VariableId v = 0; v < nv; ++v) {
+    if (!graph.IsClamped(v)) free_vars.push_back(v);
+  }
+  std::vector<size_t> best = states;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (;;) {
+    double log_score = 0.0;
+    for (FactorId f = 0; f < graph.factor_count(); ++f) {
+      const auto& scope = graph.factor(f).scope;
+      size_t assignment = 0;
+      for (size_t slot = 0; slot < scope.size(); ++slot) {
+        assignment = assignment * graph.variable(scope[slot]).cardinality +
+                     states[scope[slot]];
+      }
+      log_score += graph.factor(f).features.LogPotential(assignment, weights);
+    }
+    if (log_score > best_score) {
+      best_score = log_score;
+      best = states;
+    }
+    size_t k = 0;
+    for (; k < free_vars.size(); ++k) {
+      VariableId v = free_vars[k];
+      if (++states[v] < graph.variable(v).cardinality) break;
+      states[v] = 0;
+    }
+    if (k == free_vars.size()) break;
+  }
+  return best;
+}
+
+ExactResult ExactInference(const FactorGraph& graph,
+                           const std::vector<double>& weights) {
+  ExactResult result;
+  const size_t nv = graph.variable_count();
+  result.marginals.resize(nv);
+  for (VariableId v = 0; v < nv; ++v) {
+    result.marginals[v].assign(graph.variable(v).cardinality, 0.0);
+  }
+  result.expected_features.assign(graph.weight_count(), 0.0);
+
+  // Enumerate the full joint (respecting clamps).
+  std::vector<size_t> states(nv, 0);
+  for (VariableId v = 0; v < nv; ++v) {
+    if (graph.IsClamped(v)) {
+      states[v] = static_cast<size_t>(graph.variable(v).clamped_state);
+    }
+  }
+  std::vector<double> log_scores;
+  std::vector<std::vector<size_t>> all_states;
+
+  std::vector<size_t> free_vars;
+  for (VariableId v = 0; v < nv; ++v) {
+    if (!graph.IsClamped(v)) free_vars.push_back(v);
+  }
+
+  std::vector<size_t> decode_buffer;
+  for (;;) {
+    double log_score = 0.0;
+    for (FactorId f = 0; f < graph.factor_count(); ++f) {
+      const auto& scope = graph.factor(f).scope;
+      size_t assignment = 0;
+      for (size_t slot = 0; slot < scope.size(); ++slot) {
+        assignment =
+            assignment * graph.variable(scope[slot]).cardinality +
+            states[scope[slot]];
+      }
+      log_score += graph.factor(f).features.LogPotential(assignment, weights);
+    }
+    log_scores.push_back(log_score);
+    all_states.push_back(states);
+
+    // Advance mixed-radix counter over free variables.
+    size_t k = 0;
+    for (; k < free_vars.size(); ++k) {
+      VariableId v = free_vars[k];
+      if (++states[v] < graph.variable(v).cardinality) break;
+      states[v] = 0;
+    }
+    if (k == free_vars.size()) break;
+  }
+
+  result.log_partition = LogSumExp(log_scores);
+  for (size_t i = 0; i < log_scores.size(); ++i) {
+    double p = std::exp(log_scores[i] - result.log_partition);
+    for (VariableId v = 0; v < nv; ++v) {
+      result.marginals[v][all_states[i][v]] += p;
+    }
+    for (FactorId f = 0; f < graph.factor_count(); ++f) {
+      const auto& scope = graph.factor(f).scope;
+      size_t assignment = 0;
+      for (size_t slot = 0; slot < scope.size(); ++slot) {
+        assignment = assignment * graph.variable(scope[slot]).cardinality +
+                     all_states[i][scope[slot]];
+      }
+      graph.factor(f).features.ForEachFeature(
+          assignment, [&](WeightId weight, double value) {
+            result.expected_features[weight] += p * value;
+          });
+    }
+  }
+  return result;
+}
+
+}  // namespace jocl

@@ -1,0 +1,123 @@
+#ifndef JOCL_GRAPH_LBP_H_
+#define JOCL_GRAPH_LBP_H_
+
+#include <vector>
+#include <cstddef>
+
+#include "graph/factor_graph.h"
+
+namespace jocl {
+
+/// \brief Message semiring: sum-product computes marginals (the paper's
+/// inference, §3.4–3.5); max-product computes max-marginals for MAP
+/// decoding.
+enum class LbpMode { kSumProduct, kMaxProduct };
+
+/// \brief Options for a Loopy Belief Propagation run.
+struct LbpOptions {
+  /// Sum-product (marginals) or max-product (MAP decoding).
+  LbpMode mode = LbpMode::kSumProduct;
+  /// Maximum message-passing sweeps. The paper reports convergence within
+  /// twenty iterations (§3.4).
+  size_t max_iterations = 20;
+  /// Sweeps stop early when the max absolute change of any factor->variable
+  /// log-message falls below this.
+  double tolerance = 1e-4;
+  /// Damping `d`: new = (1-d)*computed + d*old. 0 disables damping.
+  double damping = 0.0;
+  /// Optional staged factor schedule: groups of factor ids updated in
+  /// order within each sweep (the paper's working procedure, §3.4). Factors
+  /// missing from every group are appended as a final group. Empty =
+  /// single group in insertion order.
+  std::vector<std::vector<FactorId>> factor_schedule;
+};
+
+/// \brief Marginals and factor beliefs produced by LBP.
+struct LbpResult {
+  /// Per-variable marginal distribution (clamped variables get a delta).
+  std::vector<std::vector<double>> marginals;
+  /// Number of sweeps executed.
+  size_t iterations = 0;
+  /// True when the tolerance was met before max_iterations.
+  bool converged = false;
+  /// Max message residual after the final sweep.
+  double final_residual = 0.0;
+  /// Message residual after each sweep (for convergence diagnostics).
+  std::vector<double> residual_history;
+};
+
+/// \brief Log-space sum-product Loopy Belief Propagation.
+///
+/// The engine owns the message storage for one factor graph + weight
+/// vector. After Run(), variable marginals, factor beliefs and expected
+/// feature vectors (for learning) can be queried. Clamped variables send
+/// delta messages and keep delta marginals — that is how the learner's
+/// conditioned pass `p(Y | Y^L)` is realized.
+class LbpEngine {
+ public:
+  /// \p graph and \p weights must outlive the engine.
+  LbpEngine(const FactorGraph* graph, const std::vector<double>* weights,
+            LbpOptions options = {});
+
+  /// Executes message passing until convergence or the iteration cap.
+  LbpResult Run();
+
+  /// Marginal of one variable (valid after Run()).
+  const std::vector<double>& Marginal(VariableId id) const {
+    return marginals_[id];
+  }
+
+  /// Belief over a factor's assignments (normalized; valid after Run()).
+  std::vector<double> FactorBelief(FactorId id) const;
+
+  /// Accumulates `sum_a b_f(a) * h_f(a)` over every factor into
+  /// \p expectations (size must be weight_count). Used by the learner for
+  /// `E[h]` under the current (clamped or free) distribution.
+  void AccumulateExpectedFeatures(std::vector<double>* expectations) const;
+
+  /// Argmax decoding of each variable's marginal.
+  std::vector<size_t> Decode() const;
+
+ private:
+  void UpdateFactorMessages(FactorId f, double* residual);
+  void RefreshVariableSums();
+
+  const FactorGraph* graph_;
+  const std::vector<double>* weights_;
+  LbpOptions options_;
+
+  // msg_f2v_[f][slot][state], msg_v2f_[f][slot][state] in log space.
+  std::vector<std::vector<std::vector<double>>> msg_f2v_;
+  std::vector<std::vector<std::vector<double>>> msg_v2f_;
+  // Cached per-variable sum of incoming factor messages.
+  std::vector<std::vector<double>> belief_sums_;
+  std::vector<std::vector<double>> marginals_;
+  std::vector<std::vector<FactorId>> schedule_;
+};
+
+/// \brief Exact inference by joint enumeration — O(prod cardinalities).
+///
+/// Only usable on tiny graphs; exists so tests can verify LBP (exact on
+/// trees, close on small loopy graphs) and the learner's gradients.
+struct ExactResult {
+  std::vector<std::vector<double>> marginals;
+  double log_partition = 0.0;
+  /// Expected features under the exact joint.
+  std::vector<double> expected_features;
+};
+
+/// Computes exact marginals, log Z and expected features. Respects clamps.
+ExactResult ExactInference(const FactorGraph& graph,
+                           const std::vector<double>& weights);
+
+/// \brief Exact MAP assignment by joint enumeration (tiny graphs only).
+/// Respects clamps; deterministic tie-break on the assignment order.
+std::vector<size_t> ExactMap(const FactorGraph& graph,
+                             const std::vector<double>& weights);
+
+/// \brief Numerically stable log(sum(exp(values))).
+double LogSumExp(const std::vector<double>& values);
+
+}  // namespace jocl
+
+#endif  // JOCL_GRAPH_LBP_H_

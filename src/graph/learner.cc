@@ -1,0 +1,68 @@
+#include "graph/learner.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/logging.h"
+
+namespace jocl {
+
+FactorGraphLearner::FactorGraphLearner(LearnerOptions options)
+    : options_(std::move(options)) {}
+
+LearnerResult FactorGraphLearner::Learn(
+    FactorGraph* graph,
+    const std::vector<std::pair<VariableId, size_t>>& labels,
+    std::vector<double> initial_weights) const {
+  LearnerResult result;
+  const size_t w = graph->weight_count();
+  result.weights = std::move(initial_weights);
+  result.weights.resize(w, 0.0);
+  const std::vector<double> anchor = result.weights;  // regularization center
+
+  std::vector<double> clamped_expect(w);
+  std::vector<double> free_expect(w);
+
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    // E_{p(Y|Y^L)}[h]: clamp labels, run LBP.
+    graph->UnclampAll();
+    for (const auto& [variable, state] : labels) {
+      Status st = graph->Clamp(variable, state);
+      (void)st;  // labels are validated by the caller
+    }
+    std::fill(clamped_expect.begin(), clamped_expect.end(), 0.0);
+    {
+      LbpEngine engine(graph, &result.weights, options_.lbp);
+      engine.Run();
+      engine.AccumulateExpectedFeatures(&clamped_expect);
+    }
+
+    // E_{p(Y)}[h]: free pass.
+    graph->UnclampAll();
+    std::fill(free_expect.begin(), free_expect.end(), 0.0);
+    {
+      LbpEngine engine(graph, &result.weights, options_.lbp);
+      engine.Run();
+      engine.AccumulateExpectedFeatures(&free_expect);
+    }
+
+    double max_norm = 0.0;
+    for (size_t k = 0; k < w; ++k) {
+      double gradient = clamped_expect[k] - free_expect[k] -
+                        options_.l2 * (result.weights[k] - anchor[k]);
+      result.weights[k] += options_.learning_rate * gradient;
+      max_norm = std::max(max_norm, std::abs(gradient));
+    }
+    result.trace.push_back(LearnerTrace{iter, max_norm});
+    JOCL_LOG(kDebug) << "learner iter " << iter << " grad max-norm "
+                     << max_norm;
+    if (max_norm < options_.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  graph->UnclampAll();
+  return result;
+}
+
+}  // namespace jocl

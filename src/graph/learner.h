@@ -1,0 +1,69 @@
+#ifndef JOCL_GRAPH_LEARNER_H_
+#define JOCL_GRAPH_LEARNER_H_
+
+#include <utility>
+#include <cstddef>
+#include <vector>
+
+#include "graph/lbp.h"
+
+namespace jocl {
+
+/// \brief Options for gradient-ascent parameter learning.
+struct LearnerOptions {
+  /// Step size; the paper uses 0.05 in all experiments (§4.1).
+  double learning_rate = 0.05;
+  /// Gradient-ascent iterations.
+  size_t iterations = 20;
+  /// L2 regularization strength (0 = off). Regularizes toward the
+  /// *initial* weights, not zero: the uniform initialization encodes the
+  /// prior that every signal is somewhat informative, and a small labeled
+  /// split should adjust — not erase — that prior.
+  double l2 = 0.0;
+  /// Stop when the gradient max-norm falls below this.
+  double gradient_tolerance = 1e-4;
+  /// LBP settings shared by the clamped and free passes.
+  LbpOptions lbp;
+};
+
+/// \brief Progress record for one learning iteration.
+struct LearnerTrace {
+  size_t iteration = 0;
+  double gradient_max_norm = 0.0;
+};
+
+/// \brief Result of a learning run.
+struct LearnerResult {
+  std::vector<double> weights;
+  std::vector<LearnerTrace> trace;
+  bool converged = false;
+};
+
+/// \brief Maximum-likelihood learning of shared factor weights
+/// (paper §3.4, Eq. 5–6).
+///
+/// The gradient of the partially-observed log-likelihood is
+///   dO/dw = E_{p(Y|Y^L)}[h] − E_{p(Y)}[h]
+/// Both expectations are approximated with LBP: the first by clamping the
+/// labeled variables to their observed states, the second with all
+/// variables free. Weights are updated by (optionally L2-regularized)
+/// gradient ascent.
+class FactorGraphLearner {
+ public:
+  explicit FactorGraphLearner(LearnerOptions options = {});
+
+  /// Learns weights for \p graph given labels as (variable, state) pairs.
+  /// \p graph is mutated transiently (clamps added/removed) but returned to
+  /// its fully-unclamped state. Initial weights default to zeros when
+  /// \p initial_weights is empty.
+  LearnerResult Learn(FactorGraph* graph,
+                      const std::vector<std::pair<VariableId, size_t>>& labels,
+                      std::vector<double> initial_weights = {}) const;
+
+ private:
+  LearnerOptions options_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_GRAPH_LEARNER_H_

@@ -1,0 +1,107 @@
+#include "graph/parallel_lbp.h"
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "cluster/union_find.h"
+
+namespace jocl {
+
+std::vector<size_t> FactorGraphComponents(const FactorGraph& graph) {
+  UnionFind uf(graph.variable_count());
+  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+    const auto& scope = graph.factor(f).scope;
+    for (size_t slot = 1; slot < scope.size(); ++slot) {
+      uf.Union(scope[0], scope[slot]);
+    }
+  }
+  return uf.Labels();
+}
+
+ParallelLbpResult RunParallelLbp(const FactorGraph& graph,
+                                 const std::vector<double>& weights,
+                                 const LbpOptions& options,
+                                 size_t num_threads) {
+  ParallelLbpResult result;
+  const size_t nv = graph.variable_count();
+  result.marginals.resize(nv);
+
+  std::vector<size_t> component_of = FactorGraphComponents(graph);
+  size_t component_count = 0;
+  for (size_t c : component_of) {
+    component_count = std::max(component_count, c + 1);
+  }
+  result.components = component_count;
+  if (component_count == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Build one subgraph per component with local variable ids.
+  std::vector<FactorGraph> subgraphs(component_count);
+  // global variable id -> local id within its component
+  std::vector<size_t> local_id(nv);
+  std::vector<std::vector<VariableId>> globals_of(component_count);
+  for (VariableId v = 0; v < nv; ++v) {
+    size_t c = component_of[v];
+    local_id[v] = subgraphs[c].AddVariable(graph.variable(v).cardinality);
+    if (graph.IsClamped(v)) {
+      (void)subgraphs[c].Clamp(
+          local_id[v],
+          static_cast<size_t>(graph.variable(v).clamped_state));
+    }
+    globals_of[c].push_back(v);
+  }
+  for (auto& sub : subgraphs) sub.set_weight_count(graph.weight_count());
+  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+    const FactorNode& node = graph.factor(f);
+    if (node.scope.empty()) continue;
+    size_t c = component_of[node.scope[0]];
+    std::vector<VariableId> scope;
+    scope.reserve(node.scope.size());
+    for (VariableId v : node.scope) scope.push_back(local_id[v]);
+    (void)subgraphs[c].AddFactor(std::move(scope), node.features, node.name);
+  }
+
+  // Run the components across a thread pool.
+  LbpOptions local_options = options;
+  local_options.factor_schedule.clear();  // schedules are graph-specific
+  std::atomic<size_t> next(0);
+  std::atomic<bool> all_converged(true);
+  std::atomic<size_t> max_iterations(0);
+  std::vector<std::vector<std::vector<double>>> component_marginals(
+      component_count);
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t c = next.fetch_add(1);
+      if (c >= component_count) return;
+      LbpEngine engine(&subgraphs[c], &weights, local_options);
+      LbpResult local = engine.Run();
+      if (!local.converged) all_converged = false;
+      size_t seen = max_iterations.load();
+      while (seen < local.iterations &&
+             !max_iterations.compare_exchange_weak(seen, local.iterations)) {
+      }
+      component_marginals[c] = std::move(local.marginals);
+    }
+  };
+  size_t threads = std::max<size_t>(1, num_threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+
+  for (size_t c = 0; c < component_count; ++c) {
+    for (size_t local = 0; local < globals_of[c].size(); ++local) {
+      result.marginals[globals_of[c][local]] =
+          std::move(component_marginals[c][local]);
+    }
+  }
+  result.converged = all_converged.load();
+  result.iterations = max_iterations.load();
+  return result;
+}
+
+}  // namespace jocl

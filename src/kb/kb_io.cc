@@ -1,0 +1,142 @@
+#include "kb/kb_io.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace jocl {
+namespace {
+
+Status WriteFailed(const std::string& path) {
+  return Status::IOError("write failed: " + path);
+}
+
+}  // namespace
+
+Status SaveCuratedKb(const CuratedKb& kb, const std::string& prefix) {
+  {
+    std::ofstream out(prefix + ".entities.tsv");
+    if (!out.is_open()) return WriteFailed(prefix + ".entities.tsv");
+    for (size_t id = 0; id < kb.entity_count(); ++id) {
+      out << id << '\t' << kb.entity(static_cast<EntityId>(id)).name << '\n';
+    }
+    if (!out.good()) return WriteFailed(prefix + ".entities.tsv");
+  }
+  {
+    std::ofstream out(prefix + ".relations.tsv");
+    if (!out.is_open()) return WriteFailed(prefix + ".relations.tsv");
+    for (size_t id = 0; id < kb.relation_count(); ++id) {
+      out << id << '\t' << kb.relation(static_cast<RelationId>(id)).name;
+      for (const auto& alias :
+           kb.RelationAliases(static_cast<RelationId>(id))) {
+        out << '\t' << alias;
+      }
+      out << '\n';
+    }
+    if (!out.good()) return WriteFailed(prefix + ".relations.tsv");
+  }
+  {
+    std::ofstream out(prefix + ".facts.tsv");
+    if (!out.is_open()) return WriteFailed(prefix + ".facts.tsv");
+    for (const Fact& fact : kb.facts()) {
+      out << fact.subject << '\t' << fact.relation << '\t' << fact.object
+          << '\n';
+    }
+    if (!out.good()) return WriteFailed(prefix + ".facts.tsv");
+  }
+  {
+    std::ofstream out(prefix + ".anchors.tsv");
+    if (!out.is_open()) return WriteFailed(prefix + ".anchors.tsv");
+    for (const auto& [surface, entity, count] : kb.AnchorRows()) {
+      out << surface << '\t' << entity << '\t' << count << '\n';
+    }
+    if (!out.good()) return WriteFailed(prefix + ".anchors.tsv");
+  }
+  return Status::OK();
+}
+
+Result<CuratedKb> LoadCuratedKb(const std::string& prefix) {
+  CuratedKb kb;
+  std::unordered_map<int64_t, EntityId> entity_map;
+  std::unordered_map<int64_t, RelationId> relation_map;
+  {
+    std::ifstream in(prefix + ".entities.tsv");
+    if (!in.is_open()) {
+      return Status::IOError("cannot open " + prefix + ".entities.tsv");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> cells = Split(line, '\t');
+      if (cells.size() != 2) {
+        return Status::IOError("malformed entity row: " + line);
+      }
+      entity_map[std::stoll(cells[0])] = kb.AddEntity(cells[1]);
+    }
+  }
+  {
+    std::ifstream in(prefix + ".relations.tsv");
+    if (!in.is_open()) {
+      return Status::IOError("cannot open " + prefix + ".relations.tsv");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> cells = Split(line, '\t');
+      if (cells.size() < 2) {
+        return Status::IOError("malformed relation row: " + line);
+      }
+      RelationId id = kb.AddRelation(cells[1]);
+      relation_map[std::stoll(cells[0])] = id;
+      for (size_t c = 2; c < cells.size(); ++c) {
+        JOCL_RETURN_NOT_OK(kb.AddRelationAlias(id, cells[c]));
+      }
+    }
+  }
+  {
+    std::ifstream in(prefix + ".facts.tsv");
+    if (!in.is_open()) {
+      return Status::IOError("cannot open " + prefix + ".facts.tsv");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> cells = Split(line, '\t');
+      if (cells.size() != 3) {
+        return Status::IOError("malformed fact row: " + line);
+      }
+      auto s = entity_map.find(std::stoll(cells[0]));
+      auto r = relation_map.find(std::stoll(cells[1]));
+      auto o = entity_map.find(std::stoll(cells[2]));
+      if (s == entity_map.end() || r == relation_map.end() ||
+          o == entity_map.end()) {
+        return Status::IOError("fact references unknown id: " + line);
+      }
+      JOCL_RETURN_NOT_OK(kb.AddFact(s->second, r->second, o->second));
+    }
+  }
+  {
+    std::ifstream in(prefix + ".anchors.tsv");
+    if (!in.is_open()) {
+      return Status::IOError("cannot open " + prefix + ".anchors.tsv");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> cells = Split(line, '\t');
+      if (cells.size() != 3) {
+        return Status::IOError("malformed anchor row: " + line);
+      }
+      auto e = entity_map.find(std::stoll(cells[1]));
+      if (e == entity_map.end()) {
+        return Status::IOError("anchor references unknown entity: " + line);
+      }
+      JOCL_RETURN_NOT_OK(
+          kb.AddAnchor(cells[0], e->second, std::stoll(cells[2])));
+    }
+  }
+  return kb;
+}
+
+}  // namespace jocl

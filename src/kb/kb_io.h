@@ -1,0 +1,28 @@
+#ifndef JOCL_KB_KB_IO_H_
+#define JOCL_KB_KB_IO_H_
+
+#include <string>
+
+#include "kb/curated_kb.h"
+#include "util/result.h"
+
+namespace jocl {
+
+/// \brief Persists a curated KB as four TSV files under `prefix`:
+/// `<prefix>.entities.tsv`   — `id \t name`
+/// `<prefix>.relations.tsv`  — `id \t name \t alias1 \t alias2 ...`
+/// `<prefix>.facts.tsv`      — `subject \t relation \t object`
+/// `<prefix>.anchors.tsv`    — `surface \t entity \t count`
+/// Together with SaveTriplesTsv this makes a full workload reproducible
+/// from disk without rerunning the generator.
+Status SaveCuratedKb(const CuratedKb& kb, const std::string& prefix);
+
+/// \brief Loads a KB saved by SaveCuratedKb. Entity/relation ids are
+/// reassigned densely in file order; facts and anchors are remapped
+/// through the names, so the result is equivalent (same names, facts,
+/// anchor statistics) even if ids differ.
+Result<CuratedKb> LoadCuratedKb(const std::string& prefix);
+
+}  // namespace jocl
+
+#endif  // JOCL_KB_KB_IO_H_

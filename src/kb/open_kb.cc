@@ -1,0 +1,60 @@
+#include "kb/open_kb.h"
+
+#include <unordered_set>
+#include <cstddef>
+
+#include "util/string_util.h"
+
+namespace jocl {
+
+Status OpenKb::AddTriple(std::string_view subject, std::string_view predicate,
+                         std::string_view object) {
+  std::string s = Trim(subject);
+  std::string p = Trim(predicate);
+  std::string o = Trim(object);
+  if (s.empty() || p.empty() || o.empty()) {
+    return Status::InvalidArgument("OIE triple has an empty slot");
+  }
+  triples_.push_back(OieTriple{std::move(s), std::move(p), std::move(o)});
+  return Status::OK();
+}
+
+std::vector<NpMention> OpenKb::NounPhraseMentions() const {
+  std::vector<NpMention> mentions;
+  mentions.reserve(triples_.size() * 2);
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    mentions.push_back(NpMention{i, true, triples_[i].subject});
+    mentions.push_back(NpMention{i, false, triples_[i].object});
+  }
+  return mentions;
+}
+
+std::vector<RpMention> OpenKb::RelationPhraseMentions() const {
+  std::vector<RpMention> mentions;
+  mentions.reserve(triples_.size());
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    mentions.push_back(RpMention{i, triples_[i].predicate});
+  }
+  return mentions;
+}
+
+std::vector<std::string> OpenKb::DistinctNounPhrases() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const auto& t : triples_) {
+    if (seen.insert(t.subject).second) out.push_back(t.subject);
+    if (seen.insert(t.object).second) out.push_back(t.object);
+  }
+  return out;
+}
+
+std::vector<std::string> OpenKb::DistinctRelationPhrases() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const auto& t : triples_) {
+    if (seen.insert(t.predicate).second) out.push_back(t.predicate);
+  }
+  return out;
+}
+
+}  // namespace jocl

@@ -1,0 +1,66 @@
+#ifndef JOCL_KB_OPEN_KB_H_
+#define JOCL_KB_OPEN_KB_H_
+
+#include <string>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "kb/types.h"
+#include "util/result.h"
+
+namespace jocl {
+
+/// \brief A mention of a noun phrase inside an OIE triple.
+///
+/// JOCL reasons about *mentions*, not distinct strings: the same surface
+/// form in two triples is two mentions (each gets its own linking variable).
+struct NpMention {
+  size_t triple_index = 0;
+  /// true => the triple's subject slot, false => the object slot.
+  bool is_subject = true;
+  std::string phrase;
+};
+
+/// \brief A mention of a relation phrase inside an OIE triple.
+struct RpMention {
+  size_t triple_index = 0;
+  std::string phrase;
+};
+
+/// \brief The open KB: an append-only store of OIE triples plus the mention
+/// views the canonicalization/linking machinery consumes (paper §2: a set
+/// of OIE triples `T = {t_1, t_2, ...}`).
+class OpenKb {
+ public:
+  OpenKb() = default;
+
+  /// Appends a triple; empty phrases are rejected.
+  Status AddTriple(std::string_view subject, std::string_view predicate,
+                   std::string_view object);
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+  const OieTriple& triple(size_t index) const { return triples_[index]; }
+  const std::vector<OieTriple>& triples() const { return triples_; }
+
+  /// All NP mentions in triple order: subject of t0, object of t0,
+  /// subject of t1, ... (2 per triple).
+  std::vector<NpMention> NounPhraseMentions() const;
+
+  /// All RP mentions in triple order (1 per triple).
+  std::vector<RpMention> RelationPhraseMentions() const;
+
+  /// Distinct NP surface forms (first-appearance order).
+  std::vector<std::string> DistinctNounPhrases() const;
+
+  /// Distinct RP surface forms (first-appearance order).
+  std::vector<std::string> DistinctRelationPhrases() const;
+
+ private:
+  std::vector<OieTriple> triples_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_KB_OPEN_KB_H_

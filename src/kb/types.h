@@ -1,0 +1,52 @@
+#ifndef JOCL_KB_TYPES_H_
+#define JOCL_KB_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/ids.h"
+
+namespace jocl {
+
+/// Dense id of an entity in a curated KB; `kNilId` (-1) means "no entity".
+using EntityId = int64_t;
+/// Dense id of a relation in a curated KB; `kNilId` (-1) means "no relation".
+using RelationId = int64_t;
+
+/// \brief A canonical entity in the curated KB (paper: `e ∈ E`).
+struct Entity {
+  EntityId id = -1;
+  /// Canonicalized human-readable name, e.g. "university of maryland".
+  std::string name;
+};
+
+/// \brief A canonical relation in the curated KB (paper: `r ∈ R`).
+struct Relation {
+  RelationId id = -1;
+  /// Canonicalized name, e.g. "organizations_founded".
+  std::string name;
+};
+
+/// \brief A curated-KB fact `<e_i, r_k, e_j>`.
+struct Fact {
+  EntityId subject = -1;
+  RelationId relation = -1;
+  EntityId object = -1;
+
+  bool operator==(const Fact& other) const {
+    return subject == other.subject && relation == other.relation &&
+           object == other.object;
+  }
+};
+
+/// \brief An OIE triple `<s_i, p_i, o_i>`: two noun phrases and a relation
+/// phrase, uncanonicalized (paper §2).
+struct OieTriple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_KB_TYPES_H_

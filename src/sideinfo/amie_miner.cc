@@ -1,0 +1,84 @@
+#include "sideinfo/amie_miner.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+
+namespace jocl {
+namespace {
+
+constexpr char kSep = '\x1f';
+
+std::string PairKey(const std::string& a, const std::string& b) {
+  return a <= b ? a + kSep + b : b + kSep + a;
+}
+
+}  // namespace
+
+AmieMiner::AmieMiner(AmieOptions options) : options_(options) {}
+
+void AmieMiner::Mine(const OpenKb& okb) {
+  pair_sets_.clear();
+  rules_.clear();
+  equivalent_pairs_.clear();
+
+  // Index argument pairs per normalized predicate.
+  for (const auto& triple : okb.triples()) {
+    std::string predicate = normalizer_.Normalize(triple.predicate);
+    std::string subject = normalizer_.Normalize(triple.subject);
+    std::string object = normalizer_.Normalize(triple.object);
+    pair_sets_[predicate].insert(subject + kSep + object);
+  }
+
+  // Joint-support counting: argument key -> predicates containing it.
+  std::unordered_map<std::string, std::vector<const std::string*>> by_args;
+  for (const auto& [predicate, args] : pair_sets_) {
+    for (const auto& arg_key : args) {
+      by_args[arg_key].push_back(&predicate);
+    }
+  }
+  // co_support[(p_i, p_j)] with p_i < p_j lexicographically.
+  std::map<std::pair<std::string, std::string>, size_t> co_support;
+  for (const auto& [arg_key, predicates] : by_args) {
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      for (size_t j = i + 1; j < predicates.size(); ++j) {
+        const std::string* a = predicates[i];
+        const std::string* b = predicates[j];
+        if (*a == *b) continue;
+        auto key = *a < *b ? std::make_pair(*a, *b) : std::make_pair(*b, *a);
+        ++co_support[key];
+      }
+    }
+  }
+
+  // Emit unidirectional rules that pass thresholds; record bidirectional
+  // equivalences. std::map iteration gives deterministic rule order.
+  for (const auto& [pair, support] : co_support) {
+    if (support < options_.min_support) continue;
+    const auto& [p_a, p_b] = pair;
+    double conf_ab = static_cast<double>(support) /
+                     static_cast<double>(pair_sets_[p_a].size());
+    double conf_ba = static_cast<double>(support) /
+                     static_cast<double>(pair_sets_[p_b].size());
+    bool ab = conf_ab >= options_.min_confidence;
+    bool ba = conf_ba >= options_.min_confidence;
+    if (ab) rules_.push_back(AmieRule{p_a, p_b, support, conf_ab});
+    if (ba) rules_.push_back(AmieRule{p_b, p_a, support, conf_ba});
+    if (ab && ba) equivalent_pairs_.insert(PairKey(p_a, p_b));
+  }
+}
+
+bool AmieMiner::HasEvidence(std::string_view rp) const {
+  auto it = pair_sets_.find(normalizer_.Normalize(rp));
+  return it != pair_sets_.end() && it->second.size() >= options_.min_support;
+}
+
+double AmieMiner::Similarity(std::string_view rp_a,
+                             std::string_view rp_b) const {
+  std::string norm_a = normalizer_.Normalize(rp_a);
+  std::string norm_b = normalizer_.Normalize(rp_b);
+  if (norm_a == norm_b) return 1.0;  // identical after normalization
+  return equivalent_pairs_.count(PairKey(norm_a, norm_b)) > 0 ? 1.0 : 0.0;
+}
+
+}  // namespace jocl

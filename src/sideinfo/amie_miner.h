@@ -1,0 +1,75 @@
+#ifndef JOCL_SIDEINFO_AMIE_MINER_H_
+#define JOCL_SIDEINFO_AMIE_MINER_H_
+
+#include <string>
+#include <cstddef>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kb/open_kb.h"
+#include "text/morph_normalizer.h"
+
+namespace jocl {
+
+/// \brief One mined Horn rule `antecedent(x, y) => consequent(x, y)` over
+/// normalized relation phrases.
+struct AmieRule {
+  std::string antecedent;
+  std::string consequent;
+  size_t support = 0;      ///< #(x, y) pairs satisfying both sides
+  double confidence = 0.0; ///< support / #(x, y) pairs of the antecedent
+};
+
+/// \brief Thresholds for rule acceptance (AMIE; Galárraga et al. 2013).
+struct AmieOptions {
+  size_t min_support = 2;
+  double min_confidence = 0.5;
+};
+
+/// \brief Statistical Horn-rule miner over morphologically normalized OIE
+/// triples — the library's from-scratch stand-in for the external AMIE
+/// system the paper calls (§3.1.4).
+///
+/// Two RPs have `Sim_AMIE = 1` iff both implications `p_i => p_j` and
+/// `p_j => p_i` pass the support and confidence thresholds; otherwise 0.
+/// As in the paper, most RPs appear fewer times than the support threshold,
+/// so coverage is intentionally sparse (§4.2.2 discusses exactly this).
+class AmieMiner {
+ public:
+  explicit AmieMiner(AmieOptions options = {});
+
+  /// Mines rules from the OKB. Normalization (tense/plural/auxiliary
+  /// stripping) happens internally so that surface variants share argument
+  /// pairs. Must be called before Similarity().
+  void Mine(const OpenKb& okb);
+
+  /// All accepted unidirectional rules, deterministically ordered.
+  const std::vector<AmieRule>& rules() const { return rules_; }
+
+  /// The paper's binary signal: 1.0 iff rules exist in both directions
+  /// between the normalized forms of the two phrases.
+  double Similarity(std::string_view rp_a, std::string_view rp_b) const;
+
+  /// True iff the phrase's normalized predicate occurred with at least
+  /// `min_support` distinct argument pairs — i.e. mining had enough data
+  /// to say anything about it at all.
+  bool HasEvidence(std::string_view rp) const;
+
+  /// Number of distinct normalized predicates observed while mining.
+  size_t predicate_count() const { return pair_sets_.size(); }
+
+ private:
+  AmieOptions options_;
+  MorphNormalizer normalizer_;
+  // normalized predicate -> set of "subject\x1fobject" argument keys
+  std::unordered_map<std::string, std::unordered_set<std::string>> pair_sets_;
+  std::vector<AmieRule> rules_;
+  // unordered pair key "a\x1fb" (a < b) -> bidirectionally equivalent
+  std::unordered_set<std::string> equivalent_pairs_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_SIDEINFO_AMIE_MINER_H_

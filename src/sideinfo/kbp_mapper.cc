@@ -1,0 +1,59 @@
+#include "sideinfo/kbp_mapper.h"
+
+#include "text/morph_normalizer.h"
+
+namespace jocl {
+namespace {
+
+const MorphNormalizer& SharedNormalizer() {
+  static const MorphNormalizer* const kNormalizer = new MorphNormalizer();
+  return *kNormalizer;
+}
+
+}  // namespace
+
+KbpMapper::KbpMapper(KbpMapperOptions options) : options_(options) {}
+
+void KbpMapper::Train(const std::vector<KbpExample>& examples) {
+  token_votes_.clear();
+  for (const auto& example : examples) {
+    if (example.relation == kNilId) continue;
+    for (const auto& token :
+         SharedNormalizer().NormalizeTokens(example.phrase)) {
+      token_votes_[token][example.relation] += 1.0;
+    }
+  }
+}
+
+RelationId KbpMapper::Classify(std::string_view phrase) const {
+  std::unordered_map<RelationId, double> votes;
+  double total = 0.0;
+  for (const auto& token : SharedNormalizer().NormalizeTokens(phrase)) {
+    auto it = token_votes_.find(token);
+    if (it == token_votes_.end()) continue;
+    for (const auto& [relation, count] : it->second) {
+      double vote = count + options_.smoothing;
+      votes[relation] += vote;
+      total += vote;
+    }
+  }
+  if (votes.empty() || total <= 0.0) return kNilId;
+  RelationId best = kNilId;
+  double best_votes = -1.0;
+  for (const auto& [relation, v] : votes) {
+    if (v > best_votes || (v == best_votes && relation < best)) {
+      best = relation;
+      best_votes = v;
+    }
+  }
+  if (best_votes / total < options_.min_vote_share) return kNilId;
+  return best;
+}
+
+double KbpMapper::Similarity(std::string_view a, std::string_view b) const {
+  RelationId ra = Classify(a);
+  if (ra == kNilId) return 0.0;
+  return ra == Classify(b) ? 1.0 : 0.0;
+}
+
+}  // namespace jocl

@@ -1,0 +1,64 @@
+#ifndef JOCL_SIDEINFO_KBP_MAPPER_H_
+#define JOCL_SIDEINFO_KBP_MAPPER_H_
+
+#include <string>
+#include <cstddef>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/types.h"
+
+namespace jocl {
+
+/// \brief A labeled training example for the relation mapper: a relation
+/// phrase whose CKB relation is known.
+struct KbpExample {
+  std::string phrase;
+  RelationId relation = kNilId;
+};
+
+/// \brief Options for the KBP-style relation mapper.
+struct KbpMapperOptions {
+  /// Minimum share of token votes the winning relation needs; below this
+  /// the phrase is classified NIL (abstain), which keeps the signal
+  /// high-precision like the real system.
+  double min_vote_share = 0.65;
+  /// Additive smoothing applied to token-vote counts.
+  double smoothing = 0.1;
+};
+
+/// \brief Stanford-KBP-style relation linker (§3.1.4 "KBP").
+///
+/// The original is a supervised slot-filling system; the algorithmic core
+/// the signal needs is "map an RP to a CKB relation category". We reproduce
+/// it as a token-evidence classifier: stemmed content tokens vote for the
+/// relations they co-occurred with in the (small, noisy) training set.
+/// `Sim_KBP(p_i, p_j) = 1` iff both phrases map to the same non-NIL
+/// relation, else 0 — the paper's binary feature.
+class KbpMapper {
+ public:
+  explicit KbpMapper(KbpMapperOptions options = {});
+
+  /// Fits token-vote statistics from labeled examples (the validation
+  /// split only; no test labels are ever seen).
+  void Train(const std::vector<KbpExample>& examples);
+
+  /// Maps a phrase to a relation id, or kNilId when evidence is weak.
+  RelationId Classify(std::string_view phrase) const;
+
+  /// The paper's binary similarity between two RPs.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  size_t vocabulary_size() const { return token_votes_.size(); }
+
+ private:
+  KbpMapperOptions options_;
+  // stemmed token -> relation -> vote count
+  std::unordered_map<std::string, std::unordered_map<RelationId, double>>
+      token_votes_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_SIDEINFO_KBP_MAPPER_H_

@@ -1,0 +1,35 @@
+#include "sideinfo/paraphrase_store.h"
+
+#include "util/string_util.h"
+
+namespace jocl {
+
+void ParaphraseStore::AddCluster(const std::vector<std::string>& phrases) {
+  if (phrases.empty()) return;
+  std::string rep = ToLower(Trim(phrases.front()));
+  bool added_any = false;
+  for (const auto& phrase : phrases) {
+    std::string key = ToLower(Trim(phrase));
+    if (key.empty()) continue;
+    added_any |= representative_.emplace(key, rep).second;
+  }
+  if (added_any) ++cluster_count_;
+}
+
+std::optional<std::string> ParaphraseStore::Representative(
+    std::string_view phrase) const {
+  auto it = representative_.find(ToLower(Trim(phrase)));
+  if (it == representative_.end()) return std::nullopt;
+  return it->second;
+}
+
+double ParaphraseStore::Similarity(std::string_view a,
+                                   std::string_view b) const {
+  auto rep_a = Representative(a);
+  if (!rep_a.has_value()) return 0.0;
+  auto rep_b = Representative(b);
+  if (!rep_b.has_value()) return 0.0;
+  return *rep_a == *rep_b ? 1.0 : 0.0;
+}
+
+}  // namespace jocl

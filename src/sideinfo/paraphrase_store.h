@@ -1,0 +1,49 @@
+#ifndef JOCL_SIDEINFO_PARAPHRASE_STORE_H_
+#define JOCL_SIDEINFO_PARAPHRASE_STORE_H_
+
+#include <optional>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace jocl {
+
+/// \brief PPDB-style paraphrase collection (§3.1.3 "PPDB").
+///
+/// Equivalent phrases are grouped into clusters; each cluster has a
+/// representative ("each group is randomly assigned a representative").
+/// `Sim_PPDB(a, b)` is 1 iff both phrases resolve to the same
+/// representative, else 0 — exactly the paper's binary signal. The library
+/// populates this store from a noisy synthetic paraphrase model (see
+/// `data/`), standing in for the real PPDB 2.0 resource.
+class ParaphraseStore {
+ public:
+  ParaphraseStore() = default;
+
+  /// Registers one paraphrase cluster; the first phrase becomes the
+  /// representative. Phrases are matched case-insensitively. A phrase that
+  /// already belongs to another cluster keeps its first assignment (PPDB
+  /// entries are not merged transitively), so insertion order matters and
+  /// callers should insert deterministically.
+  void AddCluster(const std::vector<std::string>& phrases);
+
+  /// The cluster representative of \p phrase, if known.
+  std::optional<std::string> Representative(std::string_view phrase) const;
+
+  /// The paper's binary similarity: 1.0 when both phrases share a cluster
+  /// representative, 0.0 otherwise (including unknown phrases).
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  size_t cluster_count() const { return cluster_count_; }
+  size_t phrase_count() const { return representative_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> representative_;
+  size_t cluster_count_ = 0;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_SIDEINFO_PARAPHRASE_STORE_H_

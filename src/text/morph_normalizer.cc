@@ -1,0 +1,66 @@
+#include "text/morph_normalizer.h"
+
+#include <unordered_map>
+
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace jocl {
+namespace {
+
+const std::unordered_map<std::string, std::string>& IrregularForms() {
+  static const auto* const kForms =
+      new std::unordered_map<std::string, std::string>{
+          {"was", "be"},      {"were", "be"},    {"is", "be"},
+          {"are", "be"},      {"am", "be"},      {"been", "be"},
+          {"being", "be"},    {"has", "have"},   {"had", "have"},
+          {"did", "do"},      {"does", "do"},    {"done", "do"},
+          {"went", "go"},     {"gone", "go"},    {"made", "make"},
+          {"took", "take"},   {"taken", "take"}, {"got", "get"},
+          {"gotten", "get"},  {"said", "say"},   {"children", "child"},
+          {"men", "man"},     {"women", "woman"}, {"people", "person"},
+          {"wrote", "write"}, {"written", "write"}, {"founded", "found"},
+          {"held", "hold"},   {"won", "win"},    {"led", "lead"},
+          {"left", "leave"},  {"became", "become"},
+      };
+  return *kForms;
+}
+
+}  // namespace
+
+MorphNormalizer::MorphNormalizer(MorphNormalizerOptions options)
+    : options_(options) {}
+
+std::vector<std::string> MorphNormalizer::NormalizeTokens(
+    std::string_view phrase) const {
+  std::vector<std::string> tokens = Tokenize(phrase);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  const auto& stop = StopWords();
+  const auto& irregular = IrregularForms();
+  for (auto& token : tokens) {
+    std::string word = token;
+    if (options_.apply_irregular_forms) {
+      auto it = irregular.find(word);
+      if (it != irregular.end()) word = it->second;
+    }
+    if (options_.remove_stop_words && stop.count(word) > 0) continue;
+    if (options_.stem) word = PorterStem(word);
+    out.push_back(std::move(word));
+  }
+  if (out.empty()) {
+    // Everything was a stop word (common for copular RPs like "is a");
+    // keep the stemmed raw tokens so the phrase still has a canonical form.
+    for (auto& token : tokens) {
+      out.push_back(options_.stem ? PorterStem(token) : token);
+    }
+  }
+  return out;
+}
+
+std::string MorphNormalizer::Normalize(std::string_view phrase) const {
+  return Join(NormalizeTokens(phrase), " ");
+}
+
+}  // namespace jocl

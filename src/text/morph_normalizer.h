@@ -1,0 +1,46 @@
+#ifndef JOCL_TEXT_MORPH_NORMALIZER_H_
+#define JOCL_TEXT_MORPH_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Options controlling morphological normalization of a phrase.
+struct MorphNormalizerOptions {
+  /// Drop determiners / auxiliaries / other stop words.
+  bool remove_stop_words = true;
+  /// Porter-stem each remaining token (conflates tense and pluralization).
+  bool stem = true;
+  /// Map irregular verb/noun forms ("was"->"be", "children"->"child")
+  /// before stemming.
+  bool apply_irregular_forms = true;
+};
+
+/// \brief Morphological normalizer in the spirit of ReVerb's Morph Norm
+/// (Fader et al. 2011): removes tense, pluralization, auxiliary verbs,
+/// determiners and modifiers so that paraphrased phrases collide.
+///
+/// Used (a) as the Morph Norm canonicalization baseline, and (b) to prepare
+/// triples for the AMIE rule miner (paper §3.1.4 feeds AMIE
+/// "morphological normalized OIE triples").
+class MorphNormalizer {
+ public:
+  explicit MorphNormalizer(MorphNormalizerOptions options = {});
+
+  /// Normalizes a phrase to its canonical token sequence.
+  std::vector<std::string> NormalizeTokens(std::string_view phrase) const;
+
+  /// Normalizes a phrase to a single space-joined canonical string. Returns
+  /// the stemmed full phrase (never empty for non-empty alphanumeric input;
+  /// falls back to the raw tokens when everything was a stop word).
+  std::string Normalize(std::string_view phrase) const;
+
+ private:
+  MorphNormalizerOptions options_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_TEXT_MORPH_NORMALIZER_H_

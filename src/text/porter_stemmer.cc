@@ -1,0 +1,314 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+#include <cstddef>
+
+namespace jocl {
+namespace {
+
+// Implementation of the 1980 Porter algorithm. The word is held in a
+// mutable buffer `b` with logical end `k` (inclusive index of last char),
+// following Porter's original exposition.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)) {
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return b_;  // words of length <= 2 are left alone
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5a();
+    Step5b();
+    b_.resize(static_cast<size_t>(k_) + 1);
+    return b_;
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure m(): number of VC sequences in b[0..j_].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int j) const {
+    if (j < 1) return false;
+    if (b_[static_cast<size_t>(j)] != b_[static_cast<size_t>(j - 1)]) {
+      return false;
+    }
+    return IsConsonant(j);
+  }
+
+  // cvc(i) — consonant-vowel-consonant ending where the last consonant is
+  // not w, x, or y. Restores an 'e' in words like "hop(e)".
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(const char* s) {
+    int length = static_cast<int>(std::strlen(s));
+    if (length > k_ + 1) return false;
+    if (std::memcmp(b_.data() + k_ - length + 1, s,
+                    static_cast<size_t>(length)) != 0) {
+      return false;
+    }
+    j_ = k_ - length;
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    int length = static_cast<int>(std::strlen(s));
+    b_.resize(static_cast<size_t>(j_ + 1));
+    b_.append(s);
+    k_ = j_ + length;
+  }
+
+  void ReplaceIfM(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  void Step1a() {
+    if (b_[static_cast<size_t>(k_)] != 's') return;
+    if (Ends("sses")) {
+      k_ -= 2;
+    } else if (Ends("ies")) {
+      SetTo("i");
+    } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+      --k_;
+    }
+  }
+
+  void Step1b() {
+    bool restore = false;
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if (Ends("ed")) {
+      if (VowelInStem()) {
+        k_ = j_;
+        restore = true;
+      }
+    } else if (Ends("ing")) {
+      if (VowelInStem()) {
+        k_ = j_;
+        restore = true;
+      }
+    }
+    if (!restore) return;
+    b_.resize(static_cast<size_t>(k_) + 1);
+    if (Ends("at")) {
+      SetTo("ate");
+    } else if (Ends("bl")) {
+      SetTo("ble");
+    } else if (Ends("iz")) {
+      SetTo("ize");
+    } else if (DoubleConsonant(k_)) {
+      char ch = b_[static_cast<size_t>(k_)];
+      if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+    } else {
+      j_ = k_;
+      if (Measure() == 1 && Cvc(k_)) SetTo("e");
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[static_cast<size_t>(k_)] = 'i';
+  }
+
+  void Step2() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfM("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM("al"); break; }
+        if (Ends("entli")) { ReplaceIfM("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfM("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM(""); break; }
+        if (Ends("alize")) { ReplaceIfM("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  void Step5a() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) --k_;
+    }
+  }
+
+  void Step5b() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure() > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = -1;
+  int j_ = -1;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  return Stemmer(std::string(word)).Run();
+}
+
+}  // namespace jocl

@@ -1,0 +1,20 @@
+#ifndef JOCL_TEXT_PORTER_STEMMER_H_
+#define JOCL_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace jocl {
+
+/// \brief Classic Porter (1980) suffix-stripping stemmer.
+///
+/// Used by the morphological normalizer (the Morph Norm baseline of
+/// Fader et al. 2011) and by AMIE input normalization to conflate tense and
+/// plural variants: "founded" / "founding" / "founds" -> "found".
+/// Input is expected to be a lower-case ASCII token; other input is returned
+/// with only the applicable rules applied.
+std::string PorterStem(std::string_view word);
+
+}  // namespace jocl
+
+#endif  // JOCL_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,157 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace jocl {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> curr(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    curr[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      size_t substitution = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[i] = std::min({prev[i] + 1, curr[i - 1] + 1, substitution});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  const size_t window =
+      a.size() > b.size() ? a.size() / 2 : b.size() / 2;
+  const size_t match_window = window == 0 ? 0 : window - 1;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  constexpr double kScaling = 0.1;
+  return jaro + static_cast<double>(prefix) * kScaling * (1.0 - jaro);
+}
+
+double JaccardSimilarity(const std::unordered_set<std::string>& a,
+                         const std::unordered_set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t intersection = 0;
+  for (const auto& item : small) {
+    if (large.count(item) > 0) ++intersection;
+  }
+  size_t unions = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+std::unordered_set<std::string> CharacterNgrams(std::string_view text,
+                                                size_t n) {
+  std::unordered_set<std::string> grams;
+  if (n == 0) return grams;
+  if (text.size() < n) {
+    if (!text.empty()) grams.emplace(text);
+    return grams;
+  }
+  for (size_t i = 0; i + n <= text.size(); ++i) {
+    grams.emplace(text.substr(i, n));
+  }
+  return grams;
+}
+
+double NgramSimilarity(std::string_view a, std::string_view b, size_t n) {
+  return JaccardSimilarity(CharacterNgrams(a, n), CharacterNgrams(b, n));
+}
+
+void IdfTable::AddPhrases(const std::vector<std::string>& phrases) {
+  for (const auto& phrase : phrases) AddPhrase(phrase);
+}
+
+void IdfTable::AddPhrase(std::string_view phrase) {
+  for (const auto& token : Tokenize(phrase)) {
+    ++counts_[token];
+  }
+}
+
+int64_t IdfTable::Frequency(const std::string& token) const {
+  auto it = counts_.find(token);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double IdfTable::TokenWeight(const std::string& token) const {
+  int64_t f = std::max<int64_t>(1, Frequency(token));
+  return 1.0 / std::log(1.0 + static_cast<double>(f));
+}
+
+double IdfTable::Similarity(std::string_view a, std::string_view b) const {
+  std::vector<std::string> tokens_a = Tokenize(a);
+  std::vector<std::string> tokens_b = Tokenize(b);
+  std::unordered_set<std::string> set_a(tokens_a.begin(), tokens_a.end());
+  std::unordered_set<std::string> set_b(tokens_b.begin(), tokens_b.end());
+  if (set_a.empty() && set_b.empty()) return 1.0;
+  if (set_a.empty() || set_b.empty()) return 0.0;
+  double intersection_weight = 0.0;
+  double union_weight = 0.0;
+  for (const auto& token : set_a) {
+    double w = TokenWeight(token);
+    union_weight += w;
+    if (set_b.count(token) > 0) intersection_weight += w;
+  }
+  for (const auto& token : set_b) {
+    if (set_a.count(token) == 0) union_weight += TokenWeight(token);
+  }
+  if (union_weight <= 0.0) return 0.0;
+  return intersection_weight / union_weight;
+}
+
+}  // namespace jocl

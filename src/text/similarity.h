@@ -1,0 +1,81 @@
+#ifndef JOCL_TEXT_SIMILARITY_H_
+#define JOCL_TEXT_SIMILARITY_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Levenshtein edit distance between two strings (unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// \brief Levenshtein similarity normalized to [0, 1]:
+/// `1 - LD(a, b) / max(|a|, |b|)`; two empty strings are fully similar.
+/// This is the paper's "LD" relation-linking signal (§3.2.4).
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro-Winkler similarity in [0, 1] with the standard prefix boost
+/// (scaling 0.1, prefix capped at 4). Used by the Text Similarity baseline
+/// (Galárraga et al. 2014).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaccard similarity of two token sets in [0, 1]. Two empty sets
+/// have similarity 1 by convention.
+double JaccardSimilarity(const std::unordered_set<std::string>& a,
+                         const std::unordered_set<std::string>& b);
+
+/// \brief Character n-gram set of a string (n >= 1). Strings shorter than n
+/// contribute themselves as a single gram.
+std::unordered_set<std::string> CharacterNgrams(std::string_view text,
+                                                size_t n);
+
+/// \brief Jaccard similarity between the character n-gram sets of the two
+/// strings. The paper's "Ngram" relation-linking signal (§3.2.4);
+/// default n = 3.
+double NgramSimilarity(std::string_view a, std::string_view b, size_t n = 3);
+
+/// \brief Corpus-level word-frequency table backing IDF token overlap.
+///
+/// `f(x)` is the frequency of word x over all NPs (or RPs) in the OKB
+/// (paper §3.1.3). Build once per data set, then score pairs.
+class IdfTable {
+ public:
+  IdfTable() = default;
+
+  /// Counts every token of every phrase into the table.
+  void AddPhrases(const std::vector<std::string>& phrases);
+
+  /// Counts the tokens of a single phrase.
+  void AddPhrase(std::string_view phrase);
+
+  /// Frequency of a token (0 for unseen tokens).
+  int64_t Frequency(const std::string& token) const;
+
+  /// Total number of distinct tokens seen.
+  size_t vocabulary_size() const { return counts_.size(); }
+
+  /// \brief IDF-weighted token overlap similarity between two phrases
+  /// (paper §3.1.3):
+  ///   sum_{x in T(a) ∩ T(b)} 1/log(1+f(x))  /
+  ///   sum_{x in T(a) ∪ T(b)} 1/log(1+f(x)).
+  /// Tokens unseen at build time get frequency 1 (maximally informative).
+  /// Returns 1.0 when both token sets are empty, 0.0 when disjoint.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+ private:
+  double TokenWeight(const std::string& token) const;
+
+  std::unordered_map<std::string, int64_t> counts_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_TEXT_SIMILARITY_H_

@@ -1,0 +1,48 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace jocl {
+
+std::vector<std::string> Tokenize(std::string_view phrase) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : phrase) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+const std::unordered_set<std::string>& StopWords() {
+  static const std::unordered_set<std::string>* const kStopWords =
+      new std::unordered_set<std::string>{
+          "a",     "an",    "the",   "of",   "in",   "on",    "at",  "to",
+          "for",   "with",  "by",    "from", "as",   "is",    "are", "was",
+          "were",  "be",    "been",  "being", "am",  "has",   "have", "had",
+          "do",    "does",  "did",   "will", "would", "can",  "could",
+          "shall", "should", "may",  "might", "must", "and",  "or",  "but",
+          "not",   "no",    "it",    "its",  "this", "that",  "these",
+          "those", "there", "which", "who",  "whom", "whose", "what",
+      };
+  return *kStopWords;
+}
+
+std::vector<std::string> ContentTokens(std::string_view phrase) {
+  std::vector<std::string> tokens = Tokenize(phrase);
+  std::vector<std::string> content;
+  content.reserve(tokens.size());
+  const auto& stop = StopWords();
+  for (auto& token : tokens) {
+    if (stop.find(token) == stop.end()) content.push_back(std::move(token));
+  }
+  return content;
+}
+
+}  // namespace jocl

@@ -1,0 +1,29 @@
+#ifndef JOCL_TEXT_TOKENIZER_H_
+#define JOCL_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Splits a phrase into lower-cased word tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters; punctuation is a
+/// separator. "University of Maryland, College-Park" ->
+/// {"university", "of", "maryland", "college", "park"}.
+std::vector<std::string> Tokenize(std::string_view phrase);
+
+/// \brief Returns the set of English stop words used throughout the library
+/// (determiners, auxiliaries, prepositions commonly found in OIE relation
+/// phrases). The set is immutable and built once.
+const std::unordered_set<std::string>& StopWords();
+
+/// \brief Tokenizes and removes stop words. May return an empty vector when
+/// the phrase consists only of stop words; callers must handle that.
+std::vector<std::string> ContentTokens(std::string_view phrase);
+
+}  // namespace jocl
+
+#endif  // JOCL_TEXT_TOKENIZER_H_

@@ -1,0 +1,16 @@
+#ifndef JOCL_UTIL_IDS_H_
+#define JOCL_UTIL_IDS_H_
+
+#include <cstdint>
+
+namespace jocl {
+
+/// \brief Sentinel id meaning "no entity / no relation / NIL".
+///
+/// Used as the NIL state of linking variables, as the gold label of
+/// unlinkable mentions, and as the not-found return of KB lookups.
+inline constexpr int64_t kNilId = -1;
+
+}  // namespace jocl
+
+#endif  // JOCL_UTIL_IDS_H_

@@ -1,0 +1,34 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace jocl {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::Global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(threshold_)) return;
+  std::fprintf(stderr, "[jocl %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace jocl

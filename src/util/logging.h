@@ -1,0 +1,60 @@
+#ifndef JOCL_UTIL_LOGGING_H_
+#define JOCL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace jocl {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// Benchmarks and long-running training loops use this for progress
+/// reporting; tests silence it by raising the threshold. Not thread-safe by
+/// design (the library is single-threaded per pipeline instance).
+class Logger {
+ public:
+  /// Returns the process-wide logger.
+  static Logger& Global();
+
+  /// Messages below this level are discarded. Default: kInfo.
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  LogLevel threshold() const { return threshold_; }
+
+  /// Emits one line at the given level (no-op below threshold).
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  LogLevel threshold_ = LogLevel::kInfo;
+};
+
+namespace internal {
+
+/// RAII line builder backing the JOCL_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Global().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Streams one log line: `JOCL_LOG(kInfo) << "built " << n << " factors";`
+#define JOCL_LOG(level) \
+  ::jocl::internal::LogMessage(::jocl::LogLevel::level)
+
+}  // namespace jocl
+
+#endif  // JOCL_UTIL_LOGGING_H_

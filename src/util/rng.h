@@ -1,0 +1,95 @@
+#ifndef JOCL_UTIL_RNG_H_
+#define JOCL_UTIL_RNG_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace jocl {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every randomized component in the library (data generators, embedding
+/// trainer, negative sampling, baselines that break ties randomly) takes an
+/// `Rng` seeded explicitly so that experiments are exactly reproducible.
+/// The generator is seeded through splitmix64, which whitens poor seeds.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed (any value is fine).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Returns a uniform integer in `[0, bound)`; requires `bound > 0`.
+  /// Uses rejection sampling, so the distribution is exactly uniform.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Returns a uniform integer in `[lo, hi]` inclusive; requires `lo <= hi`.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in `[0, 1)`.
+  double UniformDouble();
+
+  /// Returns a uniform double in `[lo, hi)`.
+  double UniformDouble(double lo, double hi);
+
+  /// Returns true with probability \p p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns a standard normal sample (Box-Muller, cached spare).
+  double Normal();
+
+  /// Returns a normal sample with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Returns an index in `[0, weights.size())` sampled proportionally to
+  /// the (non-negative) weights. Returns 0 when all weights are zero.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles \p items in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Splits off an independently-seeded child generator. Children derived
+  /// with distinct tags have decorrelated streams.
+  Rng Split(uint64_t tag);
+
+ private:
+  uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// \brief Samples ranks from a Zipf(s) distribution over `{0, .., n-1}`.
+///
+/// Used to model Wikipedia-anchor popularity: a handful of surface forms and
+/// entities dominate the mass. Sampling is inverse-CDF over precomputed
+/// cumulative weights, O(log n) per draw.
+class ZipfSampler {
+ public:
+  /// \param n number of ranks; must be >= 1.
+  /// \param exponent the Zipf exponent `s` (1.0 is the classic law).
+  ZipfSampler(size_t n, double exponent);
+
+  /// Draws one rank in `[0, n)`; rank 0 is the most popular.
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of the given rank.
+  double Pmf(size_t rank) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized inclusive prefix sums
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_UTIL_RNG_H_

@@ -1,0 +1,100 @@
+#ifndef JOCL_UTIL_STATUS_H_
+#define JOCL_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace jocl {
+
+/// \brief Machine-readable category of a Status.
+///
+/// Mirrors the error taxonomy used by Arrow / RocksDB style databases code:
+/// a small closed set of codes plus a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kInternal = 7,
+};
+
+/// \brief Returns the canonical lowercase name of a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail but returns no value.
+///
+/// The library does not use exceptions for control flow; fallible operations
+/// return `Status` (or `Result<T>` when they produce a value). A default
+/// constructed Status is OK and carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Factory helpers, one per code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  /// Returns true iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Returns the status code.
+  StatusCode code() const { return code_; }
+
+  /// Returns the attached message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Returns early with the given status if it is not OK.
+#define JOCL_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::jocl::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace jocl
+
+#endif  // JOCL_UTIL_STATUS_H_

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/hac.h"
+#include "cluster/union_find.h"
+#include "util/rng.h"
+
+namespace jocl {
+namespace {
+
+// ---------- union-find ---------------------------------------------------------
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+}
+
+TEST(UnionFindTest, TransitivityThroughChains) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(2, 3));
+  uf.Union(2, 3);
+  EXPECT_TRUE(uf.Connected(0, 4));
+}
+
+TEST(UnionFindTest, LabelsAreDenseAndConsistent) {
+  UnionFind uf(6);
+  uf.Union(0, 3);
+  uf.Union(1, 4);
+  std::vector<size_t> labels = uf.Labels();
+  EXPECT_EQ(labels.size(), 6u);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[1], labels[4]);
+  EXPECT_NE(labels[0], labels[1]);
+  size_t max_label = *std::max_element(labels.begin(), labels.end());
+  EXPECT_EQ(max_label + 1, uf.set_count());
+}
+
+TEST(UnionFindTest, GroupsPartitionAllElements) {
+  UnionFind uf(10);
+  uf.Union(0, 9);
+  uf.Union(2, 4);
+  uf.Union(4, 6);
+  auto groups = uf.Groups();
+  size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(groups.size(), uf.set_count());
+}
+
+class UnionFindProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionFindProperty, MatchesNaiveImplementation) {
+  Rng rng(GetParam());
+  constexpr size_t kN = 40;
+  UnionFind uf(kN);
+  // Naive reference: label vector with full rewrites.
+  std::vector<size_t> naive(kN);
+  std::iota(naive.begin(), naive.end(), 0);
+  for (int step = 0; step < 60; ++step) {
+    size_t a = rng.UniformUint64(kN);
+    size_t b = rng.UniformUint64(kN);
+    uf.Union(a, b);
+    size_t from = naive[b];
+    size_t to = naive[a];
+    for (auto& label : naive) {
+      if (label == from) label = to;
+    }
+    for (int probe = 0; probe < 10; ++probe) {
+      size_t x = rng.UniformUint64(kN);
+      size_t y = rng.UniformUint64(kN);
+      EXPECT_EQ(uf.Connected(x, y), naive[x] == naive[y]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------- HAC ------------------------------------------------------------------
+
+// Similarity matrix helper.
+std::vector<double> Matrix(size_t n, std::initializer_list<double> upper) {
+  std::vector<double> m(n * n, 0.0);
+  auto it = upper.begin();
+  for (size_t i = 0; i < n; ++i) {
+    m[i * n + i] = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      m[i * n + j] = *it;
+      m[j * n + i] = *it;
+      ++it;
+    }
+  }
+  return m;
+}
+
+TEST(HacTest, EmptyAndSingleton) {
+  Hac hac;
+  EXPECT_TRUE(hac.ClusterMatrix(0, {}).empty());
+  EXPECT_EQ(hac.ClusterMatrix(1, {1.0}), (std::vector<size_t>{0}));
+}
+
+TEST(HacTest, ThresholdOneMergesNothingBelow) {
+  HacOptions options;
+  options.threshold = 1.01;  // nothing reaches above 1
+  Hac hac(options);
+  auto labels = hac.ClusterMatrix(3, Matrix(3, {0.9, 0.9, 0.9}));
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[1], labels[2]);
+}
+
+TEST(HacTest, ZeroThresholdSingleLinkageMergesAll) {
+  HacOptions options;
+  options.threshold = 0.0;
+  options.linkage = Linkage::kSingle;
+  Hac hac(options);
+  auto labels = hac.ClusterMatrix(4, Matrix(4, {0.1, 0.0, 0.0,  //
+                                                0.1, 0.0,       //
+                                                0.1}));
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[2], labels[3]);
+}
+
+TEST(HacTest, CompleteLinkageStopsChaining) {
+  // a-b similar (0.9), b-c similar (0.9), a-c dissimilar (0.0).
+  // Complete linkage at 0.5: after merging a,b the cluster's similarity to
+  // c is min(0.9, 0.0) = 0, so c stays out.
+  HacOptions options;
+  options.threshold = 0.5;
+  options.linkage = Linkage::kComplete;
+  Hac hac(options);
+  auto labels = hac.ClusterMatrix(3, Matrix(3, {0.9, 0.0, 0.9}));
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(HacTest, SingleLinkageChains) {
+  HacOptions options;
+  options.threshold = 0.5;
+  options.linkage = Linkage::kSingle;
+  Hac hac(options);
+  auto labels = hac.ClusterMatrix(3, Matrix(3, {0.9, 0.0, 0.9}));
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[2]);  // chained through b
+}
+
+TEST(HacTest, AverageLinkageIntermediate) {
+  // a-b 1.0; c relates 0.8 to a, 0.0 to b -> average 0.4 < 0.5 stays out;
+  // with threshold 0.3 it merges.
+  auto matrix = Matrix(3, {1.0, 0.8, 0.0});
+  HacOptions options;
+  options.linkage = Linkage::kAverage;
+  options.threshold = 0.5;
+  auto labels_strict = Hac(options).ClusterMatrix(3, matrix);
+  EXPECT_EQ(labels_strict[0], labels_strict[1]);
+  EXPECT_NE(labels_strict[0], labels_strict[2]);
+  options.threshold = 0.3;
+  auto labels_loose = Hac(options).ClusterMatrix(3, matrix);
+  EXPECT_EQ(labels_loose[0], labels_loose[2]);
+}
+
+TEST(HacTest, CallbackInterfaceMatchesMatrix) {
+  HacOptions options;
+  options.threshold = 0.5;
+  Hac hac(options);
+  auto matrix = Matrix(4, {0.9, 0.2, 0.1,  //
+                           0.3, 0.2,       //
+                           0.8});
+  auto by_matrix = hac.ClusterMatrix(4, matrix);
+  auto by_callback = hac.Cluster(
+      4, [&](size_t i, size_t j) { return matrix[i * 4 + j]; });
+  EXPECT_EQ(by_matrix, by_callback);
+}
+
+TEST(HacTest, DeterministicAcrossRuns) {
+  Rng rng(77);
+  constexpr size_t kN = 30;
+  std::vector<double> matrix(kN * kN, 0.0);
+  for (size_t i = 0; i < kN; ++i) {
+    matrix[i * kN + i] = 1.0;
+    for (size_t j = i + 1; j < kN; ++j) {
+      double s = rng.UniformDouble();
+      matrix[i * kN + j] = s;
+      matrix[j * kN + i] = s;
+    }
+  }
+  HacOptions options;
+  options.threshold = 0.6;
+  options.linkage = Linkage::kAverage;
+  auto first = Hac(options).ClusterMatrix(kN, matrix);
+  auto second = Hac(options).ClusterMatrix(kN, matrix);
+  EXPECT_EQ(first, second);
+}
+
+class HacProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HacProperty, HigherThresholdNeverMergesMore) {
+  Rng rng(GetParam());
+  constexpr size_t kN = 25;
+  std::vector<double> matrix(kN * kN, 0.0);
+  for (size_t i = 0; i < kN; ++i) {
+    matrix[i * kN + i] = 1.0;
+    for (size_t j = i + 1; j < kN; ++j) {
+      double s = rng.UniformDouble();
+      matrix[i * kN + j] = s;
+      matrix[j * kN + i] = s;
+    }
+  }
+  auto clusters_at = [&](double threshold) {
+    HacOptions options;
+    options.threshold = threshold;
+    options.linkage = Linkage::kSingle;
+    auto labels = Hac(options).ClusterMatrix(kN, matrix);
+    return *std::max_element(labels.begin(), labels.end()) + 1;
+  };
+  size_t prev = clusters_at(0.1);
+  for (double t : {0.3, 0.5, 0.7, 0.9}) {
+    size_t now = clusters_at(t);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HacProperty, ::testing::Values(3, 6, 9, 12));
+
+}  // namespace
+}  // namespace jocl

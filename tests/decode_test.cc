@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/decode.h"
+#include "util/rng.h"
+
+namespace jocl {
+namespace {
+
+size_t ClusterCount(const std::vector<size_t>& labels) {
+  return std::unordered_set<size_t>(labels.begin(), labels.end()).size();
+}
+
+TEST(ClusterPairGraphTest, EmptyGraphAllSingletons) {
+  auto labels = ClusterPairGraph(4, {}, 0.5);
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_EQ(ClusterCount(labels), 4u);
+}
+
+TEST(ClusterPairGraphTest, ConfidentEdgeMerges) {
+  auto labels = ClusterPairGraph(3, {{0, 1, 0.9}}, 0.5);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(ClusterPairGraphTest, SubThresholdEdgeIgnored) {
+  auto labels = ClusterPairGraph(2, {{0, 1, 0.49}}, 0.5);
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(ClusterPairGraphTest, ChainAssemblesWithoutCrossEdges) {
+  // Spanning-chain clusters must still assemble: absent edges are neutral.
+  std::vector<PairEdge> edges = {{0, 1, 0.9}, {1, 2, 0.9}, {2, 3, 0.9}};
+  auto labels = ClusterPairGraph(4, edges, 0.5);
+  EXPECT_EQ(ClusterCount(labels), 1u);
+}
+
+TEST(ClusterPairGraphTest, ContradictedMergeVetoed) {
+  // Two tight pairs {0,1} and {2,3}; one strong bridge 1-2 but the other
+  // observed cross edges (0-2, 0-3, 1-3) say "different" loudly. The
+  // average of observed cross beliefs (0.95 + 0.05*3)/4 = 0.29 < 0.5, so
+  // the bridge merge must be vetoed.
+  std::vector<PairEdge> edges = {
+      {0, 1, 0.99}, {2, 3, 0.99},                    // intra-cluster
+      {1, 2, 0.95},                                  // the wrong bridge
+      {0, 2, 0.05}, {0, 3, 0.05}, {1, 3, 0.05},      // contradictions
+  };
+  auto labels = ClusterPairGraph(4, edges, 0.5);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(ClusterPairGraphTest, SupportedMergeSurvivesVeto) {
+  // Same topology but the cross edges agree with the bridge.
+  std::vector<PairEdge> edges = {
+      {0, 1, 0.99}, {2, 3, 0.99},
+      {1, 2, 0.95},
+      {0, 2, 0.8}, {0, 3, 0.8}, {1, 3, 0.8},
+  };
+  auto labels = ClusterPairGraph(4, edges, 0.5);
+  EXPECT_EQ(ClusterCount(labels), 1u);
+}
+
+TEST(ClusterPairGraphTest, DuplicateEdgesKeepMaxWeight) {
+  std::vector<PairEdge> edges = {{0, 1, 0.2}, {0, 1, 0.9}, {1, 0, 0.4}};
+  auto labels = ClusterPairGraph(2, edges, 0.5);
+  EXPECT_EQ(labels[0], labels[1]);
+}
+
+TEST(ClusterPairGraphTest, LabelsAreDense) {
+  std::vector<PairEdge> edges = {{1, 3, 0.9}};
+  auto labels = ClusterPairGraph(5, edges, 0.5);
+  size_t max_label = 0;
+  for (size_t l : labels) max_label = std::max(max_label, l);
+  EXPECT_EQ(max_label + 1, ClusterCount(labels));
+}
+
+TEST(ClusterPairGraphTest, Deterministic) {
+  Rng rng(9);
+  std::vector<PairEdge> edges;
+  for (int i = 0; i < 200; ++i) {
+    size_t a = rng.UniformUint64(40);
+    size_t b = rng.UniformUint64(40);
+    if (a != b) edges.emplace_back(a, b, rng.UniformDouble());
+  }
+  auto first = ClusterPairGraph(40, edges, 0.5);
+  auto second = ClusterPairGraph(40, edges, 0.5);
+  EXPECT_EQ(first, second);
+}
+
+class ClusterPairGraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClusterPairGraphProperty, NeverCoarserThanTransitiveClosure) {
+  // The veto only *blocks* merges, so the result partition must refine
+  // the transitive closure of the confident edges.
+  Rng rng(GetParam());
+  constexpr size_t kN = 30;
+  std::vector<PairEdge> edges;
+  for (int i = 0; i < 120; ++i) {
+    size_t a = rng.UniformUint64(kN);
+    size_t b = rng.UniformUint64(kN);
+    if (a != b) edges.emplace_back(a, b, rng.UniformDouble());
+  }
+  auto labels = ClusterPairGraph(kN, edges, 0.5);
+  // Closure reference.
+  std::vector<size_t> closure(kN);
+  for (size_t i = 0; i < kN; ++i) closure[i] = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b, w] : edges) {
+      if (w < 0.5) continue;
+      size_t lo = std::min(closure[a], closure[b]);
+      if (closure[a] != lo || closure[b] != lo) {
+        size_t from_a = closure[a];
+        size_t from_b = closure[b];
+        for (auto& c : closure) {
+          if (c == from_a || c == from_b) c = lo;
+        }
+        changed = true;
+      }
+    }
+  }
+  // Same veto-cluster implies same closure-cluster.
+  for (size_t i = 0; i < kN; ++i) {
+    for (size_t j = i + 1; j < kN; ++j) {
+      if (labels[i] == labels[j]) {
+        EXPECT_EQ(closure[i], closure[j])
+            << "veto clustering merged across closure components";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterPairGraphProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace jocl

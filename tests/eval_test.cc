@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "eval/clustering_metrics.h"
+#include "eval/linking_metrics.h"
+#include "eval/table_printer.h"
+#include "util/rng.h"
+
+namespace jocl {
+namespace {
+
+// ---------- clustering metrics ---------------------------------------------------
+
+TEST(ClusteringMetricsTest, PerfectClusteringScoresOne) {
+  std::vector<size_t> gold = {0, 0, 1, 1, 2};
+  ClusteringScore score = EvaluateClustering(gold, gold);
+  EXPECT_DOUBLE_EQ(score.macro.f1, 1.0);
+  EXPECT_DOUBLE_EQ(score.micro.f1, 1.0);
+  EXPECT_DOUBLE_EQ(score.pairwise.f1, 1.0);
+  EXPECT_DOUBLE_EQ(score.average_f1, 1.0);
+}
+
+TEST(ClusteringMetricsTest, LabelPermutationInvariance) {
+  std::vector<size_t> gold = {0, 0, 1, 1, 2};
+  std::vector<size_t> renamed = {7, 7, 3, 3, 9};
+  ClusteringScore score = EvaluateClustering(renamed, gold);
+  EXPECT_DOUBLE_EQ(score.average_f1, 1.0);
+}
+
+TEST(ClusteringMetricsTest, AllSingletonsAgainstPairedGold) {
+  std::vector<size_t> predicted = {0, 1, 2, 3};
+  std::vector<size_t> gold = {0, 0, 1, 1};
+  ClusteringScore score = EvaluateClustering(predicted, gold);
+  // Every predicted cluster is pure -> macro precision 1; no gold cluster
+  // is inside one predicted cluster -> macro recall 0.
+  EXPECT_DOUBLE_EQ(score.macro.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.macro.recall, 0.0);
+  EXPECT_DOUBLE_EQ(score.macro.f1, 0.0);
+  // Purity is 1 (each singleton maps somewhere); gold-side purity 0.5.
+  EXPECT_DOUBLE_EQ(score.micro.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.micro.recall, 0.5);
+  // No predicted pairs -> pairwise precision 1 by convention; recall 0.
+  EXPECT_DOUBLE_EQ(score.pairwise.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.pairwise.recall, 0.0);
+}
+
+TEST(ClusteringMetricsTest, OneBigClusterAgainstPairedGold) {
+  std::vector<size_t> predicted = {0, 0, 0, 0};
+  std::vector<size_t> gold = {0, 0, 1, 1};
+  ClusteringScore score = EvaluateClustering(predicted, gold);
+  EXPECT_DOUBLE_EQ(score.macro.precision, 0.0);
+  EXPECT_DOUBLE_EQ(score.macro.recall, 1.0);
+  EXPECT_DOUBLE_EQ(score.micro.precision, 0.5);
+  EXPECT_DOUBLE_EQ(score.micro.recall, 1.0);
+  // Predicted pairs: 6; hits: 2 (the two gold pairs). Gold pairs: 2, all
+  // predicted together.
+  EXPECT_NEAR(score.pairwise.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(score.pairwise.recall, 1.0);
+}
+
+TEST(ClusteringMetricsTest, HandComputedMixedCase) {
+  // predicted: {a,b,c} {d,e} ; gold: {a,b} {c,d,e}
+  std::vector<size_t> predicted = {0, 0, 0, 1, 1};
+  std::vector<size_t> gold = {0, 0, 1, 1, 1};
+  ClusteringScore score = EvaluateClustering(predicted, gold);
+  // Macro: predicted cluster {d,e} is pure (both gold 1); {a,b,c} is not.
+  EXPECT_DOUBLE_EQ(score.macro.precision, 0.5);
+  // Gold cluster {a,b} is inside predicted 0 -> pure; {c,d,e} split.
+  EXPECT_DOUBLE_EQ(score.macro.recall, 0.5);
+  // Micro precision: (2 + 2) / 5.
+  EXPECT_NEAR(score.micro.precision, 0.8, 1e-12);
+  EXPECT_NEAR(score.micro.recall, 0.8, 1e-12);
+  // Pairwise: predicted pairs = 3 + 1 = 4, hits = (ab) + (de) = 2.
+  EXPECT_NEAR(score.pairwise.precision, 0.5, 1e-12);
+  // Gold pairs = 1 + 3 = 4, hits = (ab) + (de) = 2.
+  EXPECT_NEAR(score.pairwise.recall, 0.5, 1e-12);
+}
+
+TEST(ClusteringMetricsTest, EmptyInput) {
+  ClusteringScore score = EvaluateClustering({}, {});
+  EXPECT_DOUBLE_EQ(score.macro.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.micro.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.pairwise.precision, 1.0);
+}
+
+TEST(ClusteringMetricsTest, SubsetEvaluationIgnoresOutside) {
+  std::vector<size_t> predicted = {0, 0, 5, 6};
+  std::vector<size_t> gold = {1, 1, 9, 9};
+  // Only elements 0 and 1 are evaluated: predicted together, gold together.
+  ClusteringScore score =
+      EvaluateClusteringSubset(predicted, gold, {0, 1});
+  EXPECT_DOUBLE_EQ(score.average_f1, 1.0);
+}
+
+class MetricsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsProperty, ScoresAlwaysInUnitRangeAndF1Consistent) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 2 + rng.UniformUint64(30);
+    std::vector<size_t> predicted(n);
+    std::vector<size_t> gold(n);
+    for (size_t i = 0; i < n; ++i) {
+      predicted[i] = rng.UniformUint64(5);
+      gold[i] = rng.UniformUint64(4);
+    }
+    ClusteringScore s = EvaluateClustering(predicted, gold);
+    for (const PrecisionRecallF1* m : {&s.macro, &s.micro, &s.pairwise}) {
+      EXPECT_GE(m->precision, 0.0);
+      EXPECT_LE(m->precision, 1.0);
+      EXPECT_GE(m->recall, 0.0);
+      EXPECT_LE(m->recall, 1.0);
+      EXPECT_NEAR(m->f1, F1(m->precision, m->recall), 1e-12);
+    }
+    EXPECT_NEAR(s.average_f1,
+                (s.macro.f1 + s.micro.f1 + s.pairwise.f1) / 3.0, 1e-12);
+    // Swapping predicted and gold swaps precision and recall.
+    ClusteringScore r = EvaluateClustering(gold, predicted);
+    EXPECT_NEAR(s.macro.precision, r.macro.recall, 1e-12);
+    EXPECT_NEAR(s.pairwise.precision, r.pairwise.recall, 1e-12);
+    EXPECT_NEAR(s.micro.precision, r.micro.recall, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---------- linking metrics -----------------------------------------------------
+
+TEST(LinkingMetricsTest, AccuracyBasics) {
+  std::vector<int64_t> gold = {1, 2, kNilId, 4};
+  EXPECT_DOUBLE_EQ(LinkingAccuracy(gold, gold), 1.0);
+  std::vector<int64_t> predicted = {1, 3, kNilId, kNilId};
+  EXPECT_DOUBLE_EQ(LinkingAccuracy(predicted, gold), 0.5);
+}
+
+TEST(LinkingMetricsTest, SubsetAccuracy) {
+  std::vector<int64_t> gold = {1, 2, 3, 4};
+  std::vector<int64_t> predicted = {1, 9, 3, 9};
+  EXPECT_DOUBLE_EQ(LinkingAccuracySubset(predicted, gold, {0, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(LinkingAccuracySubset(predicted, gold, {1, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(LinkingAccuracySubset(predicted, gold, {}), 0.0);
+}
+
+TEST(LinkingMetricsTest, BreakdownCategories) {
+  std::vector<int64_t> gold = {1, 2, kNilId, kNilId, 5};
+  std::vector<int64_t> predicted = {1, 7, kNilId, 9, kNilId};
+  LinkingBreakdown b = EvaluateLinking(predicted, gold);
+  EXPECT_EQ(b.total, 5u);
+  EXPECT_EQ(b.correct, 2u);
+  EXPECT_EQ(b.correct_nil, 1u);
+  EXPECT_EQ(b.wrong_entity, 1u);   // 7 vs 2
+  EXPECT_EQ(b.missed_nil, 1u);     // 9 vs NIL
+  EXPECT_EQ(b.spurious_nil, 1u);   // NIL vs 5
+  EXPECT_DOUBLE_EQ(b.accuracy, 0.4);
+}
+
+// ---------- table printer --------------------------------------------------------
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"Method", "F1"});
+  t.AddRow({"CESI", "0.761"});
+  t.AddRow({"JOCL", "0.818"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| Method |"), std::string::npos);
+  EXPECT_NE(out.find("| CESI   |"), std::string::npos);
+  EXPECT_NE(out.find("0.818"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRowsAndFormatsNumbers) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"x"});
+  t.AddSeparator();
+  t.AddRow({"y", TablePrinter::Num(0.123456, 3)});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("0.123"), std::string::npos);
+  EXPECT_EQ(TablePrinter::Num(1.0, 2), "1.00");
+}
+
+}  // namespace
+}  // namespace jocl

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "kb/curated_kb.h"
+#include "kb/kb_io.h"
+#include "kb/open_kb.h"
+
+namespace jocl {
+namespace {
+
+CuratedKb MakeSmallKb() {
+  CuratedKb kb;
+  EntityId umd = kb.AddEntity("University of Maryland");
+  EntityId md = kb.AddEntity("Maryland");
+  EntityId u21 = kb.AddEntity("Universitas 21");
+  EntityId uva = kb.AddEntity("University of Virginia");
+  RelationId located = kb.AddRelation("location.contained_by");
+  RelationId member = kb.AddRelation("organizations_founded");
+  EXPECT_TRUE(kb.AddRelationAlias(member, "member of").ok());
+  EXPECT_TRUE(kb.AddFact(umd, located, md).ok());
+  EXPECT_TRUE(kb.AddFact(umd, member, u21).ok());
+  EXPECT_TRUE(kb.AddFact(uva, member, u21).ok());
+  EXPECT_TRUE(kb.AddAnchor("university of maryland", umd, 90).ok());
+  EXPECT_TRUE(kb.AddAnchor("umd", umd, 40).ok());
+  EXPECT_TRUE(kb.AddAnchor("maryland", md, 70).ok());
+  EXPECT_TRUE(kb.AddAnchor("maryland", umd, 30).ok());  // ambiguous
+  EXPECT_TRUE(kb.AddAnchor("u21", u21, 10).ok());
+  EXPECT_TRUE(kb.AddAnchor("universitas 21", u21, 25).ok());
+  return kb;
+}
+
+// ---------- CuratedKb ---------------------------------------------------------
+
+TEST(CuratedKbTest, AddAndLookupEntities) {
+  CuratedKb kb;
+  EntityId a = kb.AddEntity("Alpha Corp");
+  EXPECT_EQ(kb.entity(a).name, "alpha corp");  // canonicalized lower case
+  EXPECT_EQ(kb.AddEntity("alpha corp"), a);    // idempotent by name
+  EXPECT_EQ(kb.FindEntityByName("ALPHA CORP"), a);
+  EXPECT_EQ(kb.FindEntityByName("beta"), kNilId);
+  EXPECT_EQ(kb.entity_count(), 1u);
+}
+
+TEST(CuratedKbTest, FactValidationAndIdempotence) {
+  CuratedKb kb;
+  EntityId a = kb.AddEntity("a");
+  EntityId b = kb.AddEntity("b");
+  RelationId r = kb.AddRelation("rel");
+  EXPECT_FALSE(kb.AddFact(a, r, 99).ok());
+  EXPECT_FALSE(kb.AddFact(99, r, b).ok());
+  EXPECT_FALSE(kb.AddFact(a, 99, b).ok());
+  EXPECT_TRUE(kb.AddFact(a, r, b).ok());
+  EXPECT_TRUE(kb.AddFact(a, r, b).ok());  // duplicate ok
+  EXPECT_EQ(kb.fact_count(), 1u);
+  EXPECT_TRUE(kb.HasFact(a, r, b));
+  EXPECT_FALSE(kb.HasFact(b, r, a));  // directed
+}
+
+TEST(CuratedKbTest, FactsInvolving) {
+  CuratedKb kb = MakeSmallKb();
+  EntityId umd = kb.FindEntityByName("university of maryland");
+  auto facts = kb.FactsInvolving(umd);
+  EXPECT_EQ(facts.size(), 2u);
+  EXPECT_TRUE(kb.FactsInvolving(999).empty());
+}
+
+TEST(CuratedKbTest, AnchorStatisticsAndPopularity) {
+  CuratedKb kb = MakeSmallKb();
+  EntityId umd = kb.FindEntityByName("university of maryland");
+  EntityId md = kb.FindEntityByName("maryland");
+  EXPECT_EQ(kb.AnchorCount("maryland"), 100);
+  EXPECT_EQ(kb.AnchorCount("maryland", md), 70);
+  EXPECT_EQ(kb.AnchorCount("maryland", umd), 30);
+  EXPECT_DOUBLE_EQ(kb.Popularity("maryland", md), 0.7);
+  EXPECT_DOUBLE_EQ(kb.Popularity("maryland", umd), 0.3);
+  EXPECT_DOUBLE_EQ(kb.Popularity("unseen surface", md), 0.0);
+  EXPECT_FALSE(kb.AddAnchor("x", 999, 5).ok());
+  EXPECT_FALSE(kb.AddAnchor("x", umd, 0).ok());
+}
+
+TEST(CuratedKbTest, AnchorLookupIsCaseInsensitive) {
+  CuratedKb kb = MakeSmallKb();
+  EntityId umd = kb.FindEntityByName("university of maryland");
+  EXPECT_EQ(kb.AnchorCount("UMD", umd), 40);
+}
+
+TEST(CuratedKbTest, EntityCandidatesExactAnchorsRankedByPopularity) {
+  CuratedKb kb = MakeSmallKb();
+  EntityId md = kb.FindEntityByName("maryland");
+  auto candidates = kb.EntityCandidates("maryland", 5);
+  ASSERT_GE(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].id, md);
+  EXPECT_DOUBLE_EQ(candidates[0].popularity, 0.7);
+  EXPECT_GE(candidates[0].popularity, candidates[1].popularity);
+}
+
+TEST(CuratedKbTest, EntityCandidatesFuzzyFallback) {
+  CuratedKb kb = MakeSmallKb();
+  // "university maryland" has no anchor; fuzzy matching through the token
+  // index should still reach the university.
+  auto candidates = kb.EntityCandidates("university maryland", 5);
+  ASSERT_FALSE(candidates.empty());
+  EntityId umd = kb.FindEntityByName("university of maryland");
+  bool found = false;
+  for (const auto& c : candidates) found |= (c.id == umd);
+  EXPECT_TRUE(found);
+}
+
+TEST(CuratedKbTest, EntityCandidatesCapRespected) {
+  CuratedKb kb = MakeSmallKb();
+  EXPECT_LE(kb.EntityCandidates("university", 2).size(), 2u);
+}
+
+TEST(CuratedKbTest, RelationCandidatesUseAliases) {
+  CuratedKb kb = MakeSmallKb();
+  RelationId member = kb.FindRelationByName("organizations_founded");
+  auto candidates = kb.RelationCandidates("be a member of", 3);
+  ASSERT_FALSE(candidates.empty());
+  // The alias "member of" should pull organizations_founded to the top.
+  EXPECT_EQ(candidates[0].id, member);
+}
+
+TEST(CuratedKbTest, RelationAliasValidation) {
+  CuratedKb kb;
+  EXPECT_FALSE(kb.AddRelationAlias(0, "x").ok());
+  RelationId r = kb.AddRelation("rel");
+  EXPECT_TRUE(kb.AddRelationAlias(r, "alias one").ok());
+  EXPECT_EQ(kb.RelationAliases(r).size(), 1u);
+  EXPECT_TRUE(kb.RelationAliases(999).empty());
+}
+
+// ---------- KB serialization -----------------------------------------------------
+
+TEST(KbIoTest, RoundTripPreservesEverything) {
+  CuratedKb kb = MakeSmallKb();
+  std::string prefix = ::testing::TempDir() + "/jocl_kb";
+  ASSERT_TRUE(SaveCuratedKb(kb, prefix).ok());
+  auto loaded = LoadCuratedKb(prefix);
+  ASSERT_TRUE(loaded.ok());
+  const CuratedKb& lk = loaded.ValueOrDie();
+
+  EXPECT_EQ(lk.entity_count(), kb.entity_count());
+  EXPECT_EQ(lk.relation_count(), kb.relation_count());
+  EXPECT_EQ(lk.fact_count(), kb.fact_count());
+
+  // Facts survive via names.
+  EntityId umd = lk.FindEntityByName("university of maryland");
+  EntityId md = lk.FindEntityByName("maryland");
+  RelationId located = lk.FindRelationByName("location.contained_by");
+  ASSERT_NE(umd, kNilId);
+  ASSERT_NE(located, kNilId);
+  EXPECT_TRUE(lk.HasFact(umd, located, md));
+
+  // Anchor statistics survive exactly.
+  EXPECT_EQ(lk.AnchorCount("maryland"), kb.AnchorCount("maryland"));
+  EXPECT_DOUBLE_EQ(lk.Popularity("maryland", md), 0.7);
+
+  // Relation aliases survive.
+  RelationId member = lk.FindRelationByName("organizations_founded");
+  EXPECT_EQ(lk.RelationAliases(member).size(), 1u);
+
+  for (const char* suffix :
+       {".entities.tsv", ".relations.tsv", ".facts.tsv", ".anchors.tsv"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(KbIoTest, AnchorRowsDeterministicAndComplete) {
+  CuratedKb kb = MakeSmallKb();
+  auto first = kb.AnchorRows();
+  auto second = kb.AnchorRows();
+  EXPECT_EQ(first, second);
+  int64_t total = 0;
+  for (const auto& [surface, entity, count] : first) total += count;
+  // Sum of all rows equals the sum of all per-surface totals.
+  EXPECT_EQ(total, kb.AnchorCount("university of maryland") +
+                       kb.AnchorCount("umd") + kb.AnchorCount("maryland") +
+                       kb.AnchorCount("u21") +
+                       kb.AnchorCount("universitas 21"));
+}
+
+TEST(KbIoTest, LoadMissingFilesFails) {
+  EXPECT_FALSE(LoadCuratedKb("/nonexistent/prefix").ok());
+}
+
+// ---------- OpenKb ---------------------------------------------------------------
+
+TEST(OpenKbTest, AddTripleValidation) {
+  OpenKb okb;
+  EXPECT_TRUE(okb.AddTriple("a", "rel", "b").ok());
+  EXPECT_FALSE(okb.AddTriple("", "rel", "b").ok());
+  EXPECT_FALSE(okb.AddTriple("a", "  ", "b").ok());
+  EXPECT_EQ(okb.size(), 1u);
+}
+
+TEST(OpenKbTest, TrimsWhitespace) {
+  OpenKb okb;
+  ASSERT_TRUE(okb.AddTriple("  UMD ", " be a member of ", " U21 ").ok());
+  EXPECT_EQ(okb.triple(0).subject, "UMD");
+  EXPECT_EQ(okb.triple(0).predicate, "be a member of");
+  EXPECT_EQ(okb.triple(0).object, "U21");
+}
+
+TEST(OpenKbTest, MentionViews) {
+  OpenKb okb;
+  ASSERT_TRUE(okb.AddTriple("A", "r1", "B").ok());
+  ASSERT_TRUE(okb.AddTriple("B", "r2", "C").ok());
+  auto nps = okb.NounPhraseMentions();
+  ASSERT_EQ(nps.size(), 4u);
+  EXPECT_TRUE(nps[0].is_subject);
+  EXPECT_EQ(nps[0].phrase, "A");
+  EXPECT_FALSE(nps[1].is_subject);
+  EXPECT_EQ(nps[1].phrase, "B");
+  EXPECT_EQ(nps[3].triple_index, 1u);
+  auto rps = okb.RelationPhraseMentions();
+  ASSERT_EQ(rps.size(), 2u);
+  EXPECT_EQ(rps[1].phrase, "r2");
+}
+
+TEST(OpenKbTest, DistinctPhrases) {
+  OpenKb okb;
+  ASSERT_TRUE(okb.AddTriple("A", "r", "B").ok());
+  ASSERT_TRUE(okb.AddTriple("B", "r", "A").ok());
+  ASSERT_TRUE(okb.AddTriple("A", "r2", "C").ok());
+  EXPECT_EQ(okb.DistinctNounPhrases(),
+            (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(okb.DistinctRelationPhrases(),
+            (std::vector<std::string>{"r", "r2"}));
+}
+
+}  // namespace
+}  // namespace jocl

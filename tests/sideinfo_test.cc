@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "sideinfo/amie_miner.h"
+#include "sideinfo/kbp_mapper.h"
+#include "sideinfo/paraphrase_store.h"
+
+namespace jocl {
+namespace {
+
+// ---------- ParaphraseStore ------------------------------------------------------
+
+TEST(ParaphraseStoreTest, SameClusterScoresOne) {
+  ParaphraseStore store;
+  store.AddCluster({"be founded by", "be established by", "be created by"});
+  EXPECT_DOUBLE_EQ(store.Similarity("be founded by", "be established by"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(store.Similarity("be founded by", "something else"), 0.0);
+  EXPECT_EQ(store.cluster_count(), 1u);
+}
+
+TEST(ParaphraseStoreTest, CaseInsensitiveLookup) {
+  ParaphraseStore store;
+  store.AddCluster({"Barack Obama", "President Obama"});
+  EXPECT_DOUBLE_EQ(store.Similarity("barack obama", "PRESIDENT OBAMA"), 1.0);
+}
+
+TEST(ParaphraseStoreTest, RepresentativeIsFirstPhrase) {
+  ParaphraseStore store;
+  store.AddCluster({"alpha", "beta"});
+  ASSERT_TRUE(store.Representative("beta").has_value());
+  EXPECT_EQ(*store.Representative("beta"), "alpha");
+  EXPECT_FALSE(store.Representative("gamma").has_value());
+}
+
+TEST(ParaphraseStoreTest, FirstAssignmentWinsNoTransitiveMerge) {
+  ParaphraseStore store;
+  store.AddCluster({"a", "b"});
+  store.AddCluster({"b", "c"});  // "b" keeps cluster 1
+  EXPECT_DOUBLE_EQ(store.Similarity("a", "b"), 1.0);
+  EXPECT_DOUBLE_EQ(store.Similarity("b", "c"), 0.0);
+  // "c" joined cluster 2 whose representative is "b"... and "a"'s rep is "a".
+  EXPECT_DOUBLE_EQ(store.Similarity("a", "c"), 0.0);
+}
+
+TEST(ParaphraseStoreTest, EmptyAndDegenerateClusters) {
+  ParaphraseStore store;
+  store.AddCluster({});
+  store.AddCluster({""});
+  EXPECT_EQ(store.phrase_count(), 0u);
+}
+
+// ---------- AmieMiner --------------------------------------------------------------
+
+OpenKb MakeRuleCorpus() {
+  OpenKb okb;
+  // "is the capital of" and "is the capital city of" share argument pairs.
+  const char* pairs[][2] = {{"paris", "france"},
+                            {"berlin", "germany"},
+                            {"madrid", "spain"},
+                            {"rome", "italy"}};
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(okb.AddTriple(p[0], "is the capital of", p[1]).ok());
+    EXPECT_TRUE(okb.AddTriple(p[0], "is the capital city of", p[1]).ok());
+  }
+  // A predicate with disjoint arguments must not become equivalent.
+  EXPECT_TRUE(okb.AddTriple("alice", "works for", "acme").ok());
+  EXPECT_TRUE(okb.AddTriple("bob", "works for", "initech").ok());
+  return okb;
+}
+
+TEST(AmieMinerTest, MinesBidirectionalEquivalence) {
+  AmieMiner miner(AmieOptions{2, 0.5});
+  OpenKb okb = MakeRuleCorpus();
+  miner.Mine(okb);
+  EXPECT_DOUBLE_EQ(
+      miner.Similarity("is the capital of", "is the capital city of"), 1.0);
+  EXPECT_DOUBLE_EQ(miner.Similarity("is the capital of", "works for"), 0.0);
+  EXPECT_FALSE(miner.rules().empty());
+}
+
+TEST(AmieMinerTest, RulesRespectThresholds) {
+  AmieMiner miner(AmieOptions{2, 0.5});
+  OpenKb okb = MakeRuleCorpus();
+  miner.Mine(okb);
+  for (const auto& rule : miner.rules()) {
+    EXPECT_GE(rule.support, 2u);
+    EXPECT_GE(rule.confidence, 0.5);
+    EXPECT_LE(rule.confidence, 1.0);
+  }
+}
+
+TEST(AmieMinerTest, SupportThresholdBlocksRareRules) {
+  OpenKb okb;
+  // Only ONE shared argument pair: below min_support = 2.
+  ASSERT_TRUE(okb.AddTriple("a", "p", "b").ok());
+  ASSERT_TRUE(okb.AddTriple("a", "q", "b").ok());
+  AmieMiner miner(AmieOptions{2, 0.5});
+  miner.Mine(okb);
+  EXPECT_DOUBLE_EQ(miner.Similarity("p", "q"), 0.0);
+  AmieMiner permissive(AmieOptions{1, 0.5});
+  permissive.Mine(okb);
+  EXPECT_DOUBLE_EQ(permissive.Similarity("p", "q"), 1.0);
+}
+
+TEST(AmieMinerTest, ConfidenceIsDirectional) {
+  OpenKb okb;
+  // q's pairs are a subset of p's pairs: q => p has confidence 1 but
+  // p => q only 2/4, below 0.6.
+  for (const char* s : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(okb.AddTriple(s, "p", "x").ok());
+  }
+  ASSERT_TRUE(okb.AddTriple("a", "q", "x").ok());
+  ASSERT_TRUE(okb.AddTriple("b", "q", "x").ok());
+  AmieMiner miner(AmieOptions{2, 0.6});
+  miner.Mine(okb);
+  bool q_implies_p = false;
+  bool p_implies_q = false;
+  for (const auto& rule : miner.rules()) {
+    if (rule.antecedent == "q" && rule.consequent == "p") q_implies_p = true;
+    if (rule.antecedent == "p" && rule.consequent == "q") p_implies_q = true;
+  }
+  EXPECT_TRUE(q_implies_p);
+  EXPECT_FALSE(p_implies_q);
+  // Not bidirectional -> similarity 0.
+  EXPECT_DOUBLE_EQ(miner.Similarity("p", "q"), 0.0);
+}
+
+TEST(AmieMinerTest, MorphNormalizationConflatesVariants) {
+  OpenKb okb;
+  // Tense variants normalize identically -> similarity 1 without rules.
+  AmieMiner miner;
+  miner.Mine(okb);
+  EXPECT_DOUBLE_EQ(miner.Similarity("was founded by", "founded by"), 1.0);
+}
+
+// ---------- KbpMapper ----------------------------------------------------------------
+
+TEST(KbpMapperTest, ClassifiesByTokenEvidence) {
+  KbpMapper mapper;
+  mapper.Train({{"was working at", 1},
+                {"worked for", 1},
+                {"works at", 1},
+                {"was born in", 2},
+                {"born at", 2}});
+  EXPECT_EQ(mapper.Classify("working for"), 1);
+  EXPECT_EQ(mapper.Classify("was born near"), 2);
+  EXPECT_EQ(mapper.Classify("completely unrelated phrase"), kNilId);
+}
+
+TEST(KbpMapperTest, SimilarityRequiresSameNonNilCategory) {
+  KbpMapper mapper;
+  mapper.Train({{"was working at", 1},
+                {"worked for", 1},
+                {"was born in", 2}});
+  EXPECT_DOUBLE_EQ(mapper.Similarity("was working at", "worked for"), 1.0);
+  EXPECT_DOUBLE_EQ(mapper.Similarity("was working at", "was born in"), 0.0);
+  EXPECT_DOUBLE_EQ(mapper.Similarity("nonsense", "gibberish"), 0.0);
+}
+
+TEST(KbpMapperTest, NilExamplesIgnoredAndAbstention) {
+  KbpMapper mapper;
+  mapper.Train({{"foo bar", kNilId}});
+  EXPECT_EQ(mapper.vocabulary_size(), 0u);
+  EXPECT_EQ(mapper.Classify("foo bar"), kNilId);
+}
+
+TEST(KbpMapperTest, VoteShareThresholdCausesAbstention) {
+  KbpMapperOptions options;
+  options.min_vote_share = 0.9;  // near-unanimous evidence required
+  KbpMapper mapper(options);
+  // "works" votes for both 1 and 2 equally -> no relation reaches 90%.
+  mapper.Train({{"works at", 1}, {"works near", 2}});
+  EXPECT_EQ(mapper.Classify("works"), kNilId);
+}
+
+}  // namespace
+}  // namespace jocl

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "text/morph_normalizer.h"
+#include "text/porter_stemmer.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace jocl {
+namespace {
+
+// ---------- tokenizer ---------------------------------------------------------
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(Tokenize("University of Maryland, College-Park"),
+            (std::vector<std::string>{"university", "of", "maryland",
+                                      "college", "park"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("--- !!").empty());
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("Universitas 21"),
+            (std::vector<std::string>{"universitas", "21"}));
+}
+
+TEST(TokenizerTest, ContentTokensDropStopWords) {
+  EXPECT_EQ(ContentTokens("the University of Maryland"),
+            (std::vector<std::string>{"university", "maryland"}));
+}
+
+TEST(TokenizerTest, StopWordsContainCommonFunctionWords) {
+  const auto& stop = StopWords();
+  for (const char* w : {"the", "of", "is", "was", "be", "a"}) {
+    EXPECT_TRUE(stop.count(w) > 0) << w;
+  }
+  EXPECT_EQ(stop.count("university"), 0u);
+}
+
+// ---------- Porter stemmer -----------------------------------------------------
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+class PorterStemmerKnownVectors : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerKnownVectors, MatchesReference) {
+  EXPECT_EQ(PorterStem(GetParam().input), GetParam().expected);
+}
+
+// Reference outputs from Porter's published vocabulary list.
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, PorterStemmerKnownVectors,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"digitizer", "digit"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"}, StemCase{"hopefulness", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"formalize", "formal"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"revival", "reviv"}, StemCase{"allowance", "allow"},
+        StemCase{"inference", "infer"}, StemCase{"airliner", "airlin"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"effective", "effect"},
+        StemCase{"bowdlerize", "bowdler"}, StemCase{"probate", "probat"},
+        StemCase{"rate", "rate"}, StemCase{"cease", "ceas"},
+        StemCase{"controll", "control"}, StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerTest, ShortWordsUntouched) {
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem("be"), "be");
+  EXPECT_EQ(PorterStem("a"), "a");
+}
+
+TEST(PorterStemmerTest, TenseVariantsConflate) {
+  EXPECT_EQ(PorterStem("founded"), PorterStem("founding"));
+  EXPECT_EQ(PorterStem("founds"), PorterStem("found"));
+  EXPECT_EQ(PorterStem("established"), PorterStem("establishes"));
+}
+
+TEST(PorterStemmerTest, FixedPointsAreStable) {
+  // Porter is deliberately not idempotent on every word ("university" ->
+  // "univers" -> "univ"), but reference fixed points must stay put.
+  for (const char* word :
+       {"caress", "cat", "feed", "bled", "sing", "sky", "roll", "fall"}) {
+    EXPECT_EQ(PorterStem(word), word) << word;
+  }
+}
+
+// ---------- morph normalizer ------------------------------------------------------
+
+TEST(MorphNormalizerTest, RemovesTensePluralAuxiliaryDeterminer) {
+  MorphNormalizer norm;
+  EXPECT_EQ(norm.Normalize("was founded by"), norm.Normalize("founded by"));
+  EXPECT_EQ(norm.Normalize("is a member of"), norm.Normalize("members of"));
+}
+
+TEST(MorphNormalizerTest, IrregularForms) {
+  MorphNormalizer norm;
+  EXPECT_EQ(norm.Normalize("took over"), norm.Normalize("takes over"));
+  EXPECT_EQ(norm.Normalize("women"), norm.Normalize("woman"));
+}
+
+TEST(MorphNormalizerTest, AllStopWordPhraseFallsBack) {
+  MorphNormalizer norm;
+  // "is a" normalizes to its stemmed raw tokens, not the empty string.
+  EXPECT_FALSE(norm.Normalize("is a").empty());
+}
+
+TEST(MorphNormalizerTest, OptionsDisableStemming) {
+  MorphNormalizerOptions options;
+  options.stem = false;
+  options.remove_stop_words = false;
+  options.apply_irregular_forms = false;
+  MorphNormalizer norm(options);
+  EXPECT_EQ(norm.Normalize("The Founded Companies"), "the founded companies");
+}
+
+// ---------- similarities: known values ------------------------------------------
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+}
+
+TEST(LevenshteinTest, SimilarityNormalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+}
+
+TEST(JaroWinklerTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611, 1e-3);
+  EXPECT_NEAR(JaroWinklerSimilarity("dixon", "dicksonx"), 0.8133, 1e-3);
+}
+
+TEST(JaccardTest, SetBehavior) {
+  std::unordered_set<std::string> a = {"x", "y"};
+  std::unordered_set<std::string> b = {"y", "z"};
+  EXPECT_NEAR(JaccardSimilarity(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, {}), 0.0);
+}
+
+TEST(NgramTest, TrigramsOfShortStrings) {
+  auto grams = CharacterNgrams("ab", 3);
+  EXPECT_EQ(grams.size(), 1u);
+  EXPECT_TRUE(grams.count("ab") > 0);
+  EXPECT_EQ(CharacterNgrams("abcd", 3).size(), 2u);  // abc, bcd
+  EXPECT_DOUBLE_EQ(NgramSimilarity("abcd", "abcd"), 1.0);
+}
+
+// ---------- similarity properties (parameterized sweep) ----------------------------
+
+class SimilarityProperties : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomPhrase(Rng* rng) {
+  static const char* kWords[] = {"university", "maryland", "umd",  "warren",
+                                 "buffett",    "founded",  "by",   "club",
+                                 "kandor",     "merith",   "21",   "of"};
+  size_t n = 1 + rng->UniformUint64(4);
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng->UniformUint64(std::size(kWords))];
+  }
+  return out;
+}
+
+TEST_P(SimilarityProperties, SymmetricBoundedIdentity) {
+  Rng rng(GetParam());
+  IdfTable idf;
+  for (int i = 0; i < 30; ++i) idf.AddPhrase(RandomPhrase(&rng));
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string a = RandomPhrase(&rng);
+    std::string b = RandomPhrase(&rng);
+    for (auto sim : {LevenshteinSimilarity(a, b), JaroSimilarity(a, b),
+                     JaroWinklerSimilarity(a, b), NgramSimilarity(a, b),
+                     idf.Similarity(a, b)}) {
+      EXPECT_GE(sim, 0.0);
+      EXPECT_LE(sim, 1.0 + 1e-12);
+    }
+    EXPECT_NEAR(LevenshteinSimilarity(a, b), LevenshteinSimilarity(b, a),
+                1e-12);
+    EXPECT_NEAR(JaroSimilarity(a, b), JaroSimilarity(b, a), 1e-12);
+    EXPECT_NEAR(NgramSimilarity(a, b), NgramSimilarity(b, a), 1e-12);
+    EXPECT_NEAR(idf.Similarity(a, b), idf.Similarity(b, a), 1e-12);
+    EXPECT_DOUBLE_EQ(LevenshteinSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(idf.Similarity(a, a), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- IDF table ------------------------------------------------------------
+
+TEST(IdfTableTest, RareTokensDominate) {
+  IdfTable idf;
+  // "university" appears many times; "buffett" once.
+  for (int i = 0; i < 50; ++i) idf.AddPhrase("university of somewhere");
+  idf.AddPhrase("warren buffett");
+  // Sharing the rare word scores higher than sharing the frequent one.
+  double rare = idf.Similarity("warren buffett", "buffett");
+  double frequent =
+      idf.Similarity("university of somewhere", "university of elsewhere");
+  EXPECT_GT(rare, frequent);
+}
+
+TEST(IdfTableTest, PaperFormulaOnTinyCorpus) {
+  IdfTable idf;
+  idf.AddPhrase("a b");
+  idf.AddPhrase("b c");
+  // f(a)=1, f(b)=2, f(c)=1. Sim("a b","b c") =
+  // w(b) / (w(a)+w(b)+w(c)) with w(x) = 1/log(1+f(x)).
+  double wa = 1.0 / std::log(2.0);
+  double wb = 1.0 / std::log(3.0);
+  EXPECT_NEAR(idf.Similarity("a b", "b c"), wb / (wa + wb + wa), 1e-12);
+}
+
+TEST(IdfTableTest, DisjointTokensScoreZero) {
+  IdfTable idf;
+  idf.AddPhrase("x y");
+  EXPECT_DOUBLE_EQ(idf.Similarity("x", "z"), 0.0);
+}
+
+TEST(IdfTableTest, FrequencyLookup) {
+  IdfTable idf;
+  idf.AddPhrases({"a b", "a c", "a"});
+  EXPECT_EQ(idf.Frequency("a"), 3);
+  EXPECT_EQ(idf.Frequency("b"), 1);
+  EXPECT_EQ(idf.Frequency("zzz"), 0);
+  EXPECT_EQ(idf.vocabulary_size(), 3u);
+}
+
+}  // namespace
+}  // namespace jocl

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/feature_config.h"
+#include "core/weights_io.h"
+
+namespace jocl {
+namespace {
+
+TEST(WeightsIoTest, RoundTrip) {
+  std::vector<double> weights(WeightLayout::kCount, 1.0);
+  weights[WeightLayout::kAlpha1] = 0.25;
+  weights[WeightLayout::kBeta5] = -1.5;
+  std::string path = ::testing::TempDir() + "/jocl_weights.tsv";
+  ASSERT_TRUE(SaveWeights(weights, path).ok());
+  auto loaded = LoadWeights(path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+    EXPECT_DOUBLE_EQ(loaded.ValueOrDie()[k], weights[k]) << k;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, SaveRejectsWrongSize) {
+  EXPECT_FALSE(SaveWeights({1.0, 2.0}, "/tmp/never_written.tsv").ok());
+}
+
+TEST(WeightsIoTest, MissingEntriesDefaultToUniform) {
+  std::string path = ::testing::TempDir() + "/jocl_partial_weights.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("alpha1.idf\t3.5\n", f);
+  fclose(f);
+  auto loaded = LoadWeights(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.ValueOrDie()[WeightLayout::kAlpha1], 3.5);
+  EXPECT_DOUBLE_EQ(loaded.ValueOrDie()[WeightLayout::kBeta4], 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, RejectsUnknownNamesAndGarbage) {
+  std::string path = ::testing::TempDir() + "/jocl_bad_weights.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("no.such.weight\t1.0\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadWeights(path).ok());
+  f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("alpha1.idf\tnot_a_number\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadWeights(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadWeights("/nonexistent/weights.tsv").ok());
+}
+
+TEST(WeightsIoTest, ReportSortsByAdjustment) {
+  std::vector<double> weights(WeightLayout::kCount, 1.0);
+  weights[WeightLayout::kBeta4] = 5.0;   // most adjusted
+  weights[WeightLayout::kAlpha2] = 0.5;  // second
+  std::string report = FormatWeightReport(weights);
+  size_t beta4_pos = report.find("beta4.fact");
+  size_t alpha2_pos = report.find("alpha2.idf");
+  ASSERT_NE(beta4_pos, std::string::npos);
+  ASSERT_NE(alpha2_pos, std::string::npos);
+  EXPECT_LT(beta4_pos, alpha2_pos);
+}
+
+}  // namespace
+}  // namespace jocl
