@@ -6,7 +6,7 @@
 #include "bench/bench_common.h"
 #include "core/graph_builder.h"
 #include "core/problem.h"
-#include "graph/lbp.h"
+#include "graph/flat_lbp.h"
 
 namespace jocl {
 namespace bench {
@@ -30,7 +30,7 @@ void Run() {
   options.max_iterations = 30;
   options.tolerance = 1e-4;
   options.factor_schedule = jgraph.schedule;
-  LbpEngine engine(&jgraph.graph, &weights, options);
+  FlatLbpEngine engine(&jgraph.graph, &weights, options);
   LbpResult result = engine.Run();
 
   TablePrinter table({"Sweep", "Max residual", "Curve"});

@@ -3,11 +3,11 @@
 // the amount of labeled validation data and reports test-set quality,
 // plus the joint graph's fragmentation (which is what makes the paper's
 // §3.4 "distributed learning via graph segmentation" remark practical —
-// see graph/parallel_lbp.h).
+// see graph/flat_lbp.h).
 #include "bench/bench_common.h"
 #include "core/graph_builder.h"
 #include "core/problem.h"
-#include "graph/parallel_lbp.h"
+#include "graph/flat_lbp.h"
 
 namespace jocl {
 namespace bench {
@@ -67,7 +67,7 @@ void Run() {
   LbpOptions lbp_options;
   lbp_options.max_iterations = 20;
   {
-    LbpEngine engine(&jgraph.graph, &weights, lbp_options);
+    FlatLbpEngine engine(&jgraph.graph, &weights, lbp_options);
     engine.Run();
   }
   double sequential_s = sequential_watch.ElapsedSeconds();

@@ -6,7 +6,7 @@
 #include "cluster/hac.h"
 #include "data/generator.h"
 #include "embedding/word2vec.h"
-#include "graph/lbp.h"
+#include "graph/flat_lbp.h"
 #include "text/porter_stemmer.h"
 #include "text/similarity.h"
 #include "util/rng.h"
@@ -132,9 +132,8 @@ void BM_Word2VecEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_Word2VecEpoch);
 
-void BM_LbpSweep(benchmark::State& state) {
-  // A grid-ish loopy graph with binary variables.
-  const size_t side = static_cast<size_t>(state.range(0));
+// A grid-ish loopy graph with binary variables (one connected component).
+FactorGraph MakeGrid(size_t side) {
   FactorGraph g;
   g.set_weight_count(1);
   std::vector<VariableId> vars;
@@ -154,15 +153,74 @@ void BM_LbpSweep(benchmark::State& state) {
       }
     }
   }
+  return g;
+}
+
+void BM_LbpSweep(benchmark::State& state) {
+  FactorGraph g = MakeGrid(static_cast<size_t>(state.range(0)));
   std::vector<double> weights = {1.0};
   for (auto _ : state) {
     LbpOptions options;
-    options.max_iterations = 1;  // a single sweep
-    LbpEngine engine(&g, &weights, options);
+    options.max_iterations = 1;  // a single sweep (includes graph compile)
+    FlatLbpEngine engine(&g, &weights, options);
     benchmark::DoNotOptimize(engine.Run());
   }
 }
 BENCHMARK(BM_LbpSweep)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_GraphCompile(benchmark::State& state) {
+  // Cost of freezing the builder graph into the CSR form.
+  FactorGraph g = MakeGrid(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompiledGraph::Compile(g));
+  }
+}
+BENCHMARK(BM_GraphCompile)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_LbpSweepPrecompiled(benchmark::State& state) {
+  // The pure sweep cost over a shared compiled graph (the learner's
+  // steady state: compile once, run many).
+  FactorGraph g = MakeGrid(static_cast<size_t>(state.range(0)));
+  CompiledGraph compiled = CompiledGraph::Compile(g);
+  std::vector<double> weights = {1.0};
+  for (auto _ : state) {
+    LbpOptions options;
+    options.max_iterations = 1;
+    FlatLbpEngine engine(&compiled, &weights, options);
+    benchmark::DoNotOptimize(engine.Run());
+  }
+}
+BENCHMARK(BM_LbpSweepPrecompiled)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_LbpComponentParallel(benchmark::State& state) {
+  // Fragmented workload (many disjoint grids — the shape of JOCL's joint
+  // graphs) across a worker pool; Arg is the thread count.
+  FactorGraph g;
+  g.set_weight_count(1);
+  auto table = [] {
+    return FeatureTable::Uniform(0, {0.7, 0.3, 0.3, 0.7});
+  };
+  constexpr size_t kChains = 64;
+  constexpr size_t kLen = 40;
+  for (size_t chain = 0; chain < kChains; ++chain) {
+    VariableId prev = g.AddVariable(2);
+    for (size_t i = 1; i < kLen; ++i) {
+      VariableId v = g.AddVariable(2);
+      (void)g.AddFactor({prev, v}, table());
+      prev = v;
+    }
+  }
+  CompiledGraph compiled = CompiledGraph::Compile(g);
+  std::vector<double> weights = {1.0};
+  for (auto _ : state) {
+    LbpOptions options;
+    options.max_iterations = 10;
+    options.num_threads = static_cast<size_t>(state.range(0));
+    FlatLbpEngine engine(&compiled, &weights, options);
+    benchmark::DoNotOptimize(engine.Run());
+  }
+}
+BENCHMARK(BM_LbpComponentParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_GenerateDataset(benchmark::State& state) {
   for (auto _ : state) {

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "graph/factor_graph.h"
-#include "graph/lbp.h"
+#include "graph/flat_lbp.h"
 #include "text/similarity.h"
 
 using namespace jocl;
@@ -74,7 +74,7 @@ int main() {
   }
 
   auto report = [&](const char* title, const std::vector<double>& weights) {
-    LbpEngine engine(&graph, &weights, {});
+    FlatLbpEngine engine(&graph, &weights, {});
     engine.Run();
     std::printf("%s\n", title);
     for (size_t p = 0; p < x_vars.size(); ++p) {

@@ -21,18 +21,14 @@ std::vector<size_t> ClusterPairGraph(size_t n,
   }
   std::vector<std::tuple<double, size_t, size_t>> ordered;
   ordered.reserve(weight_of.size());
-  for (const auto& [a, b, weight] : edges) {
-    auto it = weight_of.find(key_of(a, b));
-    if (it != weight_of.end() && it->second >= threshold) {
-      ordered.emplace_back(it->second, std::min(a, b), std::max(a, b));
-      weight_of.erase(it);  // emit each surviving edge once
+  for (const auto& [key, weight] : weight_of) {
+    if (weight >= threshold) {
+      ordered.emplace_back(weight, static_cast<size_t>(key >> 32),
+                           static_cast<size_t>(key & 0xffffffff));
     }
   }
-  // Restore the lookup (consumed above to dedupe the ordered list).
-  for (const auto& [a, b, weight] : edges) {
-    auto [it, inserted] = weight_of.emplace(key_of(a, b), weight);
-    if (!inserted) it->second = std::max(it->second, weight);
-  }
+  // The sort's full tie-break makes the order deterministic even though
+  // the map iteration above is not.
   std::sort(ordered.begin(), ordered.end(),
             [](const auto& x, const auto& y) {
               if (std::get<0>(x) != std::get<0>(y)) {

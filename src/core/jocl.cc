@@ -3,6 +3,7 @@
 #include "core/decode.h"
 
 #include <algorithm>
+#include <memory>
 #include <tuple>
 #include <unordered_map>
 
@@ -150,7 +151,9 @@ Result<JoclResult> Jocl::Infer(const Dataset& dataset,
 
   LbpOptions lbp_options = options_.inference;
   lbp_options.factor_schedule = jgraph.schedule;
-  LbpEngine engine(&jgraph.graph, &weights, lbp_options);
+  std::unique_ptr<InferenceEngine> engine_ptr = CreateInferenceEngine(
+      options_.inference_backend, &jgraph.graph, &weights, lbp_options);
+  InferenceEngine& engine = *engine_ptr;
 
   JoclResult result;
   result.diagnostics = engine.Run();

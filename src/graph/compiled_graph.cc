@@ -1,0 +1,202 @@
+#include "graph/compiled_graph.h"
+
+#include <algorithm>
+
+#include "cluster/union_find.h"
+
+namespace jocl {
+
+std::vector<size_t> FactorGraphComponents(const FactorGraph& graph) {
+  UnionFind uf(graph.variable_count());
+  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+    const auto& scope = graph.factor(f).scope;
+    for (size_t slot = 1; slot < scope.size(); ++slot) {
+      uf.Union(scope[0], scope[slot]);
+    }
+  }
+  return uf.Labels();
+}
+
+void CompiledGraph::ComputeLogPotentials(const std::vector<double>& weights,
+                                         std::vector<double>* out) const {
+  out->assign(total_assignments(), 0.0);
+  double* lp = out->data();
+  for (FactorId f = 0; f < factor_count(); ++f) {
+    const size_t base = assignment_offset[f];
+    const size_t count = assignment_offset[f + 1] - base;
+    if (factor_uniform[f]) {
+      const double w = weights[uniform_weight[f]];
+      const double* values = uniform_pool.data() + uniform_offset[f];
+      for (size_t a = 0; a < count; ++a) lp[base + a] = w * values[a];
+    } else {
+      for (size_t a = 0; a < count; ++a) {
+        double total = 0.0;
+        for (size_t i = entry_offset[base + a]; i < entry_offset[base + a + 1];
+             ++i) {
+          total += weights[entry_pool[i].weight] * entry_pool[i].value;
+        }
+        lp[base + a] = total;
+      }
+    }
+  }
+}
+
+CompiledGraph CompiledGraph::Compile(const FactorGraph& graph) {
+  CompiledGraph c;
+  c.source = &graph;
+  const size_t nv = graph.variable_count();
+  const size_t nf = graph.factor_count();
+
+  // ---- variables ----
+  c.cardinality.resize(nv);
+  c.var_state_offset.resize(nv + 1);
+  size_t state_total = 0;
+  for (VariableId v = 0; v < nv; ++v) {
+    c.var_state_offset[v] = state_total;
+    c.cardinality[v] = static_cast<uint32_t>(graph.variable(v).cardinality);
+    state_total += c.cardinality[v];
+  }
+  c.var_state_offset[nv] = state_total;
+
+  // ---- scopes -> edges ----
+  c.scope_offset.resize(nf + 1);
+  c.assignment_offset.resize(nf + 1);
+  size_t edge_total = 0;
+  size_t assignment_total = 0;
+  for (FactorId f = 0; f < nf; ++f) {
+    c.scope_offset[f] = edge_total;
+    c.assignment_offset[f] = assignment_total;
+    edge_total += graph.factor(f).scope.size();
+    assignment_total += graph.AssignmentCount(f);
+  }
+  c.scope_offset[nf] = edge_total;
+  c.assignment_offset[nf] = assignment_total;
+
+  c.scope_var.resize(edge_total);
+  c.slot_stride.resize(edge_total);
+  c.edge_state_offset.resize(edge_total + 1);
+  size_t edge_state_total = 0;
+  for (FactorId f = 0; f < nf; ++f) {
+    const auto& scope = graph.factor(f).scope;
+    const size_t base = c.scope_offset[f];
+    // Row-major strides, last slot fastest (FeatureTable convention).
+    size_t stride = 1;
+    for (size_t slot = scope.size(); slot-- > 0;) {
+      c.slot_stride[base + slot] = stride;
+      stride *= graph.variable(scope[slot]).cardinality;
+    }
+    size_t factor_states = 0;
+    for (size_t slot = 0; slot < scope.size(); ++slot) {
+      const size_t e = base + slot;
+      c.scope_var[e] = static_cast<uint32_t>(scope[slot]);
+      c.edge_state_offset[e] = edge_state_total;
+      edge_state_total += graph.variable(scope[slot]).cardinality;
+      factor_states += graph.variable(scope[slot]).cardinality;
+    }
+    c.max_arity = std::max(c.max_arity, scope.size());
+    c.max_factor_states = std::max(c.max_factor_states, factor_states);
+  }
+  c.edge_state_offset[edge_total] = edge_state_total;
+
+  // ---- attachments (counting sort of edges by variable) ----
+  c.attach_offset.assign(nv + 1, 0);
+  for (size_t e = 0; e < edge_total; ++e) ++c.attach_offset[c.scope_var[e] + 1];
+  for (size_t v = 0; v < nv; ++v) c.attach_offset[v + 1] += c.attach_offset[v];
+  c.attach_edge.resize(edge_total);
+  {
+    std::vector<size_t> cursor(c.attach_offset.begin(),
+                               c.attach_offset.end() - 1);
+    for (size_t e = 0; e < edge_total; ++e) {
+      c.attach_edge[cursor[c.scope_var[e]]++] = static_cast<uint32_t>(e);
+    }
+  }
+
+  // ---- features: one shared flat pool ----
+  c.factor_uniform.resize(nf);
+  c.uniform_weight.assign(nf, 0);
+  c.uniform_offset.assign(nf, kNoOffset);
+  c.entry_offset.assign(assignment_total + 1, 0);
+  size_t entry_total = 0;
+  size_t uniform_total = 0;
+  for (FactorId f = 0; f < nf; ++f) {
+    const FeatureTable& table = graph.factor(f).features;
+    c.factor_uniform[f] = table.is_uniform() ? 1 : 0;
+    const size_t count = table.assignment_count();
+    if (table.is_uniform()) {
+      uniform_total += count;
+    } else {
+      for (size_t a = 0; a < count; ++a) {
+        entry_total += table.entries(a).size();
+        c.entry_offset[c.assignment_offset[f] + a + 1] =
+            table.entries(a).size();
+      }
+    }
+  }
+  for (size_t g = 0; g < assignment_total; ++g) {
+    c.entry_offset[g + 1] += c.entry_offset[g];
+  }
+  c.entry_pool.reserve(entry_total);
+  c.uniform_pool.reserve(uniform_total);
+  for (FactorId f = 0; f < nf; ++f) {
+    const FeatureTable& table = graph.factor(f).features;
+    if (table.is_uniform()) {
+      c.uniform_weight[f] = table.uniform_weight();
+      c.uniform_offset[f] = c.uniform_pool.size();
+      c.uniform_pool.insert(c.uniform_pool.end(),
+                            table.uniform_values().begin(),
+                            table.uniform_values().end());
+    } else {
+      for (size_t a = 0; a < table.assignment_count(); ++a) {
+        const auto& entries = table.entries(a);
+        c.entry_pool.insert(c.entry_pool.end(), entries.begin(),
+                            entries.end());
+      }
+    }
+  }
+
+  // ---- connected components ----
+  c.component_of_var = FactorGraphComponents(graph);
+  for (size_t label : c.component_of_var) {
+    c.component_count = std::max(c.component_count, label + 1);
+  }
+  const size_t nc = c.component_count;
+  c.comp_var_offset.assign(nc + 1, 0);
+  for (size_t label : c.component_of_var) ++c.comp_var_offset[label + 1];
+  for (size_t k = 0; k < nc; ++k) {
+    c.comp_var_offset[k + 1] += c.comp_var_offset[k];
+  }
+  c.comp_vars.resize(nv);
+  {
+    std::vector<size_t> cursor(c.comp_var_offset.begin(),
+                               c.comp_var_offset.end() - 1);
+    for (VariableId v = 0; v < nv; ++v) {
+      c.comp_vars[cursor[c.component_of_var[v]]++] = static_cast<uint32_t>(v);
+    }
+  }
+  c.comp_factor_offset.assign(nc + 1, 0);
+  for (FactorId f = 0; f < nf; ++f) {
+    const auto& scope = graph.factor(f).scope;
+    if (scope.empty()) {
+      c.constant_factors.push_back(static_cast<uint32_t>(f));
+    } else {
+      ++c.comp_factor_offset[c.component_of_var[scope[0]] + 1];
+    }
+  }
+  for (size_t k = 0; k < nc; ++k) {
+    c.comp_factor_offset[k + 1] += c.comp_factor_offset[k];
+  }
+  c.comp_factors.resize(nf - c.constant_factors.size());
+  {
+    std::vector<size_t> cursor(c.comp_factor_offset.begin(),
+                               c.comp_factor_offset.end() - 1);
+    for (FactorId f = 0; f < nf; ++f) {
+      const auto& scope = graph.factor(f).scope;
+      if (scope.empty()) continue;
+      c.comp_factors[cursor[c.component_of_var[scope[0]]]++] =
+          static_cast<uint32_t>(f);
+    }
+  }
+  return c;
+}
+
+}  // namespace jocl

@@ -1,0 +1,153 @@
+#ifndef JOCL_GRAPH_COMPILED_GRAPH_H_
+#define JOCL_GRAPH_COMPILED_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/factor_graph.h"
+
+namespace jocl {
+
+/// \brief Frozen CSR form of a FactorGraph, built once before inference.
+///
+/// The builder-side FactorGraph stores scopes, attachments and feature
+/// tables as nested vectors — convenient to grow, hostile to the LBP hot
+/// loop (every message update chases three levels of pointers). Compile()
+/// flattens everything into contiguous index arrays so engines can walk
+/// the graph with nothing but offset arithmetic:
+///
+///  * **Edges.** Each (factor, slot) pair is one *edge*, numbered by
+///    factor in scope order: edges of factor f are
+///    `[scope_offset[f], scope_offset[f+1])`. `scope_var[e]` is the
+///    variable on edge e, `slot_stride[e]` its row-major stride inside the
+///    factor's assignment index (last slot fastest — the FeatureTable
+///    convention; engines use the strides to pin clamped slots and skip
+///    their inconsistent assignments), and
+///    `[edge_state_offset[e], edge_state_offset[e+1])` the edge's span in
+///    any message arena.
+///  * **Attachments.** The inverse mapping: edges touching variable v are
+///    `attach_edge[attach_offset[v] .. attach_offset[v+1])`, replacing
+///    FactorGraph's vector-of-pairs per variable.
+///  * **States.** Per-variable spans in belief/marginal arenas:
+///    `[var_state_offset[v], var_state_offset[v+1])`.
+///  * **Assignments.** Factor f's assignments occupy the global index
+///    range `[assignment_offset[f], assignment_offset[f+1])` in any
+///    per-assignment arena (log-potential caches, feature offsets).
+///  * **Features.** All sparse FeatureTable entries live in one shared
+///    `entry_pool`; assignment `assignment_offset[f] + a` owns
+///    `entry_pool[entry_offset[g] .. entry_offset[g+1])`. Uniform tables
+///    keep their compact one-weight form: values sit in `uniform_pool` at
+///    `uniform_offset[f]`.
+///  * **Components.** Messages never cross connected components, so the
+///    compiler labels them once (union-find over factor scopes) and emits
+///    CSR lists of each component's variables and factors. Engines use
+///    the partition to run components independently — sequentially or on
+///    a thread pool — over disjoint arena slices.
+///
+/// The compiled form borrows the source graph (it must outlive this
+/// object) and snapshots only *structure*: clamped states are read live
+/// from the source, so the learner can clamp/unclamp labels between runs
+/// without recompiling.
+struct CompiledGraph {
+  /// Sentinel for "no offset" (uniform_offset of sparse factors).
+  static constexpr size_t kNoOffset = std::numeric_limits<size_t>::max();
+
+  const FactorGraph* source = nullptr;
+
+  // ---- variables ----
+  std::vector<uint32_t> cardinality;      // [nv]
+  std::vector<size_t> var_state_offset;   // [nv + 1]
+
+  // ---- factor scopes (CSR over edges) ----
+  std::vector<size_t> scope_offset;       // [nf + 1] -> edge id ranges
+  std::vector<uint32_t> scope_var;        // [ne]
+  std::vector<size_t> slot_stride;        // [ne] row-major assignment stride
+  std::vector<size_t> edge_state_offset;  // [ne + 1] -> message arenas
+
+  // ---- assignments ----
+  std::vector<size_t> assignment_offset;  // [nf + 1] global assignment ids
+
+  // ---- variable attachments (CSR) ----
+  std::vector<size_t> attach_offset;      // [nv + 1]
+  std::vector<uint32_t> attach_edge;      // [ne], grouped by variable
+
+  // ---- features (one flat pool per graph) ----
+  std::vector<uint8_t> factor_uniform;    // [nf] 1 = uniform table
+  std::vector<WeightId> uniform_weight;   // [nf] shared weight (uniform only)
+  std::vector<size_t> uniform_offset;     // [nf] into uniform_pool, kNoOffset
+                                          //      for sparse factors
+  std::vector<double> uniform_pool;       // flat uniform values
+  std::vector<size_t> entry_offset;       // [total_assignments + 1]
+  std::vector<FeatureEntry> entry_pool;   // flat sparse entries
+
+  // ---- connected components ----
+  size_t component_count = 0;
+  std::vector<size_t> component_of_var;   // [nv]
+  std::vector<size_t> comp_var_offset;    // [nc + 1]
+  std::vector<uint32_t> comp_vars;        // [nv], grouped by component
+  std::vector<size_t> comp_factor_offset; // [nc + 1]
+  std::vector<uint32_t> comp_factors;     // non-constant factors by component
+  std::vector<uint32_t> constant_factors; // empty-scope factors (no messages)
+
+  // ---- scratch sizing ----
+  size_t max_factor_states = 0;  // max over f of sum of scope cardinalities
+  size_t max_arity = 0;
+
+  size_t variable_count() const { return cardinality.size(); }
+  size_t factor_count() const { return factor_uniform.size(); }
+  size_t edge_count() const { return scope_var.size(); }
+  size_t total_var_states() const { return var_state_offset.back(); }
+  size_t total_edge_states() const { return edge_state_offset.back(); }
+  size_t total_assignments() const { return assignment_offset.back(); }
+
+  /// Log-potential of factor \p f's local assignment \p a under
+  /// \p weights: `sum_i w[entry_i.weight] * entry_i.value`.
+  double LogPotential(FactorId f, size_t a,
+                      const std::vector<double>& weights) const {
+    if (factor_uniform[f]) {
+      return weights[uniform_weight[f]] * uniform_pool[uniform_offset[f] + a];
+    }
+    const size_t g = assignment_offset[f] + a;
+    double total = 0.0;
+    for (size_t i = entry_offset[g]; i < entry_offset[g + 1]; ++i) {
+      total += weights[entry_pool[i].weight] * entry_pool[i].value;
+    }
+    return total;
+  }
+
+  /// Fills \p out (resized to total_assignments()) with the log-potential
+  /// of every assignment of every factor. Engines call this once per Run —
+  /// the weights are fixed within a run, so the table is shared by every
+  /// subsequent sweep instead of being recomputed per message update.
+  void ComputeLogPotentials(const std::vector<double>& weights,
+                            std::vector<double>* out) const;
+
+  /// Invokes `fn(weight, value)` for each feature of factor \p f's local
+  /// assignment \p a (flat-pool equivalent of FeatureTable::ForEachFeature).
+  template <typename Fn>
+  void ForEachFeature(FactorId f, size_t a, Fn&& fn) const {
+    if (factor_uniform[f]) {
+      fn(uniform_weight[f], uniform_pool[uniform_offset[f] + a]);
+      return;
+    }
+    const size_t g = assignment_offset[f] + a;
+    for (size_t i = entry_offset[g]; i < entry_offset[g + 1]; ++i) {
+      fn(entry_pool[i].weight, entry_pool[i].value);
+    }
+  }
+
+  /// Flattens \p graph into the CSR form. O(edges + assignments + feature
+  /// entries); the source must outlive the compiled graph.
+  static CompiledGraph Compile(const FactorGraph& graph);
+};
+
+/// \brief Connected-component label of every variable (variables sharing a
+/// factor are connected). Standalone helper for diagnostics about graph
+/// fragmentation; CompiledGraph::Compile computes the same labeling.
+std::vector<size_t> FactorGraphComponents(const FactorGraph& graph);
+
+}  // namespace jocl
+
+#endif  // JOCL_GRAPH_COMPILED_GRAPH_H_

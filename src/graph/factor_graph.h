@@ -1,6 +1,7 @@
 #ifndef JOCL_GRAPH_FACTOR_GRAPH_H_
 #define JOCL_GRAPH_FACTOR_GRAPH_H_
 
+#include <cassert>
 #include <cstdint>
 #include <cstddef>
 #include <string>
@@ -62,9 +63,32 @@ class FeatureTable {
     return uniform_ ? uniform_values_.size() : sparse_.size();
   }
 
-  /// Appends one feature entry to the given assignment (sparse mode only).
+  /// Appends one feature entry to the given assignment. Sparse mode only:
+  /// a uniform table has no per-assignment entry lists, so the call is
+  /// rejected (assert in debug builds, ignored in release) instead of
+  /// indexing into the empty sparse storage.
   void Add(size_t assignment, WeightId weight, double value) {
+    assert(!uniform_ && "FeatureTable::Add is invalid on a uniform table");
+    assert(assignment < sparse_.size() && "assignment out of range");
+    if (uniform_ || assignment >= sparse_.size()) return;
     sparse_[assignment].push_back(FeatureEntry{weight, value});
+  }
+
+  /// True for tables created with Uniform().
+  bool is_uniform() const { return uniform_; }
+
+  /// The shared weight of a uniform table (valid only when is_uniform()).
+  WeightId uniform_weight() const { return uniform_weight_; }
+
+  /// Per-assignment feature values of a uniform table (valid only when
+  /// is_uniform()).
+  const std::vector<double>& uniform_values() const { return uniform_values_; }
+
+  /// Sparse entries of one assignment (valid only when !is_uniform()).
+  const std::vector<FeatureEntry>& entries(size_t assignment) const {
+    assert(!uniform_ && "FeatureTable::entries is invalid on a uniform table");
+    assert(assignment < sparse_.size() && "assignment out of range");
+    return sparse_[assignment];
   }
 
   /// Log-potential of the assignment under the weights.
@@ -120,6 +144,12 @@ struct VariableNode {
 /// FeatureTable whose entries reference a *global* weight vector, so many
 /// factors share the same parameters (all F1 factors share α1, etc.) —
 /// the structure the paper's learning algorithm (§3.4) requires.
+///
+/// This is the *mutable builder* form, optimized for incremental
+/// construction. Inference runs on the frozen CSR form produced by
+/// `CompiledGraph::Compile` (graph/compiled_graph.h); recompile after any
+/// structural change (AddVariable/AddFactor). Clamps are not structural —
+/// engines read them live, so clamp/unclamp freely between runs.
 class FactorGraph {
  public:
   FactorGraph() = default;

@@ -1,0 +1,470 @@
+#include "graph/flat_lbp.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace jocl {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Normalizes a log-space message span so its max entry is 0 (avoids drift).
+void NormalizeLog(double* message, size_t n) {
+  double mx = kNegInf;
+  for (size_t i = 0; i < n; ++i) mx = std::max(mx, message[i]);
+  if (mx == kNegInf) return;
+  for (size_t i = 0; i < n; ++i) message[i] -= mx;
+}
+
+size_t ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+}  // namespace
+
+double LogSumExp(const std::vector<double>& values) {
+  double mx = kNegInf;
+  for (double v : values) mx = std::max(mx, v);
+  if (mx == kNegInf) return kNegInf;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - mx);
+  return mx + std::log(sum);
+}
+
+FlatLbpEngine::FlatLbpEngine(const FactorGraph* graph,
+                             const std::vector<double>* weights,
+                             LbpOptions options)
+    : compiled_(nullptr),
+      owned_(CompiledGraph::Compile(*graph)),
+      weights_(weights),
+      options_(std::move(options)) {
+  compiled_ = &owned_;
+  BuildSchedule();
+  InitArenas();
+}
+
+FlatLbpEngine::FlatLbpEngine(const CompiledGraph* compiled,
+                             const std::vector<double>* weights,
+                             LbpOptions options)
+    : compiled_(compiled), weights_(weights), options_(std::move(options)) {
+  BuildSchedule();
+  InitArenas();
+}
+
+void FlatLbpEngine::InitArenas() {
+  // Size everything up front so interface queries are defined (if dull)
+  // even before Run(), matching the old engine's constructor-allocated
+  // storage; Run()'s assign() calls reuse this capacity.
+  const CompiledGraph& c = *compiled_;
+  log_potential_.assign(c.total_assignments(), 0.0);
+  msg_f2v_.assign(c.total_edge_states(), 0.0);
+  msg_v2f_.assign(c.total_edge_states(), 0.0);
+  belief_.assign(c.total_var_states(), 0.0);
+  marginal_.assign(c.total_var_states(), 0.0);
+  marginals_.resize(c.variable_count());
+  for (VariableId v = 0; v < c.variable_count(); ++v) {
+    marginals_[v].assign(c.cardinality[v], 0.0);
+  }
+}
+
+void FlatLbpEngine::BuildSchedule() {
+  const CompiledGraph& c = *compiled_;
+  const size_t nf = c.factor_count();
+  const size_t groups = options_.factor_schedule.size();
+
+  // Emit (factor, group) in schedule order — caller groups first, then the
+  // leftover factors as a final group — and counting-sort by component.
+  // The sort is stable, so each component sees its factors in the same
+  // group-by-group order the old global engine used.
+  std::vector<uint32_t> order_factor;
+  std::vector<uint32_t> order_group;
+  std::vector<uint8_t> scheduled(nf, 0);
+  for (size_t g = 0; g < groups; ++g) {
+    for (FactorId f : options_.factor_schedule[g]) {
+      if (f >= nf || c.scope_offset[f] == c.scope_offset[f + 1]) continue;
+      order_factor.push_back(static_cast<uint32_t>(f));
+      order_group.push_back(static_cast<uint32_t>(g));
+      scheduled[f] = 1;
+    }
+  }
+  for (FactorId f = 0; f < nf; ++f) {
+    if (scheduled[f] || c.scope_offset[f] == c.scope_offset[f + 1]) continue;
+    order_factor.push_back(static_cast<uint32_t>(f));
+    order_group.push_back(static_cast<uint32_t>(groups));
+  }
+
+  const size_t nc = c.component_count;
+  sched_offset_.assign(nc + 1, 0);
+  auto component_of_factor = [&](uint32_t f) {
+    return c.component_of_var[c.scope_var[c.scope_offset[f]]];
+  };
+  for (uint32_t f : order_factor) ++sched_offset_[component_of_factor(f) + 1];
+  for (size_t k = 0; k < nc; ++k) sched_offset_[k + 1] += sched_offset_[k];
+  sched_factor_.resize(order_factor.size());
+  sched_group_.resize(order_factor.size());
+  std::vector<size_t> cursor(sched_offset_.begin(), sched_offset_.end() - 1);
+  for (size_t i = 0; i < order_factor.size(); ++i) {
+    const size_t pos = cursor[component_of_factor(order_factor[i])]++;
+    sched_factor_[pos] = order_factor[i];
+    sched_group_[pos] = order_group[i];
+  }
+}
+
+void FlatLbpEngine::RefreshComponentVariables(size_t component) {
+  const CompiledGraph& c = *compiled_;
+  const FactorGraph& g = *c.source;
+  for (size_t i = c.comp_var_offset[component];
+       i < c.comp_var_offset[component + 1]; ++i) {
+    const uint32_t v = c.comp_vars[i];
+    const size_t card = c.cardinality[v];
+    double* sums = belief_.data() + c.var_state_offset[v];
+    const bool clamped = g.IsClamped(v);
+    const size_t observed =
+        clamped ? static_cast<size_t>(g.variable(v).clamped_state) : 0;
+    if (clamped) {
+      for (size_t x = 0; x < card; ++x) {
+        sums[x] = (x == observed) ? 0.0 : kNegInf;
+      }
+    } else {
+      // belief_sums[v][x] = sum over attached edges of msg_f2v.
+      std::fill(sums, sums + card, 0.0);
+      for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
+        const double* incoming =
+            msg_f2v_.data() + c.edge_state_offset[c.attach_edge[k]];
+        for (size_t x = 0; x < card; ++x) sums[x] += incoming[x];
+      }
+      NormalizeLog(sums, card);
+    }
+    // Variable -> factor messages: cavity sums (subtract own incoming).
+    for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
+      const size_t base = c.edge_state_offset[c.attach_edge[k]];
+      double* outgoing = msg_v2f_.data() + base;
+      if (clamped) {
+        for (size_t x = 0; x < card; ++x) {
+          outgoing[x] = (x == observed) ? 0.0 : kNegInf;
+        }
+        continue;
+      }
+      const double* incoming = msg_f2v_.data() + base;
+      for (size_t x = 0; x < card; ++x) outgoing[x] = sums[x] - incoming[x];
+      NormalizeLog(outgoing, card);
+    }
+  }
+}
+
+void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
+                                         Scratch* scratch) {
+  const CompiledGraph& c = *compiled_;
+  const FactorGraph& g = *c.source;
+  const size_t edge_begin = c.scope_offset[f];
+  const size_t edge_end = c.scope_offset[f + 1];
+  const size_t arity = edge_end - edge_begin;
+  const double* log_potential = log_potential_.data() + c.assignment_offset[f];
+
+  // Fresh outgoing accumulators for all slots, contiguous per factor:
+  // slot's states live at edge_state_offset[e] - state_base.
+  const size_t state_base = c.edge_state_offset[edge_begin];
+  const size_t factor_states = c.edge_state_offset[edge_end] - state_base;
+  double* fresh = scratch->fresh.data();
+  std::fill(fresh, fresh + factor_states, kNegInf);
+  size_t* states = scratch->states.data();
+  uint8_t* pinned = scratch->pinned.data();
+
+  // Clamped scope variables pin their slot: only assignments consistent
+  // with the observations are enumerated (the precomputed strides keep
+  // the assignment index in sync while the pinned slots are skipped).
+  // The skipped assignments were infeasible anyway — clamped variables
+  // send -inf for every unobserved state — so the result is unchanged;
+  // the learner's clamped pass just stops paying for them.
+  size_t a = 0;
+  size_t reduced = 1;
+  for (size_t slot = 0; slot < arity; ++slot) {
+    const uint32_t v = c.scope_var[edge_begin + slot];
+    if (g.IsClamped(v)) {
+      const size_t observed =
+          static_cast<size_t>(g.variable(v).clamped_state);
+      states[slot] = observed;
+      a += observed * c.slot_stride[edge_begin + slot];
+      pinned[slot] = 1;
+    } else {
+      states[slot] = 0;
+      reduced *= c.cardinality[v];
+      pinned[slot] = 0;
+    }
+  }
+
+  const bool max_product = options_.mode == LbpMode::kMaxProduct;
+  // Enumerate assignments once; for each, distribute the cavity total to
+  // every slot. Row-major decode is done incrementally for speed.
+  for (size_t r = 0; r < reduced; ++r) {
+    double total = log_potential[a];
+    bool feasible = true;
+    for (size_t slot = 0; slot < arity; ++slot) {
+      const double m =
+          msg_v2f_[c.edge_state_offset[edge_begin + slot] + states[slot]];
+      if (m == kNegInf) {
+        feasible = false;
+        break;
+      }
+      total += m;
+    }
+    if (feasible) {
+      for (size_t slot = 0; slot < arity; ++slot) {
+        const size_t local =
+            c.edge_state_offset[edge_begin + slot] - state_base;
+        const double cavity =
+            total -
+            msg_v2f_[c.edge_state_offset[edge_begin + slot] + states[slot]];
+        double& cell = fresh[local + states[slot]];
+        if (max_product) {
+          cell = std::max(cell, cavity);
+        } else if (cell == kNegInf) {
+          cell = cavity;  // LSE accumulate below
+        } else if (cavity > cell) {
+          cell = cavity + std::log1p(std::exp(cell - cavity));
+        } else {
+          cell = cell + std::log1p(std::exp(cavity - cell));
+        }
+      }
+    }
+    // Increment the mixed-radix counter over free slots (last fastest),
+    // keeping the assignment index in sync via the strides.
+    for (size_t slot = arity; slot-- > 0;) {
+      if (pinned[slot]) continue;
+      const size_t stride = c.slot_stride[edge_begin + slot];
+      if (++states[slot] < c.cardinality[c.scope_var[edge_begin + slot]]) {
+        a += stride;
+        break;
+      }
+      a -= stride * (states[slot] - 1);
+      states[slot] = 0;
+    }
+  }
+
+  for (size_t slot = 0; slot < arity; ++slot) {
+    const size_t e = edge_begin + slot;
+    const size_t card = c.cardinality[c.scope_var[e]];
+    const size_t local = c.edge_state_offset[e] - state_base;
+    NormalizeLog(fresh + local, card);
+    double* old = msg_f2v_.data() + c.edge_state_offset[e];
+    for (size_t x = 0; x < card; ++x) {
+      double updated = fresh[local + x];
+      if (options_.damping > 0.0 && old[x] != kNegInf && updated != kNegInf) {
+        updated =
+            (1.0 - options_.damping) * updated + options_.damping * old[x];
+      }
+      const double delta = std::abs(updated - old[x]);
+      if (std::isfinite(delta)) *residual = std::max(*residual, delta);
+      old[x] = updated;
+    }
+  }
+}
+
+void FlatLbpEngine::MaterializeComponentMarginals(size_t component) {
+  const CompiledGraph& c = *compiled_;
+  for (size_t i = c.comp_var_offset[component];
+       i < c.comp_var_offset[component + 1]; ++i) {
+    const uint32_t v = c.comp_vars[i];
+    const size_t card = c.cardinality[v];
+    const double* log_belief = belief_.data() + c.var_state_offset[v];
+    double* out = marginal_.data() + c.var_state_offset[v];
+    double mx = kNegInf;
+    for (size_t x = 0; x < card; ++x) mx = std::max(mx, log_belief[x]);
+    if (mx == kNegInf) {
+      // All states impossible (should not happen); fall back to uniform.
+      for (size_t x = 0; x < card; ++x) {
+        out[x] = 1.0 / static_cast<double>(card);
+      }
+      continue;
+    }
+    double sum = 0.0;
+    for (size_t x = 0; x < card; ++x) sum += std::exp(log_belief[x] - mx);
+    const double lse = mx + std::log(sum);
+    for (size_t x = 0; x < card; ++x) out[x] = std::exp(log_belief[x] - lse);
+  }
+}
+
+FlatLbpEngine::ComponentStats FlatLbpEngine::RunComponent(size_t component,
+                                                          Scratch* scratch) {
+  ComponentStats stats;
+  RefreshComponentVariables(component);
+  const size_t begin = sched_offset_[component];
+  const size_t end = sched_offset_[component + 1];
+  if (begin == end) {
+    // No factors: beliefs (uniform or clamped delta) are already final.
+    stats.converged = true;
+    MaterializeComponentMarginals(component);
+    return stats;
+  }
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double residual = 0.0;
+    // Paper §3.4: factor->variable updates proceed group by group, with
+    // variable->factor messages refreshed between groups.
+    for (size_t i = begin; i < end;) {
+      const uint32_t group = sched_group_[i];
+      for (; i < end && sched_group_[i] == group; ++i) {
+        UpdateFactorMessages(sched_factor_[i], &residual, scratch);
+      }
+      RefreshComponentVariables(component);
+    }
+    stats.iterations = iter + 1;
+    stats.final_residual = residual;
+    stats.residuals.push_back(residual);
+    if (residual < options_.tolerance) {
+      stats.converged = true;
+      break;
+    }
+  }
+  MaterializeComponentMarginals(component);
+  return stats;
+}
+
+LbpResult FlatLbpEngine::Run() {
+  const CompiledGraph& c = *compiled_;
+  compiled_->ComputeLogPotentials(*weights_, &log_potential_);
+  msg_f2v_.assign(c.total_edge_states(), 0.0);
+  msg_v2f_.assign(c.total_edge_states(), 0.0);
+  belief_.assign(c.total_var_states(), 0.0);
+  marginal_.assign(c.total_var_states(), 0.0);
+
+  const size_t nc = c.component_count;
+  std::vector<ComponentStats> stats(nc);
+  const size_t threads =
+      std::min(std::max<size_t>(1, ResolveThreads(options_.num_threads)), nc);
+  if (threads <= 1) {
+    Scratch scratch;
+    scratch.fresh.resize(c.max_factor_states);
+    scratch.states.resize(c.max_arity);
+    scratch.pinned.resize(c.max_arity);
+    for (size_t k = 0; k < nc; ++k) stats[k] = RunComponent(k, &scratch);
+  } else {
+    std::atomic<size_t> next(0);
+    auto worker = [&]() {
+      Scratch scratch;
+      scratch.fresh.resize(c.max_factor_states);
+      scratch.states.resize(c.max_arity);
+      scratch.pinned.resize(c.max_arity);
+      for (;;) {
+        const size_t k = next.fetch_add(1);
+        if (k >= nc) return;
+        stats[k] = RunComponent(k, &scratch);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  // Merge the per-component records into the sequential-compatible shape.
+  LbpResult result;
+  result.converged = true;
+  for (const ComponentStats& s : stats) {
+    result.iterations = std::max(result.iterations, s.iterations);
+    result.converged = result.converged && s.converged;
+    result.final_residual = std::max(result.final_residual, s.final_residual);
+  }
+  result.residual_history.resize(result.iterations, 0.0);
+  for (const ComponentStats& s : stats) {
+    for (size_t i = 0; i < s.residuals.size(); ++i) {
+      result.residual_history[i] =
+          std::max(result.residual_history[i], s.residuals[i]);
+    }
+  }
+
+  // Materialize nested marginals from the flat arena.
+  marginals_.resize(c.variable_count());
+  for (VariableId v = 0; v < c.variable_count(); ++v) {
+    const double* begin = marginal_.data() + c.var_state_offset[v];
+    marginals_[v].assign(begin, begin + c.cardinality[v]);
+  }
+  result.marginals = marginals_;
+  return result;
+}
+
+std::vector<double> FlatLbpEngine::FactorBelief(FactorId f) const {
+  const CompiledGraph& c = *compiled_;
+  const size_t edge_begin = c.scope_offset[f];
+  const size_t arity = c.scope_offset[f + 1] - edge_begin;
+  const size_t assignments =
+      c.assignment_offset[f + 1] - c.assignment_offset[f];
+  const double* log_potential = log_potential_.data() + c.assignment_offset[f];
+
+  std::vector<double> log_belief(assignments);
+  std::vector<size_t> states(arity, 0);
+  for (size_t a = 0; a < assignments; ++a) {
+    double total = log_potential[a];
+    for (size_t slot = 0; slot < arity; ++slot) {
+      total += msg_v2f_[c.edge_state_offset[edge_begin + slot] + states[slot]];
+    }
+    log_belief[a] = total;
+    for (size_t slot = arity; slot-- > 0;) {
+      if (++states[slot] < c.cardinality[c.scope_var[edge_begin + slot]]) {
+        break;
+      }
+      states[slot] = 0;
+    }
+  }
+  const double lse = LogSumExp(log_belief);
+  std::vector<double> belief(assignments, 0.0);
+  if (lse == kNegInf) {
+    for (double& b : belief) b = 1.0 / static_cast<double>(assignments);
+  } else {
+    for (size_t a = 0; a < assignments; ++a) {
+      belief[a] = std::exp(log_belief[a] - lse);
+    }
+  }
+  return belief;
+}
+
+void FlatLbpEngine::AccumulateExpectedFeatures(
+    std::vector<double>* expectations) const {
+  const CompiledGraph& c = *compiled_;
+  assert(expectations->size() == c.source->weight_count());
+  for (FactorId f = 0; f < c.factor_count(); ++f) {
+    const std::vector<double> belief = FactorBelief(f);
+    for (size_t a = 0; a < belief.size(); ++a) {
+      if (belief[a] <= 0.0) continue;
+      c.ForEachFeature(f, a, [&](WeightId weight, double value) {
+        (*expectations)[weight] += belief[a] * value;
+      });
+    }
+  }
+}
+
+std::vector<size_t> FlatLbpEngine::Decode() const {
+  const CompiledGraph& c = *compiled_;
+  std::vector<size_t> states(c.variable_count(), 0);
+  for (VariableId v = 0; v < c.variable_count(); ++v) {
+    const double* m = marginal_.data() + c.var_state_offset[v];
+    size_t best = 0;
+    for (size_t x = 1; x < c.cardinality[v]; ++x) {
+      if (m[x] > m[best]) best = x;
+    }
+    states[v] = best;
+  }
+  return states;
+}
+
+ParallelLbpResult RunParallelLbp(const FactorGraph& graph,
+                                 const std::vector<double>& weights,
+                                 const LbpOptions& options,
+                                 size_t num_threads) {
+  LbpOptions engine_options = options;
+  engine_options.num_threads = num_threads;  // 0 = auto-size to hardware
+  FlatLbpEngine engine(&graph, &weights, std::move(engine_options));
+  LbpResult run = engine.Run();
+  ParallelLbpResult result;
+  result.marginals = std::move(run.marginals);
+  result.components = engine.component_count();
+  result.converged = run.converged;
+  result.iterations = run.iterations;
+  return result;
+}
+
+}  // namespace jocl

@@ -1,0 +1,123 @@
+#ifndef JOCL_GRAPH_FLAT_LBP_H_
+#define JOCL_GRAPH_FLAT_LBP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/compiled_graph.h"
+#include "graph/inference.h"
+
+namespace jocl {
+
+/// \brief Log-space Loopy Belief Propagation over flat arenas.
+///
+/// All state lives in contiguous arrays indexed by the CompiledGraph's
+/// precomputed offsets: factor->variable and variable->factor messages in
+/// per-edge-state arenas, belief sums and marginals in per-variable-state
+/// arenas, and a per-assignment log-potential table computed once per Run
+/// (weights are fixed within a run, so no message update ever walks a
+/// feature list). There is no per-factor or per-sweep allocation.
+///
+/// Execution is component-at-a-time: messages never cross connected
+/// components, so each component runs its own staged schedule —
+/// factor->variable updates group by group with variable->factor messages
+/// refreshed between groups, damping and clamped-delta semantics as
+/// before — to *its own* convergence within max_iterations. Components
+/// touch disjoint arena slices, which makes the component loop trivially
+/// parallel: `options.num_threads > 1` distributes components across a
+/// thread pool and produces bit-for-bit identical marginals (the paper's
+/// §3.4 segmentation remark, folded into the engine instead of copying
+/// subgraphs).
+class FlatLbpEngine : public InferenceEngine {
+ public:
+  /// Compiles \p graph internally. \p graph and \p weights must outlive
+  /// the engine.
+  FlatLbpEngine(const FactorGraph* graph, const std::vector<double>* weights,
+                LbpOptions options = {});
+
+  /// Runs over an existing compiled form (no recompilation — the learner
+  /// uses this to share one CompiledGraph across all its passes).
+  /// \p compiled and \p weights must outlive the engine.
+  FlatLbpEngine(const CompiledGraph* compiled,
+                const std::vector<double>* weights, LbpOptions options = {});
+
+  FlatLbpEngine(const FlatLbpEngine&) = delete;
+  FlatLbpEngine& operator=(const FlatLbpEngine&) = delete;
+
+  LbpResult Run() override;
+
+  const std::vector<double>& Marginal(VariableId id) const override {
+    return marginals_[id];
+  }
+
+  std::vector<double> FactorBelief(FactorId id) const override;
+
+  void AccumulateExpectedFeatures(
+      std::vector<double>* expectations) const override;
+
+  std::vector<size_t> Decode() const override;
+
+  /// Number of connected components (independent LBP sub-problems).
+  size_t component_count() const { return compiled_->component_count; }
+
+ private:
+  /// Per-component convergence record, merged into the LbpResult.
+  struct ComponentStats {
+    size_t iterations = 0;
+    bool converged = false;
+    double final_residual = 0.0;
+    std::vector<double> residuals;
+  };
+
+  /// Thread-local scratch for one factor update (sized once per worker).
+  struct Scratch {
+    std::vector<double> fresh;    // max_factor_states accumulators
+    std::vector<size_t> states;   // max_arity mixed-radix counter
+    std::vector<uint8_t> pinned;  // max_arity clamped-slot flags
+  };
+
+  void BuildSchedule();
+  void InitArenas();
+  ComponentStats RunComponent(size_t component, Scratch* scratch);
+  void UpdateFactorMessages(FactorId f, double* residual, Scratch* scratch);
+  void RefreshComponentVariables(size_t component);
+  void MaterializeComponentMarginals(size_t component);
+
+  const CompiledGraph* compiled_;
+  CompiledGraph owned_;  // backing storage for the compiling constructor
+  const std::vector<double>* weights_;
+  LbpOptions options_;
+
+  // Schedule flattened per component: factors of component c occupy
+  // sched_factor_[sched_offset_[c] .. sched_offset_[c+1]), ordered by
+  // schedule group then occurrence; sched_group_ marks group boundaries.
+  std::vector<uint32_t> sched_factor_;
+  std::vector<uint32_t> sched_group_;
+  std::vector<size_t> sched_offset_;
+
+  // Flat arenas (log space), indexed via CompiledGraph offsets.
+  std::vector<double> log_potential_;  // [total_assignments]
+  std::vector<double> msg_f2v_;        // [total_edge_states]
+  std::vector<double> msg_v2f_;        // [total_edge_states]
+  std::vector<double> belief_;         // [total_var_states]
+  std::vector<double> marginal_;       // [total_var_states], probabilities
+
+  // Materialized per-variable marginals (LbpResult-compatible shape).
+  std::vector<std::vector<double>> marginals_;
+};
+
+/// \brief Compatibility wrapper: component-parallel LBP over \p graph.
+///
+/// Runs a FlatLbpEngine with `num_threads` workers (0 upgrades to one
+/// worker per hardware thread) and repackages the result. Marginals are
+/// identical for every thread count. Unlike the old standalone
+/// implementation this copies no subgraphs — components are arena slices —
+/// and honors \p options.factor_schedule, restricted per component.
+ParallelLbpResult RunParallelLbp(const FactorGraph& graph,
+                                 const std::vector<double>& weights,
+                                 const LbpOptions& options = {},
+                                 size_t num_threads = 4);
+
+}  // namespace jocl
+
+#endif  // JOCL_GRAPH_FLAT_LBP_H_

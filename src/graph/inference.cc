@@ -1,0 +1,42 @@
+#include "graph/inference.h"
+
+#include <utility>
+
+#include "graph/exact.h"
+#include "graph/flat_lbp.h"
+
+namespace jocl {
+
+namespace {
+
+LbpOptions WithBackendThreads(InferenceBackend backend, LbpOptions options) {
+  // kLbp pins sequential execution; kParallelLbp honors num_threads as
+  // given (LbpOptions documents 1 = sequential, 0 = auto-size).
+  if (backend == InferenceBackend::kLbp) options.num_threads = 1;
+  return options;
+}
+
+}  // namespace
+
+std::unique_ptr<InferenceEngine> CreateInferenceEngine(
+    InferenceBackend backend, const FactorGraph* graph,
+    const std::vector<double>* weights, LbpOptions options) {
+  if (backend == InferenceBackend::kExact) {
+    return std::make_unique<ExactEngine>(graph, weights, std::move(options));
+  }
+  return std::make_unique<FlatLbpEngine>(
+      graph, weights, WithBackendThreads(backend, std::move(options)));
+}
+
+std::unique_ptr<InferenceEngine> CreateInferenceEngine(
+    InferenceBackend backend, const CompiledGraph* compiled,
+    const std::vector<double>* weights, LbpOptions options) {
+  if (backend == InferenceBackend::kExact) {
+    return std::make_unique<ExactEngine>(compiled->source, weights,
+                                         std::move(options));
+  }
+  return std::make_unique<FlatLbpEngine>(
+      compiled, weights, WithBackendThreads(backend, std::move(options)));
+}
+
+}  // namespace jocl

@@ -1,0 +1,140 @@
+#ifndef JOCL_GRAPH_INFERENCE_H_
+#define JOCL_GRAPH_INFERENCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "graph/factor_graph.h"
+
+namespace jocl {
+
+struct CompiledGraph;
+
+/// \brief Message semiring: sum-product computes marginals (the paper's
+/// inference, §3.4–3.5); max-product computes max-marginals for MAP
+/// decoding.
+enum class LbpMode { kSumProduct, kMaxProduct };
+
+/// \brief Options for a Loopy Belief Propagation run.
+struct LbpOptions {
+  /// Sum-product (marginals) or max-product (MAP decoding).
+  LbpMode mode = LbpMode::kSumProduct;
+  /// Maximum message-passing sweeps per connected component. The paper
+  /// reports convergence within twenty iterations (§3.4).
+  size_t max_iterations = 20;
+  /// A component's sweeps stop early when the max absolute change of any
+  /// of its factor->variable log-messages falls below this.
+  double tolerance = 1e-4;
+  /// Damping `d`: new = (1-d)*computed + d*old. 0 disables damping.
+  double damping = 0.0;
+  /// Optional staged factor schedule: groups of factor ids updated in
+  /// order within each sweep (the paper's working procedure, §3.4). Factors
+  /// missing from every group are appended as a final group. Empty =
+  /// single group in insertion order. Engines restrict the schedule to
+  /// each connected component, which leaves the message math unchanged
+  /// (messages never cross components).
+  std::vector<std::vector<FactorId>> factor_schedule;
+  /// Worker threads for component-parallel execution: 1 = sequential,
+  /// 0 = one per hardware thread, n = n workers. Components are
+  /// independent sub-problems over disjoint arena slices, so marginals
+  /// are bit-for-bit identical for every thread count.
+  size_t num_threads = 1;
+};
+
+/// \brief Marginals and convergence diagnostics produced by inference.
+struct LbpResult {
+  /// Per-variable marginal distribution (clamped variables get a delta).
+  std::vector<std::vector<double>> marginals;
+  /// Max sweeps executed by any connected component.
+  size_t iterations = 0;
+  /// True when every component met the tolerance before max_iterations.
+  bool converged = false;
+  /// Max message residual across components after their final sweep.
+  double final_residual = 0.0;
+  /// Per-sweep max residual across components still running that sweep
+  /// (for convergence diagnostics).
+  std::vector<double> residual_history;
+};
+
+/// \brief Marginals of a component-partitioned LBP run (compatibility
+/// shape; produced by RunParallelLbp in graph/flat_lbp.h).
+struct ParallelLbpResult {
+  /// Per-variable marginals, aligned with the input graph's variable ids.
+  std::vector<std::vector<double>> marginals;
+  /// Number of connected components found.
+  size_t components = 0;
+  /// True iff every component converged within the iteration budget.
+  bool converged = false;
+  /// Max sweeps used by any component.
+  size_t iterations = 0;
+};
+
+/// \brief Common interface of the inference backends.
+///
+/// One engine instance binds a factor graph and a weight vector; Run()
+/// computes marginals, after which the query methods are valid. All
+/// backends honor clamped variables (delta messages and delta marginals),
+/// which is how the learner's conditioned pass `p(Y | Y^L)` is realized.
+///
+/// Backends:
+///  * FlatLbpEngine (graph/flat_lbp.h) — arena-backed loopy BP, sequential
+///    or component-parallel (identical marginals either way);
+///  * ExactEngine (graph/exact.h) — brute-force enumeration for tiny
+///    graphs, the ground truth the tests compare against.
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  /// Executes inference; query methods below are valid afterwards.
+  virtual LbpResult Run() = 0;
+
+  /// Marginal of one variable (valid after Run()).
+  virtual const std::vector<double>& Marginal(VariableId id) const = 0;
+
+  /// Belief over a factor's assignments (normalized; valid after Run()).
+  virtual std::vector<double> FactorBelief(FactorId id) const = 0;
+
+  /// Accumulates `sum_a b_f(a) * h_f(a)` over every factor into
+  /// \p expectations (size must be weight_count). Used by the learner for
+  /// `E[h]` under the current (clamped or free) distribution.
+  virtual void AccumulateExpectedFeatures(
+      std::vector<double>* expectations) const = 0;
+
+  /// Per-variable decoding (argmax of marginals / max-marginals).
+  virtual std::vector<size_t> Decode() const = 0;
+};
+
+/// \brief Which InferenceEngine implementation to instantiate.
+enum class InferenceBackend {
+  /// FlatLbpEngine, sequential execution (num_threads forced to 1).
+  kLbp,
+  /// FlatLbpEngine, component-parallel execution. num_threads is honored
+  /// as documented on LbpOptions (1 = sequential, 0 = auto-size) —
+  /// callers wanting parallelism set it alongside this backend, as
+  /// JoclOptions does.
+  kParallelLbp,
+  /// ExactEngine — joint enumeration, tiny graphs only.
+  kExact,
+};
+
+/// Instantiates an engine over \p graph. \p graph and \p weights must
+/// outlive the engine. LBP backends compile the graph internally; prefer
+/// the CompiledGraph overload when running many times on one structure.
+std::unique_ptr<InferenceEngine> CreateInferenceEngine(
+    InferenceBackend backend, const FactorGraph* graph,
+    const std::vector<double>* weights, LbpOptions options = {});
+
+/// Engine over a pre-compiled graph (LBP backends reuse it as-is; the
+/// exact backend runs on its source). \p compiled and \p weights must
+/// outlive the engine.
+std::unique_ptr<InferenceEngine> CreateInferenceEngine(
+    InferenceBackend backend, const CompiledGraph* compiled,
+    const std::vector<double>* weights, LbpOptions options = {});
+
+/// \brief Numerically stable log(sum(exp(values))).
+double LogSumExp(const std::vector<double>& values);
+
+}  // namespace jocl
+
+#endif  // JOCL_GRAPH_INFERENCE_H_

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstddef>
+#include <memory>
 
+#include "graph/compiled_graph.h"
 #include "util/logging.h"
 
 namespace jocl {
@@ -23,28 +25,31 @@ LearnerResult FactorGraphLearner::Learn(
   std::vector<double> clamped_expect(w);
   std::vector<double> free_expect(w);
 
+  // Freeze the graph structure once and bind one engine to it for every
+  // pass below: the compiled CSR form, the engine's schedule and its
+  // arena capacity are all shared across the 2 * iterations runs. Clamps
+  // and weights are read live at Run() time, so the clamp/unclamp cycling
+  // and the weight updates need no reconstruction.
+  const CompiledGraph compiled = CompiledGraph::Compile(*graph);
+  std::unique_ptr<InferenceEngine> engine = CreateInferenceEngine(
+      options_.backend, &compiled, &result.weights, options_.lbp);
+
   for (size_t iter = 0; iter < options_.iterations; ++iter) {
-    // E_{p(Y|Y^L)}[h]: clamp labels, run LBP.
+    // E_{p(Y|Y^L)}[h]: clamp labels, run inference.
     graph->UnclampAll();
     for (const auto& [variable, state] : labels) {
       Status st = graph->Clamp(variable, state);
       (void)st;  // labels are validated by the caller
     }
     std::fill(clamped_expect.begin(), clamped_expect.end(), 0.0);
-    {
-      LbpEngine engine(graph, &result.weights, options_.lbp);
-      engine.Run();
-      engine.AccumulateExpectedFeatures(&clamped_expect);
-    }
+    engine->Run();
+    engine->AccumulateExpectedFeatures(&clamped_expect);
 
     // E_{p(Y)}[h]: free pass.
     graph->UnclampAll();
     std::fill(free_expect.begin(), free_expect.end(), 0.0);
-    {
-      LbpEngine engine(graph, &result.weights, options_.lbp);
-      engine.Run();
-      engine.AccumulateExpectedFeatures(&free_expect);
-    }
+    engine->Run();
+    engine->AccumulateExpectedFeatures(&free_expect);
 
     double max_norm = 0.0;
     for (size_t k = 0; k < w; ++k) {

@@ -5,7 +5,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "graph/lbp.h"
+#include "graph/inference.h"
 
 namespace jocl {
 
@@ -22,8 +22,12 @@ struct LearnerOptions {
   double l2 = 0.0;
   /// Stop when the gradient max-norm falls below this.
   double gradient_tolerance = 1e-4;
-  /// LBP settings shared by the clamped and free passes.
+  /// Inference settings shared by the clamped and free passes.
   LbpOptions lbp;
+  /// Which engine approximates the expectations. The graph is compiled
+  /// once per Learn() call and shared by every pass — clamping labels is
+  /// not a structural change.
+  InferenceBackend backend = InferenceBackend::kLbp;
 };
 
 /// \brief Progress record for one learning iteration.

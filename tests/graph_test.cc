@@ -3,7 +3,8 @@
 #include <cmath>
 
 #include "graph/factor_graph.h"
-#include "graph/lbp.h"
+#include "graph/exact.h"
+#include "graph/flat_lbp.h"
 #include "graph/learner.h"
 #include "util/rng.h"
 
@@ -83,7 +84,7 @@ TEST(LbpTest, SingleVariableMatchesSoftmax) {
   VariableId v = g.AddVariable(3);
   ASSERT_TRUE(g.AddFactor({v}, FixedTable({0.0, 1.0, 2.0})).ok());
   std::vector<double> w = {1.0};
-  LbpEngine engine(&g, &w);
+  FlatLbpEngine engine(&g, &w);
   LbpResult result = engine.Run();
   EXPECT_TRUE(result.converged);
   double z = std::exp(0.0) + std::exp(1.0) + std::exp(2.0);
@@ -105,7 +106,7 @@ TEST(LbpTest, ChainMatchesExactInference) {
   ASSERT_TRUE(g.AddFactor({b, c}, FixedTable({0.7, 0.2, 0.2, 0.7})).ok());
   std::vector<double> w = {1.3};
   ExactResult exact = ExactInference(g, w);
-  LbpEngine engine(&g, &w);
+  FlatLbpEngine engine(&g, &w);
   LbpResult lbp = engine.Run();
   for (VariableId v : {a, b, c}) {
     for (size_t s = 0; s < 2; ++s) {
@@ -125,7 +126,7 @@ TEST(LbpTest, ClampedChainMatchesExact) {
   ASSERT_TRUE(g.Clamp(a, 1).ok());
   std::vector<double> w = {2.0};
   ExactResult exact = ExactInference(g, w);
-  LbpEngine engine(&g, &w);
+  FlatLbpEngine engine(&g, &w);
   LbpResult lbp = engine.Run();
   EXPECT_NEAR(lbp.marginals[a][1], 1.0, 1e-12);
   EXPECT_NEAR(lbp.marginals[b][1], exact.marginals[b][1], 1e-9);
@@ -148,7 +149,7 @@ TEST(LbpTest, TernaryFactorTreeMatchesExact) {
   ASSERT_TRUE(g.AddFactor({a}, FixedTable({0.0, 1.5})).ok());
   std::vector<double> w = {2.0};
   ExactResult exact = ExactInference(g, w);
-  LbpEngine engine(&g, &w);
+  FlatLbpEngine engine(&g, &w);
   LbpResult lbp = engine.Run();
   for (VariableId v : {a, b, c}) {
     EXPECT_NEAR(lbp.marginals[v][1], exact.marginals[v][1], 1e-6);
@@ -183,7 +184,7 @@ TEST_P(LoopyAccuracy, CloseToExactOnSmallRandomLoopyGraphs) {
   LbpOptions options;
   options.max_iterations = 50;
   options.damping = 0.3;
-  LbpEngine engine(&g, &w, options);
+  FlatLbpEngine engine(&g, &w, options);
   LbpResult lbp = engine.Run();
   for (size_t i = 0; i < kVars; ++i) {
     EXPECT_NEAR(lbp.marginals[vars[i]][1], exact.marginals[vars[i]][1], 0.05)
@@ -231,7 +232,7 @@ TEST_P(RandomTreeExactness, MatchesBruteForce) {
     ExactResult exact = ExactInference(g, w);
     LbpOptions options;
     options.max_iterations = 60;
-    LbpEngine engine(&g, &w, options);
+    FlatLbpEngine engine(&g, &w, options);
     engine.Run();
     for (size_t i = 0; i < kVars; ++i) {
       for (size_t s = 0; s < cards[i]; ++s) {
@@ -248,7 +249,7 @@ TEST_P(RandomTreeExactness, MatchesBruteForce) {
     ExactResult exact = ExactInference(g, w);
     LbpOptions options;
     options.max_iterations = 60;
-    LbpEngine engine(&g, &w, options);
+    FlatLbpEngine engine(&g, &w, options);
     engine.Run();
     for (size_t i = 0; i < kVars; ++i) {
       for (size_t s = 0; s < cards[i]; ++s) {
@@ -292,7 +293,7 @@ TEST(LbpTest, ConvergesWithinPaperIterationBudget) {
   std::vector<double> w = {1.0};
   LbpOptions options;
   options.max_iterations = 20;
-  LbpEngine engine(&g, &w, options);
+  FlatLbpEngine engine(&g, &w, options);
   LbpResult result = engine.Run();
   EXPECT_TRUE(result.converged);
   EXPECT_LE(result.iterations, 20u);
@@ -317,12 +318,12 @@ TEST(LbpTest, FactorScheduleEquivalentFixedPoint) {
   FactorId f3 = g.AddFactor({a}, FixedTable({0.2, 0.9})).ValueOrDie();
   std::vector<double> w = {1.0};
 
-  LbpEngine default_engine(&g, &w);
+  FlatLbpEngine default_engine(&g, &w);
   LbpResult default_result = default_engine.Run();
 
   LbpOptions staged;
   staged.factor_schedule = {{f3}, {f1}, {f2}};
-  LbpEngine staged_engine(&g, &w, staged);
+  FlatLbpEngine staged_engine(&g, &w, staged);
   LbpResult staged_result = staged_engine.Run();
 
   for (VariableId v : {a, b, c}) {
@@ -363,7 +364,7 @@ TEST_P(MaxProductExactness, TreeMapMatchesBruteForce) {
   LbpOptions options;
   options.mode = LbpMode::kMaxProduct;
   options.max_iterations = 60;
-  LbpEngine engine(&g, &w, options);
+  FlatLbpEngine engine(&g, &w, options);
   engine.Run();
   std::vector<size_t> decoded = engine.Decode();
   // Random continuous potentials make ties measure-zero, so the decoded
@@ -385,7 +386,7 @@ TEST(LbpTest, MaxProductRespectsClamps) {
   std::vector<double> w = {1.0};
   LbpOptions options;
   options.mode = LbpMode::kMaxProduct;
-  LbpEngine engine(&g, &w, options);
+  FlatLbpEngine engine(&g, &w, options);
   engine.Run();
   std::vector<size_t> decoded = engine.Decode();
   EXPECT_EQ(decoded[a], 1u);
@@ -398,7 +399,7 @@ TEST(LbpTest, DecodePicksArgmax) {
   VariableId v = g.AddVariable(3);
   ASSERT_TRUE(g.AddFactor({v}, FixedTable({0.1, 2.0, 0.3})).ok());
   std::vector<double> w = {1.0};
-  LbpEngine engine(&g, &w);
+  FlatLbpEngine engine(&g, &w);
   engine.Run();
   EXPECT_EQ(engine.Decode()[v], 1u);
 }
@@ -418,7 +419,7 @@ TEST(LbpTest, ExpectedFeaturesMatchExactOnTree) {
   ASSERT_TRUE(g.AddFactor({a, b}, std::move(t)).ok());
   std::vector<double> w = {0.7, -0.2};
   ExactResult exact = ExactInference(g, w);
-  LbpEngine engine(&g, &w);
+  FlatLbpEngine engine(&g, &w);
   engine.Run();
   std::vector<double> expected(2, 0.0);
   engine.AccumulateExpectedFeatures(&expected);

@@ -1,0 +1,399 @@
+// Tests of the unified inference layer: the CompiledGraph CSR form, the
+// InferenceEngine backends, and the sequential/parallel equivalence the
+// engine design guarantees (components are independent sub-problems over
+// disjoint arena slices, so thread count must not change a single bit).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/compiled_graph.h"
+#include "graph/exact.h"
+#include "graph/flat_lbp.h"
+#include "graph/inference.h"
+#include "graph/learner.h"
+#include "util/rng.h"
+
+namespace jocl {
+namespace {
+
+FeatureTable FixedTable(std::vector<double> log_potentials) {
+  return FeatureTable::Uniform(0, std::move(log_potentials));
+}
+
+// A deliberately heterogeneous multi-component graph: chains of mixed
+// cardinality, a loopy square, a ternary-factor island and an isolated
+// variable. Returns per-component anchor variables via out-params.
+FactorGraph MakeFragmentedGraph(Rng* rng, std::vector<VariableId>* vars,
+                                std::vector<FactorId>* factors) {
+  FactorGraph g;
+  g.set_weight_count(1);
+  auto pair_table = [&](size_t ca, size_t cb) {
+    std::vector<double> table(ca * cb);
+    for (double& v : table) v = rng->UniformDouble(-1.0, 1.0);
+    return FixedTable(std::move(table));
+  };
+  // Three chains with mixed cardinalities.
+  for (size_t chain = 0; chain < 3; ++chain) {
+    VariableId prev = g.AddVariable(2 + chain % 2);
+    vars->push_back(prev);
+    for (size_t i = 1; i < 4; ++i) {
+      VariableId v = g.AddVariable(2 + (chain + i) % 3);
+      vars->push_back(v);
+      factors->push_back(
+          g.AddFactor({prev, v},
+                      pair_table(g.variable(prev).cardinality,
+                                 g.variable(v).cardinality))
+              .ValueOrDie());
+      prev = v;
+    }
+  }
+  // A loopy square.
+  std::vector<VariableId> square;
+  for (size_t i = 0; i < 4; ++i) square.push_back(g.AddVariable(2));
+  vars->insert(vars->end(), square.begin(), square.end());
+  for (size_t i = 0; i < 4; ++i) {
+    factors->push_back(
+        g.AddFactor({square[i], square[(i + 1) % 4]}, pair_table(2, 2))
+            .ValueOrDie());
+  }
+  // A ternary island.
+  VariableId ta = g.AddVariable(2);
+  VariableId tb = g.AddVariable(2);
+  VariableId tc = g.AddVariable(2);
+  vars->insert(vars->end(), {ta, tb, tc});
+  std::vector<double> ternary(8);
+  for (double& v : ternary) v = rng->UniformDouble(-1.0, 1.0);
+  factors->push_back(
+      g.AddFactor({ta, tb, tc}, FixedTable(std::move(ternary))).ValueOrDie());
+  // An isolated variable (own component, no factors).
+  vars->push_back(g.AddVariable(3));
+  return g;
+}
+
+// ---------- CompiledGraph ----------------------------------------------------
+
+TEST(CompiledGraphTest, CsrLayoutMatchesSource) {
+  FactorGraph g;
+  g.set_weight_count(2);
+  VariableId a = g.AddVariable(2);
+  VariableId b = g.AddVariable(3);
+  VariableId c = g.AddVariable(2);
+  FactorId f0 = g.AddFactor({a, b}, FixedTable(std::vector<double>(6, 0.0)))
+                    .ValueOrDie();
+  FactorId f1 = g.AddFactor({b, c}, FixedTable(std::vector<double>(6, 0.0)))
+                    .ValueOrDie();
+  CompiledGraph compiled = CompiledGraph::Compile(g);
+
+  EXPECT_EQ(compiled.variable_count(), 3u);
+  EXPECT_EQ(compiled.factor_count(), 2u);
+  EXPECT_EQ(compiled.edge_count(), 4u);
+  EXPECT_EQ(compiled.total_var_states(), 7u);
+  EXPECT_EQ(compiled.total_assignments(), 12u);
+
+  // Scope CSR: f0 -> edges {a, b}, f1 -> edges {b, c}.
+  EXPECT_EQ(compiled.scope_offset[f0], 0u);
+  EXPECT_EQ(compiled.scope_offset[f1], 2u);
+  EXPECT_EQ(compiled.scope_var[0], a);
+  EXPECT_EQ(compiled.scope_var[1], b);
+  EXPECT_EQ(compiled.scope_var[2], b);
+  EXPECT_EQ(compiled.scope_var[3], c);
+
+  // Row-major strides, last slot fastest: f0 over (2,3) -> strides (3,1).
+  EXPECT_EQ(compiled.slot_stride[0], 3u);
+  EXPECT_EQ(compiled.slot_stride[1], 1u);
+  // f1 over (3,2) -> strides (2,1).
+  EXPECT_EQ(compiled.slot_stride[2], 2u);
+  EXPECT_EQ(compiled.slot_stride[3], 1u);
+
+  // Attachment CSR inverts the scopes: b touches edges 1 and 2.
+  EXPECT_EQ(compiled.attach_offset[b + 1] - compiled.attach_offset[b], 2u);
+  EXPECT_EQ(compiled.attach_edge[compiled.attach_offset[b]], 1u);
+  EXPECT_EQ(compiled.attach_edge[compiled.attach_offset[b] + 1], 2u);
+
+  // One connected component covering everything.
+  EXPECT_EQ(compiled.component_count, 1u);
+  EXPECT_EQ(compiled.comp_vars.size(), 3u);
+  EXPECT_EQ(compiled.comp_factors.size(), 2u);
+}
+
+TEST(CompiledGraphTest, FlatFeaturePoolsPreserveLogPotentials) {
+  Rng rng(11);
+  FactorGraph g;
+  g.set_weight_count(3);
+  VariableId a = g.AddVariable(2);
+  VariableId b = g.AddVariable(3);
+  // A sparse table with irregular entry lists...
+  FeatureTable sparse(6);
+  sparse.Add(0, 0, 1.5);
+  sparse.Add(0, 2, -0.5);
+  sparse.Add(3, 1, 2.0);
+  sparse.Add(5, 2, 0.25);
+  ASSERT_TRUE(g.AddFactor({a, b}, std::move(sparse)).ok());
+  // ...and a uniform one.
+  ASSERT_TRUE(g.AddFactor({b}, FeatureTable::Uniform(1, {0.1, 0.2, 0.3}))
+                  .ok());
+  CompiledGraph compiled = CompiledGraph::Compile(g);
+
+  const std::vector<double> weights = {0.7, -1.1, 0.4};
+  for (FactorId f = 0; f < g.factor_count(); ++f) {
+    for (size_t x = 0; x < g.AssignmentCount(f); ++x) {
+      EXPECT_DOUBLE_EQ(compiled.LogPotential(f, x, weights),
+                       g.factor(f).features.LogPotential(x, weights))
+          << "factor " << f << " assignment " << x;
+    }
+  }
+  // The bulk table agrees with the per-assignment accessor.
+  std::vector<double> table;
+  compiled.ComputeLogPotentials(weights, &table);
+  ASSERT_EQ(table.size(), compiled.total_assignments());
+  for (FactorId f = 0; f < g.factor_count(); ++f) {
+    for (size_t x = 0; x < g.AssignmentCount(f); ++x) {
+      EXPECT_DOUBLE_EQ(table[compiled.assignment_offset[f] + x],
+                       compiled.LogPotential(f, x, weights));
+    }
+  }
+  // Uniform tables stay compact: one pool value per assignment, no entries.
+  EXPECT_EQ(compiled.uniform_pool.size(), 3u);
+  EXPECT_EQ(compiled.entry_pool.size(), 4u);
+}
+
+TEST(CompiledGraphTest, ComponentsPartitionVariablesAndFactors) {
+  Rng rng(13);
+  std::vector<VariableId> vars;
+  std::vector<FactorId> factors;
+  FactorGraph g = MakeFragmentedGraph(&rng, &vars, &factors);
+  CompiledGraph compiled = CompiledGraph::Compile(g);
+  // 3 chains + square + ternary island + isolated variable = 6 components.
+  EXPECT_EQ(compiled.component_count, 6u);
+  EXPECT_EQ(compiled.comp_vars.size(), g.variable_count());
+  EXPECT_EQ(compiled.comp_factors.size(), g.factor_count());
+  // Component CSR agrees with the per-variable labels.
+  for (size_t k = 0; k < compiled.component_count; ++k) {
+    for (size_t i = compiled.comp_var_offset[k];
+         i < compiled.comp_var_offset[k + 1]; ++i) {
+      EXPECT_EQ(compiled.component_of_var[compiled.comp_vars[i]], k);
+    }
+    for (size_t i = compiled.comp_factor_offset[k];
+         i < compiled.comp_factor_offset[k + 1]; ++i) {
+      const auto& scope = g.factor(compiled.comp_factors[i]).scope;
+      for (VariableId v : scope) {
+        EXPECT_EQ(compiled.component_of_var[v], k);
+      }
+    }
+  }
+}
+
+// ---------- FeatureTable::Add guard ------------------------------------------
+
+TEST(FeatureTableTest, AddOnUniformTableIsRejected) {
+  FeatureTable table = FeatureTable::Uniform(2, {0.1, 0.2});
+#ifdef NDEBUG
+  // Release builds ignore the invalid call instead of indexing into the
+  // empty sparse storage (the old undefined behavior).
+  table.Add(0, 0, 5.0);
+  EXPECT_TRUE(table.is_uniform());
+  EXPECT_EQ(table.assignment_count(), 2u);
+  const std::vector<double> weights = {0.0, 0.0, 3.0};
+  EXPECT_DOUBLE_EQ(table.LogPotential(0, weights), 0.3);
+#else
+  EXPECT_DEATH(table.Add(0, 0, 5.0), "uniform");
+#endif
+}
+
+// ---------- sequential vs parallel equivalence -------------------------------
+
+// The acceptance bar: parallel execution must reproduce single-threaded
+// marginals *exactly* — same per-component schedules, same arithmetic,
+// disjoint arenas — on a multi-component graph with clamps and a staged
+// factor schedule.
+TEST(EngineEquivalenceTest, ParallelMarginalsBitIdenticalWithClampsAndStages) {
+  Rng rng(47);
+  std::vector<VariableId> vars;
+  std::vector<FactorId> factors;
+  FactorGraph g = MakeFragmentedGraph(&rng, &vars, &factors);
+  // Clamp one variable in two different components.
+  ASSERT_TRUE(g.Clamp(vars[1], 1).ok());
+  ASSERT_TRUE(g.Clamp(vars[13], 0).ok());
+  std::vector<double> w = {1.1};
+
+  // A staged schedule whose groups span components (as jgraph.schedule
+  // does): evens, then a few odds; the rest lands in the leftover group.
+  LbpOptions options;
+  options.max_iterations = 25;
+  options.damping = 0.2;
+  options.factor_schedule.resize(2);
+  for (size_t i = 0; i < factors.size(); ++i) {
+    if (i % 2 == 0) options.factor_schedule[0].push_back(factors[i]);
+    if (i % 3 == 1) options.factor_schedule[1].push_back(factors[i]);
+  }
+
+  LbpOptions sequential = options;
+  sequential.num_threads = 1;
+  FlatLbpEngine seq_engine(&g, &w, sequential);
+  LbpResult seq = seq_engine.Run();
+
+  for (size_t threads : {2u, 4u, 16u}) {
+    LbpOptions parallel = options;
+    parallel.num_threads = threads;
+    FlatLbpEngine par_engine(&g, &w, parallel);
+    LbpResult par = par_engine.Run();
+    // Exact equality, not tolerance: identical schedules over disjoint
+    // arena slices must produce identical bits.
+    EXPECT_EQ(par.marginals, seq.marginals) << threads << " threads";
+    EXPECT_EQ(par.iterations, seq.iterations);
+    EXPECT_EQ(par.converged, seq.converged);
+    EXPECT_EQ(par.residual_history, seq.residual_history);
+    EXPECT_EQ(par_engine.Decode(), seq_engine.Decode());
+  }
+
+  // The compatibility wrapper goes through the same engine.
+  ParallelLbpResult wrapped = RunParallelLbp(g, w, options, 8);
+  EXPECT_EQ(wrapped.marginals, seq.marginals);
+  EXPECT_EQ(wrapped.components, seq_engine.component_count());
+
+  // Clamped variables keep delta marginals in every mode.
+  EXPECT_DOUBLE_EQ(seq.marginals[vars[1]][1], 1.0);
+  EXPECT_DOUBLE_EQ(seq.marginals[vars[13]][0], 1.0);
+}
+
+TEST(EngineEquivalenceTest, ExpectedFeaturesBitIdenticalAcrossThreadCounts) {
+  Rng rng(53);
+  std::vector<VariableId> vars;
+  std::vector<FactorId> factors;
+  FactorGraph g = MakeFragmentedGraph(&rng, &vars, &factors);
+  std::vector<double> w = {0.8};
+
+  LbpOptions sequential;
+  sequential.num_threads = 1;
+  FlatLbpEngine seq(&g, &w, sequential);
+  seq.Run();
+  std::vector<double> seq_expect(1, 0.0);
+  seq.AccumulateExpectedFeatures(&seq_expect);
+
+  LbpOptions parallel;
+  parallel.num_threads = 4;
+  FlatLbpEngine par(&g, &w, parallel);
+  par.Run();
+  std::vector<double> par_expect(1, 0.0);
+  par.AccumulateExpectedFeatures(&par_expect);
+
+  EXPECT_EQ(seq_expect, par_expect);
+}
+
+// ---------- LBP vs exact through the common interface ------------------------
+
+TEST(EngineInterfaceTest, LbpBackendsMatchExactOnTree) {
+  // Small tree with a clamp: every backend of the factory must agree
+  // (LBP is exact on trees).
+  FactorGraph g;
+  g.set_weight_count(1);
+  VariableId a = g.AddVariable(2);
+  VariableId b = g.AddVariable(3);
+  VariableId c = g.AddVariable(2);
+  ASSERT_TRUE(
+      g.AddFactor({a, b}, FixedTable({0.3, -0.2, 0.8, 0.1, 0.6, -0.4})).ok());
+  ASSERT_TRUE(
+      g.AddFactor({b, c}, FixedTable({0.5, -0.1, 0.2, 0.7, -0.3, 0.4})).ok());
+  ASSERT_TRUE(g.Clamp(c, 1).ok());
+  std::vector<double> w = {1.4};
+
+  auto exact = CreateInferenceEngine(InferenceBackend::kExact, &g, &w);
+  LbpResult exact_result = exact->Run();
+  EXPECT_TRUE(exact_result.converged);
+
+  for (InferenceBackend backend :
+       {InferenceBackend::kLbp, InferenceBackend::kParallelLbp}) {
+    auto engine = CreateInferenceEngine(backend, &g, &w);
+    LbpResult result = engine->Run();
+    ASSERT_EQ(result.marginals.size(), exact_result.marginals.size());
+    for (VariableId v = 0; v < g.variable_count(); ++v) {
+      for (size_t s = 0; s < result.marginals[v].size(); ++s) {
+        EXPECT_NEAR(result.marginals[v][s], exact_result.marginals[v][s],
+                    1e-6)
+            << "variable " << v << " state " << s;
+      }
+      // Interface marginal accessor agrees with the result payload.
+      EXPECT_EQ(engine->Marginal(v), result.marginals[v]);
+    }
+    std::vector<double> lbp_expect(1, 0.0);
+    std::vector<double> exact_expect(1, 0.0);
+    engine->AccumulateExpectedFeatures(&lbp_expect);
+    exact->AccumulateExpectedFeatures(&exact_expect);
+    EXPECT_NEAR(lbp_expect[0], exact_expect[0], 1e-6);
+  }
+}
+
+TEST(EngineInterfaceTest, ExactEngineFactorBeliefMatchesLbpOnTree) {
+  FactorGraph g;
+  g.set_weight_count(1);
+  VariableId a = g.AddVariable(2);
+  VariableId b = g.AddVariable(2);
+  FactorId f =
+      g.AddFactor({a, b}, FixedTable({0.9, -0.3, 0.2, 0.5})).ValueOrDie();
+  std::vector<double> w = {1.0};
+
+  FlatLbpEngine lbp(&g, &w);
+  lbp.Run();
+  ExactEngine exact(&g, &w);
+  exact.Run();
+
+  std::vector<double> lbp_belief = lbp.FactorBelief(f);
+  std::vector<double> exact_belief = exact.FactorBelief(f);
+  ASSERT_EQ(lbp_belief.size(), exact_belief.size());
+  double total = 0.0;
+  for (size_t x = 0; x < lbp_belief.size(); ++x) {
+    EXPECT_NEAR(lbp_belief[x], exact_belief[x], 1e-9);
+    total += exact_belief[x];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(EngineInterfaceTest, ExactEngineDecodeIsMap) {
+  FactorGraph g;
+  g.set_weight_count(1);
+  VariableId a = g.AddVariable(2);
+  VariableId b = g.AddVariable(2);
+  // XOR-ish coupling where joint MAP differs from per-variable argmax:
+  // P(0,1) and P(1,0) dominate jointly.
+  ASSERT_TRUE(g.AddFactor({a, b}, FixedTable({0.0, 2.0, 1.9, 0.0})).ok());
+  std::vector<double> w = {1.0};
+  auto engine = CreateInferenceEngine(InferenceBackend::kExact, &g, &w);
+  engine->Run();
+  EXPECT_EQ(engine->Decode(), ExactMap(g, w));
+}
+
+// ---------- learner over pluggable backends ----------------------------------
+
+TEST(LearnerBackendTest, ExactBackendReproducesAnalyticGradientStep) {
+  FactorGraph g;
+  g.set_weight_count(2);
+  VariableId a = g.AddVariable(2);
+  VariableId b = g.AddVariable(2);
+  FeatureTable t(4);
+  t.Add(0, 0, 1.0);
+  t.Add(3, 0, 1.0);
+  t.Add(1, 1, 1.0);
+  t.Add(2, 1, 1.0);
+  ASSERT_TRUE(g.AddFactor({a, b}, std::move(t)).ok());
+
+  std::vector<double> w0 = {0.0, 0.0};
+  ASSERT_TRUE(g.Clamp(a, 1).ok());
+  ExactResult clamped = ExactInference(g, w0);
+  g.UnclampAll();
+  ExactResult free = ExactInference(g, w0);
+
+  LearnerOptions options;
+  options.learning_rate = 0.1;
+  options.iterations = 1;
+  options.backend = InferenceBackend::kExact;
+  FactorGraphLearner learner(options);
+  LearnerResult result = learner.Learn(&g, {{a, 1}}, w0);
+  for (size_t k = 0; k < 2; ++k) {
+    const double expected_step =
+        0.1 * (clamped.expected_features[k] - free.expected_features[k]);
+    EXPECT_NEAR(result.weights[k], expected_step, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace jocl

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "graph/parallel_lbp.h"
+#include "graph/flat_lbp.h"
 #include "util/rng.h"
 
 namespace jocl {
@@ -65,7 +65,7 @@ TEST(ParallelLbpTest, MatchesSequentialEngine) {
 
   LbpOptions options;
   options.max_iterations = 40;
-  LbpEngine sequential(&g, &w, options);
+  FlatLbpEngine sequential(&g, &w, options);
   LbpResult reference = sequential.Run();
 
   ParallelLbpResult parallel = RunParallelLbp(g, w, options, 4);
