@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/np_common.h"
+#include "core/signal_cache.h"
 
 namespace jocl {
 namespace {
@@ -31,14 +32,28 @@ std::vector<int64_t> SpotlightLink(const Dataset& dataset,
                                    const std::vector<size_t>& subset,
                                    double confidence) {
   CandidateCache cache(dataset, subset);
+  // Per-surface and per-candidate-name phrase vectors are computed once
+  // (surface s gets id s; candidate names registered after, deduplicated).
+  SignalCache sig;
+  for (const auto& surface : cache.view.surfaces) sig.Add(surface);
+  std::vector<std::vector<size_t>> name_ids(cache.view.surfaces.size());
+  for (size_t s = 0; s < cache.view.surfaces.size(); ++s) {
+    for (const auto& candidate : cache.candidates[s]) {
+      name_ids[s].push_back(sig.Add(dataset.ckb.entity(candidate.id).name));
+    }
+  }
+  SignalCacheFamilies families;  // Spotlight only scores Sim_emb
+  families.ppdb = false;
+  families.amie = false;
+  families.kbp = false;
+  sig.Finalize(signals, families);
   std::vector<int64_t> surface_link(cache.view.surfaces.size(), kNilId);
   for (size_t s = 0; s < cache.view.surfaces.size(); ++s) {
-    const auto& surface = cache.view.surfaces[s];
     double best_score = confidence;
-    for (const auto& candidate : cache.candidates[s]) {
-      double score =
-          0.7 * candidate.popularity +
-          0.3 * signals.Emb(surface, dataset.ckb.entity(candidate.id).name);
+    for (size_t c = 0; c < cache.candidates[s].size(); ++c) {
+      const auto& candidate = cache.candidates[s][c];
+      double score = 0.7 * candidate.popularity +
+                     0.3 * sig.Emb(s, name_ids[s][c]);
       if (score > best_score) {
         best_score = score;
         surface_link[s] = candidate.id;

@@ -5,27 +5,36 @@
 
 #include "cluster/hac.h"
 #include "cluster/union_find.h"
+#include "core/signal_cache.h"
 #include "text/morph_normalizer.h"
 #include "text/similarity.h"
 
 namespace jocl {
 namespace {
 
-// Clusters surfaces with HAC over an arbitrary similarity and maps back to
-// mentions.
-std::vector<size_t> HacOverSurfaces(
+// Clusters surfaces with HAC over an index-based similarity and maps back
+// to mentions.
+std::vector<size_t> HacOverSurfaceIds(
     const NpSurfaceView& view, double threshold, Linkage linkage,
-    const std::function<double(const std::string&, const std::string&)>&
-        similarity) {
+    const std::function<double(size_t, size_t)>& similarity) {
   HacOptions options;
   options.threshold = threshold;
   options.linkage = linkage;
   Hac hac(options);
-  std::vector<size_t> surface_labels =
-      hac.Cluster(view.surfaces.size(), [&](size_t i, size_t j) {
-        return similarity(view.surfaces[i], view.surfaces[j]);
-      });
-  return SurfaceToMentionLabels(view.mention_surface, surface_labels);
+  return SurfaceToMentionLabels(
+      view.mention_surface, hac.Cluster(view.surfaces.size(), similarity));
+}
+
+// Same, over surface strings.
+std::vector<size_t> HacOverSurfaces(
+    const NpSurfaceView& view, double threshold, Linkage linkage,
+    const std::function<double(const std::string&, const std::string&)>&
+        similarity) {
+  return HacOverSurfaceIds(view, threshold, linkage,
+                           [&](size_t i, size_t j) {
+                             return similarity(view.surfaces[i],
+                                               view.surfaces[j]);
+                           });
 }
 
 }  // namespace
@@ -117,16 +126,25 @@ std::vector<size_t> CesiCanonicalize(const Dataset& dataset,
                                      const std::vector<size_t>& subset,
                                      double threshold) {
   NpSurfaceView view = BuildNpSurfaceView(dataset, subset);
-  return HacOverSurfaces(
-      view, threshold, Linkage::kAverage,
-      [&](const std::string& a, const std::string& b) {
+  // HAC evaluates O(n^2) pairs; the cache reduces each to a dot product
+  // (surface ids are positional: view.surfaces is distinct).
+  SignalCacheFamilies families;
+  families.embeddings = false;
+  families.triple_embeddings = true;
+  families.amie = false;
+  families.kbp = false;
+  SignalCache cache =
+      SignalCache::ForPhrases(view.surfaces, signals, families);
+  return HacOverSurfaceIds(
+      view, threshold, Linkage::kAverage, [&](size_t i, size_t j) {
         // PPDB is a hard side-information short-circuit in CESI's
         // embedding objective; otherwise blend embeddings with IDF
         // overlap. CESI's embeddings are trained on the OKB triples only —
         // it has no access to the source text (that is SIST's edge).
-        if (signals.Ppdb(a, b) > 0.5) return 1.0;
-        return 0.6 * signals.TripleEmb(a, b) +
-               0.4 * signals.np_idf.Similarity(a, b);
+        if (cache.Ppdb(i, j) > 0.5) return 1.0;
+        return 0.6 * cache.TripleEmb(i, j) +
+               0.4 * signals.np_idf.Similarity(view.surfaces[i],
+                                               view.surfaces[j]);
       });
 }
 
@@ -147,18 +165,17 @@ std::vector<size_t> SistCanonicalize(const Dataset& dataset,
       top_confidence[s] = candidates.front().popularity;
     }
   }
-  std::unordered_map<std::string, size_t> surface_index;
-  for (size_t s = 0; s < view.surfaces.size(); ++s) {
-    surface_index.emplace(view.surfaces[s], s);
-  }
-  return HacOverSurfaces(
-      view, threshold, Linkage::kAverage,
-      [&](const std::string& a, const std::string& b) {
-        if (signals.Ppdb(a, b) > 0.5) return 1.0;
-        double base =
-            0.6 * signals.Emb(a, b) + 0.4 * signals.np_idf.Similarity(a, b);
-        size_t ia = surface_index.at(a);
-        size_t ib = surface_index.at(b);
+  SignalCacheFamilies families;
+  families.amie = false;
+  families.kbp = false;
+  SignalCache cache =
+      SignalCache::ForPhrases(view.surfaces, signals, families);
+  return HacOverSurfaceIds(
+      view, threshold, Linkage::kAverage, [&](size_t ia, size_t ib) {
+        if (cache.Ppdb(ia, ib) > 0.5) return 1.0;
+        double base = 0.6 * cache.Emb(ia, ib) +
+                      0.4 * signals.np_idf.Similarity(view.surfaces[ia],
+                                                      view.surfaces[ib]);
         if (top_candidate[ia] != kNilId &&
             top_candidate[ia] == top_candidate[ib]) {
           double agreement = std::min(top_confidence[ia], top_confidence[ib]);

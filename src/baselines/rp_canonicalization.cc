@@ -5,6 +5,7 @@
 
 #include "cluster/hac.h"
 #include "cluster/union_find.h"
+#include "core/signal_cache.h"
 #include "text/morph_normalizer.h"
 
 namespace jocl {
@@ -13,12 +14,18 @@ std::vector<size_t> AmieCanonicalize(const Dataset& dataset,
                                      const SignalBundle& signals,
                                      const std::vector<size_t>& subset) {
   RpSurfaceView view = BuildRpSurfaceView(dataset, subset);
+  // The cache morph-normalizes each RP once; the O(n^2) loop then skips
+  // re-normalization entirely (surface ids are positional).
+  SignalCacheFamilies families;
+  families.embeddings = false;
+  families.ppdb = false;
+  families.kbp = false;
+  SignalCache cache =
+      SignalCache::ForPhrases(view.surfaces, signals, families);
   UnionFind uf(view.surfaces.size());
   for (size_t i = 0; i < view.surfaces.size(); ++i) {
     for (size_t j = i + 1; j < view.surfaces.size(); ++j) {
-      if (signals.Amie(view.surfaces[i], view.surfaces[j]) > 0.5) {
-        uf.Union(i, j);
-      }
+      if (cache.Amie(i, j) > 0.5) uf.Union(i, j);
     }
   }
   return SurfaceToMentionLabels(view.mention_surface, uf.Labels());
@@ -71,17 +78,21 @@ std::vector<size_t> SistRpCanonicalize(const Dataset& dataset,
                                        const std::vector<size_t>& subset,
                                        double threshold) {
   RpSurfaceView view = BuildRpSurfaceView(dataset, subset);
+  SignalCacheFamilies families;
+  families.amie = false;
+  SignalCache cache =
+      SignalCache::ForPhrases(view.surfaces, signals, families);
   HacOptions options;
   options.threshold = threshold;
   options.linkage = Linkage::kAverage;
   Hac hac(options);
   std::vector<size_t> labels =
       hac.Cluster(view.surfaces.size(), [&](size_t i, size_t j) {
-        const std::string& a = view.surfaces[i];
-        const std::string& b = view.surfaces[j];
-        if (signals.Ppdb(a, b) > 0.5) return 1.0;
-        if (signals.Kbp(a, b) > 0.5) return 1.0;
-        return 0.5 * signals.Emb(a, b) + 0.5 * signals.rp_idf.Similarity(a, b);
+        if (cache.Ppdb(i, j) > 0.5) return 1.0;
+        if (cache.Kbp(i, j) > 0.5) return 1.0;
+        return 0.5 * cache.Emb(i, j) +
+               0.5 * signals.rp_idf.Similarity(view.surfaces[i],
+                                               view.surfaces[j]);
       });
   return SurfaceToMentionLabels(view.mention_surface, labels);
 }

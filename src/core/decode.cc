@@ -4,8 +4,20 @@
 #include <unordered_map>
 
 #include "cluster/union_find.h"
+#include "core/jocl.h"
 
 namespace jocl {
+namespace {
+
+// Maps a linking-variable state to a CKB id: state 0 is NIL, state k is
+// candidate k-1.
+template <typename Candidate>
+int64_t StateToId(const std::vector<Candidate>& candidates, size_t state) {
+  if (state == 0 || state > candidates.size()) return kNilId;
+  return candidates[state - 1].id;
+}
+
+}  // namespace
 
 std::vector<size_t> ClusterPairGraph(size_t n,
                                      const std::vector<PairEdge>& edges,
@@ -77,6 +89,203 @@ std::vector<size_t> ClusterPairGraph(size_t n,
     members[new_root] = std::move(merged);
   }
   return uf.Labels();
+}
+
+void ResolveLinkConflicts(const JoclProblem& problem,
+                          const JoclBeliefs& beliefs,
+                          const JointDecodeOptions& options,
+                          std::vector<int64_t>* np_link,
+                          std::vector<int64_t>* rp_link) {
+  const size_t n = problem.triples.size();
+
+  // Per-mention confidence of the decoded link: resolution must not
+  // overturn links the model itself is sure about.
+  std::vector<double> np_link_confidence(n * 2, 1.0);
+  for (size_t t = 0; t < n; ++t) {
+    np_link_confidence[t * 2] = beliefs.es_marg[t][beliefs.es_state[t]];
+    np_link_confidence[t * 2 + 1] = beliefs.eo_marg[t][beliefs.eo_state[t]];
+  }
+  // Link-group sizes: mentions per linked entity.
+  std::unordered_map<int64_t, size_t> entity_counts;
+  for (int64_t e : *np_link) {
+    if (e != kNilId) ++entity_counts[e];
+  }
+  auto resolve = [&](const std::vector<SurfacePair>& pairs,
+                     const std::vector<size_t>& pair_state,
+                     const std::vector<std::vector<double>>& pair_marg,
+                     const std::vector<size_t>& representative,
+                     bool subject_role) {
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      if (pair_state[p] != 1) continue;
+      if (pair_marg[p][1] < options.conflict_confidence) continue;
+      size_t mention_a =
+          representative[pairs[p].a] * 2 + (subject_role ? 0 : 1);
+      size_t mention_b =
+          representative[pairs[p].b] * 2 + (subject_role ? 0 : 1);
+      int64_t e_a = (*np_link)[mention_a];
+      int64_t e_b = (*np_link)[mention_b];
+      if (e_a == kNilId || e_b == kNilId || e_a == e_b) continue;
+      int64_t winner = entity_counts[e_a] >= entity_counts[e_b] ? e_a : e_b;
+      int64_t loser = winner == e_a ? e_b : e_a;
+      // Both NPs take the label of the larger link group: mentions of
+      // the two surfaces that sit in the losing group move over.
+      size_t surf_a = pairs[p].a;
+      size_t surf_b = pairs[p].b;
+      for (size_t t = 0; t < n; ++t) {
+        size_t surf_of_t =
+            subject_role ? problem.subject_of[t] : problem.object_of[t];
+        size_t mention = t * 2 + (subject_role ? 0 : 1);
+        if ((surf_of_t == surf_a || surf_of_t == surf_b) &&
+            (*np_link)[mention] == loser &&
+            np_link_confidence[mention] < options.overturn_guard) {
+          (*np_link)[mention] = winner;
+        }
+      }
+    }
+  };
+  resolve(problem.subject_pairs, beliefs.x_state, beliefs.x_marg,
+          problem.subject_rep, true);
+  resolve(problem.object_pairs, beliefs.z_state, beliefs.z_marg,
+          problem.object_rep, false);
+
+  std::unordered_map<int64_t, size_t> relation_counts;
+  for (int64_t r : *rp_link) {
+    if (r != kNilId) ++relation_counts[r];
+  }
+  for (size_t p = 0; p < problem.predicate_pairs.size(); ++p) {
+    if (beliefs.y_state[p] != 1) continue;
+    if (beliefs.y_marg[p][1] < options.conflict_confidence) continue;
+    size_t rep_a = problem.predicate_rep[problem.predicate_pairs[p].a];
+    size_t rep_b = problem.predicate_rep[problem.predicate_pairs[p].b];
+    int64_t r_a = (*rp_link)[rep_a];
+    int64_t r_b = (*rp_link)[rep_b];
+    if (r_a == kNilId || r_b == kNilId || r_a == r_b) continue;
+    int64_t winner = relation_counts[r_a] >= relation_counts[r_b] ? r_a : r_b;
+    int64_t loser = winner == r_a ? r_b : r_a;
+    size_t surf_a = problem.predicate_pairs[p].a;
+    size_t surf_b = problem.predicate_pairs[p].b;
+    for (size_t t = 0; t < n; ++t) {
+      if ((problem.predicate_of[t] == surf_a ||
+           problem.predicate_of[t] == surf_b) &&
+          (*rp_link)[t] == loser) {
+        (*rp_link)[t] = winner;
+      }
+    }
+  }
+}
+
+void DecodeJointResult(const JoclProblem& problem, const JoclBeliefs& beliefs,
+                       const JointDecodeOptions& options,
+                       JoclResult* result) {
+  const size_t n = problem.triples.size();
+  const size_t n_subject_surfaces = problem.subject_surfaces.size();
+  const size_t n_object_surfaces = problem.object_surfaces.size();
+
+  // ---- linking decode -----------------------------------------------------
+  result->np_link.assign(n * 2, kNilId);
+  result->rp_link.assign(n, kNilId);
+  if (options.linking) {
+    for (size_t t = 0; t < n; ++t) {
+      result->np_link[t * 2] =
+          StateToId(problem.subject_candidates[problem.subject_of[t]],
+                    beliefs.es_state[t]);
+      result->np_link[t * 2 + 1] =
+          StateToId(problem.object_candidates[problem.object_of[t]],
+                    beliefs.eo_state[t]);
+      result->rp_link[t] =
+          StateToId(problem.predicate_candidates[problem.predicate_of[t]],
+                    beliefs.rp_state[t]);
+    }
+  }
+
+  // ---- canonicalization decode --------------------------------------------
+  // Node space: subject surfaces then object surfaces; identical strings
+  // across the two roles are pre-merged with weight-1 edges.
+  std::vector<size_t> np_labels;
+  std::vector<size_t> rp_labels;
+  UnionFind np_uf(n_subject_surfaces + n_object_surfaces);
+  UnionFind rp_uf(problem.predicate_surfaces.size());
+  std::vector<PairEdge> same_string_edges;
+  {
+    std::unordered_map<std::string, size_t> by_string;
+    for (size_t s = 0; s < n_subject_surfaces; ++s) {
+      by_string.emplace(problem.subject_surfaces[s], s);
+    }
+    for (size_t o = 0; o < n_object_surfaces; ++o) {
+      auto it = by_string.find(problem.object_surfaces[o]);
+      if (it != by_string.end()) {
+        same_string_edges.emplace_back(it->second, n_subject_surfaces + o,
+                                       1.0);
+        np_uf.Union(it->second, n_subject_surfaces + o);
+      }
+    }
+  }
+  if (options.canonicalization) {
+    std::vector<PairEdge> np_edges = same_string_edges;
+    for (size_t p = 0; p < problem.subject_pairs.size(); ++p) {
+      np_edges.emplace_back(problem.subject_pairs[p].a,
+                            problem.subject_pairs[p].b, beliefs.x_marg[p][1]);
+    }
+    for (size_t p = 0; p < problem.object_pairs.size(); ++p) {
+      np_edges.emplace_back(n_subject_surfaces + problem.object_pairs[p].a,
+                            n_subject_surfaces + problem.object_pairs[p].b,
+                            beliefs.z_marg[p][1]);
+    }
+    np_labels = ClusterPairGraph(n_subject_surfaces + n_object_surfaces,
+                                 np_edges, options.cluster_threshold);
+    std::vector<PairEdge> rp_edges;
+    for (size_t p = 0; p < problem.predicate_pairs.size(); ++p) {
+      rp_edges.emplace_back(problem.predicate_pairs[p].a,
+                            problem.predicate_pairs[p].b,
+                            beliefs.y_marg[p][1]);
+    }
+    rp_labels = ClusterPairGraph(problem.predicate_surfaces.size(), rp_edges,
+                                 options.cluster_threshold);
+  } else if (options.linking) {
+    // JOCLlink fallback: group by linked entity/relation so the result is
+    // still a complete joint output.
+    std::unordered_map<int64_t, size_t> first_subject;
+    for (size_t t = 0; t < n; ++t) {
+      int64_t e = result->np_link[t * 2];
+      if (e == kNilId) continue;
+      auto [it, inserted] = first_subject.emplace(e, problem.subject_of[t]);
+      if (!inserted) np_uf.Union(it->second, problem.subject_of[t]);
+    }
+    for (size_t t = 0; t < n; ++t) {
+      int64_t e = result->np_link[t * 2 + 1];
+      if (e == kNilId) continue;
+      auto [it, inserted] =
+          first_subject.emplace(e, n_subject_surfaces + problem.object_of[t]);
+      if (!inserted) {
+        np_uf.Union(it->second, n_subject_surfaces + problem.object_of[t]);
+      }
+    }
+    std::unordered_map<int64_t, size_t> first_predicate;
+    for (size_t t = 0; t < n; ++t) {
+      int64_t r = result->rp_link[t];
+      if (r == kNilId) continue;
+      auto [it, inserted] = first_predicate.emplace(r, problem.predicate_of[t]);
+      if (!inserted) rp_uf.Union(it->second, problem.predicate_of[t]);
+    }
+  }
+
+  // ---- conflict resolution (paper §3.5) -----------------------------------
+  if (options.canonicalization && options.linking) {
+    ResolveLinkConflicts(problem, beliefs, options, &result->np_link,
+                         &result->rp_link);
+  }
+
+  // ---- materialize mention cluster labels ---------------------------------
+  if (np_labels.empty()) np_labels = np_uf.Labels();
+  if (rp_labels.empty()) rp_labels = rp_uf.Labels();
+  result->np_cluster.resize(n * 2);
+  result->rp_cluster.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    result->np_cluster[t * 2] = np_labels[problem.subject_of[t]];
+    result->np_cluster[t * 2 + 1] =
+        np_labels[n_subject_surfaces + problem.object_of[t]];
+    result->rp_cluster[t] = rp_labels[problem.predicate_of[t]];
+  }
 }
 
 }  // namespace jocl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/signal_cache.h"
 #include "util/logging.h"
 
 namespace jocl {
@@ -50,11 +51,14 @@ double CandidateAgreement(const std::vector<EntityCandidate>& a,
   return best;
 }
 
-}  // namespace
-
-JoclGraph BuildJoclGraph(const JoclProblem& problem,
-                         const SignalBundle& signals, const CuratedKb& ckb,
-                         const GraphBuilderOptions& options) {
+// The builder body is shared between the uncached (SignalBundle) and
+// cached (SignalCache) providers; both expose the same Emb/Ppdb/Amie/Kbp
+// query shape.
+template <typename SignalProvider>
+JoclGraph BuildJoclGraphImpl(const JoclProblem& problem,
+                             const SignalProvider& signals,
+                             const CuratedKb& ckb,
+                             const GraphBuilderOptions& options) {
   JoclGraph out;
   FactorGraph& graph = out.graph;
   graph.set_weight_count(WeightLayout::kCount);
@@ -395,6 +399,20 @@ JoclGraph BuildJoclGraph(const JoclProblem& problem,
   JOCL_LOG(kDebug) << "graph: " << graph.variable_count() << " variables, "
                    << graph.factor_count() << " factors";
   return out;
+}
+
+}  // namespace
+
+JoclGraph BuildJoclGraph(const JoclProblem& problem,
+                         const SignalBundle& signals, const CuratedKb& ckb,
+                         const GraphBuilderOptions& options) {
+  return BuildJoclGraphImpl(problem, signals, ckb, options);
+}
+
+JoclGraph BuildJoclGraph(const JoclProblem& problem,
+                         const SignalCache& signals, const CuratedKb& ckb,
+                         const GraphBuilderOptions& options) {
+  return BuildJoclGraphImpl(problem, signals, ckb, options);
 }
 
 }  // namespace jocl

@@ -1,20 +1,15 @@
 #include "core/jocl.h"
 
-#include "core/decode.h"
-
 #include <algorithm>
-#include <memory>
-#include <tuple>
-#include <unordered_map>
+#include <utility>
 
-#include "cluster/hac.h"
-#include "cluster/union_find.h"
+#include "core/runtime.h"
+#include "core/signal_cache.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace jocl {
 namespace {
-
 
 // Finds the linking-variable state of a gold id in a candidate list:
 // state 0 is NIL, state k is candidate k-1.
@@ -25,12 +20,6 @@ size_t GoldState(const std::vector<Candidate>& candidates, int64_t gold) {
     if (candidates[c].id == gold) return c + 1;
   }
   return 0;  // gold not reachable -> best achievable label is NIL
-}
-
-template <typename Candidate>
-int64_t StateToId(const std::vector<Candidate>& candidates, size_t state) {
-  if (state == 0 || state > candidates.size()) return kNilId;
-  return candidates[state - 1].id;
 }
 
 }  // namespace
@@ -77,8 +66,11 @@ Result<std::vector<double>> Jocl::LearnWeights(
 
   JoclProblem problem =
       BuildProblem(dataset, signals, subset, options_.problem);
+  // The learner's graph build is the pipeline's "second" build; the cache
+  // keeps its signal queries to dot products and id compares.
+  SignalCache cache = SignalCache::ForProblem(problem, signals, dataset.ckb);
   JoclGraph jgraph =
-      BuildJoclGraph(problem, signals, dataset.ckb, options_.builder);
+      BuildJoclGraph(problem, cache, dataset.ckb, options_.builder);
 
   // ---- labels -------------------------------------------------------------
   std::vector<std::pair<VariableId, size_t>> labels;
@@ -138,221 +130,11 @@ Result<JoclResult> Jocl::Infer(const Dataset& dataset,
                                const SignalBundle& signals,
                                const std::vector<size_t>& triple_subset,
                                std::vector<double> weights) const {
-  if (weights.empty()) weights = DefaultWeights();
-  if (weights.size() != WeightLayout::kCount) {
-    return Status::InvalidArgument("weights must have WeightLayout::kCount "
-                                   "entries");
-  }
-
-  JoclProblem problem =
-      BuildProblem(dataset, signals, triple_subset, options_.problem);
-  JoclGraph jgraph =
-      BuildJoclGraph(problem, signals, dataset.ckb, options_.builder);
-
-  LbpOptions lbp_options = options_.inference;
-  lbp_options.factor_schedule = jgraph.schedule;
-  std::unique_ptr<InferenceEngine> engine_ptr = CreateInferenceEngine(
-      options_.inference_backend, &jgraph.graph, &weights, lbp_options);
-  InferenceEngine& engine = *engine_ptr;
-
-  JoclResult result;
-  result.diagnostics = engine.Run();
-  result.weights = weights;
-  result.triples = problem.triples;
-  std::vector<size_t> decoded = engine.Decode();
-
-  const size_t n = problem.triples.size();
-  const size_t n_subject_surfaces = problem.subject_surfaces.size();
-  const size_t n_object_surfaces = problem.object_surfaces.size();
-
-  // ---- linking decode -------------------------------------------------------
-  result.np_link.assign(n * 2, kNilId);
-  result.rp_link.assign(n, kNilId);
-  if (options_.builder.enable_linking) {
-    for (size_t t = 0; t < n; ++t) {
-      result.np_link[t * 2] =
-          StateToId(problem.subject_candidates[problem.subject_of[t]],
-                    decoded[jgraph.es_vars[t]]);
-      result.np_link[t * 2 + 1] =
-          StateToId(problem.object_candidates[problem.object_of[t]],
-                    decoded[jgraph.eo_vars[t]]);
-      result.rp_link[t] =
-          StateToId(problem.predicate_candidates[problem.predicate_of[t]],
-                    decoded[jgraph.rp_vars[t]]);
-    }
-  }
-
-  // ---- canonicalization decode ----------------------------------------------
-  // Node space: subject surfaces then object surfaces; identical strings
-  // across the two roles are pre-merged with weight-1 edges.
-  std::vector<size_t> np_labels;
-  std::vector<size_t> rp_labels;
-  UnionFind np_uf(n_subject_surfaces + n_object_surfaces);
-  UnionFind rp_uf(problem.predicate_surfaces.size());
-  std::vector<std::tuple<size_t, size_t, double>> same_string_edges;
-  {
-    std::unordered_map<std::string, size_t> by_string;
-    for (size_t s = 0; s < n_subject_surfaces; ++s) {
-      by_string.emplace(problem.subject_surfaces[s], s);
-    }
-    for (size_t o = 0; o < n_object_surfaces; ++o) {
-      auto it = by_string.find(problem.object_surfaces[o]);
-      if (it != by_string.end()) {
-        same_string_edges.emplace_back(it->second, n_subject_surfaces + o,
-                                       1.0);
-        np_uf.Union(it->second, n_subject_surfaces + o);
-      }
-    }
-  }
-  if (options_.builder.enable_canonicalization) {
-    std::vector<std::tuple<size_t, size_t, double>> np_edges =
-        same_string_edges;
-    for (size_t p = 0; p < problem.subject_pairs.size(); ++p) {
-      np_edges.emplace_back(problem.subject_pairs[p].a,
-                            problem.subject_pairs[p].b,
-                            engine.Marginal(jgraph.x_vars[p])[1]);
-    }
-    for (size_t p = 0; p < problem.object_pairs.size(); ++p) {
-      np_edges.emplace_back(n_subject_surfaces + problem.object_pairs[p].a,
-                            n_subject_surfaces + problem.object_pairs[p].b,
-                            engine.Marginal(jgraph.z_vars[p])[1]);
-    }
-    np_labels = ClusterPairGraph(n_subject_surfaces + n_object_surfaces,
-                                 np_edges, 0.5);
-    std::vector<std::tuple<size_t, size_t, double>> rp_edges;
-    for (size_t p = 0; p < problem.predicate_pairs.size(); ++p) {
-      rp_edges.emplace_back(problem.predicate_pairs[p].a,
-                            problem.predicate_pairs[p].b,
-                            engine.Marginal(jgraph.y_vars[p])[1]);
-    }
-    rp_labels = ClusterPairGraph(problem.predicate_surfaces.size(), rp_edges,
-                                 0.5);
-  } else if (options_.builder.enable_linking) {
-    // JOCLlink fallback: group by linked entity/relation so the result is
-    // still a complete joint output.
-    std::unordered_map<int64_t, size_t> first_subject;
-    for (size_t t = 0; t < n; ++t) {
-      int64_t e = result.np_link[t * 2];
-      if (e == kNilId) continue;
-      auto [it, inserted] = first_subject.emplace(e, problem.subject_of[t]);
-      if (!inserted) np_uf.Union(it->second, problem.subject_of[t]);
-    }
-    for (size_t t = 0; t < n; ++t) {
-      int64_t e = result.np_link[t * 2 + 1];
-      if (e == kNilId) continue;
-      auto [it, inserted] =
-          first_subject.emplace(e, n_subject_surfaces + problem.object_of[t]);
-      if (!inserted) {
-        np_uf.Union(it->second, n_subject_surfaces + problem.object_of[t]);
-      }
-    }
-    std::unordered_map<int64_t, size_t> first_predicate;
-    for (size_t t = 0; t < n; ++t) {
-      int64_t r = result.rp_link[t];
-      if (r == kNilId) continue;
-      auto [it, inserted] = first_predicate.emplace(r, problem.predicate_of[t]);
-      if (!inserted) rp_uf.Union(it->second, problem.predicate_of[t]);
-    }
-  }
-
-  // ---- conflict resolution (paper §3.5) ----------------------------------------
-  if (options_.builder.enable_canonicalization &&
-      options_.builder.enable_linking) {
-    // Per-mention confidence of the decoded link: resolution must not
-    // overturn links the model itself is sure about.
-    std::vector<double> np_link_confidence(n * 2, 1.0);
-    for (size_t t = 0; t < n; ++t) {
-      np_link_confidence[t * 2] =
-          engine.Marginal(jgraph.es_vars[t])[decoded[jgraph.es_vars[t]]];
-      np_link_confidence[t * 2 + 1] =
-          engine.Marginal(jgraph.eo_vars[t])[decoded[jgraph.eo_vars[t]]];
-    }
-    constexpr double kOverturnable = 0.85;
-    // Link-group sizes: mentions per linked entity.
-    std::unordered_map<int64_t, size_t> entity_counts;
-    for (int64_t e : result.np_link) {
-      if (e != kNilId) ++entity_counts[e];
-    }
-    auto resolve = [&](const std::vector<SurfacePair>& pairs,
-                       const std::vector<VariableId>& vars,
-                       const std::vector<size_t>& representative,
-                       bool subject_role) {
-      for (size_t p = 0; p < pairs.size(); ++p) {
-        if (decoded[vars[p]] != 1) continue;
-        if (engine.Marginal(vars[p])[1] < options_.conflict_confidence) {
-          continue;
-        }
-        size_t mention_a = representative[pairs[p].a] * 2 +
-                           (subject_role ? 0 : 1);
-        size_t mention_b = representative[pairs[p].b] * 2 +
-                           (subject_role ? 0 : 1);
-        int64_t e_a = result.np_link[mention_a];
-        int64_t e_b = result.np_link[mention_b];
-        if (e_a == kNilId || e_b == kNilId || e_a == e_b) continue;
-        int64_t winner =
-            entity_counts[e_a] >= entity_counts[e_b] ? e_a : e_b;
-        int64_t loser = winner == e_a ? e_b : e_a;
-        // Both NPs take the label of the larger link group: mentions of
-        // the two surfaces that sit in the losing group move over.
-        size_t surf_a = pairs[p].a;
-        size_t surf_b = pairs[p].b;
-        for (size_t t = 0; t < n; ++t) {
-          size_t surf_of_t =
-              subject_role ? problem.subject_of[t] : problem.object_of[t];
-          size_t mention = t * 2 + (subject_role ? 0 : 1);
-          if ((surf_of_t == surf_a || surf_of_t == surf_b) &&
-              result.np_link[mention] == loser &&
-              np_link_confidence[mention] < kOverturnable) {
-            result.np_link[mention] = winner;
-          }
-        }
-      }
-    };
-    resolve(problem.subject_pairs, jgraph.x_vars, problem.subject_rep, true);
-    resolve(problem.object_pairs, jgraph.z_vars, problem.object_rep, false);
-
-    std::unordered_map<int64_t, size_t> relation_counts;
-    for (int64_t r : result.rp_link) {
-      if (r != kNilId) ++relation_counts[r];
-    }
-    for (size_t p = 0; p < problem.predicate_pairs.size(); ++p) {
-      if (decoded[jgraph.y_vars[p]] != 1) continue;
-      if (engine.Marginal(jgraph.y_vars[p])[1] <
-          options_.conflict_confidence) {
-        continue;
-      }
-      size_t rep_a = problem.predicate_rep[problem.predicate_pairs[p].a];
-      size_t rep_b = problem.predicate_rep[problem.predicate_pairs[p].b];
-      int64_t r_a = result.rp_link[rep_a];
-      int64_t r_b = result.rp_link[rep_b];
-      if (r_a == kNilId || r_b == kNilId || r_a == r_b) continue;
-      int64_t winner =
-          relation_counts[r_a] >= relation_counts[r_b] ? r_a : r_b;
-      int64_t loser = winner == r_a ? r_b : r_a;
-      size_t surf_a = problem.predicate_pairs[p].a;
-      size_t surf_b = problem.predicate_pairs[p].b;
-      for (size_t t = 0; t < n; ++t) {
-        if ((problem.predicate_of[t] == surf_a ||
-             problem.predicate_of[t] == surf_b) &&
-            result.rp_link[t] == loser) {
-          result.rp_link[t] = winner;
-        }
-      }
-    }
-  }
-
-  // ---- materialize mention cluster labels ---------------------------------------
-  if (np_labels.empty()) np_labels = np_uf.Labels();
-  if (rp_labels.empty()) rp_labels = rp_uf.Labels();
-  result.np_cluster.resize(n * 2);
-  result.rp_cluster.resize(n);
-  for (size_t t = 0; t < n; ++t) {
-    result.np_cluster[t * 2] = np_labels[problem.subject_of[t]];
-    result.np_cluster[t * 2 + 1] =
-        np_labels[n_subject_surfaces + problem.object_of[t]];
-    result.rp_cluster[t] = rp_labels[problem.predicate_of[t]];
-  }
-  return result;
+  RuntimeOptions runtime_options;
+  runtime_options.num_threads = options_.runtime_threads;
+  runtime_options.max_shards = options_.runtime_shards;
+  JoclRuntime runtime(options_, runtime_options);
+  return runtime.Infer(dataset, signals, triple_subset, std::move(weights));
 }
 
 Result<JoclResult> Jocl::Run(const Dataset& dataset,

@@ -32,6 +32,14 @@ struct JoclOptions {
   /// marginal is at least this confident; at 0.5 it reduces to the paper's
   /// bare argmax rule, higher values resolve only confident conflicts.
   double conflict_confidence = 0.75;
+  /// Shard-level worker threads of the end-to-end runtime (0 = one per
+  /// hardware thread, 1 = sequential). Purely an execution choice: the
+  /// runtime's output is byte-identical for every setting.
+  size_t runtime_threads = 0;
+  /// Shard count of the runtime: 0 = one shard per independent
+  /// sub-problem, 1 = the monolithic single-graph run, n = sub-problems
+  /// packed into n shards. Also purely an execution choice.
+  size_t runtime_shards = 0;
   uint64_t seed = 17;
 
   JoclOptions() {
@@ -80,6 +88,11 @@ struct JoclResult {
 /// an OKB + CKB, learn shared weights on the labeled validation split, run
 /// staged LBP, decode marginals, and resolve canonicalization/linking
 /// conflicts.
+///
+/// Infer() is a thin wrapper over the sharded `JoclRuntime`
+/// (core/runtime.h): the problem is partitioned into independent
+/// sub-problems that run build→compile→infer→decode on a worker pool over
+/// a precomputed `SignalCache`, then merge into globally stable labels.
 class Jocl {
  public:
   explicit Jocl(JoclOptions options = {});

@@ -1,0 +1,222 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "core/decode.h"
+#include "core/graph_builder.h"
+#include "graph/inference.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace jocl {
+namespace {
+
+/// Per-shard outputs that are not part of the scattered beliefs.
+struct ShardOutcome {
+  LbpResult diagnostics;  // marginals cleared (beliefs carry them)
+  size_t variables = 0;
+  size_t factors = 0;
+};
+
+/// Folds one shard's convergence diagnostics into the merged result.
+/// max/AND/elementwise-max are associative, so folding per-shard
+/// aggregates reproduces the monolithic engine's own cross-component
+/// aggregation bit for bit.
+void MergeDiagnostics(const LbpResult& shard, LbpResult* merged) {
+  merged->iterations = std::max(merged->iterations, shard.iterations);
+  merged->converged = merged->converged && shard.converged;
+  merged->final_residual =
+      std::max(merged->final_residual, shard.final_residual);
+  if (shard.residual_history.size() > merged->residual_history.size()) {
+    merged->residual_history.resize(shard.residual_history.size(), 0.0);
+  }
+  for (size_t i = 0; i < shard.residual_history.size(); ++i) {
+    merged->residual_history[i] =
+        std::max(merged->residual_history[i], shard.residual_history[i]);
+  }
+}
+
+}  // namespace
+
+JoclRuntime::JoclRuntime(JoclOptions options, RuntimeOptions runtime)
+    : options_(std::move(options)), runtime_(runtime) {}
+
+Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
+                                      const SignalBundle& signals,
+                                      const std::vector<size_t>& triple_subset,
+                                      std::vector<double> weights,
+                                      RuntimeStats* stats) const {
+  if (weights.empty()) weights = Jocl::DefaultWeights();
+  if (weights.size() != WeightLayout::kCount) {
+    return Status::InvalidArgument("weights must have WeightLayout::kCount "
+                                   "entries");
+  }
+  RuntimeStats local_stats;
+  Stopwatch watch;
+
+  // ---- global stages: problem, signal cache, partition --------------------
+  JoclProblem problem =
+      BuildProblem(dataset, signals, triple_subset, options_.problem);
+  local_stats.problem_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  SignalCache cache = SignalCache::ForProblem(problem, signals, dataset.ckb);
+  local_stats.cache_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  ShardPlan plan = PartitionProblem(problem, runtime_.max_shards);
+  local_stats.partition_seconds = watch.ElapsedSeconds();
+  local_stats.shards = plan.shards.size();
+  local_stats.components = plan.component_count;
+
+  // ---- per-shard build→compile→infer→extract on a worker pool -------------
+  watch.Reset();
+  JoclBeliefs beliefs;
+  if (options_.builder.enable_canonicalization) {
+    beliefs.x_marg.resize(problem.subject_pairs.size());
+    beliefs.x_state.resize(problem.subject_pairs.size());
+    beliefs.y_marg.resize(problem.predicate_pairs.size());
+    beliefs.y_state.resize(problem.predicate_pairs.size());
+    beliefs.z_marg.resize(problem.object_pairs.size());
+    beliefs.z_state.resize(problem.object_pairs.size());
+  }
+  if (options_.builder.enable_linking) {
+    beliefs.es_marg.resize(problem.triples.size());
+    beliefs.es_state.resize(problem.triples.size());
+    beliefs.rp_marg.resize(problem.triples.size());
+    beliefs.rp_state.resize(problem.triples.size());
+    beliefs.eo_marg.resize(problem.triples.size());
+    beliefs.eo_state.resize(problem.triples.size());
+  }
+  std::vector<ShardOutcome> outcomes(plan.shards.size());
+
+  // Worker/engine thread split: with fewer shards than requested threads
+  // (the extreme: max_shards = 1), the leftover parallelism moves inside
+  // the engine, whose component-parallel execution is bit-identical to
+  // sequential — the output guarantee is unaffected either way.
+  size_t requested_threads =
+      runtime_.num_threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : runtime_.num_threads;
+  size_t n_threads =
+      std::min(requested_threads, std::max<size_t>(1, plan.shards.size()));
+  size_t engine_threads = 1;
+  if (!plan.shards.empty() && plan.shards.size() < requested_threads) {
+    engine_threads =
+        (requested_threads + plan.shards.size() - 1) / plan.shards.size();
+  }
+
+  auto run_shard = [&](size_t s) {
+    const ProblemShard& shard = plan.shards[s];
+    JoclGraph jgraph =
+        BuildJoclGraph(shard.problem, cache, dataset.ckb, options_.builder);
+    LbpOptions lbp_options = options_.inference;
+    lbp_options.factor_schedule = jgraph.schedule;
+    lbp_options.num_threads = engine_threads;
+    std::unique_ptr<InferenceEngine> engine = CreateInferenceEngine(
+        options_.inference_backend, &jgraph.graph, &weights, lbp_options);
+    ShardOutcome& outcome = outcomes[s];
+    outcome.diagnostics = engine->Run();
+    outcome.diagnostics.marginals.clear();
+    outcome.variables = jgraph.graph.variable_count();
+    outcome.factors = jgraph.graph.factor_count();
+    std::vector<size_t> decoded = engine->Decode();
+
+    // Scatter into the global belief arrays; shards partition the pair
+    // and triple spaces, so every write below hits a slot no other shard
+    // touches.
+    if (options_.builder.enable_canonicalization) {
+      auto scatter_pairs = [&](const std::vector<VariableId>& vars,
+                               const std::vector<size_t>& pair_map,
+                               std::vector<std::vector<double>>* marg,
+                               std::vector<size_t>* state) {
+        for (size_t p = 0; p < vars.size(); ++p) {
+          (*marg)[pair_map[p]] = engine->Marginal(vars[p]);
+          (*state)[pair_map[p]] = decoded[vars[p]];
+        }
+      };
+      scatter_pairs(jgraph.x_vars, shard.subject_pair_map, &beliefs.x_marg,
+                    &beliefs.x_state);
+      scatter_pairs(jgraph.y_vars, shard.predicate_pair_map, &beliefs.y_marg,
+                    &beliefs.y_state);
+      scatter_pairs(jgraph.z_vars, shard.object_pair_map, &beliefs.z_marg,
+                    &beliefs.z_state);
+    }
+    if (options_.builder.enable_linking) {
+      for (size_t t = 0; t < shard.triple_map.size(); ++t) {
+        size_t global = shard.triple_map[t];
+        beliefs.es_marg[global] = engine->Marginal(jgraph.es_vars[t]);
+        beliefs.es_state[global] = decoded[jgraph.es_vars[t]];
+        beliefs.rp_marg[global] = engine->Marginal(jgraph.rp_vars[t]);
+        beliefs.rp_state[global] = decoded[jgraph.rp_vars[t]];
+        beliefs.eo_marg[global] = engine->Marginal(jgraph.eo_vars[t]);
+        beliefs.eo_state[global] = decoded[jgraph.eo_vars[t]];
+      }
+    }
+  };
+
+  // Heaviest shards first so stragglers start early; execution order does
+  // not affect the output (disjoint writes, order-independent merge).
+  std::vector<size_t> queue(plan.shards.size());
+  std::iota(queue.begin(), queue.end(), 0);
+  std::sort(queue.begin(), queue.end(), [&](size_t a, size_t b) {
+    size_t wa = plan.shards[a].triple_map.size();
+    size_t wb = plan.shards[b].triple_map.size();
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  if (n_threads <= 1) {
+    for (size_t s : queue) run_shard(s);
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (size_t i; (i = next.fetch_add(1)) < queue.size();) {
+        run_shard(queue[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (size_t w = 0; w < n_threads; ++w) threads.emplace_back(worker);
+    for (auto& thread : threads) thread.join();
+  }
+  local_stats.shard_seconds = watch.ElapsedSeconds();
+
+  // ---- merge + global decode ----------------------------------------------
+  watch.Reset();
+  JoclResult result;
+  result.weights = std::move(weights);
+  result.triples = problem.triples;
+  result.diagnostics.converged = true;
+  for (const ShardOutcome& outcome : outcomes) {
+    MergeDiagnostics(outcome.diagnostics, &result.diagnostics);
+    local_stats.variables += outcome.variables;
+    local_stats.factors += outcome.factors;
+  }
+  // Canonical marginal order, independent of sharding: subject pairs,
+  // predicate pairs, object pairs, then es/rp/eo per triple.
+  for (const auto* group : {&beliefs.x_marg, &beliefs.y_marg, &beliefs.z_marg,
+                            &beliefs.es_marg, &beliefs.rp_marg,
+                            &beliefs.eo_marg}) {
+    result.diagnostics.marginals.insert(result.diagnostics.marginals.end(),
+                                        group->begin(), group->end());
+  }
+
+  JointDecodeOptions decode_options;
+  decode_options.canonicalization = options_.builder.enable_canonicalization;
+  decode_options.linking = options_.builder.enable_linking;
+  decode_options.conflict_confidence = options_.conflict_confidence;
+  DecodeJointResult(problem, beliefs, decode_options, &result);
+  local_stats.decode_seconds = watch.ElapsedSeconds();
+
+  JOCL_LOG(kDebug) << "runtime: " << plan.shards.size() << " shards over "
+                   << n_threads << " threads, " << local_stats.variables
+                   << " variables, " << local_stats.factors << " factors";
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+}  // namespace jocl

@@ -1,0 +1,72 @@
+#ifndef JOCL_CORE_RUNTIME_H_
+#define JOCL_CORE_RUNTIME_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/jocl.h"
+#include "core/shard.h"
+#include "core/signal_cache.h"
+
+namespace jocl {
+
+/// \brief Execution knobs of the sharded runtime (orthogonal to the model
+/// configuration in JoclOptions; no setting changes the result).
+struct RuntimeOptions {
+  /// Worker threads running shards: 1 = sequential, 0 = one per hardware
+  /// thread, n = n workers.
+  size_t num_threads = 0;
+  /// Shard count: 0 = one shard per independent sub-problem, 1 = the
+  /// monolithic single-graph run, n = components packed into n shards.
+  size_t max_shards = 0;
+};
+
+/// \brief Stage timings + shape facts of one runtime execution (consumed
+/// by bench_scaling and the CLI).
+struct RuntimeStats {
+  double problem_seconds = 0.0;    ///< BuildProblem (global)
+  double cache_seconds = 0.0;      ///< SignalCache build (global)
+  double partition_seconds = 0.0;  ///< union-find sharding
+  double shard_seconds = 0.0;      ///< build→compile→infer→extract, wall
+  double decode_seconds = 0.0;     ///< global decode + conflict resolution
+  size_t shards = 0;
+  size_t components = 0;
+  size_t variables = 0;  ///< across all shard graphs
+  size_t factors = 0;
+};
+
+/// \brief The sharded end-to-end runtime (ROADMAP "production-scale"
+/// path): builds the problem and the signal cache once, partitions into
+/// independent shards, runs build→compile→infer→decode per shard on a
+/// worker pool, and merges per-shard beliefs into globally stable cluster
+/// labels and links.
+///
+/// Shard graphs are exactly the connected components of the monolithic
+/// factor graph and the decode/§3.5 steps run globally over merged
+/// beliefs, so the result is byte-identical for every (num_threads,
+/// max_shards) combination — including the monolithic max_shards = 1.
+/// `Jocl::Infer` is a thin wrapper over this class.
+class JoclRuntime {
+ public:
+  explicit JoclRuntime(JoclOptions options = {}, RuntimeOptions runtime = {});
+
+  /// Joint inference over the given triples with the given weights (empty
+  /// = Jocl::DefaultWeights()). \p stats, when non-null, receives stage
+  /// timings.
+  Result<JoclResult> Infer(const Dataset& dataset,
+                           const SignalBundle& signals,
+                           const std::vector<size_t>& triple_subset,
+                           std::vector<double> weights = {},
+                           RuntimeStats* stats = nullptr) const;
+
+  const JoclOptions& options() const { return options_; }
+  const RuntimeOptions& runtime_options() const { return runtime_; }
+
+ private:
+  JoclOptions options_;
+  RuntimeOptions runtime_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_CORE_RUNTIME_H_

@@ -1,0 +1,184 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "cluster/union_find.h"
+#include "util/logging.h"
+
+namespace jocl {
+namespace {
+
+/// Scatters one role's pairs onto the shards owning them (the shard of
+/// the representative triple of pair.a) in one global-order pass, so each
+/// shard's pair list is a subsequence of the global order.
+void ScatterPairs(const std::vector<SurfacePair>& pairs,
+                  const std::vector<size_t>& representative,
+                  const std::vector<size_t>& shard_of_triple,
+                  const std::vector<std::unordered_map<size_t, size_t>>& g2l,
+                  std::vector<SurfacePair> JoclProblem::*local_pairs,
+                  std::vector<size_t> ProblemShard::*pair_map,
+                  std::vector<ProblemShard>* shards) {
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    size_t shard_id = shard_of_triple[representative[pairs[p].a]];
+    ProblemShard& shard = (*shards)[shard_id];
+    SurfacePair local = pairs[p];
+    local.a = g2l[shard_id].at(pairs[p].a);
+    local.b = g2l[shard_id].at(pairs[p].b);
+    (shard.problem.*local_pairs).push_back(local);
+    (shard.*pair_map).push_back(p);
+  }
+}
+
+/// Builds one role of a shard's local problem: surfaces in ascending
+/// global-id order, per-triple surface indices, first-local-mention
+/// representatives, and copied candidate lists.
+template <typename Candidate>
+void BuildRole(const ProblemShard& shard,
+               const std::vector<std::string>& surfaces,
+               const std::vector<size_t>& of_triple,
+               const std::vector<std::vector<Candidate>>& candidates,
+               std::vector<std::string>* local_surfaces,
+               std::vector<size_t>* local_of, std::vector<size_t>* local_rep,
+               std::vector<size_t>* surface_map,
+               std::vector<std::vector<Candidate>>* local_candidates,
+               std::unordered_map<size_t, size_t>* g2l) {
+  std::vector<size_t> globals;
+  globals.reserve(shard.triple_map.size());
+  for (size_t t : shard.triple_map) globals.push_back(of_triple[t]);
+  std::vector<size_t> distinct = globals;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  surface_map->assign(distinct.begin(), distinct.end());
+  local_surfaces->reserve(distinct.size());
+  local_candidates->reserve(distinct.size());
+  for (size_t global : distinct) {
+    g2l->emplace(global, local_surfaces->size());
+    local_surfaces->push_back(surfaces[global]);
+    local_candidates->push_back(candidates[global]);
+  }
+  local_of->reserve(globals.size());
+  local_rep->assign(distinct.size(), static_cast<size_t>(-1));
+  for (size_t t = 0; t < globals.size(); ++t) {
+    size_t local = g2l->at(globals[t]);
+    local_of->push_back(local);
+    if ((*local_rep)[local] == static_cast<size_t>(-1)) {
+      (*local_rep)[local] = t;
+    }
+  }
+}
+
+}  // namespace
+
+ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
+  const size_t n_triples = problem.triples.size();
+
+  // Union-find over triples: a pair variable joins the representative
+  // triples of its two surfaces (its consistency factors attach there;
+  // everything else a pair touches follows transitively).
+  UnionFind uf(n_triples);
+  auto link_pairs = [&](const std::vector<SurfacePair>& pairs,
+                        const std::vector<size_t>& representative) {
+    for (const auto& pair : pairs) {
+      uf.Union(representative[pair.a], representative[pair.b]);
+    }
+  };
+  link_pairs(problem.subject_pairs, problem.subject_rep);
+  link_pairs(problem.predicate_pairs, problem.predicate_rep);
+  link_pairs(problem.object_pairs, problem.object_rep);
+
+  // Components in first-appearance order over triples.
+  std::unordered_map<size_t, size_t> comp_of_root;
+  std::vector<size_t> comp_of_triple(n_triples);
+  std::vector<size_t> comp_weight;  // triples per component
+  for (size_t t = 0; t < n_triples; ++t) {
+    auto [it, inserted] = comp_of_root.emplace(uf.Find(t), comp_weight.size());
+    if (inserted) comp_weight.push_back(0);
+    comp_of_triple[t] = it->second;
+    ++comp_weight[it->second];
+  }
+  const size_t n_components = comp_weight.size();
+
+  ShardPlan plan;
+  plan.component_count = n_components;
+  const size_t n_shards =
+      (max_shards == 0 || max_shards >= n_components) ? n_components
+                                                      : max_shards;
+  std::vector<size_t> shard_of_comp(n_components);
+  if (n_shards == n_components) {
+    std::iota(shard_of_comp.begin(), shard_of_comp.end(), 0);
+  } else {
+    // Deterministic greedy packing: heaviest component first onto the
+    // currently lightest bin (ties: lower component id / lower bin).
+    std::vector<size_t> order(n_components);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (comp_weight[a] != comp_weight[b]) {
+        return comp_weight[a] > comp_weight[b];
+      }
+      return a < b;
+    });
+    std::vector<size_t> bin_weight(n_shards, 0);
+    for (size_t comp : order) {
+      size_t lightest = 0;
+      for (size_t bin = 1; bin < n_shards; ++bin) {
+        if (bin_weight[bin] < bin_weight[lightest]) lightest = bin;
+      }
+      shard_of_comp[comp] = lightest;
+      bin_weight[lightest] += comp_weight[comp];
+    }
+  }
+  plan.shards.resize(n_shards);
+
+  std::vector<size_t> shard_of_triple(n_triples);
+  for (size_t t = 0; t < n_triples; ++t) {
+    shard_of_triple[t] = shard_of_comp[comp_of_triple[t]];
+    ProblemShard& shard = plan.shards[shard_of_triple[t]];
+    shard.triple_map.push_back(t);  // ascending by construction
+    shard.problem.triples.push_back(problem.triples[t]);
+  }
+
+  // Local problems, one role at a time.
+  std::vector<std::unordered_map<size_t, size_t>> subject_g2l(n_shards);
+  std::vector<std::unordered_map<size_t, size_t>> predicate_g2l(n_shards);
+  std::vector<std::unordered_map<size_t, size_t>> object_g2l(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    ProblemShard& shard = plan.shards[s];
+    JoclProblem& local = shard.problem;
+    BuildRole(shard, problem.subject_surfaces, problem.subject_of,
+              problem.subject_candidates, &local.subject_surfaces,
+              &local.subject_of, &local.subject_rep,
+              &shard.subject_surface_map, &local.subject_candidates,
+              &subject_g2l[s]);
+    BuildRole(shard, problem.predicate_surfaces, problem.predicate_of,
+              problem.predicate_candidates, &local.predicate_surfaces,
+              &local.predicate_of, &local.predicate_rep,
+              &shard.predicate_surface_map, &local.predicate_candidates,
+              &predicate_g2l[s]);
+    BuildRole(shard, problem.object_surfaces, problem.object_of,
+              problem.object_candidates, &local.object_surfaces,
+              &local.object_of, &local.object_rep,
+              &shard.object_surface_map, &local.object_candidates,
+              &object_g2l[s]);
+  }
+
+  ScatterPairs(problem.subject_pairs, problem.subject_rep, shard_of_triple,
+               subject_g2l, &JoclProblem::subject_pairs,
+               &ProblemShard::subject_pair_map, &plan.shards);
+  ScatterPairs(problem.predicate_pairs, problem.predicate_rep,
+               shard_of_triple, predicate_g2l, &JoclProblem::predicate_pairs,
+               &ProblemShard::predicate_pair_map, &plan.shards);
+  ScatterPairs(problem.object_pairs, problem.object_rep, shard_of_triple,
+               object_g2l, &JoclProblem::object_pairs,
+               &ProblemShard::object_pair_map, &plan.shards);
+
+  JOCL_LOG(kDebug) << "partition: " << n_triples << " triples -> "
+                   << n_components << " components in " << n_shards
+                   << " shards";
+  return plan;
+}
+
+}  // namespace jocl

@@ -1,0 +1,76 @@
+#ifndef JOCL_CORE_SHARD_H_
+#define JOCL_CORE_SHARD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace jocl {
+
+/// \brief One independent sub-problem of a partitioned `JoclProblem`,
+/// plus the local→global index maps the runtime needs to scatter shard
+/// results back into the global belief arrays.
+///
+/// All index maps are strictly increasing, so shard-local iteration order
+/// equals the global relative order — factor construction inside a shard
+/// is a subsequence of the monolithic construction.
+struct ProblemShard {
+  /// The re-indexed sub-problem (its `triples` hold global dataset triple
+  /// ids, like any JoclProblem). One deviation from BuildProblem's
+  /// convention: local surfaces are ordered by ascending *global* surface
+  /// id (not shard-local first appearance), which keeps every local pair
+  /// normalized (a < b) and shard-local pair order equal to the global
+  /// relative order.
+  JoclProblem problem;
+
+  /// Local triple index -> index into the *global* problem's per-triple
+  /// vectors (subject_of, es beliefs, ...).
+  std::vector<size_t> triple_map;
+
+  /// Local surface index -> global surface index, per role.
+  std::vector<size_t> subject_surface_map;
+  std::vector<size_t> predicate_surface_map;
+  std::vector<size_t> object_surface_map;
+
+  /// Local pair index -> global pair index, per role.
+  std::vector<size_t> subject_pair_map;
+  std::vector<size_t> predicate_pair_map;
+  std::vector<size_t> object_pair_map;
+};
+
+/// \brief A deterministic partition of a problem into independent shards.
+struct ShardPlan {
+  std::vector<ProblemShard> shards;
+  /// Independent sub-problems found before grouping (a shard holds >= 1).
+  size_t component_count = 0;
+};
+
+/// \brief Partitions a problem into independent shards via union-find
+/// over its triples: a pair variable connects the *representative*
+/// (first-mention) triples of its two surfaces. That is exactly the
+/// factor graph's connectivity: U4 ties a triple's own es/rp/eo linking
+/// variables together, consistency factors attach a pair variable to the
+/// linking variables of the pair's representative mentions, and
+/// transitive triangles only span pairs that share a surface (hence a
+/// representative). Non-representative mentions of a surface have no
+/// factor to any other triple, so they shard independently — blocking
+/// yields many small independent sub-problems, and the partition
+/// recovers all of them. Every factor the graph builder would emit is
+/// internal to exactly one shard, which is what makes per-shard
+/// inference exact.
+///
+/// \p max_shards caps the shard count: 0 (or >= component count) keeps
+/// one shard per connected component; otherwise components are packed
+/// into \p max_shards bins by descending triple count onto the lightest
+/// bin (deterministic). `max_shards = 1` reproduces the monolithic
+/// problem as a single shard.
+///
+/// The partition only regroups work — per-shard graphs are connected
+/// components of the monolithic factor graph, so inference results are
+/// identical for every max_shards setting.
+ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards);
+
+}  // namespace jocl
+
+#endif  // JOCL_CORE_SHARD_H_

@@ -1,0 +1,209 @@
+#include "core/signal_cache.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace jocl {
+
+size_t SignalCache::Add(std::string_view phrase) {
+  auto it = index_.find(phrase);
+  if (it != index_.end()) return it->second;
+  phrases_.emplace_back(phrase);
+  size_t id = phrases_.size() - 1;
+  index_.emplace(std::string_view(phrases_.back()), id);
+  return id;
+}
+
+void SignalCache::BuildArena(const EmbeddingTable& table,
+                             std::vector<float>* unit,
+                             std::vector<uint8_t>* has, size_t* dim) const {
+  *dim = table.dim();
+  unit->assign(phrases_.size() * *dim, 0.0f);
+  has->assign(phrases_.size(), 0);
+  for (size_t i = 0; i < phrases_.size(); ++i) {
+    std::vector<float> v = table.PhraseVector(phrases_[i]);
+    double norm = 0.0;
+    for (float x : v) norm += static_cast<double>(x) * x;
+    if (norm <= 0.0) continue;  // no known token: neutral fallback
+    norm = std::sqrt(norm);
+    float* row = unit->data() + i * *dim;
+    for (size_t d = 0; d < *dim; ++d) {
+      row[d] = static_cast<float>(v[d] / norm);
+    }
+    (*has)[i] = 1;
+  }
+}
+
+void SignalCache::Finalize(const SignalBundle& signals,
+                           const SignalCacheFamilies& families) {
+  bundle_ = &signals;
+  families_ = families;
+  const size_t n = phrases_.size();
+
+  if (families.embeddings) {
+    BuildArena(signals.embeddings, &unit_, &has_vec_, &dim_);
+  }
+  if (families.triple_embeddings) {
+    BuildArena(signals.triple_embeddings, &triple_unit_, &has_triple_vec_,
+               &triple_dim_);
+  }
+
+  // PPDB representatives, interned.
+  if (families.ppdb) {
+    ppdb_rep_.assign(n, -1);
+    if (signals.ppdb != nullptr) {
+      std::unordered_map<std::string, int32_t> rep_ids;
+      for (size_t i = 0; i < n; ++i) {
+        auto rep = signals.ppdb->Representative(phrases_[i]);
+        if (!rep.has_value()) continue;
+        auto [it, inserted] =
+            rep_ids.emplace(std::move(*rep),
+                            static_cast<int32_t>(rep_ids.size()));
+        ppdb_rep_[i] = it->second;
+      }
+    }
+  }
+
+  // AMIE: interned normalized forms, evidence flags, and the miner's
+  // bidirectional equivalences mapped onto norm-id pairs so the pair
+  // query never touches a string again.
+  if (families.amie) {
+    amie_norm_id_.assign(n, -1);
+    amie_evidence_.assign(n, 0);
+    amie_equivalent_.clear();
+    std::unordered_map<std::string, int32_t> norm_ids;
+    for (size_t i = 0; i < n; ++i) {
+      std::string norm = signals.amie.NormalizedForm(phrases_[i]);
+      bool evidence = signals.amie.HasEvidenceNormalized(norm);
+      auto [it, inserted] =
+          norm_ids.emplace(std::move(norm),
+                           static_cast<int32_t>(norm_ids.size()));
+      amie_norm_id_[i] = it->second;
+      amie_evidence_[i] = evidence ? 1 : 0;
+    }
+    // rules() holds every accepted unidirectional rule; a bidirectional
+    // presence is exactly the miner's equivalence relation.
+    std::unordered_set<uint64_t> directed;
+    for (const AmieRule& rule : signals.amie.rules()) {
+      auto a = norm_ids.find(rule.antecedent);
+      auto b = norm_ids.find(rule.consequent);
+      if (a == norm_ids.end() || b == norm_ids.end()) continue;
+      uint64_t forward = (static_cast<uint64_t>(
+                              static_cast<uint32_t>(a->second))
+                          << 32) |
+                         static_cast<uint32_t>(b->second);
+      uint64_t backward = (static_cast<uint64_t>(
+                               static_cast<uint32_t>(b->second))
+                           << 32) |
+                          static_cast<uint32_t>(a->second);
+      directed.insert(forward);
+      if (directed.count(backward) > 0) {
+        amie_equivalent_.insert(PairKey(a->second, b->second));
+      }
+    }
+  }
+
+  // KBP classifications.
+  if (families.kbp) {
+    kbp_class_.assign(n, kNilId);
+    for (size_t i = 0; i < n; ++i) {
+      kbp_class_[i] = signals.kbp.Classify(phrases_[i]);
+    }
+  }
+
+  JOCL_LOG(kDebug) << "signal cache: " << n << " phrases, emb dim " << dim_
+                   << (families.triple_embeddings ? " (+triple arena)" : "");
+}
+
+double SignalCache::Amie(size_t a, size_t b) const {
+  if (!families_.amie) return bundle_->Amie(phrases_[a], phrases_[b]);
+  // Mirrors SignalBundle::Amie: rule-or-same-norm-form wins, then the
+  // absence-is-neutral gate on mining evidence.
+  if (amie_norm_id_[a] == amie_norm_id_[b]) return 1.0;
+  if (amie_equivalent_.count(PairKey(amie_norm_id_[a], amie_norm_id_[b])) >
+      0) {
+    return 1.0;
+  }
+  if (!amie_evidence_[a] || !amie_evidence_[b]) return 0.5;
+  return 0.0;
+}
+
+double SignalCache::Emb(std::string_view a, std::string_view b) const {
+  size_t ia = IdOf(a);
+  size_t ib = IdOf(b);
+  if (ia == kUnknown || ib == kUnknown) return bundle_->Emb(a, b);
+  return Emb(ia, ib);
+}
+
+double SignalCache::TripleEmb(std::string_view a, std::string_view b) const {
+  size_t ia = IdOf(a);
+  size_t ib = IdOf(b);
+  if (ia == kUnknown || ib == kUnknown || triple_dim_ == 0) {
+    return bundle_->TripleEmb(a, b);
+  }
+  return TripleEmb(ia, ib);
+}
+
+double SignalCache::Ppdb(std::string_view a, std::string_view b) const {
+  size_t ia = IdOf(a);
+  size_t ib = IdOf(b);
+  if (ia == kUnknown || ib == kUnknown) return bundle_->Ppdb(a, b);
+  return Ppdb(ia, ib);
+}
+
+double SignalCache::Amie(std::string_view a, std::string_view b) const {
+  size_t ia = IdOf(a);
+  size_t ib = IdOf(b);
+  if (ia == kUnknown || ib == kUnknown) return bundle_->Amie(a, b);
+  return Amie(ia, ib);
+}
+
+double SignalCache::Kbp(std::string_view a, std::string_view b) const {
+  size_t ia = IdOf(a);
+  size_t ib = IdOf(b);
+  if (ia == kUnknown || ib == kUnknown) return bundle_->Kbp(a, b);
+  return Kbp(ia, ib);
+}
+
+SignalCache SignalCache::ForProblem(const JoclProblem& problem,
+                                    const SignalBundle& signals,
+                                    const CuratedKb& ckb) {
+  SignalCache cache;
+  for (const auto* surfaces :
+       {&problem.subject_surfaces, &problem.predicate_surfaces,
+        &problem.object_surfaces}) {
+    for (const auto& surface : *surfaces) cache.Add(surface);
+  }
+  // Candidate entity names (F4/F6 query Emb/Ppdb against them).
+  for (const auto* candidates :
+       {&problem.subject_candidates, &problem.object_candidates}) {
+    for (const auto& list : *candidates) {
+      for (const auto& candidate : list) {
+        cache.Add(ckb.entity(candidate.id).name);
+      }
+    }
+  }
+  // Relation names and aliases (F5 takes the best match over all of them).
+  for (const auto& list : problem.predicate_candidates) {
+    for (const auto& candidate : list) {
+      cache.Add(ckb.relation(candidate.id).name);
+      for (const auto& alias : ckb.RelationAliases(candidate.id)) {
+        cache.Add(alias);
+      }
+    }
+  }
+  cache.Finalize(signals);
+  return cache;
+}
+
+SignalCache SignalCache::ForPhrases(const std::vector<std::string>& phrases,
+                                    const SignalBundle& signals,
+                                    const SignalCacheFamilies& families) {
+  SignalCache cache;
+  for (const auto& phrase : phrases) cache.Add(phrase);
+  cache.Finalize(signals, families);
+  return cache;
+}
+
+}  // namespace jocl

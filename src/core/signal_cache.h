@@ -1,0 +1,199 @@
+#ifndef JOCL_CORE_SIGNAL_CACHE_H_
+#define JOCL_CORE_SIGNAL_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/signals.h"
+#include "kb/curated_kb.h"
+
+namespace jocl {
+
+/// \brief Which memo families a cache build materializes. Queries against
+/// a family that was not built fall back to the (uncached) bundle, so
+/// disabling a family is always safe — callers that only ever query a
+/// subset (the baselines) skip the dead per-phrase work.
+struct SignalCacheFamilies {
+  bool embeddings = true;
+  bool triple_embeddings = false;
+  bool ppdb = true;
+  bool amie = true;
+  bool kbp = true;
+};
+
+/// \brief Per-surface memoization of every pairwise signal of §3.1–3.2,
+/// built once per problem from its distinct surfaces.
+///
+/// `SignalBundle` answers signal queries from raw phrases: `Emb` tokenizes
+/// both phrases, averages word vectors into freshly allocated phrase
+/// vectors and takes a cosine — per pair, per linking candidate, per
+/// relation alias, and again for the learner's second graph build. The
+/// cache front-loads all per-phrase work at registration time:
+///
+///  * **Embeddings** live in a flat arena of unit-normalized phrase
+///    vectors, so `Emb` collapses to one dot product (cosine of unit
+///    vectors), with no tokenization and no allocation.
+///  * **PPDB** cluster representatives are interned to small integer ids;
+///    `Ppdb` is an integer compare.
+///  * **AMIE** morphological normalization and evidence checks happen once
+///    per phrase; the pair query hits the miner's rule set directly with
+///    pre-normalized forms.
+///  * **KBP** classifications are memoized; `Kbp` is an id compare.
+///
+/// Queries fall back to the bundle for phrases that were never registered,
+/// so the cache is a drop-in provider wherever a `SignalBundle` is used.
+/// Semantics match `SignalBundle` exactly (same neutral-0.5 absence
+/// handling); `Emb` values may differ from the uncached path by float
+/// rounding only (unit-normalize-then-dot vs cosine of raw sums).
+class SignalCache {
+ public:
+  static constexpr size_t kUnknown = static_cast<size_t>(-1);
+
+  SignalCache() = default;
+  // index_ keys string_views into phrases_; moves keep deque element
+  // addresses stable, copies would not — and nothing needs them.
+  SignalCache(const SignalCache&) = delete;
+  SignalCache& operator=(const SignalCache&) = delete;
+  SignalCache(SignalCache&&) = default;
+  SignalCache& operator=(SignalCache&&) = default;
+
+  /// Builds the cache for a problem: registers every distinct surface of
+  /// all three roles plus every CKB candidate entity name, relation name
+  /// and relation alias the graph builder will query against them.
+  static SignalCache ForProblem(const JoclProblem& problem,
+                                const SignalBundle& signals,
+                                const CuratedKb& ckb);
+
+  /// Builds the cache over an explicit phrase list (the baselines' surface
+  /// views). Distinct phrases receive sequential ids 0..n-1 in input
+  /// order, so callers can address the cache by position. \p families
+  /// selects which memos to materialize.
+  static SignalCache ForPhrases(const std::vector<std::string>& phrases,
+                                const SignalBundle& signals,
+                                const SignalCacheFamilies& families = {});
+
+  /// Registers a phrase and returns its id (idempotent). Must be followed
+  /// by Finalize() before any signal query.
+  size_t Add(std::string_view phrase);
+
+  /// Computes the selected per-phrase memos. Called once after
+  /// registration.
+  void Finalize(const SignalBundle& signals,
+                const SignalCacheFamilies& families = {});
+
+  /// Id of a registered phrase, or kUnknown.
+  size_t IdOf(std::string_view phrase) const {
+    auto it = index_.find(phrase);
+    return it == index_.end() ? kUnknown : it->second;
+  }
+
+  size_t size() const { return phrases_.size(); }
+  const SignalBundle& bundle() const { return *bundle_; }
+
+  // --- id-based pair signals (both ids must be valid) ---------------------
+  // Queries against a family that was not built fall back to the bundle.
+
+  /// `Sim_emb` as a dot product of unit phrase vectors, clamped to [0, 1];
+  /// 0.5 when either phrase has no known token.
+  double Emb(size_t a, size_t b) const {
+    if (!families_.embeddings) return bundle_->Emb(phrases_[a], phrases_[b]);
+    if (!has_vec_[a] || !has_vec_[b]) return 0.5;
+    return Dot(unit_.data() + a * dim_, unit_.data() + b * dim_, dim_);
+  }
+  /// `Sim_emb` over the triple-only vectors.
+  double TripleEmb(size_t a, size_t b) const {
+    if (!families_.triple_embeddings) {
+      return bundle_->TripleEmb(phrases_[a], phrases_[b]);
+    }
+    if (!has_triple_vec_[a] || !has_triple_vec_[b]) return 0.5;
+    return Dot(triple_unit_.data() + a * triple_dim_,
+               triple_unit_.data() + b * triple_dim_, triple_dim_);
+  }
+  /// `Sim_PPDB` with absence-is-neutral semantics.
+  double Ppdb(size_t a, size_t b) const {
+    if (!families_.ppdb) return bundle_->Ppdb(phrases_[a], phrases_[b]);
+    if (ppdb_rep_[a] < 0 || ppdb_rep_[b] < 0) return 0.5;
+    return ppdb_rep_[a] == ppdb_rep_[b] ? 1.0 : 0.0;
+  }
+  /// `Sim_AMIE` with absence-is-neutral semantics.
+  double Amie(size_t a, size_t b) const;
+  /// `Sim_KBP` with absence-is-neutral semantics.
+  double Kbp(size_t a, size_t b) const {
+    if (!families_.kbp) return bundle_->Kbp(phrases_[a], phrases_[b]);
+    if (kbp_class_[a] == kNilId || kbp_class_[b] == kNilId) return 0.5;
+    return kbp_class_[a] == kbp_class_[b] ? 1.0 : 0.0;
+  }
+
+  // --- drop-in SignalBundle-shaped interface ------------------------------
+  // Unregistered phrases fall back to the (uncached) bundle.
+
+  double Emb(std::string_view a, std::string_view b) const;
+  double TripleEmb(std::string_view a, std::string_view b) const;
+  double Ppdb(std::string_view a, std::string_view b) const;
+  double Amie(std::string_view a, std::string_view b) const;
+  double Kbp(std::string_view a, std::string_view b) const;
+  static double Ngram(std::string_view a, std::string_view b) {
+    return SignalBundle::Ngram(a, b);
+  }
+  static double Ld(std::string_view a, std::string_view b) {
+    return SignalBundle::Ld(a, b);
+  }
+
+ private:
+  static double Dot(const float* a, const float* b, size_t dim) {
+    double dot = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      dot += static_cast<double>(a[d]) * b[d];
+    }
+    if (dot < 0.0) return 0.0;
+    return dot > 1.0 ? 1.0 : dot;
+  }
+  static uint64_t PairKey(int32_t a, int32_t b) {
+    uint32_t lo = static_cast<uint32_t>(a < b ? a : b);
+    uint32_t hi = static_cast<uint32_t>(a < b ? b : a);
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+  // Fills \p unit / \p has with unit-normalized phrase vectors of \p table.
+  void BuildArena(const EmbeddingTable& table, std::vector<float>* unit,
+                  std::vector<uint8_t>* has, size_t* dim) const;
+
+  const SignalBundle* bundle_ = nullptr;
+  SignalCacheFamilies families_;
+
+  /// Owns phrase storage; index_ keys string_views into it (stable deque
+  /// addresses), so IdOf never allocates.
+  std::deque<std::string> phrases_;
+  std::unordered_map<std::string_view, size_t> index_;
+
+  // Embedding arenas: one unit-normalized row per phrase.
+  size_t dim_ = 0;
+  std::vector<float> unit_;
+  std::vector<uint8_t> has_vec_;
+  size_t triple_dim_ = 0;
+  std::vector<float> triple_unit_;
+  std::vector<uint8_t> has_triple_vec_;
+
+  // PPDB representative ids (-1 = outside PPDB's coverage).
+  std::vector<int32_t> ppdb_rep_;
+
+  // AMIE: interned normalized-form id and evidence flag per phrase, plus
+  // the miner's bidirectional equivalences as unordered norm-id pairs —
+  // the pair query is two int compares and at most one integer hash.
+  std::vector<int32_t> amie_norm_id_;
+  std::vector<uint8_t> amie_evidence_;
+  std::unordered_set<uint64_t> amie_equivalent_;
+
+  // KBP classification per phrase (kNilId = abstain).
+  std::vector<RelationId> kbp_class_;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_CORE_SIGNAL_CACHE_H_

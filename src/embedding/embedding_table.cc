@@ -9,11 +9,35 @@
 
 namespace jocl {
 
+EmbeddingTable::EmbeddingTable(const EmbeddingTable& other)
+    : dim_(other.dim_), words_(other.words_), data_(other.data_) {
+  RebuildIndex();
+}
+
+EmbeddingTable& EmbeddingTable::operator=(const EmbeddingTable& other) {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  words_ = other.words_;
+  data_ = other.data_;
+  RebuildIndex();
+  return *this;
+}
+
+void EmbeddingTable::RebuildIndex() {
+  index_.clear();
+  index_.reserve(words_.size());
+  for (size_t row = 0; row < words_.size(); ++row) {
+    index_.emplace(std::string_view(words_[row]), row);
+  }
+}
+
 void EmbeddingTable::Set(std::string_view word,
                          const std::vector<float>& vector) {
   assert(vector.size() == dim_ && "vector length must equal table dim");
-  auto [it, inserted] = index_.emplace(std::string(word), index_.size());
-  if (inserted) {
+  auto it = index_.find(word);
+  if (it == index_.end()) {
+    words_.emplace_back(word);
+    index_.emplace(std::string_view(words_.back()), words_.size() - 1);
     data_.insert(data_.end(), vector.begin(), vector.end());
   } else {
     std::copy(vector.begin(), vector.end(),
@@ -22,11 +46,11 @@ void EmbeddingTable::Set(std::string_view word,
 }
 
 bool EmbeddingTable::Contains(std::string_view word) const {
-  return index_.find(std::string(word)) != index_.end();
+  return index_.find(word) != index_.end();
 }
 
 const float* EmbeddingTable::Vector(std::string_view word) const {
-  auto it = index_.find(std::string(word));
+  auto it = index_.find(word);
   if (it == index_.end()) return nullptr;
   return data_.data() + it->second * dim_;
 }
@@ -64,9 +88,7 @@ double EmbeddingTable::Cosine(const std::vector<float>& a,
 }
 
 std::vector<std::string> EmbeddingTable::Words() const {
-  std::vector<std::string> words;
-  words.reserve(index_.size());
-  for (const auto& [word, row] : index_) words.push_back(word);
+  std::vector<std::string> words(words_.begin(), words_.end());
   std::sort(words.begin(), words.end());
   return words;
 }

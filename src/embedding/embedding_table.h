@@ -1,6 +1,7 @@
 #ifndef JOCL_EMBEDDING_EMBEDDING_TABLE_H_
 #define JOCL_EMBEDDING_EMBEDDING_TABLE_H_
 
+#include <deque>
 #include <string>
 #include <cstddef>
 #include <string_view>
@@ -20,6 +21,14 @@ class EmbeddingTable {
  public:
   /// Constructs an empty table with the given dimensionality.
   explicit EmbeddingTable(size_t dim = 0) : dim_(dim) {}
+
+  // The index is keyed by string_views into words_, so copies must rebuild
+  // it against their own storage. Moves keep string addresses stable
+  // (deque blocks are transferred wholesale) and can use the defaults.
+  EmbeddingTable(const EmbeddingTable& other);
+  EmbeddingTable& operator=(const EmbeddingTable& other);
+  EmbeddingTable(EmbeddingTable&&) = default;
+  EmbeddingTable& operator=(EmbeddingTable&&) = default;
 
   size_t dim() const { return dim_; }
   size_t size() const { return index_.size(); }
@@ -53,8 +62,15 @@ class EmbeddingTable {
   std::vector<std::string> Words() const;
 
  private:
+  void RebuildIndex();
+
   size_t dim_;
-  std::unordered_map<std::string, size_t> index_;
+  /// Owns the word strings; deque keeps element addresses stable under
+  /// growth so index_ can key string_views into it. Lookups with a
+  /// string_view therefore never construct a std::string (the hot signal
+  /// path calls Vector() per token, per phrase, per pair).
+  std::deque<std::string> words_;
+  std::unordered_map<std::string_view, size_t> index_;
   std::vector<float> data_;  // row-major, one row per word
 };
 

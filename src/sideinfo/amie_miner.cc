@@ -68,17 +68,32 @@ void AmieMiner::Mine(const OpenKb& okb) {
   }
 }
 
+std::string AmieMiner::NormalizedForm(std::string_view rp) const {
+  return normalizer_.Normalize(rp);
+}
+
 bool AmieMiner::HasEvidence(std::string_view rp) const {
-  auto it = pair_sets_.find(normalizer_.Normalize(rp));
+  return HasEvidenceNormalized(normalizer_.Normalize(rp));
+}
+
+bool AmieMiner::HasEvidenceNormalized(std::string_view norm) const {
+  auto it = pair_sets_.find(std::string(norm));
   return it != pair_sets_.end() && it->second.size() >= options_.min_support;
 }
 
 double AmieMiner::Similarity(std::string_view rp_a,
                              std::string_view rp_b) const {
-  std::string norm_a = normalizer_.Normalize(rp_a);
-  std::string norm_b = normalizer_.Normalize(rp_b);
+  return SimilarityNormalized(normalizer_.Normalize(rp_a),
+                              normalizer_.Normalize(rp_b));
+}
+
+double AmieMiner::SimilarityNormalized(std::string_view norm_a,
+                                       std::string_view norm_b) const {
   if (norm_a == norm_b) return 1.0;  // identical after normalization
-  return equivalent_pairs_.count(PairKey(norm_a, norm_b)) > 0 ? 1.0 : 0.0;
+  return equivalent_pairs_.count(PairKey(std::string(norm_a),
+                                         std::string(norm_b))) > 0
+             ? 1.0
+             : 0.0;
 }
 
 }  // namespace jocl

@@ -57,6 +57,18 @@ class AmieMiner {
   /// to say anything about it at all.
   bool HasEvidence(std::string_view rp) const;
 
+  /// The normalized form Similarity()/HasEvidence() key on. Callers that
+  /// evaluate many pairs (SignalCache) normalize each phrase once and use
+  /// the *Normalized variants below.
+  std::string NormalizedForm(std::string_view rp) const;
+
+  /// Similarity over pre-normalized forms (no re-normalization).
+  double SimilarityNormalized(std::string_view norm_a,
+                              std::string_view norm_b) const;
+
+  /// HasEvidence over a pre-normalized form.
+  bool HasEvidenceNormalized(std::string_view norm) const;
+
   /// Number of distinct normalized predicates observed while mining.
   size_t predicate_count() const { return pair_sets_.size(); }
 

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "core/decode.h"
+#include "core/jocl.h"
 #include "util/rng.h"
 
 namespace jocl {
@@ -136,6 +137,122 @@ TEST_P(ClusterPairGraphProperty, NeverCoarserThanTransitiveClosure) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ClusterPairGraphProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------- §3.5 conflict resolution -----------------------------------------
+
+// A minimal three-triple problem: subject surfaces {a, b, c} (one mention
+// each), distinct predicates and objects, no object/predicate pairs unless
+// a test adds them. Subject pair (a, b) is the conflict under test.
+class ConflictResolutionTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kE1 = 10;
+  static constexpr int64_t kE2 = 20;
+  static constexpr int64_t kR1 = 100;
+  static constexpr int64_t kR2 = 200;
+
+  void SetUp() override {
+    problem_.triples = {0, 1, 2};
+    problem_.subject_surfaces = {"a", "b", "c"};
+    problem_.predicate_surfaces = {"p", "q", "r"};
+    problem_.object_surfaces = {"x", "y", "z"};
+    problem_.subject_of = {0, 1, 2};
+    problem_.predicate_of = {0, 1, 2};
+    problem_.object_of = {0, 1, 2};
+    problem_.subject_rep = {0, 1, 2};
+    problem_.predicate_rep = {0, 1, 2};
+    problem_.object_rep = {0, 1, 2};
+    problem_.subject_pairs = {SurfacePair{0, 1, 0.8}};
+    problem_.subject_candidates = {{{kE1, 0.9}}, {{kE2, 0.9}}, {{kE1, 0.9}}};
+    problem_.predicate_candidates.assign(3, {});
+    problem_.object_candidates.assign(3, {});
+
+    // Pair (a, b) decoded same-meaning with belief 0.9.
+    beliefs_.x_state = {1};
+    beliefs_.x_marg = {{0.1, 0.9}};
+    beliefs_.y_state = {};
+    beliefs_.y_marg = {};
+    beliefs_.z_state = {};
+    beliefs_.z_marg = {};
+    // Subjects decoded to their single candidate with confidence 0.8
+    // (overturnable); objects and predicates decoded NIL.
+    beliefs_.es_state = {1, 1, 1};
+    beliefs_.es_marg = {{0.2, 0.8}, {0.2, 0.8}, {0.2, 0.8}};
+    beliefs_.rp_state = {0, 0, 0};
+    beliefs_.rp_marg = {{1.0}, {1.0}, {1.0}};
+    beliefs_.eo_state = {0, 0, 0};
+    beliefs_.eo_marg = {{1.0}, {1.0}, {1.0}};
+
+    // Decoded links: a -> e1, b -> e2, c -> e1 (e1's group is larger).
+    np_link_ = {kE1, kNilId, kE2, kNilId, kE1, kNilId};
+    rp_link_ = {kNilId, kNilId, kNilId};
+  }
+
+  JoclProblem problem_;
+  JoclBeliefs beliefs_;
+  JointDecodeOptions options_;
+  std::vector<int64_t> np_link_;
+  std::vector<int64_t> rp_link_;
+};
+
+TEST_F(ConflictResolutionTest, LoserMentionsMoveToLargerLinkGroup) {
+  ResolveLinkConflicts(problem_, beliefs_, options_, &np_link_, &rp_link_);
+  // b sat in the smaller group (e2: 1 mention vs e1: 2) and was only 0.8
+  // confident -> overturned to e1.
+  EXPECT_EQ(np_link_[2], kE1);
+  // The winners stay put.
+  EXPECT_EQ(np_link_[0], kE1);
+  EXPECT_EQ(np_link_[4], kE1);
+}
+
+TEST_F(ConflictResolutionTest, ConfidentLinksSurviveTheOverturnGuard) {
+  beliefs_.es_marg[1] = {0.1, 0.9};  // b's own link is 0.9 >= 0.85
+  ResolveLinkConflicts(problem_, beliefs_, options_, &np_link_, &rp_link_);
+  EXPECT_EQ(np_link_[2], kE2);
+
+  // Lowering the guard makes the same mention overturnable again.
+  beliefs_.es_marg[1] = {0.1, 0.9};
+  options_.overturn_guard = 0.95;
+  np_link_ = {kE1, kNilId, kE2, kNilId, kE1, kNilId};
+  ResolveLinkConflicts(problem_, beliefs_, options_, &np_link_, &rp_link_);
+  EXPECT_EQ(np_link_[2], kE1);
+}
+
+TEST_F(ConflictResolutionTest, UnconfidentPairsDoNotFire) {
+  beliefs_.x_marg[0] = {0.3, 0.7};  // below conflict_confidence 0.75
+  ResolveLinkConflicts(problem_, beliefs_, options_, &np_link_, &rp_link_);
+  EXPECT_EQ(np_link_[2], kE2);
+
+  beliefs_.x_state[0] = 0;  // decoded different-meaning: never fires
+  beliefs_.x_marg[0] = {0.1, 0.9};
+  ResolveLinkConflicts(problem_, beliefs_, options_, &np_link_, &rp_link_);
+  EXPECT_EQ(np_link_[2], kE2);
+}
+
+TEST_F(ConflictResolutionTest, NilLinksAreNeverResolved) {
+  np_link_[2] = kNilId;  // b unlinked: nothing to resolve against
+  ResolveLinkConflicts(problem_, beliefs_, options_, &np_link_, &rp_link_);
+  EXPECT_EQ(np_link_[0], kE1);
+  EXPECT_EQ(np_link_[2], kNilId);
+  EXPECT_EQ(np_link_[4], kE1);
+}
+
+TEST_F(ConflictResolutionTest, AgreeingLinksAreLeftAlone) {
+  np_link_[2] = kE1;  // no conflict on the pair
+  ResolveLinkConflicts(problem_, beliefs_, options_, &np_link_, &rp_link_);
+  EXPECT_EQ(np_link_[0], kE1);
+  EXPECT_EQ(np_link_[2], kE1);
+}
+
+TEST_F(ConflictResolutionTest, RelationConflictsUseGroupSizeToo) {
+  problem_.predicate_pairs = {SurfacePair{0, 1, 0.8}};
+  beliefs_.y_state = {1};
+  beliefs_.y_marg = {{0.05, 0.95}};
+  rp_link_ = {kR1, kR2, kR1};  // r1's group (2) beats r2's (1)
+  ResolveLinkConflicts(problem_, beliefs_, options_, &np_link_, &rp_link_);
+  EXPECT_EQ(rp_link_[1], kR1);
+  EXPECT_EQ(rp_link_[0], kR1);
+  EXPECT_EQ(rp_link_[2], kR1);
+}
 
 }  // namespace
 }  // namespace jocl

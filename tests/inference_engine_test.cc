@@ -362,6 +362,108 @@ TEST(EngineInterfaceTest, ExactEngineDecodeIsMap) {
   EXPECT_EQ(engine->Decode(), ExactMap(g, w));
 }
 
+// ---------- component partition + RunParallelLbp wrapper ---------------------
+// (folded from the retired parallel_lbp_test.cc: disjoint-chain component
+// detection and the compatibility wrapper's equality guarantees.)
+
+// Builds a graph of `k` disjoint chains of length `len`.
+FactorGraph MakeChains(size_t k, size_t len, Rng* rng,
+                       std::vector<VariableId>* vars) {
+  FactorGraph g;
+  g.set_weight_count(1);
+  for (size_t c = 0; c < k; ++c) {
+    VariableId prev = 0;
+    for (size_t i = 0; i < len; ++i) {
+      VariableId v = g.AddVariable(2);
+      vars->push_back(v);
+      double bias = rng->UniformDouble(0.0, 1.0);
+      (void)g.AddFactor({v}, FixedTable({0.0, bias}));
+      if (i > 0) {
+        double s = rng->UniformDouble(0.2, 0.8);
+        (void)g.AddFactor({prev, v}, FixedTable({s, 1.0 - s, 1.0 - s, s}));
+      }
+      prev = v;
+    }
+  }
+  return g;
+}
+
+TEST(FactorGraphComponentsTest, DisjointChainsAreSeparate) {
+  Rng rng(5);
+  std::vector<VariableId> vars;
+  FactorGraph g = MakeChains(3, 4, &rng, &vars);
+  std::vector<size_t> components = FactorGraphComponents(g);
+  ASSERT_EQ(components.size(), 12u);
+  // Within a chain: same component; across chains: different.
+  EXPECT_EQ(components[0], components[3]);
+  EXPECT_EQ(components[4], components[7]);
+  EXPECT_NE(components[0], components[4]);
+  EXPECT_NE(components[4], components[8]);
+}
+
+TEST(FactorGraphComponentsTest, IsolatedVariableIsOwnComponent) {
+  FactorGraph g;
+  g.set_weight_count(1);
+  g.AddVariable(2);
+  VariableId b = g.AddVariable(2);
+  VariableId c = g.AddVariable(2);
+  (void)g.AddFactor({b, c}, FixedTable({0.1, 0.2, 0.3, 0.4}));
+  std::vector<size_t> components = FactorGraphComponents(g);
+  EXPECT_NE(components[0], components[1]);
+  EXPECT_EQ(components[1], components[2]);
+}
+
+TEST(ParallelLbpWrapperTest, MatchesSequentialEngineOnDisjointChains) {
+  Rng rng(17);
+  std::vector<VariableId> vars;
+  FactorGraph g = MakeChains(6, 5, &rng, &vars);
+  std::vector<double> w = {1.2};
+
+  LbpOptions options;
+  options.max_iterations = 40;
+  FlatLbpEngine sequential(&g, &w, options);
+  LbpResult reference = sequential.Run();
+
+  ParallelLbpResult parallel = RunParallelLbp(g, w, options, 4);
+  EXPECT_EQ(parallel.components, 6u);
+  EXPECT_TRUE(parallel.converged);
+  ASSERT_EQ(parallel.marginals.size(), reference.marginals.size());
+  // Equality is exact: per-component schedules, arithmetic and arena
+  // slices are identical in both modes.
+  EXPECT_EQ(parallel.marginals, reference.marginals);
+}
+
+TEST(ParallelLbpWrapperTest, SameMarginalsForAnyThreadCount) {
+  Rng rng(31);
+  std::vector<VariableId> vars;
+  FactorGraph g = MakeChains(8, 4, &rng, &vars);
+  std::vector<double> w = {0.9};
+  ParallelLbpResult reference = RunParallelLbp(g, w, {}, 1);
+  for (size_t threads : {2u, 3u, 8u, 16u}) {
+    ParallelLbpResult other = RunParallelLbp(g, w, {}, threads);
+    EXPECT_EQ(reference.marginals, other.marginals)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelLbpWrapperTest, HonorsClamps) {
+  Rng rng(23);
+  std::vector<VariableId> vars;
+  FactorGraph g = MakeChains(2, 3, &rng, &vars);
+  ASSERT_TRUE(g.Clamp(vars[0], 1).ok());
+  std::vector<double> w = {1.0};
+  ParallelLbpResult parallel = RunParallelLbp(g, w, {}, 2);
+  EXPECT_NEAR(parallel.marginals[vars[0]][1], 1.0, 1e-12);
+}
+
+TEST(ParallelLbpWrapperTest, EmptyGraph) {
+  FactorGraph g;
+  std::vector<double> w = {1.0};
+  ParallelLbpResult result = RunParallelLbp(g, w, {}, 4);
+  EXPECT_EQ(result.components, 0u);
+  EXPECT_TRUE(result.converged);
+}
+
 // ---------- learner over pluggable backends ----------------------------------
 
 TEST(LearnerBackendTest, ExactBackendReproducesAnalyticGradientStep) {

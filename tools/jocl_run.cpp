@@ -3,10 +3,16 @@
 // Modes:
 //   jocl_run generate <reverb|nytimes> <scale> <out.tsv>
 //       Generate a synthetic benchmark and write its triples + gold TSV.
-//   jocl_run demo [scale]
+//   jocl_run demo [scale] [--threads N] [--shards N]
 //       Generate, learn, infer and print evaluation + weight report.
 //   jocl_run weights <out.tsv> [scale]
 //       Learn weights on a generated validation split and save them.
+//
+// Runtime flags (accepted anywhere after the mode):
+//   --threads N   shard-level worker threads (0 = hardware, default)
+//   --shards N    shard count (0 = one per independent sub-problem)
+// Both are pure execution knobs: the result is byte-identical for every
+// setting (see core/runtime.h).
 //
 // The TSV format is documented in data/dataset_io.h. Real deployments
 // would load their own triples with LoadTriplesTsv and construct a
@@ -17,6 +23,7 @@
 #include <cstring>
 
 #include "core/jocl.h"
+#include "core/runtime.h"
 #include "core/weights_io.h"
 #include "data/dataset_io.h"
 #include "data/generator.h"
@@ -31,9 +38,34 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  jocl_run generate <reverb|nytimes> <scale> <out.tsv>\n"
-               "  jocl_run demo [scale]\n"
+               "  jocl_run demo [scale] [--threads N] [--shards N]\n"
                "  jocl_run weights <out.tsv> [scale]\n");
   return 2;
+}
+
+// Strips --threads/--shards (either "--flag N" or "--flag=N") from argv,
+// returning the remaining positional count.
+int ParseRuntimeFlags(int argc, char** argv, RuntimeOptions* runtime) {
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    auto value_of = [&](const char* flag, size_t* out) {
+      size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) != 0) return false;
+      if (argv[i][len] == '=') {
+        *out = static_cast<size_t>(std::atoll(argv[i] + len + 1));
+        return true;
+      }
+      if (argv[i][len] == '\0' && i + 1 < argc) {
+        *out = static_cast<size_t>(std::atoll(argv[++i]));
+        return true;
+      }
+      return false;
+    };
+    if (value_of("--threads", &runtime->num_threads)) continue;
+    if (value_of("--shards", &runtime->max_shards)) continue;
+    argv[kept++] = argv[i];
+  }
+  return kept;
 }
 
 Dataset Generate(const char* kind, double scale) {
@@ -58,6 +90,8 @@ int RunGenerate(int argc, char** argv) {
 }
 
 int RunDemo(int argc, char** argv) {
+  RuntimeOptions runtime_options;
+  argc = ParseRuntimeFlags(argc, argv, &runtime_options);
   double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
   std::printf("generating ReVerb45K-like benchmark (scale %.2f)...\n", scale);
   Dataset ds = GenerateReVerb45K(scale).MoveValueOrDie();
@@ -69,8 +103,16 @@ int RunDemo(int argc, char** argv) {
   std::vector<double> weights = jocl.LearnWeights(ds, sig).MoveValueOrDie();
   std::printf("running joint inference over %zu test triples...\n",
               ds.test_triples.size());
+  JoclRuntime runtime(jocl.options(), runtime_options);
+  RuntimeStats stats;
   JoclResult result =
-      jocl.Infer(ds, sig, ds.test_triples, weights).MoveValueOrDie();
+      runtime.Infer(ds, sig, ds.test_triples, weights, &stats)
+          .MoveValueOrDie();
+  std::printf(
+      "runtime: %zu independent sub-problems in %zu shards "
+      "(problem %.2fs, cache %.2fs, shards %.2fs, decode %.2fs)\n",
+      stats.components, stats.shards, stats.problem_seconds,
+      stats.cache_seconds, stats.shard_seconds, stats.decode_seconds);
 
   std::vector<size_t> gold_np;
   std::vector<int64_t> gold_entities;
