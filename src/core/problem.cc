@@ -158,7 +158,7 @@ std::vector<SurfacePair> BlockPairs(
 
 JoclProblem BuildProblem(const Dataset& dataset, const SignalBundle& signals,
                          const std::vector<size_t>& triple_subset,
-                         const ProblemOptions& options) {
+                         const ProblemOptions& options, ProblemCache* cache) {
   JoclProblem problem;
   problem.triples = triple_subset;
   std::sort(problem.triples.begin(), problem.triples.end());
@@ -183,21 +183,47 @@ JoclProblem BuildProblem(const Dataset& dataset, const SignalBundle& signals,
   BuildSurfaces(objects, &problem.object_surfaces, &problem.object_of,
                 &problem.object_rep);
 
+  // Candidate generation is a pure function of (surface, max_candidates)
+  // against the fixed CKB, so the optional cross-build memo returns the
+  // exact vectors an unmemoized build would compute.
   const CuratedKb& ckb = dataset.ckb;
+  auto entity_candidates = [&](const std::string& surface) {
+    if (cache == nullptr) {
+      return ckb.EntityCandidates(surface, options.max_candidates);
+    }
+    auto it = cache->entity_candidates.find(surface);
+    if (it == cache->entity_candidates.end()) {
+      it = cache->entity_candidates
+               .emplace(surface,
+                        ckb.EntityCandidates(surface, options.max_candidates))
+               .first;
+    }
+    return it->second;
+  };
+  auto relation_candidates = [&](const std::string& surface) {
+    if (cache == nullptr) {
+      return ckb.RelationCandidates(surface, options.max_candidates);
+    }
+    auto it = cache->relation_candidates.find(surface);
+    if (it == cache->relation_candidates.end()) {
+      it = cache->relation_candidates
+               .emplace(surface, ckb.RelationCandidates(
+                                     surface, options.max_candidates))
+               .first;
+    }
+    return it->second;
+  };
   problem.subject_candidates.reserve(problem.subject_surfaces.size());
   for (const auto& surface : problem.subject_surfaces) {
-    problem.subject_candidates.push_back(
-        ckb.EntityCandidates(surface, options.max_candidates));
+    problem.subject_candidates.push_back(entity_candidates(surface));
   }
   problem.object_candidates.reserve(problem.object_surfaces.size());
   for (const auto& surface : problem.object_surfaces) {
-    problem.object_candidates.push_back(
-        ckb.EntityCandidates(surface, options.max_candidates));
+    problem.object_candidates.push_back(entity_candidates(surface));
   }
   problem.predicate_candidates.reserve(problem.predicate_surfaces.size());
   for (const auto& surface : problem.predicate_surfaces) {
-    problem.predicate_candidates.push_back(
-        ckb.RelationCandidates(surface, options.max_candidates));
+    problem.predicate_candidates.push_back(relation_candidates(surface));
   }
 
   // Side-information blocking buckets. PPDB buckets carry independent

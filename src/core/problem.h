@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/signals.h"
@@ -101,11 +102,29 @@ struct JoclProblem {
   size_t rp_mention_count() const { return triples.size(); }
 };
 
+/// \brief Cross-build memo of the pure per-surface lookups inside
+/// BuildProblem (candidate generation against the fixed CKB). Memoized
+/// builds return exactly the same problem as unmemoized ones — the memo
+/// only skips recomputing `EntityCandidates` / `RelationCandidates` for
+/// surfaces seen in an earlier build. `JoclSession` keeps one across
+/// ingestion batches, which is most of what makes a streaming problem
+/// rebuild cheap. Valid only while the dataset's CKB and the
+/// `max_candidates` option stay fixed (both are per-session constants).
+struct ProblemCache {
+  std::unordered_map<std::string, std::vector<EntityCandidate>>
+      entity_candidates;
+  std::unordered_map<std::string, std::vector<RelationCandidate>>
+      relation_candidates;
+};
+
 /// \brief Builds the problem for the given triple subset (ascending order
-/// not required; it is sorted internally).
+/// not required; it is sorted internally). \p cache, when non-null,
+/// memoizes per-surface candidate generation across builds (see
+/// ProblemCache).
 JoclProblem BuildProblem(const Dataset& dataset, const SignalBundle& signals,
                          const std::vector<size_t>& triple_subset,
-                         const ProblemOptions& options = {});
+                         const ProblemOptions& options = {},
+                         ProblemCache* cache = nullptr);
 
 }  // namespace jocl
 

@@ -13,20 +13,8 @@
 #include "util/stopwatch.h"
 
 namespace jocl {
-namespace {
 
-/// Per-shard outputs that are not part of the scattered beliefs.
-struct ShardOutcome {
-  LbpResult diagnostics;  // marginals cleared (beliefs carry them)
-  size_t variables = 0;
-  size_t factors = 0;
-};
-
-/// Folds one shard's convergence diagnostics into the merged result.
-/// max/AND/elementwise-max are associative, so folding per-shard
-/// aggregates reproduces the monolithic engine's own cross-component
-/// aggregation bit for bit.
-void MergeDiagnostics(const LbpResult& shard, LbpResult* merged) {
+void MergeShardDiagnostics(const LbpResult& shard, LbpResult* merged) {
   merged->iterations = std::max(merged->iterations, shard.iterations);
   merged->converged = merged->converged && shard.converged;
   merged->final_residual =
@@ -40,7 +28,168 @@ void MergeDiagnostics(const LbpResult& shard, LbpResult* merged) {
   }
 }
 
-}  // namespace
+ShardBeliefs RunShardInference(const JoclProblem& local,
+                               const SignalCache& cache, const CuratedKb& ckb,
+                               const JoclOptions& options,
+                               const std::vector<double>& weights,
+                               size_t engine_threads,
+                               const ShardWarmStart* warm,
+                               ShardRunTimings* timings) {
+  Stopwatch watch;
+  JoclGraph jgraph = BuildJoclGraph(local, cache, ckb, options.builder);
+  LbpOptions lbp_options = options.inference;
+  lbp_options.factor_schedule = jgraph.schedule;
+  lbp_options.num_threads = engine_threads;
+  std::unique_ptr<InferenceEngine> engine = CreateInferenceEngine(
+      options.inference_backend, &jgraph.graph, &weights, lbp_options);
+  if (warm != nullptr) {
+    // Map the local-order priors onto variable ids, skipping empty hints.
+    auto seed = [&](const std::vector<VariableId>& vars,
+                    const std::vector<std::vector<double>>& priors) {
+      std::vector<VariableId> ids;
+      std::vector<std::vector<double>> values;
+      const size_t n = std::min(vars.size(), priors.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (priors[i].empty()) continue;
+        ids.push_back(vars[i]);
+        values.push_back(priors[i]);
+      }
+      if (!ids.empty()) engine->WarmStart(ids, values);
+    };
+    seed(jgraph.x_vars, warm->x_prior);
+    seed(jgraph.y_vars, warm->y_prior);
+    seed(jgraph.z_vars, warm->z_prior);
+    seed(jgraph.es_vars, warm->es_prior);
+    seed(jgraph.rp_vars, warm->rp_prior);
+    seed(jgraph.eo_vars, warm->eo_prior);
+  }
+  if (timings != nullptr) timings->graph_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  ShardBeliefs out;
+  out.diagnostics = engine->Run();
+  out.diagnostics.marginals.clear();
+  out.variables = jgraph.graph.variable_count();
+  out.factors = jgraph.graph.factor_count();
+  std::vector<size_t> decoded = engine->Decode();
+
+  if (options.builder.enable_canonicalization) {
+    auto extract_pairs = [&](const std::vector<VariableId>& vars,
+                             std::vector<std::vector<double>>* marg,
+                             std::vector<size_t>* state) {
+      marg->resize(vars.size());
+      state->resize(vars.size());
+      for (size_t p = 0; p < vars.size(); ++p) {
+        (*marg)[p] = engine->Marginal(vars[p]);
+        (*state)[p] = decoded[vars[p]];
+      }
+    };
+    extract_pairs(jgraph.x_vars, &out.x_marg, &out.x_state);
+    extract_pairs(jgraph.y_vars, &out.y_marg, &out.y_state);
+    extract_pairs(jgraph.z_vars, &out.z_marg, &out.z_state);
+  }
+  if (options.builder.enable_linking) {
+    const size_t n = local.triples.size();
+    auto extract_links = [&](const std::vector<VariableId>& vars,
+                             std::vector<std::vector<double>>* marg,
+                             std::vector<size_t>* state) {
+      marg->resize(n);
+      state->resize(n);
+      for (size_t t = 0; t < n; ++t) {
+        (*marg)[t] = engine->Marginal(vars[t]);
+        (*state)[t] = decoded[vars[t]];
+      }
+    };
+    extract_links(jgraph.es_vars, &out.es_marg, &out.es_state);
+    extract_links(jgraph.rp_vars, &out.rp_marg, &out.rp_state);
+    extract_links(jgraph.eo_vars, &out.eo_marg, &out.eo_state);
+  }
+  if (timings != nullptr) timings->infer_seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+void SizeJoclBeliefs(const JoclProblem& problem,
+                     const GraphBuilderOptions& builder,
+                     JoclBeliefs* beliefs) {
+  *beliefs = JoclBeliefs();
+  if (builder.enable_canonicalization) {
+    beliefs->x_marg.resize(problem.subject_pairs.size());
+    beliefs->x_state.resize(problem.subject_pairs.size());
+    beliefs->y_marg.resize(problem.predicate_pairs.size());
+    beliefs->y_state.resize(problem.predicate_pairs.size());
+    beliefs->z_marg.resize(problem.object_pairs.size());
+    beliefs->z_state.resize(problem.object_pairs.size());
+  }
+  if (builder.enable_linking) {
+    beliefs->es_marg.resize(problem.triples.size());
+    beliefs->es_state.resize(problem.triples.size());
+    beliefs->rp_marg.resize(problem.triples.size());
+    beliefs->rp_state.resize(problem.triples.size());
+    beliefs->eo_marg.resize(problem.triples.size());
+    beliefs->eo_state.resize(problem.triples.size());
+  }
+}
+
+void ScatterShardBeliefs(const ProblemShard& shard, const ShardBeliefs& local,
+                         const GraphBuilderOptions& builder,
+                         JoclBeliefs* beliefs) {
+  if (builder.enable_canonicalization) {
+    auto scatter_pairs = [&](const std::vector<std::vector<double>>& marg,
+                             const std::vector<size_t>& state,
+                             const std::vector<size_t>& pair_map,
+                             std::vector<std::vector<double>>* global_marg,
+                             std::vector<size_t>* global_state) {
+      for (size_t p = 0; p < pair_map.size(); ++p) {
+        (*global_marg)[pair_map[p]] = marg[p];
+        (*global_state)[pair_map[p]] = state[p];
+      }
+    };
+    scatter_pairs(local.x_marg, local.x_state, shard.subject_pair_map,
+                  &beliefs->x_marg, &beliefs->x_state);
+    scatter_pairs(local.y_marg, local.y_state, shard.predicate_pair_map,
+                  &beliefs->y_marg, &beliefs->y_state);
+    scatter_pairs(local.z_marg, local.z_state, shard.object_pair_map,
+                  &beliefs->z_marg, &beliefs->z_state);
+  }
+  if (builder.enable_linking) {
+    for (size_t t = 0; t < shard.triple_map.size(); ++t) {
+      size_t global = shard.triple_map[t];
+      beliefs->es_marg[global] = local.es_marg[t];
+      beliefs->es_state[global] = local.es_state[t];
+      beliefs->rp_marg[global] = local.rp_marg[t];
+      beliefs->rp_state[global] = local.rp_state[t];
+      beliefs->eo_marg[global] = local.eo_marg[t];
+      beliefs->eo_state[global] = local.eo_state[t];
+    }
+  }
+}
+
+JoclResult AssembleJoclResult(const JoclProblem& problem,
+                              const JoclBeliefs& beliefs,
+                              const JoclOptions& options,
+                              std::vector<double> weights,
+                              LbpResult diagnostics) {
+  JoclResult result;
+  result.weights = std::move(weights);
+  result.triples = problem.triples;
+  result.diagnostics = std::move(diagnostics);
+  // Canonical marginal order, independent of sharding: subject pairs,
+  // predicate pairs, object pairs, then es/rp/eo per triple.
+  result.diagnostics.marginals.clear();
+  for (const auto* group : {&beliefs.x_marg, &beliefs.y_marg, &beliefs.z_marg,
+                            &beliefs.es_marg, &beliefs.rp_marg,
+                            &beliefs.eo_marg}) {
+    result.diagnostics.marginals.insert(result.diagnostics.marginals.end(),
+                                        group->begin(), group->end());
+  }
+
+  JointDecodeOptions decode_options;
+  decode_options.canonicalization = options.builder.enable_canonicalization;
+  decode_options.linking = options.builder.enable_linking;
+  decode_options.conflict_confidence = options.conflict_confidence;
+  DecodeJointResult(problem, beliefs, decode_options, &result);
+  return result;
+}
 
 JoclRuntime::JoclRuntime(JoclOptions options, RuntimeOptions runtime)
     : options_(std::move(options)), runtime_(runtime) {}
@@ -76,23 +225,9 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
   // ---- per-shard build→compile→infer→extract on a worker pool -------------
   watch.Reset();
   JoclBeliefs beliefs;
-  if (options_.builder.enable_canonicalization) {
-    beliefs.x_marg.resize(problem.subject_pairs.size());
-    beliefs.x_state.resize(problem.subject_pairs.size());
-    beliefs.y_marg.resize(problem.predicate_pairs.size());
-    beliefs.y_state.resize(problem.predicate_pairs.size());
-    beliefs.z_marg.resize(problem.object_pairs.size());
-    beliefs.z_state.resize(problem.object_pairs.size());
-  }
-  if (options_.builder.enable_linking) {
-    beliefs.es_marg.resize(problem.triples.size());
-    beliefs.es_state.resize(problem.triples.size());
-    beliefs.rp_marg.resize(problem.triples.size());
-    beliefs.rp_state.resize(problem.triples.size());
-    beliefs.eo_marg.resize(problem.triples.size());
-    beliefs.eo_state.resize(problem.triples.size());
-  }
-  std::vector<ShardOutcome> outcomes(plan.shards.size());
+  SizeJoclBeliefs(problem, options_.builder, &beliefs);
+  std::vector<ShardBeliefs> outcomes(plan.shards.size());
+  std::vector<ShardRunTimings> timings(plan.shards.size());
 
   // Worker/engine thread split: with fewer shards than requested threads
   // (the extreme: max_shards = 1), the leftover parallelism moves inside
@@ -112,51 +247,20 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
 
   auto run_shard = [&](size_t s) {
     const ProblemShard& shard = plan.shards[s];
-    JoclGraph jgraph =
-        BuildJoclGraph(shard.problem, cache, dataset.ckb, options_.builder);
-    LbpOptions lbp_options = options_.inference;
-    lbp_options.factor_schedule = jgraph.schedule;
-    lbp_options.num_threads = engine_threads;
-    std::unique_ptr<InferenceEngine> engine = CreateInferenceEngine(
-        options_.inference_backend, &jgraph.graph, &weights, lbp_options);
-    ShardOutcome& outcome = outcomes[s];
-    outcome.diagnostics = engine->Run();
-    outcome.diagnostics.marginals.clear();
-    outcome.variables = jgraph.graph.variable_count();
-    outcome.factors = jgraph.graph.factor_count();
-    std::vector<size_t> decoded = engine->Decode();
-
-    // Scatter into the global belief arrays; shards partition the pair
-    // and triple spaces, so every write below hits a slot no other shard
-    // touches.
-    if (options_.builder.enable_canonicalization) {
-      auto scatter_pairs = [&](const std::vector<VariableId>& vars,
-                               const std::vector<size_t>& pair_map,
-                               std::vector<std::vector<double>>* marg,
-                               std::vector<size_t>* state) {
-        for (size_t p = 0; p < vars.size(); ++p) {
-          (*marg)[pair_map[p]] = engine->Marginal(vars[p]);
-          (*state)[pair_map[p]] = decoded[vars[p]];
-        }
-      };
-      scatter_pairs(jgraph.x_vars, shard.subject_pair_map, &beliefs.x_marg,
-                    &beliefs.x_state);
-      scatter_pairs(jgraph.y_vars, shard.predicate_pair_map, &beliefs.y_marg,
-                    &beliefs.y_state);
-      scatter_pairs(jgraph.z_vars, shard.object_pair_map, &beliefs.z_marg,
-                    &beliefs.z_state);
-    }
-    if (options_.builder.enable_linking) {
-      for (size_t t = 0; t < shard.triple_map.size(); ++t) {
-        size_t global = shard.triple_map[t];
-        beliefs.es_marg[global] = engine->Marginal(jgraph.es_vars[t]);
-        beliefs.es_state[global] = decoded[jgraph.es_vars[t]];
-        beliefs.rp_marg[global] = engine->Marginal(jgraph.rp_vars[t]);
-        beliefs.rp_state[global] = decoded[jgraph.rp_vars[t]];
-        beliefs.eo_marg[global] = engine->Marginal(jgraph.eo_vars[t]);
-        beliefs.eo_state[global] = decoded[jgraph.eo_vars[t]];
-      }
-    }
+    outcomes[s] =
+        RunShardInference(shard.problem, cache, dataset.ckb, options_,
+                          weights, engine_threads, nullptr, &timings[s]);
+    // Shards partition the pair and triple spaces, so every scatter write
+    // hits a slot no other shard touches.
+    ScatterShardBeliefs(shard, outcomes[s], options_.builder, &beliefs);
+    // Only diagnostics/variables/factors are read after the scatter;
+    // dropping the local belief copies keeps peak marginal memory at one
+    // global set (the session, which does need them, keeps its own).
+    ShardBeliefs trimmed;
+    trimmed.diagnostics = std::move(outcomes[s].diagnostics);
+    trimmed.variables = outcomes[s].variables;
+    trimmed.factors = outcomes[s].factors;
+    outcomes[s] = std::move(trimmed);
   };
 
   // Heaviest shards first so stragglers start early; execution order does
@@ -187,29 +291,18 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
 
   // ---- merge + global decode ----------------------------------------------
   watch.Reset();
-  JoclResult result;
-  result.weights = std::move(weights);
-  result.triples = problem.triples;
-  result.diagnostics.converged = true;
-  for (const ShardOutcome& outcome : outcomes) {
-    MergeDiagnostics(outcome.diagnostics, &result.diagnostics);
-    local_stats.variables += outcome.variables;
-    local_stats.factors += outcome.factors;
+  LbpResult diagnostics;
+  diagnostics.converged = true;
+  for (size_t s = 0; s < outcomes.size(); ++s) {
+    MergeShardDiagnostics(outcomes[s].diagnostics, &diagnostics);
+    local_stats.variables += outcomes[s].variables;
+    local_stats.factors += outcomes[s].factors;
+    local_stats.graph_seconds += timings[s].graph_seconds;
+    local_stats.infer_seconds += timings[s].infer_seconds;
   }
-  // Canonical marginal order, independent of sharding: subject pairs,
-  // predicate pairs, object pairs, then es/rp/eo per triple.
-  for (const auto* group : {&beliefs.x_marg, &beliefs.y_marg, &beliefs.z_marg,
-                            &beliefs.es_marg, &beliefs.rp_marg,
-                            &beliefs.eo_marg}) {
-    result.diagnostics.marginals.insert(result.diagnostics.marginals.end(),
-                                        group->begin(), group->end());
-  }
-
-  JointDecodeOptions decode_options;
-  decode_options.canonicalization = options_.builder.enable_canonicalization;
-  decode_options.linking = options_.builder.enable_linking;
-  decode_options.conflict_confidence = options_.conflict_confidence;
-  DecodeJointResult(problem, beliefs, decode_options, &result);
+  JoclResult result = AssembleJoclResult(problem, beliefs, options_,
+                                         std::move(weights),
+                                         std::move(diagnostics));
   local_stats.decode_seconds = watch.ElapsedSeconds();
 
   JOCL_LOG(kDebug) << "runtime: " << plan.shards.size() << " shards over "

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/decode.h"
 #include "core/jocl.h"
 #include "core/shard.h"
 #include "core/signal_cache.h"
@@ -28,12 +29,95 @@ struct RuntimeStats {
   double cache_seconds = 0.0;      ///< SignalCache build (global)
   double partition_seconds = 0.0;  ///< union-find sharding
   double shard_seconds = 0.0;      ///< build→compile→infer→extract, wall
+  /// Graph building + compilation summed across shards. Accumulated over
+  /// all workers, so with several threads this exceeds the wall-clock
+  /// share of shard_seconds it represents.
+  double graph_seconds = 0.0;
+  /// Engine Run + belief extraction summed across shards (same
+  /// accumulated-over-workers caveat).
+  double infer_seconds = 0.0;
   double decode_seconds = 0.0;     ///< global decode + conflict resolution
   size_t shards = 0;
   size_t components = 0;
   size_t variables = 0;  ///< across all shard graphs
   size_t factors = 0;
 };
+
+/// \brief One shard's inference outputs in *local* indexing — the unit of
+/// work `JoclRuntime` scatters into the global result and the unit of
+/// caching `JoclSession` reuses across ingestion batches.
+struct ShardBeliefs {
+  /// Pair marginals/states aligned with the local problem's pair vectors
+  /// (empty when canonicalization is ablated).
+  std::vector<std::vector<double>> x_marg, y_marg, z_marg;
+  std::vector<size_t> x_state, y_state, z_state;
+  /// Linking marginals/states aligned with the local problem's triples
+  /// (empty when linking is ablated).
+  std::vector<std::vector<double>> es_marg, rp_marg, eo_marg;
+  std::vector<size_t> es_state, rp_state, eo_state;
+  /// Convergence record (marginals cleared; the vectors above carry them).
+  LbpResult diagnostics;
+  size_t variables = 0;
+  size_t factors = 0;
+};
+
+/// \brief Warm-start hints for one shard run, in local indexing: prior
+/// marginals aligned with the local problem's pairs / triples. Empty
+/// inner vectors mean "no hint for this variable". Only consulted when
+/// non-null; see InferenceEngine::WarmStart for the approximate-restart
+/// semantics.
+struct ShardWarmStart {
+  std::vector<std::vector<double>> x_prior, y_prior, z_prior;
+  std::vector<std::vector<double>> es_prior, rp_prior, eo_prior;
+};
+
+/// \brief Per-shard stage split of RunShardInference.
+struct ShardRunTimings {
+  double graph_seconds = 0.0;  ///< BuildJoclGraph + engine construction
+  double infer_seconds = 0.0;  ///< engine Run + belief extraction
+};
+
+/// \brief Builds, compiles and infers one shard-local problem, returning
+/// its beliefs in local indexing. Pure function of (local problem, cache
+/// answers, options, weights) — which is what makes session-side belief
+/// reuse byte-exact. \p engine_threads is the component-parallel
+/// thread count inside the engine (bit-identical for every value).
+ShardBeliefs RunShardInference(const JoclProblem& local,
+                               const SignalCache& cache, const CuratedKb& ckb,
+                               const JoclOptions& options,
+                               const std::vector<double>& weights,
+                               size_t engine_threads,
+                               const ShardWarmStart* warm = nullptr,
+                               ShardRunTimings* timings = nullptr);
+
+/// \brief Sizes the global belief arrays for \p problem according to the
+/// enabled factor families.
+void SizeJoclBeliefs(const JoclProblem& problem,
+                     const GraphBuilderOptions& builder, JoclBeliefs* beliefs);
+
+/// \brief Scatters one shard's local beliefs into the global arrays via
+/// the shard's strictly-increasing local→global maps. Shards partition
+/// the pair and triple spaces, so concurrent scatters touch disjoint
+/// slots.
+void ScatterShardBeliefs(const ProblemShard& shard, const ShardBeliefs& local,
+                         const GraphBuilderOptions& builder,
+                         JoclBeliefs* beliefs);
+
+/// \brief Folds one shard's convergence diagnostics into \p merged.
+/// max/AND/elementwise-max are associative and commutative, so any fold
+/// order reproduces the monolithic engine's own aggregation bit for bit.
+void MergeShardDiagnostics(const LbpResult& shard, LbpResult* merged);
+
+/// \brief Assembles the final JoclResult from merged global beliefs:
+/// canonical marginal order (subject/predicate/object pairs, then
+/// es/rp/eo per triple), global decode and §3.5 conflict resolution.
+/// \p diagnostics is the already-merged convergence record (its marginals
+/// field is overwritten here).
+JoclResult AssembleJoclResult(const JoclProblem& problem,
+                              const JoclBeliefs& beliefs,
+                              const JoclOptions& options,
+                              std::vector<double> weights,
+                              LbpResult diagnostics);
 
 /// \brief The sharded end-to-end runtime (ROADMAP "production-scale"
 /// path): builds the problem and the signal cache once, partitions into
@@ -45,7 +129,8 @@ struct RuntimeStats {
 /// factor graph and the decode/§3.5 steps run globally over merged
 /// beliefs, so the result is byte-identical for every (num_threads,
 /// max_shards) combination — including the monolithic max_shards = 1.
-/// `Jocl::Infer` is a thin wrapper over this class.
+/// `Jocl::Infer` is a thin wrapper over this class; `JoclSession`
+/// (core/session.h) is its long-lived streaming counterpart.
 class JoclRuntime {
  public:
   explicit JoclRuntime(JoclOptions options = {}, RuntimeOptions runtime = {});

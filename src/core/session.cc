@@ -1,0 +1,423 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace jocl {
+namespace {
+
+/// Structural equality of two local problems — the session's reuse guard.
+/// Cached beliefs are a pure function of the local problem + weights, so
+/// equality here makes reuse byte-exact; a fingerprint could not give
+/// that guarantee. Surface *strings* are compared (not global ids), which
+/// also covers reorderings caused by removals changing first-appearance
+/// order.
+bool ProblemsEqual(const JoclProblem& a, const JoclProblem& b) {
+  auto pairs_equal = [](const std::vector<SurfacePair>& x,
+                        const std::vector<SurfacePair>& y) {
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i].a != y[i].a || x[i].b != y[i].b || x[i].idf != y[i].idf ||
+          x[i].candidate_blocked != y[i].candidate_blocked) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto entity_candidates_equal =
+      [](const std::vector<std::vector<EntityCandidate>>& x,
+         const std::vector<std::vector<EntityCandidate>>& y) {
+        if (x.size() != y.size()) return false;
+        for (size_t i = 0; i < x.size(); ++i) {
+          if (x[i].size() != y[i].size()) return false;
+          for (size_t c = 0; c < x[i].size(); ++c) {
+            if (x[i][c].id != y[i][c].id ||
+                x[i][c].popularity != y[i][c].popularity) {
+              return false;
+            }
+          }
+        }
+        return true;
+      };
+  auto relation_candidates_equal =
+      [](const std::vector<std::vector<RelationCandidate>>& x,
+         const std::vector<std::vector<RelationCandidate>>& y) {
+        if (x.size() != y.size()) return false;
+        for (size_t i = 0; i < x.size(); ++i) {
+          if (x[i].size() != y[i].size()) return false;
+          for (size_t c = 0; c < x[i].size(); ++c) {
+            if (x[i][c].id != y[i][c].id || x[i][c].score != y[i][c].score) {
+              return false;
+            }
+          }
+        }
+        return true;
+      };
+  return a.triples == b.triples &&
+         a.subject_surfaces == b.subject_surfaces &&
+         a.predicate_surfaces == b.predicate_surfaces &&
+         a.object_surfaces == b.object_surfaces &&
+         a.subject_of == b.subject_of && a.predicate_of == b.predicate_of &&
+         a.object_of == b.object_of && a.subject_rep == b.subject_rep &&
+         a.predicate_rep == b.predicate_rep && a.object_rep == b.object_rep &&
+         pairs_equal(a.subject_pairs, b.subject_pairs) &&
+         pairs_equal(a.predicate_pairs, b.predicate_pairs) &&
+         pairs_equal(a.object_pairs, b.object_pairs) &&
+         entity_candidates_equal(a.subject_candidates, b.subject_candidates) &&
+         entity_candidates_equal(a.object_candidates, b.object_candidates) &&
+         relation_candidates_equal(a.predicate_candidates,
+                                   b.predicate_candidates);
+}
+
+/// Previous beliefs addressed by identity that survives repartitioning:
+/// pairs by their surface strings, linking variables by dataset triple id.
+struct WarmIndex {
+  std::unordered_map<std::string, const std::vector<double>*> x, y, z;
+  std::unordered_map<size_t, const std::vector<double>*> es, rp, eo;
+
+  static std::string PairKey(const std::string& a, const std::string& b) {
+    std::string key;
+    key.reserve(a.size() + b.size() + 1);
+    key.append(a);
+    key.push_back('\x1f');
+    key.append(b);
+    return key;
+  }
+
+  /// Indexes the previous global problem's beliefs (no copies; the index
+  /// only lives within one Refresh, before the previous state is
+  /// replaced).
+  static WarmIndex Build(const JoclProblem& problem,
+                         const JoclBeliefs& beliefs) {
+    WarmIndex index;
+    auto index_pairs =
+        [](const std::vector<SurfacePair>& pairs,
+           const std::vector<std::string>& surfaces,
+           const std::vector<std::vector<double>>& marg,
+           std::unordered_map<std::string, const std::vector<double>*>* out) {
+          if (marg.size() != pairs.size()) return;  // family ablated
+          for (size_t p = 0; p < pairs.size(); ++p) {
+            (*out)[PairKey(surfaces[pairs[p].a], surfaces[pairs[p].b])] =
+                &marg[p];
+          }
+        };
+    index_pairs(problem.subject_pairs, problem.subject_surfaces,
+                beliefs.x_marg, &index.x);
+    index_pairs(problem.predicate_pairs, problem.predicate_surfaces,
+                beliefs.y_marg, &index.y);
+    index_pairs(problem.object_pairs, problem.object_surfaces,
+                beliefs.z_marg, &index.z);
+    auto index_links =
+        [](const std::vector<size_t>& triples,
+           const std::vector<std::vector<double>>& marg,
+           std::unordered_map<size_t, const std::vector<double>*>* out) {
+          if (marg.size() != triples.size()) return;
+          for (size_t t = 0; t < triples.size(); ++t) {
+            (*out)[triples[t]] = &marg[t];
+          }
+        };
+    index_links(problem.triples, beliefs.es_marg, &index.es);
+    index_links(problem.triples, beliefs.rp_marg, &index.rp);
+    index_links(problem.triples, beliefs.eo_marg, &index.eo);
+    return index;
+  }
+
+  /// Assembles one dirty shard's warm hints in local indexing.
+  ShardWarmStart HintsFor(const JoclProblem& local, size_t* hinted) const {
+    ShardWarmStart warm;
+    auto hint_pairs =
+        [&](const std::vector<SurfacePair>& pairs,
+            const std::vector<std::string>& surfaces,
+            const std::unordered_map<std::string,
+                                     const std::vector<double>*>& index,
+            std::vector<std::vector<double>>* out) {
+          out->resize(pairs.size());
+          for (size_t p = 0; p < pairs.size(); ++p) {
+            auto it = index.find(
+                PairKey(surfaces[pairs[p].a], surfaces[pairs[p].b]));
+            if (it == index.end()) continue;
+            (*out)[p] = *it->second;
+            ++*hinted;
+          }
+        };
+    hint_pairs(local.subject_pairs, local.subject_surfaces, x, &warm.x_prior);
+    hint_pairs(local.predicate_pairs, local.predicate_surfaces, y,
+               &warm.y_prior);
+    hint_pairs(local.object_pairs, local.object_surfaces, z, &warm.z_prior);
+    auto hint_links =
+        [&](const std::unordered_map<size_t, const std::vector<double>*>&
+                index,
+            std::vector<std::vector<double>>* out) {
+          out->resize(local.triples.size());
+          for (size_t t = 0; t < local.triples.size(); ++t) {
+            auto it = index.find(local.triples[t]);
+            if (it == index.end()) continue;
+            (*out)[t] = *it->second;
+            ++*hinted;
+          }
+        };
+    hint_links(es, &warm.es_prior);
+    hint_links(rp, &warm.rp_prior);
+    hint_links(eo, &warm.eo_prior);
+    return warm;
+  }
+};
+
+}  // namespace
+
+JoclSession::JoclSession(const Dataset* dataset, const SignalBundle* signals,
+                         JoclOptions options, SessionOptions session,
+                         std::vector<double> weights)
+    : dataset_(dataset),
+      signals_(signals),
+      options_(std::move(options)),
+      session_(session),
+      weights_(std::move(weights)) {
+  if (weights_.empty()) weights_ = Jocl::DefaultWeights();
+}
+
+Status JoclSession::AddTriples(const std::vector<size_t>& batch,
+                               SessionStats* stats) {
+  if (stats != nullptr) *stats = SessionStats();
+  if (weights_.size() != WeightLayout::kCount) {
+    return Status::InvalidArgument(
+        "session weights must have WeightLayout::kCount entries");
+  }
+  for (size_t t : batch) {
+    if (t >= dataset_->okb.size()) {
+      return Status::InvalidArgument("AddTriples: triple index " +
+                                     std::to_string(t) +
+                                     " out of range for the dataset");
+    }
+  }
+  // Sorted batch minus the already-active ids.
+  std::vector<size_t> fresh = batch;
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  std::vector<size_t> added;
+  added.reserve(fresh.size());
+  std::set_difference(fresh.begin(), fresh.end(), active_.begin(),
+                      active_.end(), std::back_inserter(added));
+  if (added.empty()) return Status::OK();  // no-op, result unchanged
+
+  std::vector<size_t> merged;
+  merged.reserve(active_.size() + added.size());
+  std::merge(active_.begin(), active_.end(), added.begin(), added.end(),
+             std::back_inserter(merged));
+  active_ = std::move(merged);
+  if (stats != nullptr) stats->added = added.size();
+  return Refresh(added, stats);
+}
+
+Status JoclSession::RemoveTriples(const std::vector<size_t>& batch,
+                                  SessionStats* stats) {
+  if (stats != nullptr) *stats = SessionStats();
+  if (weights_.size() != WeightLayout::kCount) {
+    return Status::InvalidArgument(
+        "session weights must have WeightLayout::kCount entries");
+  }
+  std::vector<size_t> fresh = batch;
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  std::vector<size_t> removed;
+  removed.reserve(fresh.size());
+  std::set_intersection(fresh.begin(), fresh.end(), active_.begin(),
+                        active_.end(), std::back_inserter(removed));
+  if (removed.empty()) return Status::OK();  // no-op, result unchanged
+
+  std::vector<size_t> remaining;
+  remaining.reserve(active_.size() - removed.size());
+  std::set_difference(active_.begin(), active_.end(), removed.begin(),
+                      removed.end(), std::back_inserter(remaining));
+  active_ = std::move(remaining);
+  if (stats != nullptr) stats->removed = removed.size();
+  return Refresh(removed, stats);
+}
+
+Status JoclSession::Refresh(const std::vector<size_t>& changed,
+                            SessionStats* stats) {
+  SessionStats local_stats;
+  local_stats.added = stats != nullptr ? stats->added : 0;
+  local_stats.removed = stats != nullptr ? stats->removed : 0;
+  Stopwatch watch;
+
+  // ---- global problem rebuild (memoized candidate generation) -------------
+  JoclProblem problem = BuildProblem(*dataset_, *signals_, active_,
+                                     options_.problem, &problem_cache_);
+  local_stats.problem_seconds = watch.ElapsedSeconds();
+
+  // ---- append-only signal-cache ingestion ---------------------------------
+  watch.Reset();
+  const size_t phrases_before = cache_.size();
+  cache_.RegisterProblem(problem, dataset_->ckb);
+  cache_.Finalize(*signals_);
+  local_stats.cache_new_phrases = cache_.size() - phrases_before;
+  local_stats.cache_seconds = watch.ElapsedSeconds();
+
+  // ---- partition + delta classification -----------------------------------
+  // One shard per connected component: dirtiness is per-component, and
+  // packing would only coarsen reuse.
+  watch.Reset();
+  ShardPlan plan = PartitionProblem(problem, /*max_shards=*/0);
+  ShardDelta delta =
+      ClassifyShardDelta(plan, previous_components_, changed);
+  local_stats.partition_seconds = watch.ElapsedSeconds();
+  local_stats.shards = plan.shards.size();
+  local_stats.merged_shards = delta.merged;
+  local_stats.split_components = delta.split;
+
+  ++generation_;
+
+  // ---- reuse resolution ----------------------------------------------------
+  // The store decides, not the delta classification: a shard whose triple
+  // set matches *any* cached component (e.g. one restored by a removal
+  // that undid an earlier merge) is reusable, provided its local problem
+  // is structurally identical — the byte-exactness guard.
+  watch.Reset();
+  JoclBeliefs beliefs;
+  SizeJoclBeliefs(problem, options_.builder, &beliefs);
+  std::vector<SolvedComponent*> reused(plan.shards.size(), nullptr);
+  std::vector<size_t> dirty;
+  for (size_t s = 0; s < plan.shards.size(); ++s) {
+    auto it = store_.find(plan.shards[s].problem.triples);
+    if (it != store_.end() &&
+        ProblemsEqual(it->second.problem, plan.shards[s].problem)) {
+      reused[s] = &it->second;
+      it->second.last_used = generation_;
+    } else {
+      dirty.push_back(s);
+    }
+  }
+  local_stats.dirty_shards = dirty.size();
+  local_stats.clean_shards = plan.shards.size() - dirty.size();
+
+  // Warm-start index over the previous batch's beliefs (approximate mode
+  // only; see SessionOptions::warm_start).
+  WarmIndex warm_index;
+  std::vector<ShardWarmStart> warm(dirty.size());
+  if (session_.warm_start) {
+    warm_index = WarmIndex::Build(problem_, beliefs_);
+    size_t hinted = 0;
+    for (size_t d = 0; d < dirty.size(); ++d) {
+      warm[d] = warm_index.HintsFor(plan.shards[dirty[d]].problem, &hinted);
+    }
+    local_stats.warm_hints = hinted;
+  }
+
+  // ---- dirty shards on a worker pool, heaviest first ----------------------
+  std::vector<ShardBeliefs> outcomes(dirty.size());
+  std::vector<ShardRunTimings> timings(dirty.size());
+  size_t requested_threads =
+      session_.num_threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : session_.num_threads;
+  size_t n_threads =
+      std::min(requested_threads, std::max<size_t>(1, dirty.size()));
+  size_t engine_threads = 1;
+  if (!dirty.empty() && dirty.size() < requested_threads) {
+    engine_threads = (requested_threads + dirty.size() - 1) / dirty.size();
+  }
+  auto run_dirty = [&](size_t d) {
+    const ProblemShard& shard = plan.shards[dirty[d]];
+    outcomes[d] = RunShardInference(
+        shard.problem, cache_, dataset_->ckb, options_, weights_,
+        engine_threads, session_.warm_start ? &warm[d] : nullptr,
+        &timings[d]);
+    ScatterShardBeliefs(shard, outcomes[d], options_.builder, &beliefs);
+  };
+  std::vector<size_t> queue(dirty.size());
+  std::iota(queue.begin(), queue.end(), 0);
+  std::sort(queue.begin(), queue.end(), [&](size_t a, size_t b) {
+    size_t wa = plan.shards[dirty[a]].triple_map.size();
+    size_t wb = plan.shards[dirty[b]].triple_map.size();
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  if (n_threads <= 1) {
+    for (size_t d : queue) run_dirty(d);
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (size_t i; (i = next.fetch_add(1)) < queue.size();) {
+        run_dirty(queue[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (size_t w = 0; w < n_threads; ++w) threads.emplace_back(worker);
+    for (auto& thread : threads) thread.join();
+  }
+  // Clean shards: scatter the cached beliefs.
+  for (size_t s = 0; s < plan.shards.size(); ++s) {
+    if (reused[s] != nullptr) {
+      ScatterShardBeliefs(plan.shards[s], reused[s]->beliefs,
+                          options_.builder, &beliefs);
+    }
+  }
+  local_stats.shard_seconds = watch.ElapsedSeconds();
+
+  // ---- merge + global decode ----------------------------------------------
+  watch.Reset();
+  LbpResult diagnostics;
+  diagnostics.converged = true;
+  {
+    size_t d = 0;
+    for (size_t s = 0; s < plan.shards.size(); ++s) {
+      if (reused[s] != nullptr) {
+        MergeShardDiagnostics(reused[s]->beliefs.diagnostics, &diagnostics);
+      } else {
+        MergeShardDiagnostics(outcomes[d].diagnostics, &diagnostics);
+        local_stats.variables += outcomes[d].variables;
+        local_stats.factors += outcomes[d].factors;
+        local_stats.graph_seconds += timings[d].graph_seconds;
+        local_stats.infer_seconds += timings[d].infer_seconds;
+        ++d;
+      }
+    }
+  }
+  result_ = AssembleJoclResult(problem, beliefs, options_, weights_,
+                               std::move(diagnostics));
+  local_stats.decode_seconds = watch.ElapsedSeconds();
+
+  // ---- persist state + store upkeep ---------------------------------------
+  previous_components_.clear();
+  previous_components_.reserve(plan.shards.size());
+  for (const ProblemShard& shard : plan.shards) {
+    previous_components_.push_back(shard.problem.triples);
+  }
+  for (size_t d = 0; d < dirty.size(); ++d) {
+    ProblemShard& shard = plan.shards[dirty[d]];
+    std::vector<size_t> key = shard.problem.triples;
+    SolvedComponent& entry = store_[std::move(key)];
+    entry.problem = std::move(shard.problem);
+    entry.beliefs = std::move(outcomes[d]);
+    entry.last_used = generation_;
+  }
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (generation_ - it->second.last_used > session_.stale_retention) {
+      it = store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  problem_ = std::move(problem);
+  beliefs_ = std::move(beliefs);
+
+  JOCL_LOG(kDebug) << "session: generation " << generation_ << ", "
+                   << local_stats.dirty_shards << "/" << local_stats.shards
+                   << " dirty shards (" << delta.merged << " merged, "
+                   << delta.split << " split), "
+                   << local_stats.cache_new_phrases << " new phrases";
+  if (stats != nullptr) *stats = local_stats;
+  return Status::OK();
+}
+
+}  // namespace jocl

@@ -1,0 +1,156 @@
+#ifndef JOCL_CORE_SESSION_H_
+#define JOCL_CORE_SESSION_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/runtime.h"
+
+namespace jocl {
+
+/// \brief Execution knobs of the streaming session (orthogonal to the
+/// model configuration in JoclOptions).
+struct SessionOptions {
+  /// Worker threads running dirty shards: 1 = sequential, 0 = one per
+  /// hardware thread. Purely an execution choice.
+  size_t num_threads = 0;
+  /// Warm-start dirty shards' LBP from the previous batch's beliefs.
+  /// **Approximate**: a warm-started run approaches the same fixed point
+  /// within the LBP tolerance but is not bit-identical to a cold run, so
+  /// the cold-restart equivalence guarantee only holds with this off
+  /// (the default). Reuse of *clean* shards — where the speedup comes
+  /// from — is exact either way.
+  bool warm_start = false;
+  /// A cached component unused for this many consecutive batches is
+  /// evicted. Retention matters: a removal that splits a shard often
+  /// restores components solved *before* the merge, and retaining them
+  /// makes the split free.
+  size_t stale_retention = 8;
+};
+
+/// \brief Per-batch report of one AddTriples / RemoveTriples call.
+struct SessionStats {
+  double problem_seconds = 0.0;    ///< global problem rebuild (memoized)
+  double cache_seconds = 0.0;      ///< append-only signal-cache ingestion
+  double partition_seconds = 0.0;  ///< union-find sharding + delta classify
+  double shard_seconds = 0.0;      ///< dirty-shard inference, wall
+  double graph_seconds = 0.0;      ///< dirty graph build+compile, summed
+  double infer_seconds = 0.0;      ///< dirty engine run+extract, summed
+  double decode_seconds = 0.0;     ///< global decode + conflict resolution
+  size_t added = 0;                ///< triples actually added
+  size_t removed = 0;              ///< triples actually removed
+  size_t shards = 0;               ///< components in the new partition
+  size_t dirty_shards = 0;         ///< shards re-inferred this batch
+  size_t clean_shards = 0;         ///< shards served from cached beliefs
+  size_t merged_shards = 0;        ///< shards built from >= 2 old components
+  size_t split_components = 0;     ///< old components split by the batch
+  size_t cache_new_phrases = 0;    ///< phrases newly ingested by the cache
+  size_t variables = 0;            ///< across dirty-shard graphs only
+  size_t factors = 0;
+  size_t warm_hints = 0;           ///< variables seeded from old beliefs
+};
+
+/// \brief Long-lived incremental runtime over one dataset: the streaming
+/// counterpart of `JoclRuntime::Infer` (ROADMAP: continuously-arriving
+/// traffic; open KBs grow by ingestion batches).
+///
+/// A session holds the active triple set, an append-only `SignalCache`,
+/// a memoized problem builder, and the solved beliefs of every connected
+/// component it has inferred. `AddTriples` / `RemoveTriples` update the
+/// active set, rebuild the (cheap, memoized) global problem, partition
+/// it, and re-run inference **only over dirty shards** — components whose
+/// triple set or local problem changed. Clean components are served from
+/// the store; a batch that merges two components dirties just the merged
+/// shard, and a removal that splits one restores its pre-merge components
+/// from the store when they are still cached.
+///
+/// **Cold-restart equivalence.** The global problem is a deterministic
+/// function of the active triple set (blocking statistics and candidate
+/// generation are dataset-global, not subset-dependent), per-component
+/// beliefs are a pure function of the local problem + weights, and the
+/// decode runs globally. Hence, with `warm_start` off, a session that
+/// reached an active set through *any* sequence of batches produces a
+/// result byte-identical to one-shot `JoclRuntime::Infer` over that set
+/// (asserted for K ∈ {1, 4, 16} ingestion batches in
+/// `tests/session_test.cc`). Reuse is guarded by structural equality of
+/// the cached local problem, never by a fingerprint, so the guarantee
+/// survives global blocking-cap effects.
+///
+/// The decode stage stays global: cluster labels are globally dense, so
+/// any "partial" decode would re-densify everything anyway, and decode is
+/// orders of magnitude cheaper than the LBP it sits behind (see
+/// BENCH_incremental.json). The expensive stage — per-shard graph build +
+/// LBP — is what the dirty-shard restriction avoids.
+class JoclSession {
+ public:
+  /// \p dataset and \p signals must outlive the session. \p weights empty
+  /// = Jocl::DefaultWeights(); weights are fixed for the session's
+  /// lifetime (cached beliefs are only valid for the weights that
+  /// produced them).
+  JoclSession(const Dataset* dataset, const SignalBundle* signals,
+              JoclOptions options = {}, SessionOptions session = {},
+              std::vector<double> weights = {});
+
+  /// Ingests a batch of dataset triple indices (already-active and
+  /// duplicate ids are ignored) and re-infers dirty shards. The updated
+  /// result is available via result().
+  Status AddTriples(const std::vector<size_t>& batch,
+                    SessionStats* stats = nullptr);
+
+  /// Retires a batch of dataset triple indices (inactive ids are
+  /// ignored) and re-infers dirty shards.
+  Status RemoveTriples(const std::vector<size_t>& batch,
+                       SessionStats* stats = nullptr);
+
+  /// The current joint result over the active triple set. Valid after the
+  /// first successful mutation; empty before.
+  const JoclResult& result() const { return result_; }
+
+  /// The active dataset triple indices, ascending.
+  const std::vector<size_t>& active_triples() const { return active_; }
+
+  /// Solved components currently cached (includes stale ones retained for
+  /// split-reuse).
+  size_t cached_components() const { return store_.size(); }
+
+  const JoclOptions& options() const { return options_; }
+  const SessionOptions& session_options() const { return session_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  /// A solved connected component: the exact local problem it was solved
+  /// for (the reuse guard) and its beliefs in local indexing.
+  struct SolvedComponent {
+    JoclProblem problem;
+    ShardBeliefs beliefs;
+    size_t last_used = 0;  ///< generation stamp for stale eviction
+  };
+
+  /// Rebuild + delta partition + dirty-shard inference + global decode.
+  Status Refresh(const std::vector<size_t>& changed, SessionStats* stats);
+
+  const Dataset* dataset_;
+  const SignalBundle* signals_;
+  JoclOptions options_;
+  SessionOptions session_;
+  std::vector<double> weights_;
+
+  std::vector<size_t> active_;  ///< sorted, deduplicated
+  SignalCache cache_;           ///< append-only, spans all batches
+  ProblemCache problem_cache_;  ///< memoized candidate generation
+
+  JoclProblem problem_;  ///< current global problem
+  JoclBeliefs beliefs_;  ///< current global beliefs
+  JoclResult result_;    ///< current decoded result
+
+  /// Solved components keyed by their sorted dataset-triple-id list.
+  std::map<std::vector<size_t>, SolvedComponent> store_;
+  /// The previous partition's component triple sets (delta baseline).
+  std::vector<std::vector<size_t>> previous_components_;
+  size_t generation_ = 0;
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_CORE_SESSION_H_

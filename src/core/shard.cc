@@ -181,4 +181,75 @@ ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
   return plan;
 }
 
+ShardDelta ClassifyShardDelta(
+    const ShardPlan& plan,
+    const std::vector<std::vector<size_t>>& previous_components,
+    const std::vector<size_t>& changed_triples) {
+  std::unordered_map<size_t, size_t> prev_comp_of;  // dataset triple id
+  for (size_t c = 0; c < previous_components.size(); ++c) {
+    for (size_t t : previous_components[c]) prev_comp_of.emplace(t, c);
+  }
+  const std::unordered_set<size_t> changed(changed_triples.begin(),
+                                           changed_triples.end());
+
+  ShardDelta delta;
+  delta.states.resize(plan.shards.size());
+  // Per previous component: how many of its triples survive into the new
+  // plan, and how many distinct shards they landed in.
+  std::vector<size_t> comp_survivors(previous_components.size(), 0);
+  std::vector<size_t> comp_last_shard(previous_components.size(),
+                                      static_cast<size_t>(-1));
+  std::vector<size_t> comp_shard_count(previous_components.size(), 0);
+
+  for (size_t s = 0; s < plan.shards.size(); ++s) {
+    const std::vector<size_t>& triples = plan.shards[s].problem.triples;
+    size_t known = 0;                 // triples with a previous home
+    std::vector<size_t> comps_seen;   // distinct previous homes (usually 1)
+    bool touched = false;
+    for (size_t t : triples) {
+      if (changed.count(t) > 0) touched = true;
+      auto it = prev_comp_of.find(t);
+      if (it == prev_comp_of.end()) {
+        touched = true;  // brand-new triple
+        continue;
+      }
+      ++known;
+      ++comp_survivors[it->second];
+      if (comp_last_shard[it->second] != s) {
+        comp_last_shard[it->second] = s;
+        ++comp_shard_count[it->second];
+      }
+      if (std::find(comps_seen.begin(), comps_seen.end(), it->second) ==
+          comps_seen.end()) {
+        comps_seen.push_back(it->second);
+      }
+    }
+    ShardDeltaState state;
+    if (comps_seen.empty()) {
+      state = ShardDeltaState::kNew;
+    } else if (comps_seen.size() > 1) {
+      state = ShardDeltaState::kMerged;
+      ++delta.merged;
+    } else if (known < previous_components[comps_seen.front()].size()) {
+      state = ShardDeltaState::kSplit;
+    } else if (touched || known < triples.size()) {
+      state = ShardDeltaState::kTouched;
+    } else {
+      state = ShardDeltaState::kClean;
+    }
+    if (state != ShardDeltaState::kClean) ++delta.dirty;
+    delta.states[s] = state;
+  }
+  for (size_t c = 0; c < previous_components.size(); ++c) {
+    // A component split when its survivors span several shards, or when a
+    // removal took some of its triples while the rest stayed together.
+    if (comp_shard_count[c] >= 2 ||
+        (comp_survivors[c] > 0 &&
+         comp_survivors[c] < previous_components[c].size())) {
+      ++delta.split;
+    }
+  }
+  return delta;
+}
+
 }  // namespace jocl

@@ -71,6 +71,56 @@ struct ShardPlan {
 /// identical for every max_shards setting.
 ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards);
 
+/// \brief Delta mode: how one shard of a new partition relates to the
+/// previous partition's components (the session's dirtiness signal).
+enum class ShardDeltaState {
+  /// Same triple set as exactly one previous component, and no triple of
+  /// the mutation batch inside — a candidate for belief reuse.
+  kClean,
+  /// Contains a triple of the mutation batch but maps onto (at most) one
+  /// previous component otherwise.
+  kTouched,
+  /// Assembled from several previous components: a batch triple (or a
+  /// cap-induced pair change) bridged formerly independent sub-problems.
+  kMerged,
+  /// A strict fragment of one previous component: a removal (or pair
+  /// change) disconnected it.
+  kSplit,
+  /// Every triple is new — no overlap with any previous component.
+  kNew,
+};
+
+/// \brief Per-shard classification of a new partition against a previous
+/// one, plus the aggregate merge/split counts the session reports.
+struct ShardDelta {
+  /// One state per shard of the new plan, aligned with `plan.shards`.
+  std::vector<ShardDeltaState> states;
+  /// Shards whose state is not kClean.
+  size_t dirty = 0;
+  /// Shards assembled from >= 2 previous components.
+  size_t merged = 0;
+  /// Previous components whose surviving triples now span >= 2 shards (or
+  /// that lost triples to a removal while the rest stayed together).
+  size_t split = 0;
+};
+
+/// \brief Classifies every shard of \p plan against the previous
+/// partition, given as the previous components' sorted dataset-triple-id
+/// lists, using the same union-find connectivity that built the plan.
+///
+/// \p changed_triples are the dataset triple ids of the mutation batch
+/// (added triples; removed ids are naturally absent from the new plan and
+/// surface as kSplit / kTouched fragments of their former components).
+/// The classification is structural only: a kClean verdict means the
+/// shard covers exactly one previous component's triples, which makes
+/// reuse *plausible* — the session still verifies the local problems are
+/// equal before reusing beliefs, because global blocking caps can change
+/// a component's pairs without changing its triple set.
+ShardDelta ClassifyShardDelta(
+    const ShardPlan& plan,
+    const std::vector<std::vector<size_t>>& previous_components,
+    const std::vector<size_t>& changed_triples);
+
 }  // namespace jocl
 
 #endif  // JOCL_CORE_SHARD_H_

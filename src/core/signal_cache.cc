@@ -15,13 +15,13 @@ size_t SignalCache::Add(std::string_view phrase) {
   return id;
 }
 
-void SignalCache::BuildArena(const EmbeddingTable& table,
+void SignalCache::BuildArena(const EmbeddingTable& table, size_t from,
                              std::vector<float>* unit,
                              std::vector<uint8_t>* has, size_t* dim) const {
   *dim = table.dim();
-  unit->assign(phrases_.size() * *dim, 0.0f);
-  has->assign(phrases_.size(), 0);
-  for (size_t i = 0; i < phrases_.size(); ++i) {
+  unit->resize(phrases_.size() * *dim, 0.0f);
+  has->resize(phrases_.size(), 0);
+  for (size_t i = from; i < phrases_.size(); ++i) {
     std::vector<float> v = table.PhraseVector(phrases_[i]);
     double norm = 0.0;
     for (float x : v) norm += static_cast<double>(x) * x;
@@ -37,29 +37,50 @@ void SignalCache::BuildArena(const EmbeddingTable& table,
 
 void SignalCache::Finalize(const SignalBundle& signals,
                            const SignalCacheFamilies& families) {
+  // Toggling a memo family invalidates the append-only invariant (old
+  // rows would be missing the newly enabled memo); rebuild from scratch.
+  if (finalized_ > 0 &&
+      (families.embeddings != families_.embeddings ||
+       families.triple_embeddings != families_.triple_embeddings ||
+       families.ppdb != families_.ppdb || families.amie != families_.amie ||
+       families.kbp != families_.kbp)) {
+    finalized_ = 0;
+    unit_.clear();
+    has_vec_.clear();
+    triple_unit_.clear();
+    has_triple_vec_.clear();
+    ppdb_rep_.clear();
+    ppdb_rep_ids_.clear();
+    amie_norm_id_.clear();
+    amie_evidence_.clear();
+    amie_equivalent_.clear();
+    amie_norm_ids_.clear();
+    kbp_class_.clear();
+  }
   bundle_ = &signals;
   families_ = families;
   const size_t n = phrases_.size();
+  const size_t from = finalized_;
 
   if (families.embeddings) {
-    BuildArena(signals.embeddings, &unit_, &has_vec_, &dim_);
+    BuildArena(signals.embeddings, from, &unit_, &has_vec_, &dim_);
   }
   if (families.triple_embeddings) {
-    BuildArena(signals.triple_embeddings, &triple_unit_, &has_triple_vec_,
-               &triple_dim_);
+    BuildArena(signals.triple_embeddings, from, &triple_unit_,
+               &has_triple_vec_, &triple_dim_);
   }
 
-  // PPDB representatives, interned.
+  // PPDB representatives, interned (the persistent map keeps ids stable
+  // across appends; only equality of ids is ever observed).
   if (families.ppdb) {
-    ppdb_rep_.assign(n, -1);
+    ppdb_rep_.resize(n, -1);
     if (signals.ppdb != nullptr) {
-      std::unordered_map<std::string, int32_t> rep_ids;
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = from; i < n; ++i) {
         auto rep = signals.ppdb->Representative(phrases_[i]);
         if (!rep.has_value()) continue;
         auto [it, inserted] =
-            rep_ids.emplace(std::move(*rep),
-                            static_cast<int32_t>(rep_ids.size()));
+            ppdb_rep_ids_.emplace(std::move(*rep),
+                                  static_cast<int32_t>(ppdb_rep_ids_.size()));
         ppdb_rep_[i] = it->second;
       }
     }
@@ -69,50 +90,56 @@ void SignalCache::Finalize(const SignalBundle& signals,
   // bidirectional equivalences mapped onto norm-id pairs so the pair
   // query never touches a string again.
   if (families.amie) {
-    amie_norm_id_.assign(n, -1);
-    amie_evidence_.assign(n, 0);
-    amie_equivalent_.clear();
-    std::unordered_map<std::string, int32_t> norm_ids;
-    for (size_t i = 0; i < n; ++i) {
+    amie_norm_id_.resize(n, -1);
+    amie_evidence_.resize(n, 0);
+    const size_t norm_ids_before = amie_norm_ids_.size();
+    for (size_t i = from; i < n; ++i) {
       std::string norm = signals.amie.NormalizedForm(phrases_[i]);
       bool evidence = signals.amie.HasEvidenceNormalized(norm);
       auto [it, inserted] =
-          norm_ids.emplace(std::move(norm),
-                           static_cast<int32_t>(norm_ids.size()));
+          amie_norm_ids_.emplace(std::move(norm),
+                                 static_cast<int32_t>(amie_norm_ids_.size()));
       amie_norm_id_[i] = it->second;
       amie_evidence_[i] = evidence ? 1 : 0;
     }
     // rules() holds every accepted unidirectional rule; a bidirectional
-    // presence is exactly the miner's equivalence relation.
-    std::unordered_set<uint64_t> directed;
-    for (const AmieRule& rule : signals.amie.rules()) {
-      auto a = norm_ids.find(rule.antecedent);
-      auto b = norm_ids.find(rule.consequent);
-      if (a == norm_ids.end() || b == norm_ids.end()) continue;
-      uint64_t forward = (static_cast<uint64_t>(
-                              static_cast<uint32_t>(a->second))
-                          << 32) |
-                         static_cast<uint32_t>(b->second);
-      uint64_t backward = (static_cast<uint64_t>(
-                               static_cast<uint32_t>(b->second))
-                           << 32) |
-                          static_cast<uint32_t>(a->second);
-      directed.insert(forward);
-      if (directed.count(backward) > 0) {
-        amie_equivalent_.insert(PairKey(a->second, b->second));
+    // presence is exactly the miner's equivalence relation. New norm ids
+    // can complete rules whose other side was already interned, so the
+    // (static) rule set is re-scanned whenever the id space grew.
+    if (amie_norm_ids_.size() > norm_ids_before || from == 0) {
+      amie_equivalent_.clear();
+      std::unordered_set<uint64_t> directed;
+      for (const AmieRule& rule : signals.amie.rules()) {
+        auto a = amie_norm_ids_.find(rule.antecedent);
+        auto b = amie_norm_ids_.find(rule.consequent);
+        if (a == amie_norm_ids_.end() || b == amie_norm_ids_.end()) continue;
+        uint64_t forward = (static_cast<uint64_t>(
+                                static_cast<uint32_t>(a->second))
+                            << 32) |
+                           static_cast<uint32_t>(b->second);
+        uint64_t backward = (static_cast<uint64_t>(
+                                 static_cast<uint32_t>(b->second))
+                             << 32) |
+                            static_cast<uint32_t>(a->second);
+        directed.insert(forward);
+        if (directed.count(backward) > 0) {
+          amie_equivalent_.insert(PairKey(a->second, b->second));
+        }
       }
     }
   }
 
   // KBP classifications.
   if (families.kbp) {
-    kbp_class_.assign(n, kNilId);
-    for (size_t i = 0; i < n; ++i) {
+    kbp_class_.resize(n, kNilId);
+    for (size_t i = from; i < n; ++i) {
       kbp_class_[i] = signals.kbp.Classify(phrases_[i]);
     }
   }
 
-  JOCL_LOG(kDebug) << "signal cache: " << n << " phrases, emb dim " << dim_
+  finalized_ = n;
+  JOCL_LOG(kDebug) << "signal cache: " << n << " phrases (" << (n - from)
+                   << " new), emb dim " << dim_
                    << (families.triple_embeddings ? " (+triple arena)" : "");
 }
 
@@ -166,33 +193,38 @@ double SignalCache::Kbp(std::string_view a, std::string_view b) const {
   return Kbp(ia, ib);
 }
 
-SignalCache SignalCache::ForProblem(const JoclProblem& problem,
-                                    const SignalBundle& signals,
-                                    const CuratedKb& ckb) {
-  SignalCache cache;
+void SignalCache::RegisterProblem(const JoclProblem& problem,
+                                  const CuratedKb& ckb) {
   for (const auto* surfaces :
        {&problem.subject_surfaces, &problem.predicate_surfaces,
         &problem.object_surfaces}) {
-    for (const auto& surface : *surfaces) cache.Add(surface);
+    for (const auto& surface : *surfaces) Add(surface);
   }
   // Candidate entity names (F4/F6 query Emb/Ppdb against them).
   for (const auto* candidates :
        {&problem.subject_candidates, &problem.object_candidates}) {
     for (const auto& list : *candidates) {
       for (const auto& candidate : list) {
-        cache.Add(ckb.entity(candidate.id).name);
+        Add(ckb.entity(candidate.id).name);
       }
     }
   }
   // Relation names and aliases (F5 takes the best match over all of them).
   for (const auto& list : problem.predicate_candidates) {
     for (const auto& candidate : list) {
-      cache.Add(ckb.relation(candidate.id).name);
+      Add(ckb.relation(candidate.id).name);
       for (const auto& alias : ckb.RelationAliases(candidate.id)) {
-        cache.Add(alias);
+        Add(alias);
       }
     }
   }
+}
+
+SignalCache SignalCache::ForProblem(const JoclProblem& problem,
+                                    const SignalBundle& signals,
+                                    const CuratedKb& ckb) {
+  SignalCache cache;
+  cache.RegisterProblem(problem, ckb);
   cache.Finalize(signals);
   return cache;
 }

@@ -83,10 +83,25 @@ class SignalCache {
   /// by Finalize() before any signal query.
   size_t Add(std::string_view phrase);
 
-  /// Computes the selected per-phrase memos. Called once after
-  /// registration.
+  /// Registers everything a graph build over \p problem will query: every
+  /// distinct surface of all three roles plus every candidate entity name,
+  /// relation name and relation alias. Idempotent — `JoclSession` calls it
+  /// per ingestion batch on a long-lived cache.
+  void RegisterProblem(const JoclProblem& problem, const CuratedKb& ckb);
+
+  /// Computes the selected per-phrase memos. **Append-only**: repeated
+  /// calls only process phrases registered since the previous Finalize —
+  /// existing arenas and interned ids are extended, never rebuilt — so a
+  /// streaming session pays per batch only for its new surfaces. Query
+  /// answers are identical to a fresh build over the same phrase set
+  /// (memos are per-phrase and intern ids are only ever compared for
+  /// equality). Changing \p families after the first call triggers one
+  /// full rebuild.
   void Finalize(const SignalBundle& signals,
                 const SignalCacheFamilies& families = {});
+
+  /// Number of phrases covered by the last Finalize().
+  size_t finalized_size() const { return finalized_; }
 
   /// Id of a registered phrase, or kUnknown.
   size_t IdOf(std::string_view phrase) const {
@@ -160,12 +175,16 @@ class SignalCache {
     uint32_t hi = static_cast<uint32_t>(a < b ? b : a);
     return (static_cast<uint64_t>(lo) << 32) | hi;
   }
-  // Fills \p unit / \p has with unit-normalized phrase vectors of \p table.
-  void BuildArena(const EmbeddingTable& table, std::vector<float>* unit,
-                  std::vector<uint8_t>* has, size_t* dim) const;
+  // Extends \p unit / \p has with unit-normalized phrase vectors for
+  // phrases [\p from, size()) of \p table.
+  void BuildArena(const EmbeddingTable& table, size_t from,
+                  std::vector<float>* unit, std::vector<uint8_t>* has,
+                  size_t* dim) const;
 
   const SignalBundle* bundle_ = nullptr;
   SignalCacheFamilies families_;
+  /// Phrases covered by the last Finalize(); the next call starts here.
+  size_t finalized_ = 0;
 
   /// Owns phrase storage; index_ keys string_views into it (stable deque
   /// addresses), so IdOf never allocates.
@@ -180,15 +199,21 @@ class SignalCache {
   std::vector<float> triple_unit_;
   std::vector<uint8_t> has_triple_vec_;
 
-  // PPDB representative ids (-1 = outside PPDB's coverage).
+  // PPDB representative ids (-1 = outside PPDB's coverage). The intern
+  // map persists so append-only finalizes assign consistent ids.
   std::vector<int32_t> ppdb_rep_;
+  std::unordered_map<std::string, int32_t> ppdb_rep_ids_;
 
   // AMIE: interned normalized-form id and evidence flag per phrase, plus
   // the miner's bidirectional equivalences as unordered norm-id pairs —
   // the pair query is two int compares and at most one integer hash.
+  // The norm-id intern map persists across finalizes; the equivalence set
+  // is re-derived from the miner's (static) rule set whenever new norm
+  // ids appear.
   std::vector<int32_t> amie_norm_id_;
   std::vector<uint8_t> amie_evidence_;
   std::unordered_set<uint64_t> amie_equivalent_;
+  std::unordered_map<std::string, int32_t> amie_norm_ids_;
 
   // KBP classification per phrase (kNilId = abstain).
   std::vector<RelationId> kbp_class_;

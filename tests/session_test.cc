@@ -1,0 +1,305 @@
+// Tests of the incremental streaming session: delta-partition edge cases
+// (merge, single-shard touch, removal split, empty no-op) on a
+// handcrafted world whose components are known by construction, plus the
+// acceptance bar — cold-restart equivalence: ingesting a dataset in K
+// batches yields a result byte-identical to one-shot JoclRuntime::Infer,
+// for K in {1, 4, 16}.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/session.h"
+#include "data/generator.h"
+
+namespace jocl {
+namespace {
+
+// ---------- handcrafted delta-partition world --------------------------------
+//
+// Components are wired through pair variables, which exist between
+// *distinct* surfaces with identical token sets (IDF similarity 1.0):
+//   A = {t0, t1}   subjects "barack obama" / "obama barack"
+//   B = {t2}       subject "angela merkel"
+//   C = {t3}       subject "tim cook"
+//   t4 bridges A and B: subject pairs with B, object pairs with A
+//   t5 touches C only: subject pairs with "tim cook"
+class SessionDeltaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset();
+    dataset_->name = "session-delta-world";
+    OpenKb& okb = dataset_->okb;
+    ASSERT_TRUE(okb.AddTriple("barack obama", "lives in", "washington dc").ok());
+    ASSERT_TRUE(okb.AddTriple("obama barack", "works in", "white house").ok());
+    ASSERT_TRUE(okb.AddTriple("angela merkel", "lives in", "berlin city").ok());
+    ASSERT_TRUE(okb.AddTriple("tim cook", "works at", "apple inc").ok());
+    ASSERT_TRUE(okb.AddTriple("merkel angela", "visited", "dc washington").ok());
+    ASSERT_TRUE(okb.AddTriple("cook tim", "works at", "cupertino hq").ok());
+    signals_ = new SignalBundle(BuildSignals(*dataset_).MoveValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete signals_;
+    delete dataset_;
+  }
+
+  static JoclResult OneShot(const std::vector<size_t>& triples) {
+    return JoclRuntime()
+        .Infer(*dataset_, *signals_, triples)
+        .MoveValueOrDie();
+  }
+
+  static void ExpectByteIdentical(const JoclResult& a, const JoclResult& b) {
+    EXPECT_EQ(a.np_cluster, b.np_cluster);
+    EXPECT_EQ(a.rp_cluster, b.rp_cluster);
+    EXPECT_EQ(a.np_link, b.np_link);
+    EXPECT_EQ(a.rp_link, b.rp_link);
+    EXPECT_EQ(a.triples, b.triples);
+    EXPECT_EQ(a.weights, b.weights);
+    EXPECT_EQ(a.diagnostics.iterations, b.diagnostics.iterations);
+    EXPECT_EQ(a.diagnostics.converged, b.diagnostics.converged);
+    EXPECT_EQ(a.diagnostics.final_residual, b.diagnostics.final_residual);
+    EXPECT_EQ(a.diagnostics.residual_history, b.diagnostics.residual_history);
+    EXPECT_EQ(a.diagnostics.marginals, b.diagnostics.marginals);
+  }
+
+  static Dataset* dataset_;
+  static SignalBundle* signals_;
+};
+
+Dataset* SessionDeltaTest::dataset_ = nullptr;
+SignalBundle* SessionDeltaTest::signals_ = nullptr;
+
+TEST_F(SessionDeltaTest, FirstBatchPartitionsAsExpected) {
+  JoclSession session(dataset_, signals_);
+  SessionStats stats;
+  ASSERT_TRUE(session.AddTriples({0, 1, 2, 3}, &stats).ok());
+  EXPECT_EQ(stats.added, 4u);
+  EXPECT_EQ(stats.shards, 3u);        // {t0,t1}, {t2}, {t3}
+  EXPECT_EQ(stats.dirty_shards, 3u);  // everything is new
+  EXPECT_EQ(stats.clean_shards, 0u);
+  ExpectByteIdentical(session.result(), OneShot({0, 1, 2, 3}));
+}
+
+TEST_F(SessionDeltaTest, BridgeBatchMergesTwoShardsAndLeavesTheThirdClean) {
+  JoclSession session(dataset_, signals_);
+  ASSERT_TRUE(session.AddTriples({0, 1, 2, 3}).ok());
+  SessionStats stats;
+  ASSERT_TRUE(session.AddTriples({4}, &stats).ok());
+  // t4 bridges {t0,t1} and {t2} into one shard; {t3} is untouched.
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_EQ(stats.dirty_shards, 1u);
+  EXPECT_EQ(stats.clean_shards, 1u);
+  EXPECT_EQ(stats.merged_shards, 1u);
+  EXPECT_EQ(stats.split_components, 0u);
+  ExpectByteIdentical(session.result(), OneShot({0, 1, 2, 3, 4}));
+}
+
+TEST_F(SessionDeltaTest, BatchTouchingOneShardDirtiesOnlyThatShard) {
+  JoclSession session(dataset_, signals_);
+  ASSERT_TRUE(session.AddTriples({0, 1, 2, 3}).ok());
+  SessionStats stats;
+  ASSERT_TRUE(session.AddTriples({5}, &stats).ok());
+  // t5 attaches to {t3}; {t0,t1} and {t2} stay clean.
+  EXPECT_EQ(stats.shards, 3u);
+  EXPECT_EQ(stats.dirty_shards, 1u);
+  EXPECT_EQ(stats.clean_shards, 2u);
+  EXPECT_EQ(stats.merged_shards, 0u);
+  ExpectByteIdentical(session.result(), OneShot({0, 1, 2, 3, 5}));
+}
+
+TEST_F(SessionDeltaTest, RemovalSplitsTheMergedShardAndRestoresFromStore) {
+  JoclSession session(dataset_, signals_);
+  ASSERT_TRUE(session.AddTriples({0, 1, 2, 3}).ok());
+  ASSERT_TRUE(session.AddTriples({4}).ok());  // merge
+  SessionStats stats;
+  ASSERT_TRUE(session.RemoveTriples({4}, &stats).ok());
+  EXPECT_EQ(stats.removed, 1u);
+  // The merged shard splits back into {t0,t1} and {t2} — both solved
+  // before the merge and still cached, so nothing is re-inferred.
+  EXPECT_EQ(stats.shards, 3u);
+  EXPECT_EQ(stats.dirty_shards, 0u);
+  EXPECT_EQ(stats.clean_shards, 3u);
+  EXPECT_EQ(stats.split_components, 1u);
+  ExpectByteIdentical(session.result(), OneShot({0, 1, 2, 3}));
+}
+
+TEST_F(SessionDeltaTest, EmptyAndRedundantBatchesAreNoOps) {
+  JoclSession session(dataset_, signals_);
+  ASSERT_TRUE(session.AddTriples({0, 1, 2, 3}).ok());
+  JoclResult before = session.result();
+
+  SessionStats stats;
+  ASSERT_TRUE(session.AddTriples({}, &stats).ok());
+  EXPECT_EQ(stats.shards, 0u);  // Refresh never ran
+  EXPECT_EQ(stats.added, 0u);
+  ASSERT_TRUE(session.AddTriples({0, 2}, &stats).ok());  // already active
+  EXPECT_EQ(stats.added, 0u);
+  EXPECT_EQ(stats.shards, 0u);
+  ASSERT_TRUE(session.RemoveTriples({4, 5}, &stats).ok());  // never active
+  EXPECT_EQ(stats.removed, 0u);
+  EXPECT_EQ(stats.shards, 0u);
+
+  ExpectByteIdentical(session.result(), before);
+  EXPECT_EQ(session.active_triples(), (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST_F(SessionDeltaTest, OutOfRangeIndexIsRejected) {
+  JoclSession session(dataset_, signals_);
+  ASSERT_TRUE(session.AddTriples({0}).ok());
+  Status status = session.AddTriples({0, 99});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(session.active_triples(), (std::vector<size_t>{0}));
+}
+
+// ---------- generated world: the acceptance bar ------------------------------
+
+class SessionEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(
+        GenerateReVerb45K(/*scale=*/0.25, /*seed=*/11).MoveValueOrDie());
+    SignalOptions signal_options;
+    signal_options.embedding_epochs = 2;
+    signals_ = new SignalBundle(
+        BuildSignals(*dataset_, signal_options).MoveValueOrDie());
+    oneshot_ = new JoclResult(
+        JoclRuntime()
+            .Infer(*dataset_, *signals_, dataset_->test_triples)
+            .MoveValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete oneshot_;
+    delete signals_;
+    delete dataset_;
+  }
+
+  static Dataset* dataset_;
+  static SignalBundle* signals_;
+  static JoclResult* oneshot_;
+};
+
+Dataset* SessionEquivalenceTest::dataset_ = nullptr;
+SignalBundle* SessionEquivalenceTest::signals_ = nullptr;
+JoclResult* SessionEquivalenceTest::oneshot_ = nullptr;
+
+TEST_F(SessionEquivalenceTest, ColdRestartEquivalenceAcrossBatchCounts) {
+  const std::vector<size_t>& stream = dataset_->test_triples;
+  for (size_t k : {1u, 4u, 16u}) {
+    JoclSession session(dataset_, signals_);
+    for (size_t b = 0; b < k; ++b) {
+      size_t begin = b * stream.size() / k;
+      size_t end = (b + 1) * stream.size() / k;
+      ASSERT_TRUE(session
+                      .AddTriples(std::vector<size_t>(stream.begin() + begin,
+                                                      stream.begin() + end))
+                      .ok());
+    }
+    // Exact equality, not tolerance: the problem rebuild is deterministic
+    // in the active set, per-component beliefs are pure functions of the
+    // local problem, and the decode is global — no bit may differ.
+    const JoclResult& result = session.result();
+    EXPECT_EQ(result.np_cluster, oneshot_->np_cluster) << "K=" << k;
+    EXPECT_EQ(result.rp_cluster, oneshot_->rp_cluster) << "K=" << k;
+    EXPECT_EQ(result.np_link, oneshot_->np_link) << "K=" << k;
+    EXPECT_EQ(result.rp_link, oneshot_->rp_link) << "K=" << k;
+    EXPECT_EQ(result.triples, oneshot_->triples) << "K=" << k;
+    EXPECT_EQ(result.weights, oneshot_->weights) << "K=" << k;
+    EXPECT_EQ(result.diagnostics.iterations, oneshot_->diagnostics.iterations);
+    EXPECT_EQ(result.diagnostics.converged, oneshot_->diagnostics.converged);
+    EXPECT_EQ(result.diagnostics.final_residual,
+              oneshot_->diagnostics.final_residual);
+    EXPECT_EQ(result.diagnostics.residual_history,
+              oneshot_->diagnostics.residual_history);
+    EXPECT_EQ(result.diagnostics.marginals, oneshot_->diagnostics.marginals)
+        << "K=" << k;
+  }
+}
+
+TEST_F(SessionEquivalenceTest, RemovalReachesTheSameStateAsNeverIngesting) {
+  const std::vector<size_t>& stream = dataset_->test_triples;
+  // Ingest everything in 4 batches, then retire the second quarter; the
+  // session must land exactly where a one-shot run over the remaining
+  // triples lands.
+  JoclSession session(dataset_, signals_);
+  for (size_t b = 0; b < 4; ++b) {
+    size_t begin = b * stream.size() / 4;
+    size_t end = (b + 1) * stream.size() / 4;
+    ASSERT_TRUE(session
+                    .AddTriples(std::vector<size_t>(stream.begin() + begin,
+                                                    stream.begin() + end))
+                    .ok());
+  }
+  std::vector<size_t> removed(stream.begin() + stream.size() / 4,
+                              stream.begin() + stream.size() / 2);
+  SessionStats stats;
+  ASSERT_TRUE(session.RemoveTriples(removed, &stats).ok());
+  EXPECT_EQ(stats.removed, removed.size());
+
+  std::vector<size_t> remaining;
+  for (size_t t : stream) {
+    if (t < removed.front() || t > removed.back()) remaining.push_back(t);
+  }
+  JoclResult expected =
+      JoclRuntime().Infer(*dataset_, *signals_, remaining).MoveValueOrDie();
+  EXPECT_EQ(session.result().np_cluster, expected.np_cluster);
+  EXPECT_EQ(session.result().np_link, expected.np_link);
+  EXPECT_EQ(session.result().rp_cluster, expected.rp_cluster);
+  EXPECT_EQ(session.result().rp_link, expected.rp_link);
+  EXPECT_EQ(session.result().diagnostics.marginals,
+            expected.diagnostics.marginals);
+}
+
+TEST_F(SessionEquivalenceTest, WarmStartConvergesAndMatchesShapes) {
+  // Warm start is approximate (not byte-identical by contract), so assert
+  // structure and convergence rather than bit equality.
+  const std::vector<size_t>& stream = dataset_->test_triples;
+  SessionOptions session_options;
+  session_options.warm_start = true;
+  JoclSession session(dataset_, signals_, {}, session_options);
+  SessionStats stats;
+  size_t total_hints = 0;
+  for (size_t b = 0; b < 4; ++b) {
+    size_t begin = b * stream.size() / 4;
+    size_t end = (b + 1) * stream.size() / 4;
+    ASSERT_TRUE(session
+                    .AddTriples(std::vector<size_t>(stream.begin() + begin,
+                                                    stream.begin() + end),
+                                &stats)
+                    .ok());
+    total_hints += stats.warm_hints;
+  }
+  EXPECT_GT(total_hints, 0u);  // later batches reuse earlier beliefs
+  // The reference cold run itself stops at max_iterations on this data,
+  // so assert execution shape rather than convergence.
+  EXPECT_GT(session.result().diagnostics.iterations, 0u);
+  EXPECT_LE(session.result().diagnostics.iterations,
+            JoclOptions().inference.max_iterations);
+  EXPECT_EQ(session.result().np_cluster.size(), oneshot_->np_cluster.size());
+  EXPECT_EQ(session.result().np_link.size(), oneshot_->np_link.size());
+  EXPECT_EQ(session.result().triples, oneshot_->triples);
+}
+
+TEST_F(SessionEquivalenceTest, StaleComponentsAreEvicted) {
+  const std::vector<size_t>& stream = dataset_->test_triples;
+  SessionOptions session_options;
+  session_options.stale_retention = 0;  // evict as soon as a shard is unused
+  JoclSession session(dataset_, signals_, {}, session_options);
+  std::vector<size_t> half(stream.begin(),
+                           stream.begin() + stream.size() / 2);
+  ASSERT_TRUE(session.AddTriples(half).ok());
+  size_t cached_after_first = session.cached_components();
+  EXPECT_GT(cached_after_first, 0u);
+  // With retention 0 every cached entry must belong to the live partition.
+  ASSERT_TRUE(
+      session
+          .AddTriples(std::vector<size_t>(stream.begin() + stream.size() / 2,
+                                          stream.end()))
+          .ok());
+  SessionStats stats;
+  ASSERT_TRUE(session.RemoveTriples(half, &stats).ok());
+  EXPECT_EQ(session.cached_components(), stats.shards);
+}
+
+}  // namespace
+}  // namespace jocl

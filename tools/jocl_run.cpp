@@ -108,11 +108,19 @@ int RunDemo(int argc, char** argv) {
   JoclResult result =
       runtime.Infer(ds, sig, ds.test_triples, weights, &stats)
           .MoveValueOrDie();
+  // Signal-cache build and graph build are separate line items (and the
+  // shard stage splits into graph building vs inference), so the stages a
+  // streaming session skips or shrinks are visible here too.
   std::printf(
-      "runtime: %zu independent sub-problems in %zu shards "
-      "(problem %.2fs, cache %.2fs, shards %.2fs, decode %.2fs)\n",
+      "runtime: %zu independent sub-problems in %zu shards\n"
+      "  problem build   %.2fs\n"
+      "  signal cache    %.2fs\n"
+      "  shard stage     %.2fs wall (graph build %.2fs + inference %.2fs, "
+      "summed over workers)\n"
+      "  decode          %.2fs\n",
       stats.components, stats.shards, stats.problem_seconds,
-      stats.cache_seconds, stats.shard_seconds, stats.decode_seconds);
+      stats.cache_seconds, stats.shard_seconds, stats.graph_seconds,
+      stats.infer_seconds, stats.decode_seconds);
 
   std::vector<size_t> gold_np;
   std::vector<int64_t> gold_entities;

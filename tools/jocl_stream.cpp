@@ -1,0 +1,167 @@
+// jocl_stream — streaming ingestion driver over the incremental
+// JoclSession (core/session.h).
+//
+// Replays a generated benchmark as N ingestion batches through a
+// long-lived session, reporting per-batch latency and how much of the
+// partition each batch actually dirtied, then verifies the final state
+// against a one-shot JoclRuntime::Infer (byte-identical with warm start
+// off — the session's cold-restart equivalence guarantee) and
+// demonstrates removal by retiring the first batch again.
+//
+// Usage:
+//   jocl_stream [scale] [--batches N] [--threads N] [--warm] [--no-remove]
+//
+//   scale         workload scale (default 0.5; 1.0 ≈ 3K triples)
+//   --batches N   number of ingestion batches (default 8)
+//   --threads N   dirty-shard worker threads (0 = hardware, default)
+//   --warm        warm-start dirty shards from previous beliefs
+//                 (approximate: skips the byte-identity check)
+//   --no-remove   skip the removal demonstration
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/session.h"
+#include "data/generator.h"
+#include "eval/clustering_metrics.h"
+#include "eval/linking_metrics.h"
+#include "util/stopwatch.h"
+
+using namespace jocl;
+
+namespace {
+
+bool SameDecode(const JoclResult& a, const JoclResult& b) {
+  return a.np_cluster == b.np_cluster && a.rp_cluster == b.rp_cluster &&
+         a.np_link == b.np_link && a.rp_link == b.rp_link &&
+         a.triples == b.triples;
+}
+
+void PrintBatch(size_t index, const char* verb, size_t batch_size,
+                double seconds, const SessionStats& stats) {
+  std::printf(
+      "  batch %2zu: %s %4zu triples in %6.3fs  "
+      "(%zu/%zu shards dirty, %zu merged, %zu split, %zu new phrases)\n",
+      index, verb, batch_size, seconds, stats.dirty_shards, stats.shards,
+      stats.merged_shards, stats.split_components, stats.cache_new_phrases);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  size_t batches = 8;
+  SessionOptions session_options;
+  bool do_remove = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
+      batches = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      session_options.num_threads =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--warm") == 0) {
+      session_options.warm_start = true;
+    } else if (std::strcmp(argv[i], "--no-remove") == 0) {
+      do_remove = false;
+    } else {
+      scale = std::atof(argv[i]);
+      if (scale <= 0) scale = 0.5;
+    }
+  }
+  if (batches == 0) batches = 1;
+
+  std::printf("generating ReVerb45K-like benchmark (scale %.2f)...\n", scale);
+  Dataset ds = GenerateReVerb45K(scale).MoveValueOrDie();
+  std::printf("building signals (IDF, word2vec, AMIE, KBP)...\n");
+  SignalBundle sig = BuildSignals(ds).MoveValueOrDie();
+  const std::vector<size_t>& stream = ds.test_triples;
+  std::printf("replaying %zu test triples as %zu ingestion batches"
+              "%s...\n\n",
+              stream.size(), batches,
+              session_options.warm_start ? " (warm start)" : "");
+
+  JoclSession session(&ds, &sig, {}, session_options);
+  double total_seconds = 0.0;
+  std::vector<size_t> first_batch;
+  for (size_t b = 0; b < batches; ++b) {
+    size_t begin = b * stream.size() / batches;
+    size_t end = (b + 1) * stream.size() / batches;
+    std::vector<size_t> batch(stream.begin() + begin, stream.begin() + end);
+    if (b == 0) first_batch = batch;
+    SessionStats stats;
+    Stopwatch watch;
+    Status status = session.AddTriples(batch, &stats);
+    double seconds = watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    total_seconds += seconds;
+    PrintBatch(b, "added  ", batch.size(), seconds, stats);
+  }
+
+  // ---- compare against one-shot inference --------------------------------
+  RuntimeOptions runtime_options;
+  runtime_options.num_threads = session_options.num_threads;
+  JoclRuntime runtime({}, runtime_options);
+  Stopwatch full_watch;
+  JoclResult oneshot =
+      runtime.Infer(ds, sig, session.active_triples()).MoveValueOrDie();
+  double full_seconds = full_watch.ElapsedSeconds();
+  std::printf("\nreplay total %.3fs; one-shot full inference %.3fs\n",
+              total_seconds, full_seconds);
+  if (session_options.warm_start) {
+    std::printf("decode match vs one-shot (warm start, approximate): %s\n",
+                SameDecode(session.result(), oneshot) ? "yes" : "no");
+  } else {
+    bool identical = SameDecode(session.result(), oneshot) &&
+                     session.result().diagnostics.marginals ==
+                         oneshot.diagnostics.marginals;
+    std::printf("byte-identical to one-shot: %s\n",
+                identical ? "yes" : "NO (bug!)");
+    if (!identical) return 1;
+  }
+
+  // ---- evaluation over the streamed result -------------------------------
+  std::vector<size_t> gold_np;
+  std::vector<int64_t> gold_entities;
+  for (size_t t : session.active_triples()) {
+    gold_np.push_back(static_cast<size_t>(ds.gold_np_group[t * 2]));
+    gold_np.push_back(static_cast<size_t>(ds.gold_np_group[t * 2 + 1]));
+    gold_entities.push_back(ds.gold_subject_entity[t]);
+    gold_entities.push_back(ds.gold_object_entity[t]);
+  }
+  ClusteringScore score =
+      EvaluateClustering(session.result().np_cluster, gold_np);
+  std::printf("NP canonicalization: macro %.3f  micro %.3f  pairwise %.3f\n",
+              score.macro.f1, score.micro.f1, score.pairwise.f1);
+  std::printf("entity linking accuracy: %.3f\n",
+              LinkingAccuracy(session.result().np_link, gold_entities));
+
+  // ---- removal demonstration ---------------------------------------------
+  if (do_remove && !first_batch.empty()) {
+    std::printf("\nretiring the first batch again...\n");
+    SessionStats stats;
+    Stopwatch watch;
+    Status status = session.RemoveTriples(first_batch, &stats);
+    double seconds = watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    PrintBatch(0, "removed", first_batch.size(), seconds, stats);
+    if (!session_options.warm_start) {
+      JoclResult remaining =
+          runtime.Infer(ds, sig, session.active_triples()).MoveValueOrDie();
+      std::printf("byte-identical after removal: %s\n",
+                  SameDecode(session.result(), remaining) &&
+                          session.result().diagnostics.marginals ==
+                              remaining.diagnostics.marginals
+                      ? "yes"
+                      : "NO (bug!)");
+    }
+  }
+  return 0;
+}
