@@ -1,0 +1,290 @@
+// Serving-layer bench: what the canonical-KB read path costs. Measures
+// in-process CanonStore lookups (the floor), HTTP round trips through
+// jocl_serve's CanonServer (QPS + p50/p99 latency, 4 concurrent
+// clients), the same under continuous store republication (the RCU swap
+// stall), and snapshot save/load. Emits BENCH_serve.json (path:
+// JOCL_BENCH_OUT, default ./BENCH_serve.json) for CI tracking.
+//
+// Acceptance (ISSUE 4): snapshot round trip byte-identical; the JSON
+// must report p99 lookup latency and QPS.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/runtime.h"
+#include "serve/canon_store.h"
+#include "serve/http_client.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/snapshot_io.h"
+
+namespace jocl {
+namespace bench {
+namespace {
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+struct HttpPhase {
+  double wall_seconds = 0.0;
+  size_t requests = 0;
+  size_t errors = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Drives \p clients concurrent readers, \p per_client requests each,
+/// rotating over \p targets. Latencies are per full HTTP round trip
+/// (connect + request + response over loopback).
+HttpPhase RunHttpPhase(int port, const std::vector<std::string>& targets,
+                       size_t clients, size_t per_client) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        const std::string& target = targets[(c + i) % targets.size()];
+        Stopwatch request_watch;
+        Result<HttpResponse> response = HttpGet(port, target);
+        const double ms = request_watch.ElapsedMillis();
+        if (!response.ok() || response.ValueOrDie().status != 200 ||
+            !LooksLikeJson(response.ValueOrDie().body)) {
+          errors.fetch_add(1);
+        } else {
+          latencies[c].push_back(ms);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  HttpPhase phase;
+  phase.wall_seconds = wall.ElapsedSeconds();
+  phase.requests = clients * per_client;
+  phase.errors = errors.load();
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  phase.qps = phase.wall_seconds > 0.0
+                  ? static_cast<double>(all.size()) / phase.wall_seconds
+                  : 0.0;
+  phase.p50_ms = Percentile(all, 50.0);
+  phase.p99_ms = Percentile(all, 99.0);
+  return phase;
+}
+
+int Run() {
+  int failures = 0;
+  BenchEnv env = BenchEnv::FromEnv();
+  Banner("Canonical-KB serving layer (CanonStore + jocl_serve)", env);
+
+  auto pack = DataPack::ReVerb(env);
+  const Dataset& ds = pack->dataset();
+  const std::vector<size_t>& eval = pack->eval_triples();
+  std::printf("inferring over %zu triples...\n", eval.size());
+  JoclResult result =
+      JoclRuntime().Infer(ds, pack->signals(), eval).MoveValueOrDie();
+  JoclProblem problem = BuildProblem(ds, pack->signals(), eval);
+
+  Stopwatch build_watch;
+  auto store = std::make_shared<const CanonStore>(
+      BuildCanonStore(problem, result, ds.ckb, /*generation=*/1));
+  const double build_seconds = build_watch.ElapsedSeconds();
+  std::printf("store: %zu NP surfaces in %zu clusters, %zu RP surfaces in "
+              "%zu clusters (built in %.3fs)\n",
+              store->np.surface_count(), store->np.cluster_count(),
+              store->rp.surface_count(), store->rp.cluster_count(),
+              build_seconds);
+
+  // ---- snapshot round trip ------------------------------------------------
+  Stopwatch save_watch;
+  const std::string bytes = SerializeSnapshot(*store);
+  const double serialize_seconds = save_watch.ElapsedSeconds();
+  double load_seconds = 0.0;
+  bool round_trip_identical = true;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch load_watch;
+    Result<CanonStore> loaded = DeserializeSnapshot(bytes);
+    const double seconds = load_watch.ElapsedSeconds();
+    if (rep == 0 || seconds < load_seconds) load_seconds = seconds;
+    if (!loaded.ok() ||
+        SerializeSnapshot(loaded.ValueOrDie()) != bytes) {
+      round_trip_identical = false;
+    }
+  }
+  std::printf("snapshot: %zu bytes, serialize %.4fs, load+validate %.4fs, "
+              "round-trip byte-identical: %s\n",
+              bytes.size(), serialize_seconds, load_seconds,
+              round_trip_identical ? "yes" : "NO (bug!)");
+  if (!round_trip_identical) ++failures;
+
+  // ---- in-process lookups (the floor) -------------------------------------
+  std::vector<std::string> surfaces;
+  for (size_t s = 0; s < store->np.surface_count(); ++s) {
+    surfaces.emplace_back(store->SurfaceText(CanonKind::kNp, s));
+  }
+  std::vector<double> lookup_ns;
+  const size_t kLookups = 200000;
+  lookup_ns.reserve(kLookups);
+  size_t found = 0;
+  for (size_t i = 0; i < kLookups; ++i) {
+    const std::string& surface = surfaces[(i * 2654435761u) % surfaces.size()];
+    const auto begin = std::chrono::steady_clock::now();
+    const int64_t id = store->FindSurface(CanonKind::kNp, surface);
+    if (id >= 0) {
+      found += store->ClusterMembers(CanonKind::kNp,
+                                     store->ClustersOf(CanonKind::kNp, id)[0])
+                   .size();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    lookup_ns.push_back(
+        std::chrono::duration<double, std::nano>(end - begin).count());
+  }
+  const double inproc_p50 = Percentile(lookup_ns, 50.0);
+  const double inproc_p99 = Percentile(lookup_ns, 99.0);
+  std::printf("in-process lookup (find + members): p50 %.0fns p99 %.0fns "
+              "(%zu member refs touched)\n",
+              inproc_p50, inproc_p99, found);
+
+  // ---- HTTP: static store -------------------------------------------------
+  ServeOptions serve_options;
+  serve_options.num_workers = 4;
+  CanonServer server(serve_options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::printf("ERROR: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  server.Publish(store);
+  std::vector<std::string> targets;
+  for (size_t i = 0; i < 16 && i < surfaces.size(); ++i) {
+    targets.push_back("/lookup?surface=" + UrlEncode(surfaces[i]));
+    targets.push_back("/link?surface=" + UrlEncode(surfaces[i]));
+  }
+  targets.push_back("/stats");
+  const size_t kClients = 4;
+  const size_t kPerClient = 400;
+  HttpPhase static_phase =
+      RunHttpPhase(server.port(), targets, kClients, kPerClient);
+  std::printf("http static: %zu requests, %zu errors, %.0f QPS, "
+              "p50 %.3fms p99 %.3fms\n",
+              static_phase.requests, static_phase.errors, static_phase.qps,
+              static_phase.p50_ms, static_phase.p99_ms);
+  if (static_phase.errors > 0) ++failures;
+
+  // ---- HTTP: continuous republication (swap stall) ------------------------
+  // A second store (half the triples) alternates with the full one every
+  // few milliseconds while the same reader load runs: readers pin their
+  // version at request start, so the p99 under churn vs static measures
+  // the real swap stall, and publish_max_ms bounds the writer side.
+  std::vector<size_t> half(eval.begin(),
+                           eval.begin() + static_cast<long>(eval.size() / 2));
+  JoclResult half_result =
+      JoclRuntime().Infer(ds, pack->signals(), half).MoveValueOrDie();
+  JoclProblem half_problem = BuildProblem(ds, pack->signals(), half);
+  auto half_store = std::make_shared<const CanonStore>(
+      BuildCanonStore(half_problem, half_result, ds.ckb, /*generation=*/2));
+  std::atomic<bool> publishing{true};
+  std::vector<double> publish_ms;
+  std::thread publisher([&] {
+    bool full = false;
+    while (publishing.load()) {
+      Stopwatch publish_watch;
+      server.Publish(full ? store : half_store);
+      publish_ms.push_back(publish_watch.ElapsedMillis());
+      full = !full;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  HttpPhase churn_phase =
+      RunHttpPhase(server.port(), targets, kClients, kPerClient);
+  publishing.store(false);
+  publisher.join();
+  const double publish_p99 = Percentile(publish_ms, 99.0);
+  const double publish_max =
+      publish_ms.empty()
+          ? 0.0
+          : *std::max_element(publish_ms.begin(), publish_ms.end());
+  std::printf("http under churn: %zu requests, %zu errors, %.0f QPS, "
+              "p50 %.3fms p99 %.3fms; %zu publishes, publish p99 %.4fms "
+              "max %.4fms\n",
+              churn_phase.requests, churn_phase.errors, churn_phase.qps,
+              churn_phase.p50_ms, churn_phase.p99_ms, publish_ms.size(),
+              publish_p99, publish_max);
+  if (churn_phase.errors > 0) ++failures;
+  server.Stop();
+
+  // ---- JSON artifact ------------------------------------------------------
+  const char* out_path = std::getenv("JOCL_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_serve.json";
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"scale\": %.3f,\n  \"seed\": %llu,\n", env.scale,
+               static_cast<unsigned long long>(env.seed));
+  std::fprintf(out, "  \"triples\": %zu,\n", eval.size());
+  std::fprintf(out,
+               "  \"store\": {\"np_surfaces\": %zu, \"np_clusters\": %zu, "
+               "\"rp_surfaces\": %zu, \"rp_clusters\": %zu, "
+               "\"build_seconds\": %.4f},\n",
+               store->np.surface_count(), store->np.cluster_count(),
+               store->rp.surface_count(), store->rp.cluster_count(),
+               build_seconds);
+  std::fprintf(out,
+               "  \"snapshot\": {\"bytes\": %zu, \"serialize_seconds\": "
+               "%.5f, \"load_seconds\": %.5f, \"round_trip_identical\": "
+               "%s},\n",
+               bytes.size(), serialize_seconds, load_seconds,
+               round_trip_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"inprocess_lookup\": {\"samples\": %zu, \"p50_ns\": %.0f, "
+               "\"p99_ns\": %.0f},\n",
+               lookup_ns.size(), inproc_p50, inproc_p99);
+  std::fprintf(out,
+               "  \"http_static\": {\"clients\": %zu, \"requests\": %zu, "
+               "\"errors\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
+               "\"p99_ms\": %.4f},\n",
+               kClients, static_phase.requests, static_phase.errors,
+               static_phase.qps, static_phase.p50_ms, static_phase.p99_ms);
+  std::fprintf(out,
+               "  \"http_under_churn\": {\"clients\": %zu, \"requests\": "
+               "%zu, \"errors\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
+               "\"p99_ms\": %.4f, \"publishes\": %zu, "
+               "\"publish_p99_ms\": %.5f, \"publish_max_ms\": %.5f}\n",
+               kClients, churn_phase.requests, churn_phase.errors,
+               churn_phase.qps, churn_phase.p50_ms, churn_phase.p99_ms,
+               publish_ms.size(), publish_p99, publish_max);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path);
+  if (failures > 0) {
+    std::printf("%d correctness check(s) FAILED\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jocl
+
+int main() { return jocl::bench::Run(); }

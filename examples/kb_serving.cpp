@@ -1,0 +1,133 @@
+// Serving a canonicalized KB: infer -> build a CanonStore -> save a
+// versioned snapshot -> reload it -> query the store in process.
+//
+// Uses the paper's Figure 1(a) running example (same world as
+// quickstart.cpp); the reloaded store answers "which cluster is this
+// surface in, and which curated entity does it link to?" with pure
+// binary search — no pipeline objects needed at query time. The same
+// snapshot file can be served over HTTP with
+// `jocl_serve --snapshot PATH` (see docs/serving.md).
+//
+//   $ ./example_kb_serving
+#include <cstdio>
+#include <string>
+
+#include "core/jocl.h"
+#include "core/problem.h"
+#include "core/signals.h"
+#include "data/dataset.h"
+#include "serve/canon_store.h"
+#include "serve/snapshot_io.h"
+
+using namespace jocl;
+
+int main() {
+  // --- the Figure 1(a) world (see quickstart.cpp for the walkthrough) ------
+  Dataset example;
+  CuratedKb& ckb = example.ckb;
+  EntityId maryland = ckb.AddEntity("maryland");
+  EntityId u21 = ckb.AddEntity("universitas 21");
+  EntityId uva = ckb.AddEntity("university of virginia");
+  EntityId umd = ckb.AddEntity("university of maryland");
+  RelationId contained_by = ckb.AddRelation("location.contained_by");
+  RelationId founded = ckb.AddRelation("organizations_founded");
+  (void)ckb.AddRelationAlias(contained_by, "locate in");
+  (void)ckb.AddRelationAlias(founded, "member of");
+  (void)ckb.AddFact(umd, contained_by, maryland);
+  (void)ckb.AddFact(uva, founded, u21);
+  (void)ckb.AddAnchor("university of maryland", umd, 95);
+  (void)ckb.AddAnchor("umd", umd, 40);
+  (void)ckb.AddAnchor("maryland", maryland, 70);
+  (void)ckb.AddAnchor("maryland", umd, 20);
+  (void)ckb.AddAnchor("universitas 21", u21, 30);
+  (void)ckb.AddAnchor("u21", u21, 12);
+  (void)ckb.AddAnchor("university of virginia", uva, 80);
+
+  OpenKb& okb = example.okb;
+  (void)okb.AddTriple("University of Maryland", "locate in", "Maryland");
+  (void)okb.AddTriple("UMD", "be a member of", "Universitas 21");
+  (void)okb.AddTriple("University of Virginia", "be an early member of",
+                      "U21");
+  for (size_t t = 0; t < okb.size(); ++t) {
+    example.gold_subject_entity.push_back(kNilId);
+    example.gold_relation.push_back(kNilId);
+    example.gold_object_entity.push_back(kNilId);
+    example.gold_np_group.push_back(static_cast<int64_t>(t * 2));
+    example.gold_np_group.push_back(static_cast<int64_t>(t * 2 + 1));
+    example.gold_rp_group.push_back(static_cast<int64_t>(t));
+  }
+  example.ppdb.AddCluster({"university of maryland", "umd"});
+  example.ppdb.AddCluster({"universitas 21", "u21"});
+  example.ppdb.AddCluster({"be a member of", "be an early member of"});
+
+  // --- infer, index, snapshot ----------------------------------------------
+  SignalBundle signals = BuildSignals(example).MoveValueOrDie();
+  Jocl jocl;
+  std::vector<size_t> all = {0, 1, 2};
+  JoclResult result = jocl.Infer(example, signals, all).MoveValueOrDie();
+  JoclProblem problem = BuildProblem(example, signals, all);
+  CanonStore built =
+      BuildCanonStore(problem, result, ckb, /*generation=*/1);
+
+  const std::string path = "/tmp/jocl_kb_serving.snap";
+  size_t bytes = 0;
+  Status saved = SaveSnapshot(built, path, &bytes);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved snapshot: %s (%zu bytes)\n", path.c_str(), bytes);
+
+  Result<CanonStore> reloaded = LoadSnapshot(path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  const CanonStore& store = reloaded.ValueOrDie();
+  std::printf("reloaded: %zu NP surfaces / %zu clusters, round trip %s\n\n",
+              store.np.surface_count(), store.np.cluster_count(),
+              SerializeSnapshot(store) == SerializeSnapshot(built)
+                  ? "byte-identical"
+                  : "BROKEN");
+
+  // --- query the reloaded store --------------------------------------------
+  auto show = [&](CanonKind kind, const char* surface) {
+    const int64_t id = store.FindSurface(kind, surface);
+    std::printf("%s \"%s\": ", kind == CanonKind::kNp ? "NP" : "RP",
+                surface);
+    if (id < 0) {
+      std::printf("not in the store\n");
+      return;
+    }
+    for (uint32_t cluster : store.ClustersOf(kind, id)) {
+      std::printf("cluster %u {", cluster);
+      bool first = true;
+      for (uint32_t member : store.ClusterMembers(kind, cluster)) {
+        std::printf("%s\"%.*s\"", first ? "" : ", ",
+                    static_cast<int>(store.SurfaceText(kind, member).size()),
+                    store.SurfaceText(kind, member).data());
+        first = false;
+      }
+      std::string_view link = store.ClusterLinkName(kind, cluster);
+      if (link.empty()) {
+        std::printf("} -> NIL\n");
+      } else {
+        std::printf("} -> %.*s (id %lld)\n", static_cast<int>(link.size()),
+                    link.data(),
+                    static_cast<long long>(store.ClusterLink(kind, cluster)));
+      }
+    }
+  };
+  show(CanonKind::kNp, "UMD");
+  show(CanonKind::kNp, "University of Maryland");
+  show(CanonKind::kNp, "U21");
+  show(CanonKind::kRp, "locate in");
+  show(CanonKind::kNp, "stanford");  // miss: not part of this OKB
+
+  std::printf("\nserve the same snapshot over HTTP:\n"
+              "  ./build/jocl_serve --snapshot %s\n",
+              path.c_str());
+  std::remove(path.c_str());
+  return 0;
+}

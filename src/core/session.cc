@@ -417,6 +417,7 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
                    << delta.split << " split), "
                    << local_stats.cache_new_phrases << " new phrases";
   if (stats != nullptr) *stats = local_stats;
+  if (publish_callback_) publish_callback_(*this);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define JOCL_CORE_SESSION_H_
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -107,6 +108,23 @@ class JoclSession {
   /// first successful mutation; empty before.
   const JoclResult& result() const { return result_; }
 
+  /// The current global problem (aligned with result()) — what serving-
+  /// layer publishers index (`BuildCanonStore(session.problem(),
+  /// session.result(), ...)`). Valid after the first successful mutation.
+  const JoclProblem& problem() const { return problem_; }
+
+  /// Monotonic count of successful mutations (the publication stamp).
+  size_t generation() const { return generation_; }
+
+  /// Invoked after every successful AddTriples / RemoveTriples, once the
+  /// session's problem/result/stats are consistent — the publish hook the
+  /// serving layer hangs snapshot emission and store swaps on. Runs on
+  /// the mutating thread; keep it cheap relative to a batch (building +
+  /// swapping a CanonStore is). Pass nullptr to clear.
+  void SetPublishCallback(std::function<void(const JoclSession&)> callback) {
+    publish_callback_ = std::move(callback);
+  }
+
   /// The active dataset triple indices, ascending.
   const std::vector<size_t>& active_triples() const { return active_; }
 
@@ -149,6 +167,7 @@ class JoclSession {
   /// The previous partition's component triple sets (delta baseline).
   std::vector<std::vector<size_t>> previous_components_;
   size_t generation_ = 0;
+  std::function<void(const JoclSession&)> publish_callback_;
 };
 
 }  // namespace jocl

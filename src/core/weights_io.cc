@@ -1,6 +1,7 @@
 #include "core/weights_io.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -21,9 +22,21 @@ Status SaveWeights(const std::vector<double>& weights,
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + path);
   }
-  out.precision(17);
+  // Shortest-round-trip std::to_chars, not stream insertion: stream
+  // formatting honors the global locale (a comma decimal point under
+  // e.g. de_DE corrupts the TSV), to_chars is locale-independent by
+  // specification, so saved weight files are stable across environments.
+  char buffer[64];
   for (size_t k = 0; k < weights.size(); ++k) {
-    out << WeightLayout::Name(k) << '\t' << weights[k] << '\n';
+    const auto [ptr, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), weights[k]);
+    if (ec != std::errc()) {
+      return Status::Internal("cannot format weight " +
+                              WeightLayout::Name(k));
+    }
+    out << WeightLayout::Name(k) << '\t';
+    out.write(buffer, ptr - buffer);
+    out << '\n';
   }
   if (!out.good()) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -53,12 +66,17 @@ Result<std::vector<double>> LoadWeights(const std::string& path) {
     if (it == index.end()) {
       return Status::IOError("unknown weight name '" + cells[0] + "'");
     }
-    try {
-      weights[it->second] = std::stod(cells[1]);
-    } catch (const std::exception&) {
+    // from_chars mirrors to_chars above: locale-independent, and it
+    // must consume the whole cell (stod would accept "1.5garbage").
+    double value = 0.0;
+    const char* begin = cells[1].data();
+    const char* end = begin + cells[1].size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) {
       return Status::IOError("non-numeric weight at line " +
                              std::to_string(line_number));
     }
+    weights[it->second] = value;
   }
   return weights;
 }

@@ -1,0 +1,102 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace jocl {
+
+std::string UrlEncode(std::string_view value) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    const bool unreserved =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+        c == '~';
+    if (unreserved) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(hex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out.push_back(hex[static_cast<unsigned char>(c) & 0xf]);
+    }
+  }
+  return out;
+}
+
+Result<HttpResponse> HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  timeval timeout;
+  timeout.tv_sec = 5;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect(127.0.0.1:" + std::to_string(port) +
+                           ") failed: " + error);
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("send() failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("recv() failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  HttpResponse response;
+  // Status line: HTTP/1.1 <code> <text>\r\n
+  const size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || raw.size() < 12 ||
+      raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::IOError("malformed HTTP response");
+  }
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    return Status::IOError("malformed HTTP status line");
+  }
+  response.status = std::atoi(raw.c_str() + sp + 1);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IOError("HTTP response missing header terminator");
+  }
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace jocl

@@ -1,0 +1,29 @@
+#ifndef JOCL_SERVE_HTTP_CLIENT_H_
+#define JOCL_SERVE_HTTP_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace jocl {
+
+/// \brief A parsed HTTP response (status line + body; headers dropped).
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// \brief Minimal blocking HTTP/1.1 GET against 127.0.0.1:\p port —
+/// the client side of `CanonServer`, used by tests, `bench_serve` and
+/// the smoke script's local fallback. \p target must start with '/';
+/// percent-encode query values with `UrlEncode` first.
+Result<HttpResponse> HttpGet(int port, const std::string& target);
+
+/// \brief Percent-encodes a query-string value (RFC 3986 unreserved
+/// characters pass through).
+std::string UrlEncode(std::string_view value);
+
+}  // namespace jocl
+
+#endif  // JOCL_SERVE_HTTP_CLIENT_H_

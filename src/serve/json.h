@@ -1,0 +1,26 @@
+#ifndef JOCL_SERVE_JSON_H_
+#define JOCL_SERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jocl {
+
+/// \brief Appends \p text to \p out as a JSON string literal (quotes
+/// included), escaping quotes, backslashes and control characters.
+void AppendJsonString(std::string* out, std::string_view text);
+
+/// \brief `AppendJsonString` into a fresh string — for tests and
+/// call sites composing small documents.
+std::string JsonQuote(std::string_view text);
+
+/// \brief Shallow well-formedness check used by tests and the serve
+/// smoke path: balanced quotes/braces/brackets outside strings, a
+/// top-level object or array. Not a full parser — it rejects the broken
+/// output a buggy writer produces, which is all the tests need.
+bool LooksLikeJson(std::string_view text);
+
+}  // namespace jocl
+
+#endif  // JOCL_SERVE_JSON_H_

@@ -1,0 +1,490 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "serve/json.h"
+#include "util/ids.h"
+
+namespace jocl {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out.push_back(' ');
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               HexValue(text[i + 1]) >= 0 && HexValue(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexValue(text[i + 1]) * 16 +
+                                      HexValue(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+/// Decoded `key=value` pairs of a query string.
+struct QueryParams {
+  std::vector<std::pair<std::string, std::string>> params;
+
+  const std::string* Find(std::string_view key) const {
+    for (const auto& [k, v] : params) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+QueryParams ParseQuery(std::string_view query) {
+  QueryParams out;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string_view::npos) end = query.size();
+    std::string_view pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out.params.emplace_back(UrlDecode(pair), "");
+      } else {
+        out.params.emplace_back(UrlDecode(pair.substr(0, eq)),
+                                UrlDecode(pair.substr(eq + 1)));
+      }
+    }
+    if (end == query.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string ErrorBody(std::string_view message) {
+  std::string out = "{\"error\":";
+  AppendJsonString(&out, message);
+  out.push_back('}');
+  return out;
+}
+
+const char* KindName(CanonKind kind) {
+  return kind == CanonKind::kNp ? "np" : "rp";
+}
+
+/// Parses the `kind` parameter; defaults to NP. Returns false on an
+/// unknown value.
+bool ParseKind(const QueryParams& query, CanonKind* kind) {
+  const std::string* value = query.Find("kind");
+  if (value == nullptr || *value == "np") {
+    *kind = CanonKind::kNp;
+    return true;
+  }
+  if (*value == "rp") {
+    *kind = CanonKind::kRp;
+    return true;
+  }
+  return false;
+}
+
+void AppendLinkJson(std::string* out, const CanonStore& store, CanonKind kind,
+                    size_t cluster) {
+  const int64_t link = store.ClusterLink(kind, cluster);
+  if (link == kNilId) {
+    out->append("null");
+    return;
+  }
+  out->append("{\"id\":");
+  out->append(std::to_string(link));
+  out->append(",\"name\":");
+  AppendJsonString(out, store.ClusterLinkName(kind, cluster));
+  out->append(",\"votes\":");
+  out->append(
+      std::to_string(store.section(kind).cluster_link_votes[cluster]));
+  out->push_back('}');
+}
+
+void AppendClusterJson(std::string* out, const CanonStore& store,
+                       CanonKind kind, size_t cluster) {
+  ConstSpan<uint32_t> members = store.ClusterMembers(kind, cluster);
+  out->append("{\"id\":");
+  out->append(std::to_string(cluster));
+  out->append(",\"size\":");
+  out->append(std::to_string(members.size()));
+  out->append(",\"members\":[");
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonString(out, store.SurfaceText(kind, members[i]));
+  }
+  out->append("],\"link\":");
+  AppendLinkJson(out, store, kind, cluster);
+  out->push_back('}');
+}
+
+std::string HandleLookup(const CanonStore& store, const QueryParams& query,
+                         bool link_only, int* http_status) {
+  CanonKind kind = CanonKind::kNp;
+  if (!ParseKind(query, &kind)) {
+    *http_status = 400;
+    return ErrorBody("unknown kind (expected np or rp)");
+  }
+  const std::string* surface = query.Find("surface");
+  if (surface == nullptr) {
+    *http_status = 400;
+    return ErrorBody("missing required parameter 'surface'");
+  }
+  const int64_t id = store.FindSurface(kind, *surface);
+  if (id < 0) {
+    *http_status = 404;
+    std::string out = "{\"error\":\"surface not found\",\"surface\":";
+    AppendJsonString(&out, *surface);
+    out.append(",\"kind\":\"");
+    out.append(KindName(kind));
+    out.append("\"}");
+    return out;
+  }
+  const size_t s = static_cast<size_t>(id);
+  *http_status = 200;
+  std::string out = "{\"surface\":";
+  AppendJsonString(&out, *surface);
+  out.append(",\"kind\":\"");
+  out.append(KindName(kind));
+  out.append("\",\"surface_id\":");
+  out.append(std::to_string(s));
+  ConstSpan<uint32_t> clusters = store.ClustersOf(kind, s);
+  if (link_only) {
+    out.append(",\"link\":");
+    if (clusters.empty()) {
+      out.append("null");
+    } else {
+      AppendLinkJson(&out, store, kind, clusters[0]);
+    }
+  } else {
+    out.append(",\"mentions\":");
+    out.append(std::to_string(store.MentionCount(kind, s)));
+    out.append(",\"clusters\":[");
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendClusterJson(&out, store, kind, clusters[i]);
+    }
+    out.push_back(']');
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string HandleCluster(const CanonStore& store, const QueryParams& query,
+                          int* http_status) {
+  CanonKind kind = CanonKind::kNp;
+  if (!ParseKind(query, &kind)) {
+    *http_status = 400;
+    return ErrorBody("unknown kind (expected np or rp)");
+  }
+  const std::string* id_text = query.Find("id");
+  if (id_text == nullptr || id_text->empty() ||
+      id_text->find_first_not_of("0123456789") != std::string::npos) {
+    *http_status = 400;
+    return ErrorBody("missing or non-numeric parameter 'id'");
+  }
+  const uint64_t id = std::strtoull(id_text->c_str(), nullptr, 10);
+  if (id >= store.section(kind).cluster_count()) {
+    *http_status = 404;
+    return ErrorBody("cluster id out of range");
+  }
+  *http_status = 200;
+  std::string out = "{\"kind\":\"";
+  out.append(KindName(kind));
+  out.append("\",\"cluster\":");
+  AppendClusterJson(&out, store, kind, static_cast<size_t>(id));
+  out.push_back('}');
+  return out;
+}
+
+std::string HandleStats(const CanonStore* store,
+                        const ServeCounters& counters, int* http_status) {
+  *http_status = 200;
+  std::string out = "{\"published\":";
+  out.append(store != nullptr ? "true" : "false");
+  if (store != nullptr) {
+    out.append(",\"generation\":");
+    out.append(std::to_string(store->generation));
+    out.append(",\"triples\":");
+    out.append(std::to_string(store->triple_count));
+    out.append(",\"np\":{\"surfaces\":");
+    out.append(std::to_string(store->np.surface_count()));
+    out.append(",\"clusters\":");
+    out.append(std::to_string(store->np.cluster_count()));
+    out.append("},\"rp\":{\"surfaces\":");
+    out.append(std::to_string(store->rp.surface_count()));
+    out.append(",\"clusters\":");
+    out.append(std::to_string(store->rp.cluster_count()));
+    out.push_back('}');
+  }
+  out.append(",\"requests\":");
+  out.append(std::to_string(counters.requests));
+  out.append(",\"ok\":");
+  out.append(std::to_string(counters.ok));
+  out.append(",\"not_found\":");
+  out.append(std::to_string(counters.not_found));
+  out.append(",\"bad_request\":");
+  out.append(std::to_string(counters.bad_request));
+  out.append(",\"unavailable\":");
+  out.append(std::to_string(counters.unavailable));
+  out.append(",\"publishes\":");
+  out.append(std::to_string(counters.publishes));
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string HandleCanonRequest(const CanonStore* store,
+                               std::string_view method,
+                               std::string_view target,
+                               const ServeCounters& counters,
+                               int* http_status) {
+  if (method != "GET") {
+    *http_status = 405;
+    return ErrorBody("method not allowed (GET only)");
+  }
+  std::string_view path = target;
+  std::string_view query_text;
+  const size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    path = target.substr(0, qmark);
+    query_text = target.substr(qmark + 1);
+  }
+  if (path == "/stats") {
+    return HandleStats(store, counters, http_status);
+  }
+  if (path != "/lookup" && path != "/cluster" && path != "/link") {
+    *http_status = 404;
+    std::string out = "{\"error\":\"unknown endpoint\",\"path\":";
+    AppendJsonString(&out, path);
+    out.push_back('}');
+    return out;
+  }
+  if (store == nullptr) {
+    *http_status = 503;
+    return ErrorBody("no store published yet");
+  }
+  const QueryParams query = ParseQuery(query_text);
+  if (path == "/cluster") return HandleCluster(*store, query, http_status);
+  return HandleLookup(*store, query, /*link_only=*/path == "/link",
+                      http_status);
+}
+
+CanonServer::CanonServer(ServeOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+}
+
+CanonServer::~CanonServer() { Stop(); }
+
+Status CanonServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind(127.0.0.1:" +
+                           std::to_string(options_.port) +
+                           ") failed: " + error);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen() failed: " + error);
+  }
+  running_.store(true);
+  listener_ = std::thread(&CanonServer::AcceptLoop, this);
+  workers_.reserve(options_.num_workers);
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back(&CanonServer::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void CanonServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept(); closing also releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    // Serialize with the workers' predicate check: a worker that saw
+    // running_ == true must reach cv.wait() before the notify below, or
+    // the wakeup would be lost and Stop() would join forever.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+  }
+  queue_cv_.notify_all();
+  if (listener_.joinable()) listener_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Close connections accepted but never picked up.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+void CanonServer::Publish(std::shared_ptr<const CanonStore> store) {
+  std::atomic_store(&store_, std::move(store));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const CanonStore> CanonServer::store() const {
+  return std::atomic_load(&store_);
+}
+
+ServeCounters CanonServer::counters() const {
+  ServeCounters counters;
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.ok = ok_.load(std::memory_order_relaxed);
+  counters.not_found = not_found_.load(std::memory_order_relaxed);
+  counters.bad_request = bad_request_.load(std::memory_order_relaxed);
+  counters.unavailable = unavailable_.load(std::memory_order_relaxed);
+  counters.publishes = publishes_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void CanonServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void CanonServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [&] { return !pending_.empty() || !running_.load(); });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    HandleConnection(fd);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CanonServer::HandleConnection(int fd) {
+  // Bound the worker's exposure to slow or dead clients.
+  timeval timeout;
+  timeout.tv_sec = 5;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buffer[4096];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<size_t>(n));
+  }
+
+  int http_status = 400;
+  std::string body;
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    body = ErrorBody("malformed request line");
+  } else {
+    const std::string_view line(request.data(), line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+      body = ErrorBody("malformed request line");
+    } else {
+      // Pin the store version for the whole request (RCU read side).
+      const std::shared_ptr<const CanonStore> pinned = store();
+      body = HandleCanonRequest(pinned.get(), line.substr(0, sp1),
+                                line.substr(sp1 + 1, sp2 - sp1 - 1),
+                                counters(), &http_status);
+    }
+  }
+  switch (http_status) {
+    case 200: ok_.fetch_add(1, std::memory_order_relaxed); break;
+    case 404: not_found_.fetch_add(1, std::memory_order_relaxed); break;
+    case 503: unavailable_.fetch_add(1, std::memory_order_relaxed); break;
+    default: bad_request_.fetch_add(1, std::memory_order_relaxed); break;
+  }
+
+  std::string response = "HTTP/1.1 " + std::to_string(http_status) + " " +
+                         StatusText(http_status) +
+                         "\r\nContent-Type: application/json\r\n"
+                         "Content-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" +
+                         body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
+}  // namespace jocl

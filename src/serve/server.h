@@ -1,0 +1,127 @@
+#ifndef JOCL_SERVE_SERVER_H_
+#define JOCL_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/canon_store.h"
+#include "util/result.h"
+
+namespace jocl {
+
+/// \brief Execution knobs of the serving front end.
+struct ServeOptions {
+  /// TCP port to bind on 127.0.0.1; 0 = any free (ephemeral) port, read
+  /// back via `CanonServer::port()`.
+  int port = 0;
+  /// Worker threads answering requests.
+  size_t num_workers = 4;
+  /// Listen backlog.
+  int backlog = 64;
+};
+
+/// \brief Monotonic request counters (one snapshot, not a live view).
+struct ServeCounters {
+  uint64_t requests = 0;     ///< connections fully handled
+  uint64_t ok = 0;           ///< 200 responses
+  uint64_t not_found = 0;    ///< 404 responses
+  uint64_t bad_request = 0;  ///< 400/405 responses
+  uint64_t unavailable = 0;  ///< 503 (no store published yet)
+  uint64_t publishes = 0;    ///< store swaps
+};
+
+/// \brief Pure request dispatcher behind the socket loop: routes a
+/// request target (`/lookup?surface=...`, `/cluster?id=...`,
+/// `/link?surface=...`, `/stats`) against an immutable store and returns
+/// the JSON body. \p store may be null (not published yet — 503 for data
+/// endpoints, zeroed `/stats`). Sets \p http_status to the response
+/// code. Exposed separately so tests can drive routing without sockets.
+std::string HandleCanonRequest(const CanonStore* store,
+                               std::string_view method,
+                               std::string_view target,
+                               const ServeCounters& counters,
+                               int* http_status);
+
+/// \brief Dependency-free concurrent HTTP/1.1 front end over an
+/// RCU-style store pointer (the tentpole's layer 3).
+///
+/// One listener thread accepts connections on 127.0.0.1 and queues them;
+/// `num_workers` worker threads parse one GET request per connection and
+/// answer JSON. The served store is a `std::shared_ptr<const CanonStore>`
+/// read with `std::atomic_load` at the start of every request and
+/// swapped by `Publish` with `std::atomic_store`: readers pin whichever
+/// version they loaded for the duration of the request and **never block
+/// on a publication** — the classic read-copy-update discipline. Old
+/// stores are freed by the last reader's shared_ptr release.
+///
+/// Endpoints (reference + worked curl examples in docs/serving.md):
+///   GET /lookup?surface=S[&kind=np|rp]   cluster + members + link of S
+///   GET /cluster?id=N[&kind=np|rp]       members + link of cluster N
+///   GET /link?surface=S[&kind=np|rp]     canonical CKB link of S
+///   GET /stats                           store + request counters
+class CanonServer {
+ public:
+  explicit CanonServer(ServeOptions options = {});
+  ~CanonServer();
+
+  CanonServer(const CanonServer&) = delete;
+  CanonServer& operator=(const CanonServer&) = delete;
+
+  /// Binds, listens and spawns the listener + workers. Fails with a
+  /// descriptive status when the port is taken.
+  Status Start();
+
+  /// Stops accepting, drains queued connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  /// Atomically swaps the served store. Thread-safe against concurrent
+  /// readers and other publishers; null resets to "not published".
+  void Publish(std::shared_ptr<const CanonStore> store);
+
+  /// The currently served store (atomic load; may be null).
+  std::shared_ptr<const CanonStore> store() const;
+
+  ServeCounters counters() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+
+  ServeOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+
+  /// Accessed only through std::atomic_load / std::atomic_store.
+  std::shared_ptr<const CanonStore> store_;
+
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> not_found_{0};
+  std::atomic<uint64_t> bad_request_{0};
+  std::atomic<uint64_t> unavailable_{0};
+  std::atomic<uint64_t> publishes_{0};
+};
+
+}  // namespace jocl
+
+#endif  // JOCL_SERVE_SERVER_H_

@@ -1,0 +1,458 @@
+// Serving-layer tests: CanonStore construction over a decoded result,
+// snapshot round-trip byte-identity, corruption handling (truncated /
+// bit-flipped / wrong-magic / future-version files must fail with clean
+// Status errors), request routing, and the acceptance bar — correct
+// responses under >= 4 concurrent HTTP readers while an ingestion
+// session swaps the published store mid-flight.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/session.h"
+#include "serve/canon_store.h"
+#include "serve/http_client.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/snapshot_io.h"
+
+namespace jocl {
+namespace {
+
+// ---------- a tiny world with a known canonical structure --------------------
+//
+// The paper's Figure 1(a) example: "University of Maryland" / "UMD" are
+// the same entity, "Universitas 21" / "U21" likewise, and the CKB knows
+// both through anchors + PPDB.
+class ServeWorld : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset();
+    dataset_->name = "serve-world";
+    CuratedKb& ckb = dataset_->ckb;
+    EntityId maryland = ckb.AddEntity("maryland");
+    EntityId u21 = ckb.AddEntity("universitas 21");
+    EntityId uva = ckb.AddEntity("university of virginia");
+    EntityId umd = ckb.AddEntity("university of maryland");
+    RelationId contained_by = ckb.AddRelation("location.contained_by");
+    RelationId founded = ckb.AddRelation("organizations_founded");
+    ASSERT_TRUE(ckb.AddRelationAlias(contained_by, "locate in").ok());
+    ASSERT_TRUE(ckb.AddRelationAlias(founded, "member of").ok());
+    ASSERT_TRUE(ckb.AddFact(umd, contained_by, maryland).ok());
+    ASSERT_TRUE(ckb.AddFact(uva, founded, u21).ok());
+    ASSERT_TRUE(ckb.AddAnchor("university of maryland", umd, 95).ok());
+    ASSERT_TRUE(ckb.AddAnchor("umd", umd, 40).ok());
+    ASSERT_TRUE(ckb.AddAnchor("maryland", maryland, 70).ok());
+    ASSERT_TRUE(ckb.AddAnchor("universitas 21", u21, 30).ok());
+    ASSERT_TRUE(ckb.AddAnchor("u21", u21, 12).ok());
+    ASSERT_TRUE(ckb.AddAnchor("university of virginia", uva, 80).ok());
+
+    OpenKb& okb = dataset_->okb;
+    ASSERT_TRUE(
+        okb.AddTriple("University of Maryland", "locate in", "Maryland")
+            .ok());
+    ASSERT_TRUE(
+        okb.AddTriple("UMD", "be a member of", "Universitas 21").ok());
+    ASSERT_TRUE(okb.AddTriple("University of Virginia",
+                              "be an early member of", "U21")
+                    .ok());
+    for (size_t t = 0; t < okb.size(); ++t) {
+      dataset_->gold_subject_entity.push_back(kNilId);
+      dataset_->gold_relation.push_back(kNilId);
+      dataset_->gold_object_entity.push_back(kNilId);
+      dataset_->gold_np_group.push_back(static_cast<int64_t>(t * 2));
+      dataset_->gold_np_group.push_back(static_cast<int64_t>(t * 2 + 1));
+      dataset_->gold_rp_group.push_back(static_cast<int64_t>(t));
+    }
+    dataset_->ppdb.AddCluster({"university of maryland", "umd"});
+    dataset_->ppdb.AddCluster({"universitas 21", "u21"});
+    dataset_->ppdb.AddCluster({"be a member of", "be an early member of"});
+    signals_ = new SignalBundle(BuildSignals(*dataset_).MoveValueOrDie());
+
+    std::vector<size_t> all = {0, 1, 2};
+    result_ = new JoclResult(
+        JoclRuntime().Infer(*dataset_, *signals_, all).MoveValueOrDie());
+    problem_ = new JoclProblem(BuildProblem(*dataset_, *signals_, all));
+    store_ = new CanonStore(
+        BuildCanonStore(*problem_, *result_, dataset_->ckb, /*generation=*/7));
+  }
+
+  static void TearDownTestSuite() {
+    delete store_;
+    delete problem_;
+    delete result_;
+    delete signals_;
+    delete dataset_;
+    store_ = nullptr;
+    problem_ = nullptr;
+    result_ = nullptr;
+    signals_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static SignalBundle* signals_;
+  static JoclResult* result_;
+  static JoclProblem* problem_;
+  static CanonStore* store_;
+};
+
+Dataset* ServeWorld::dataset_ = nullptr;
+SignalBundle* ServeWorld::signals_ = nullptr;
+JoclResult* ServeWorld::result_ = nullptr;
+JoclProblem* ServeWorld::problem_ = nullptr;
+CanonStore* ServeWorld::store_ = nullptr;
+
+// ---------- CanonStore -------------------------------------------------------
+
+TEST_F(ServeWorld, StoreIndexesSurfacesClustersAndLinks) {
+  const CanonStore& store = *store_;
+  EXPECT_EQ(store.triple_count, 3u);
+  EXPECT_EQ(store.generation, 7u);
+  ASSERT_TRUE(ValidateCanonStore(store).ok());
+
+  // Surfaces keep the OKB's raw casing; lookups are exact-match.
+  const int64_t umd = store.FindSurface(CanonKind::kNp, "UMD");
+  const int64_t long_form =
+      store.FindSurface(CanonKind::kNp, "University of Maryland");
+  ASSERT_GE(umd, 0);
+  ASSERT_GE(long_form, 0);
+  EXPECT_EQ(store.FindSurface(CanonKind::kNp, "no such surface"), -1);
+  EXPECT_EQ(store.FindSurface(CanonKind::kRp, "UMD"), -1);
+  EXPECT_GE(store.FindSurface(CanonKind::kRp, "locate in"), 0);
+
+  // The joint model canonicalizes UMD with its long form; both surfaces
+  // sit in one cluster whose canonical link is the UMD entity.
+  ConstSpan<uint32_t> umd_clusters = store.ClustersOf(CanonKind::kNp, umd);
+  ConstSpan<uint32_t> long_clusters =
+      store.ClustersOf(CanonKind::kNp, long_form);
+  ASSERT_EQ(umd_clusters.size(), 1u);
+  ASSERT_EQ(long_clusters.size(), 1u);
+  EXPECT_EQ(umd_clusters[0], long_clusters[0]);
+  const size_t cluster = umd_clusters[0];
+  ConstSpan<uint32_t> members =
+      store.ClusterMembers(CanonKind::kNp, cluster);
+  EXPECT_EQ(members.size(), 2u);
+  bool saw_umd = false;
+  bool saw_long = false;
+  for (uint32_t member : members) {
+    if (store.SurfaceText(CanonKind::kNp, member) == "UMD") saw_umd = true;
+    if (store.SurfaceText(CanonKind::kNp, member) ==
+        "University of Maryland") {
+      saw_long = true;
+    }
+  }
+  EXPECT_TRUE(saw_umd);
+  EXPECT_TRUE(saw_long);
+  EXPECT_EQ(store.ClusterLinkName(CanonKind::kNp, cluster),
+            "university of maryland");
+  EXPECT_EQ(store.ClusterLink(CanonKind::kNp, cluster),
+            dataset_->ckb.FindEntityByName("university of maryland"));
+  EXPECT_EQ(store.MentionCount(CanonKind::kNp, umd), 1u);
+}
+
+TEST_F(ServeWorld, StoreIsDeterministic) {
+  CanonStore rebuilt =
+      BuildCanonStore(*problem_, *result_, dataset_->ckb, 7);
+  EXPECT_EQ(SerializeSnapshot(rebuilt), SerializeSnapshot(*store_));
+}
+
+// ---------- snapshot I/O -----------------------------------------------------
+
+TEST_F(ServeWorld, SnapshotRoundTripIsByteIdentical) {
+  const std::string bytes = SerializeSnapshot(*store_);
+  Result<CanonStore> loaded = DeserializeSnapshot(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeSnapshot(loaded.ValueOrDie()), bytes);
+
+  const std::string path = ::testing::TempDir() + "/jocl_serve_test.snap";
+  size_t written = 0;
+  ASSERT_TRUE(SaveSnapshot(*store_, path, &written).ok());
+  EXPECT_EQ(written, bytes.size());
+  Result<CanonStore> from_file = LoadSnapshot(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  EXPECT_EQ(SerializeSnapshot(from_file.ValueOrDie()), bytes);
+  const CanonStore& reloaded = from_file.ValueOrDie();
+  EXPECT_EQ(reloaded.FindSurface(CanonKind::kNp, "UMD"),
+            store_->FindSurface(CanonKind::kNp, "UMD"));
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeWorld, LoadRejectsTruncatedFile) {
+  const std::string bytes = SerializeSnapshot(*store_);
+  // Mid-payload truncation: the header's promised size no longer holds.
+  Result<CanonStore> cut =
+      DeserializeSnapshot(std::string_view(bytes).substr(0, bytes.size() - 7));
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kIOError);
+  EXPECT_NE(cut.status().message().find("truncated"), std::string::npos)
+      << cut.status();
+  // Header truncation.
+  Result<CanonStore> header =
+      DeserializeSnapshot(std::string_view(bytes).substr(0, 12));
+  ASSERT_FALSE(header.ok());
+  EXPECT_NE(header.status().message().find("header"), std::string::npos);
+  // Empty file.
+  EXPECT_FALSE(DeserializeSnapshot("").ok());
+}
+
+TEST_F(ServeWorld, LoadRejectsFlippedChecksumAndPayloadBytes) {
+  const std::string bytes = SerializeSnapshot(*store_);
+  // Flip one payload byte: the stored checksum no longer matches.
+  std::string corrupt = bytes;
+  corrupt[kSnapshotHeaderBytes + corrupt.size() / 2] ^= 0x40;
+  Result<CanonStore> payload_flip = DeserializeSnapshot(corrupt);
+  ASSERT_FALSE(payload_flip.ok());
+  EXPECT_NE(payload_flip.status().message().find("checksum"),
+            std::string::npos)
+      << payload_flip.status();
+  // Flip one byte of the stored checksum itself.
+  corrupt = bytes;
+  corrupt[24] ^= 0x01;
+  Result<CanonStore> checksum_flip = DeserializeSnapshot(corrupt);
+  ASSERT_FALSE(checksum_flip.ok());
+  EXPECT_NE(checksum_flip.status().message().find("checksum"),
+            std::string::npos);
+}
+
+TEST_F(ServeWorld, LoadRejectsWrongMagic) {
+  std::string corrupt = SerializeSnapshot(*store_);
+  corrupt[0] = 'X';
+  Result<CanonStore> loaded = DeserializeSnapshot(corrupt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(ServeWorld, LoadRejectsFutureVersion) {
+  std::string corrupt = SerializeSnapshot(*store_);
+  corrupt[8] = 2;  // version field (little-endian u32 at offset 8)
+  Result<CanonStore> loaded = DeserializeSnapshot(corrupt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("version 2"), std::string::npos)
+      << loaded.status();
+}
+
+TEST(SnapshotIoTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(LoadSnapshot("/nonexistent/dir/store.snap").ok());
+}
+
+// ---------- JSON helpers -----------------------------------------------------
+
+TEST(JsonTest, EscapesSpecials) {
+  EXPECT_EQ(JsonQuote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonQuote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonTest, LooksLikeJsonAcceptsAndRejects) {
+  EXPECT_TRUE(LooksLikeJson("{\"a\":[1,2,{\"b\":\"}\"}]}"));
+  EXPECT_TRUE(LooksLikeJson("  [1,2,3]\n"));
+  EXPECT_FALSE(LooksLikeJson("plain text"));
+  EXPECT_FALSE(LooksLikeJson("{\"a\":1"));
+  EXPECT_FALSE(LooksLikeJson("{\"a\":1}}"));
+  EXPECT_FALSE(LooksLikeJson("{} trailing"));
+}
+
+// ---------- request routing (no sockets) -------------------------------------
+
+TEST_F(ServeWorld, RoutingAnswersAndErrors) {
+  ServeCounters counters;
+  int status = 0;
+  // /stats works before any store is published.
+  std::string body =
+      HandleCanonRequest(nullptr, "GET", "/stats", counters, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(LooksLikeJson(body)) << body;
+  EXPECT_NE(body.find("\"published\":false"), std::string::npos);
+  // Data endpoints 503 before a store exists.
+  body = HandleCanonRequest(nullptr, "GET", "/lookup?surface=umd", counters,
+                            &status);
+  EXPECT_EQ(status, 503);
+  EXPECT_TRUE(LooksLikeJson(body));
+  // Unknown endpoint, bad method, missing/invalid parameters.
+  body = HandleCanonRequest(store_, "GET", "/nope", counters, &status);
+  EXPECT_EQ(status, 404);
+  body = HandleCanonRequest(store_, "POST", "/lookup?surface=x", counters,
+                            &status);
+  EXPECT_EQ(status, 405);
+  body = HandleCanonRequest(store_, "GET", "/lookup", counters, &status);
+  EXPECT_EQ(status, 400);
+  body = HandleCanonRequest(store_, "GET", "/lookup?surface=x&kind=zz",
+                            counters, &status);
+  EXPECT_EQ(status, 400);
+  body = HandleCanonRequest(store_, "GET", "/cluster?id=abc", counters,
+                            &status);
+  EXPECT_EQ(status, 400);
+  body = HandleCanonRequest(store_, "GET", "/cluster?id=99999", counters,
+                            &status);
+  EXPECT_EQ(status, 404);
+  // Correct answers.
+  body = HandleCanonRequest(store_, "GET",
+                            "/lookup?surface=UMD&kind=np", counters, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(LooksLikeJson(body)) << body;
+  EXPECT_NE(body.find("university of maryland"), std::string::npos) << body;
+  body = HandleCanonRequest(store_, "GET",
+                            "/link?surface=University%20of%20Maryland",
+                            counters, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"link\":{"), std::string::npos) << body;
+  body = HandleCanonRequest(store_, "GET", "/lookup?surface=zzz", counters,
+                            &status);
+  EXPECT_EQ(status, 404);
+  EXPECT_TRUE(LooksLikeJson(body));
+}
+
+// ---------- HTTP server ------------------------------------------------------
+
+TEST_F(ServeWorld, ServerAnswersOverHttp) {
+  ServeOptions options;
+  options.num_workers = 2;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  server.Publish(std::make_shared<const CanonStore>(*store_));
+
+  Result<HttpResponse> lookup = HttpGet(
+      server.port(), "/lookup?surface=" + UrlEncode("University of Maryland"));
+  ASSERT_TRUE(lookup.ok()) << lookup.status();
+  EXPECT_EQ(lookup.ValueOrDie().status, 200);
+  EXPECT_TRUE(LooksLikeJson(lookup.ValueOrDie().body))
+      << lookup.ValueOrDie().body;
+  EXPECT_NE(lookup.ValueOrDie().body.find("UMD"), std::string::npos)
+      << lookup.ValueOrDie().body;
+
+  Result<HttpResponse> stats = HttpGet(server.port(), "/stats");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats.ValueOrDie().status, 200);
+  EXPECT_TRUE(LooksLikeJson(stats.ValueOrDie().body));
+  EXPECT_NE(stats.ValueOrDie().body.find("\"published\":true"),
+            std::string::npos);
+
+  Result<HttpResponse> missing =
+      HttpGet(server.port(), "/lookup?surface=zzz");
+  ASSERT_TRUE(missing.ok()) << missing.status();
+  EXPECT_EQ(missing.ValueOrDie().status, 404);
+
+  const ServeCounters counters = server.counters();
+  EXPECT_GE(counters.requests, 3u);
+  EXPECT_GE(counters.ok, 2u);
+  EXPECT_GE(counters.not_found, 1u);
+  server.Stop();
+}
+
+// ---------- acceptance: concurrent readers across ingestion swaps ------------
+
+TEST_F(ServeWorld, ConcurrentReadersSurviveStoreSwapsMidFlight) {
+  // An ingestion session over the world's triples, published batch by
+  // batch; every response a reader observes must be byte-equal to the
+  // deterministic answer of SOME published generation (or the canned
+  // not-found body) — never torn, mixed or blocking.
+  ServeOptions options;
+  options.num_workers = 4;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string lookup_target =
+      "/lookup?surface=" + UrlEncode("University of Maryland");
+  const std::string link_target = "/link?surface=" + UrlEncode("U21");
+
+  std::mutex expected_mutex;
+  std::set<std::string> expected_bodies;
+  auto remember = [&](const CanonStore& store) {
+    ServeCounters counters;
+    int status = 0;
+    std::lock_guard<std::mutex> lock(expected_mutex);
+    expected_bodies.insert(HandleCanonRequest(
+        &store, "GET", "/lookup?surface=University%20of%20Maryland",
+        counters, &status));
+    expected_bodies.insert(HandleCanonRequest(&store, "GET",
+                                              "/link?surface=U21", counters,
+                                              &status));
+  };
+
+  JoclSession session(dataset_, signals_);
+  session.SetPublishCallback([&](const JoclSession& s) {
+    auto store = std::make_shared<const CanonStore>(BuildCanonStore(
+        s.problem(), s.result(), dataset_->ckb, s.generation()));
+    remember(*store);           // expected set grows before the swap…
+    server.Publish(std::move(store));  // …so readers never see a surprise
+  });
+  ASSERT_TRUE(session.AddTriples({0}).ok());  // first store is live
+
+  constexpr size_t kReaders = 4;
+  constexpr size_t kRequestsPerReader = 120;
+  std::vector<std::string> observed[kReaders];
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (size_t i = 0; i < kRequestsPerReader; ++i) {
+        const std::string& target =
+            (i % 2 == 0) ? lookup_target : link_target;
+        Result<HttpResponse> response = HttpGet(server.port(), target);
+        // "U21" only enters the store once triple 2 is ingested, so 404
+        // (with the canned not-found body) is a correct early answer.
+        if (!response.ok() ||
+            (response.ValueOrDie().status != 200 &&
+             response.ValueOrDie().status != 404) ||
+            !LooksLikeJson(response.ValueOrDie().body)) {
+          failures.fetch_add(1);
+          continue;
+        }
+        observed[r].push_back(response.ValueOrDie().body);
+      }
+    });
+  }
+  // Swap the store mid-flight: grow, then shrink, then grow again.
+  ASSERT_TRUE(session.AddTriples({1}).ok());
+  ASSERT_TRUE(session.AddTriples({2}).ok());
+  ASSERT_TRUE(session.RemoveTriples({2}).ok());
+  ASSERT_TRUE(session.AddTriples({2}).ok());
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  std::lock_guard<std::mutex> lock(expected_mutex);
+  ASSERT_GE(expected_bodies.size(), 2u);
+  size_t total = 0;
+  for (size_t r = 0; r < kReaders; ++r) {
+    total += observed[r].size();
+    for (const std::string& body : observed[r]) {
+      EXPECT_TRUE(expected_bodies.count(body) == 1)
+          << "torn or stale-unknown response: " << body;
+    }
+  }
+  EXPECT_EQ(total, kReaders * kRequestsPerReader);
+  const ServeCounters counters = server.counters();
+  EXPECT_GE(counters.publishes, 5u);
+  EXPECT_GE(counters.requests, total);
+  server.Stop();
+}
+
+// ---------- session publish hook --------------------------------------------
+
+TEST_F(ServeWorld, SessionPublishCallbackFiresPerSuccessfulBatch) {
+  JoclSession session(dataset_, signals_);
+  size_t published = 0;
+  session.SetPublishCallback([&](const JoclSession& s) {
+    ++published;
+    EXPECT_EQ(s.generation(), published);
+    EXPECT_EQ(s.problem().triples, s.result().triples);
+  });
+  ASSERT_TRUE(session.AddTriples({0, 1}).ok());
+  ASSERT_TRUE(session.AddTriples({2}).ok());
+  ASSERT_TRUE(session.RemoveTriples({2}).ok());
+  EXPECT_EQ(published, 3u);
+  session.SetPublishCallback(nullptr);
+  ASSERT_TRUE(session.AddTriples({2}).ok());
+  EXPECT_EQ(published, 3u);
+}
+
+}  // namespace
+}  // namespace jocl

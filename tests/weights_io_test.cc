@@ -1,12 +1,23 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <locale>
 
 #include "core/feature_config.h"
 #include "core/weights_io.h"
 
 namespace jocl {
 namespace {
+
+// A numpunct facet with a comma decimal point — the de_DE-style locale
+// that used to corrupt stream-formatted weight TSVs, without depending
+// on any named locale being installed.
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
 
 TEST(WeightsIoTest, RoundTrip) {
   std::vector<double> weights(WeightLayout::kCount, 1.0);
@@ -19,6 +30,38 @@ TEST(WeightsIoTest, RoundTrip) {
   for (size_t k = 0; k < WeightLayout::kCount; ++k) {
     EXPECT_DOUBLE_EQ(loaded.ValueOrDie()[k], weights[k]) << k;
   }
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, RoundTripUnderCommaDecimalLocale) {
+  // Save/load must be locale-independent (std::to_chars/from_chars):
+  // under a comma-decimal global locale, stream insertion would write
+  // "0,25" and strtod-based parsing would truncate it at the comma.
+  const std::locale previous = std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimal));
+  std::vector<double> weights(WeightLayout::kCount, 1.0);
+  weights[WeightLayout::kAlpha1] = 0.25;
+  weights[WeightLayout::kBeta5] = -1234.5678;
+  weights[WeightLayout::kAlpha2] = 1e-17;
+  std::string path = ::testing::TempDir() + "/jocl_locale_weights.tsv";
+  const Status save_status = SaveWeights(weights, path);
+  auto loaded = LoadWeights(path);
+  std::locale::global(previous);
+  ASSERT_TRUE(save_status.ok()) << save_status;
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+    EXPECT_DOUBLE_EQ(loaded.ValueOrDie()[k], weights[k]) << k;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, LoadRejectsTrailingGarbageAfterNumber) {
+  std::string path = ::testing::TempDir() + "/jocl_trailing_weights.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("alpha1.idf\t1.5garbage\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadWeights(path).ok());
   std::remove(path.c_str());
 }
 

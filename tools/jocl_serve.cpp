@@ -1,0 +1,198 @@
+// jocl_serve — the canonical-KB serving front end (src/serve).
+//
+// Serves a CanonStore over HTTP/1.1 on 127.0.0.1. Two modes:
+//
+//   * snapshot mode (--snapshot PATH): load a snapshot produced by
+//     jocl_stream --snapshot-out or SaveSnapshot, publish it, serve.
+//   * live-ingestion mode (default): generate a ReVerb45K-like
+//     benchmark, replay its test triples as ingestion batches through a
+//     JoclSession, and republish a fresh store after every batch while
+//     readers keep hitting the old one — the RCU swap never blocks them.
+//
+// Usage:
+//   jocl_serve [scale] [--port N] [--workers N] [--batches N]
+//              [--snapshot PATH] [--snapshot-out PATH]
+//              [--serve-seconds N]
+//
+//   scale             workload scale in live mode (default 0.2)
+//   --port N          TCP port (default 0 = ephemeral; printed on start)
+//   --workers N       HTTP worker threads (default 4)
+//   --batches N       ingestion batches in live mode (default 4)
+//   --snapshot PATH   serve this snapshot instead of live ingestion
+//   --snapshot-out P  in live mode, also save a snapshot after each batch
+//   --serve-seconds N exit after N seconds of serving (default 0 = until
+//                     SIGINT/SIGTERM)
+//
+// Endpoints: /lookup?surface=S[&kind=np|rp], /cluster?id=N[&kind=..],
+// /link?surface=S[&kind=..], /stats. See docs/serving.md.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/session.h"
+#include "data/generator.h"
+#include "serve/canon_store.h"
+#include "serve/server.h"
+#include "serve/snapshot_io.h"
+#include "util/stopwatch.h"
+
+using namespace jocl;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintSample(const CanonStore& store) {
+  if (store.np.surface_count() > 0) {
+    const std::string surface(store.SurfaceText(CanonKind::kNp, 0));
+    std::printf("sample surface: %s\n", surface.c_str());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.2;
+  size_t batches = 4;
+  size_t serve_seconds = 0;
+  std::string snapshot_in;
+  std::string snapshot_out;
+  ServeOptions serve_options;
+  for (int i = 1; i < argc; ++i) {
+    auto value_of = [&](const char* flag) -> const char* {
+      const size_t flag_len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+          argv[i][flag_len] == '=') {
+        return argv[i] + flag_len + 1;
+      }
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        return argv[++i];
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--port")) {
+      serve_options.port = std::atoi(v);
+    } else if (const char* v = value_of("--workers")) {
+      serve_options.num_workers = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--batches")) {
+      batches = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--snapshot")) {
+      snapshot_in = v;
+    } else if (const char* v = value_of("--snapshot-out")) {
+      snapshot_out = v;
+    } else if (const char* v = value_of("--serve-seconds")) {
+      serve_seconds = static_cast<size_t>(std::atoll(v));
+    } else {
+      scale = std::atof(argv[i]);
+      if (scale <= 0) scale = 0.2;
+    }
+  }
+  if (batches == 0) batches = 1;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  CanonServer server(serve_options);
+  Status status = server.Start();
+  if (!status.ok()) return Fail(status);
+  std::printf("listening on http://127.0.0.1:%d\n", server.port());
+  std::printf("endpoints: /lookup?surface=S[&kind=np|rp]  "
+              "/cluster?id=N  /link?surface=S  /stats\n");
+  std::fflush(stdout);
+
+  // ---- snapshot mode -------------------------------------------------------
+  if (!snapshot_in.empty()) {
+    Stopwatch watch;
+    Result<CanonStore> loaded = LoadSnapshot(snapshot_in);
+    if (!loaded.ok()) return Fail(loaded.status());
+    auto store =
+        std::make_shared<const CanonStore>(loaded.MoveValueOrDie());
+    std::printf("loaded snapshot %s in %.3fs (%zu NP surfaces, "
+                "%zu NP clusters, generation %llu)\n",
+                snapshot_in.c_str(), watch.ElapsedSeconds(),
+                store->np.surface_count(), store->np.cluster_count(),
+                static_cast<unsigned long long>(store->generation));
+    PrintSample(*store);
+    server.Publish(std::move(store));
+  } else {
+    // ---- live-ingestion mode ----------------------------------------------
+    std::printf("generating ReVerb45K-like benchmark (scale %.2f)...\n",
+                scale);
+    std::fflush(stdout);
+    static Dataset ds = GenerateReVerb45K(scale).MoveValueOrDie();
+    static SignalBundle sig = BuildSignals(ds).MoveValueOrDie();
+    static JoclSession session(&ds, &sig);
+    bool first_publish = true;
+    session.SetPublishCallback([&](const JoclSession& s) {
+      auto store = std::make_shared<const CanonStore>(BuildCanonStore(
+          s.problem(), s.result(), ds.ckb, s.generation()));
+      if (!snapshot_out.empty()) {
+        size_t bytes = 0;
+        Status save = SaveSnapshot(*store, snapshot_out, &bytes);
+        if (!save.ok()) {
+          std::fprintf(stderr, "snapshot save failed: %s\n",
+                       save.ToString().c_str());
+        } else {
+          std::printf("  snapshot -> %s (%zu bytes)\n", snapshot_out.c_str(),
+                      bytes);
+        }
+      }
+      if (first_publish) {
+        PrintSample(*store);
+        first_publish = false;
+      }
+      server.Publish(std::move(store));
+    });
+    const std::vector<size_t>& stream = ds.test_triples;
+    for (size_t b = 0; b < batches && g_stop == 0; ++b) {
+      const size_t begin = b * stream.size() / batches;
+      const size_t end = (b + 1) * stream.size() / batches;
+      std::vector<size_t> batch(stream.begin() + begin,
+                                stream.begin() + end);
+      SessionStats stats;
+      Stopwatch watch;
+      status = session.AddTriples(batch, &stats);
+      if (!status.ok()) return Fail(status);
+      std::printf("batch %zu/%zu: %zu triples in %.3fs "
+                  "(%zu/%zu shards dirty) -> published generation %zu\n",
+                  b + 1, batches, batch.size(), watch.ElapsedSeconds(),
+                  stats.dirty_shards, stats.shards, session.generation());
+      std::fflush(stdout);
+    }
+  }
+
+  const std::string serve_note =
+      serve_seconds > 0 ? " for " + std::to_string(serve_seconds) + "s"
+                        : std::string(" until SIGINT");
+  std::printf("serving%s...\n", serve_note.c_str());
+  std::fflush(stdout);
+  Stopwatch uptime;
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (serve_seconds > 0 && uptime.ElapsedSeconds() >= serve_seconds) break;
+  }
+  const ServeCounters counters = server.counters();
+  server.Stop();
+  std::printf("served %llu requests (%llu ok, %llu not found, "
+              "%llu bad, %llu unavailable), %llu publishes\n",
+              static_cast<unsigned long long>(counters.requests),
+              static_cast<unsigned long long>(counters.ok),
+              static_cast<unsigned long long>(counters.not_found),
+              static_cast<unsigned long long>(counters.bad_request),
+              static_cast<unsigned long long>(counters.unavailable),
+              static_cast<unsigned long long>(counters.publishes));
+  return 0;
+}

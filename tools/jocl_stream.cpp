@@ -10,6 +10,7 @@
 //
 // Usage:
 //   jocl_stream [scale] [--batches N] [--threads N] [--warm] [--no-remove]
+//               [--snapshot-out=PATH]
 //
 //   scale         workload scale (default 0.5; 1.0 ≈ 3K triples)
 //   --batches N   number of ingestion batches (default 8)
@@ -17,9 +18,14 @@
 //   --warm        warm-start dirty shards from previous beliefs
 //                 (approximate: skips the byte-identity check)
 //   --no-remove   skip the removal demonstration
+//   --snapshot-out=PATH
+//                 persist a CanonStore snapshot after every batch (the
+//                 final write is the replay's final state; serve it with
+//                 `jocl_serve --snapshot PATH`)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/runtime.h"
@@ -27,6 +33,8 @@
 #include "data/generator.h"
 #include "eval/clustering_metrics.h"
 #include "eval/linking_metrics.h"
+#include "serve/canon_store.h"
+#include "serve/snapshot_io.h"
 #include "util/stopwatch.h"
 
 using namespace jocl;
@@ -40,12 +48,34 @@ bool SameDecode(const JoclResult& a, const JoclResult& b) {
 }
 
 void PrintBatch(size_t index, const char* verb, size_t batch_size,
-                double seconds, const SessionStats& stats) {
+                double seconds, const SessionStats& stats,
+                size_t snapshot_bytes) {
   std::printf(
       "  batch %2zu: %s %4zu triples in %6.3fs  "
-      "(%zu/%zu shards dirty, %zu merged, %zu split, %zu new phrases)\n",
+      "(%zu/%zu shards dirty, %zu merged, %zu split, %zu new phrases)",
       index, verb, batch_size, seconds, stats.dirty_shards, stats.shards,
       stats.merged_shards, stats.split_components, stats.cache_new_phrases);
+  if (snapshot_bytes > 0) {
+    std::printf("  snapshot %zu bytes", snapshot_bytes);
+  }
+  std::printf("\n");
+}
+
+/// Persists the session's current state as a snapshot; returns the file
+/// size (0 when disabled or failed).
+size_t EmitSnapshot(const JoclSession& session, const Dataset& ds,
+                    const std::string& path) {
+  if (path.empty()) return 0;
+  CanonStore store = BuildCanonStore(session.problem(), session.result(),
+                                     ds.ckb, session.generation());
+  size_t bytes = 0;
+  Status status = SaveSnapshot(store, path, &bytes);
+  if (!status.ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n",
+                 status.ToString().c_str());
+    return 0;
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -55,6 +85,7 @@ int main(int argc, char** argv) {
   size_t batches = 8;
   SessionOptions session_options;
   bool do_remove = true;
+  std::string snapshot_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
       batches = static_cast<size_t>(std::atoll(argv[++i]));
@@ -65,6 +96,10 @@ int main(int argc, char** argv) {
       session_options.warm_start = true;
     } else if (std::strcmp(argv[i], "--no-remove") == 0) {
       do_remove = false;
+    } else if (std::strncmp(argv[i], "--snapshot-out=", 15) == 0) {
+      snapshot_out = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
+      snapshot_out = argv[++i];
     } else {
       scale = std::atof(argv[i]);
       if (scale <= 0) scale = 0.5;
@@ -99,7 +134,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     total_seconds += seconds;
-    PrintBatch(b, "added  ", batch.size(), seconds, stats);
+    PrintBatch(b, "added  ", batch.size(), seconds, stats,
+               EmitSnapshot(session, ds, snapshot_out));
   }
 
   // ---- compare against one-shot inference --------------------------------
@@ -151,7 +187,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;
     }
-    PrintBatch(0, "removed", first_batch.size(), seconds, stats);
+    PrintBatch(0, "removed", first_batch.size(), seconds, stats,
+               EmitSnapshot(session, ds, snapshot_out));
     if (!session_options.warm_start) {
       JoclResult remaining =
           runtime.Infer(ds, sig, session.active_triples()).MoveValueOrDie();

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Serve smoke test: start jocl_serve on an ephemeral port with a small
+# live-ingestion workload, wait for the first published store, curl
+# /stats and /lookup (with a surface the server printed), and assert
+# HTTP 200 + valid JSON on both. CI runs this against the Release build;
+# locally: sh tools/serve_smoke.sh ./build/jocl_serve
+set -u
+
+BIN=${1:-./build/jocl_serve}
+[ -x "$BIN" ] || { echo "missing binary: $BIN"; exit 1; }
+LOG=$(mktemp)
+"$BIN" 0.1 --batches 1 --workers 2 --serve-seconds 120 > "$LOG" 2>&1 &
+PID=$!
+cleanup() {
+  kill "$PID" 2>/dev/null
+  wait "$PID" 2>/dev/null
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+# Wait for the first publish (the sample-surface line follows it).
+tries=0
+while ! grep -q '^sample surface:' "$LOG" 2>/dev/null; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 240 ] || ! kill -0 "$PID" 2>/dev/null; then
+    echo "server never published a store"; cat "$LOG"; exit 1
+  fi
+  sleep 0.5
+done
+PORT=$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$LOG" | head -1)
+SURFACE=$(sed -n 's/^sample surface: //p' "$LOG" | head -1)
+[ -n "$PORT" ] || { echo "no port in server log"; cat "$LOG"; exit 1; }
+[ -n "$SURFACE" ] || { echo "no sample surface"; cat "$LOG"; exit 1; }
+echo "server on port $PORT, sample surface: $SURFACE"
+
+check() {
+  url=$1; shift
+  out=$(curl -sS -w '\n%{http_code}' "$@" "$url") \
+    || { echo "curl failed: $url"; exit 1; }
+  code=$(printf '%s' "$out" | tail -n 1)
+  body=$(printf '%s' "$out" | sed '$d')
+  if [ "$code" != "200" ]; then
+    echo "HTTP $code from $url"; echo "$body"; exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    printf '%s' "$body" | python3 -m json.tool > /dev/null \
+      || { echo "invalid JSON from $url:"; echo "$body"; exit 1; }
+  else
+    case "$body" in
+      '{'*) ;;
+      *) echo "invalid JSON from $url:"; echo "$body"; exit 1 ;;
+    esac
+  fi
+  echo "OK  $url"
+}
+
+check "http://127.0.0.1:$PORT/stats"
+check "http://127.0.0.1:$PORT/lookup" -G --data-urlencode "surface=$SURFACE"
+echo "serve smoke test passed"
