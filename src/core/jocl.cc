@@ -4,25 +4,12 @@
 #include <utility>
 
 #include "core/runtime.h"
+#include "core/sharded_learner.h"
 #include "core/signal_cache.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace jocl {
-namespace {
-
-// Finds the linking-variable state of a gold id in a candidate list:
-// state 0 is NIL, state k is candidate k-1.
-template <typename Candidate>
-size_t GoldState(const std::vector<Candidate>& candidates, int64_t gold) {
-  if (gold == kNilId) return 0;
-  for (size_t c = 0; c < candidates.size(); ++c) {
-    if (candidates[c].id == gold) return c + 1;
-  }
-  return 0;  // gold not reachable -> best achievable label is NIL
-}
-
-}  // namespace
 
 JoclOptions JoclOptions::CanonicalizationOnly() {
   JoclOptions options;
@@ -64,66 +51,23 @@ Result<std::vector<double>> Jocl::LearnWeights(
     subset.resize(options_.max_learning_triples);
   }
 
-  JoclProblem problem =
-      BuildProblem(dataset, signals, subset, options_.problem);
-  // The learner's graph build is the pipeline's "second" build; the cache
-  // keeps its signal queries to dot products and id compares.
-  SignalCache cache = SignalCache::ForProblem(problem, signals, dataset.ckb);
-  JoclGraph jgraph =
-      BuildJoclGraph(problem, cache, dataset.ckb, options_.builder);
-
-  // ---- labels -------------------------------------------------------------
-  std::vector<std::pair<VariableId, size_t>> labels;
-  auto label_pairs = [&](const std::vector<SurfacePair>& pairs,
-                         const std::vector<VariableId>& vars,
-                         const std::vector<size_t>& representative,
-                         auto gold_group_of) {
-    for (size_t p = 0; p < pairs.size(); ++p) {
-      int64_t group_a = gold_group_of(representative[pairs[p].a]);
-      int64_t group_b = gold_group_of(representative[pairs[p].b]);
-      labels.emplace_back(vars[p], group_a == group_b ? 1 : 0);
-    }
-  };
-  if (options_.builder.enable_canonicalization) {
-    label_pairs(problem.subject_pairs, jgraph.x_vars, problem.subject_rep,
-                [&](size_t local) {
-                  return dataset.gold_np_group[problem.triples[local] * 2];
-                });
-    label_pairs(problem.predicate_pairs, jgraph.y_vars, problem.predicate_rep,
-                [&](size_t local) {
-                  return dataset.gold_rp_group[problem.triples[local]];
-                });
-    label_pairs(problem.object_pairs, jgraph.z_vars, problem.object_rep,
-                [&](size_t local) {
-                  return dataset.gold_np_group[problem.triples[local] * 2 + 1];
-                });
-  }
-  if (options_.builder.enable_linking) {
-    for (size_t t = 0; t < problem.triples.size(); ++t) {
-      size_t global = problem.triples[t];
-      labels.emplace_back(
-          jgraph.es_vars[t],
-          GoldState(problem.subject_candidates[problem.subject_of[t]],
-                    dataset.gold_subject_entity[global]));
-      labels.emplace_back(
-          jgraph.rp_vars[t],
-          GoldState(problem.predicate_candidates[problem.predicate_of[t]],
-                    dataset.gold_relation[global]));
-      labels.emplace_back(
-          jgraph.eo_vars[t],
-          GoldState(problem.object_candidates[problem.object_of[t]],
-                    dataset.gold_object_entity[global]));
-    }
-  }
-
-  LearnerOptions learner_options = options_.learner;
-  learner_options.lbp.factor_schedule = jgraph.schedule;
-  FactorGraphLearner learner(learner_options);
-  LearnerResult learned =
-      learner.Learn(&jgraph.graph, labels, DefaultWeights());
-  JOCL_LOG(kInfo) << "learned weights over " << labels.size() << " labels in "
-                  << learned.trace.size() << " iterations";
-  return learned.weights;
+  // The sharded learner partitions the labeled problem, builds one
+  // compiled graph per component through the SignalCache path, and runs
+  // the clamped/free passes component-parallel — the learning-side twin of
+  // the Infer runtime below (same thread/shard knobs, same determinism).
+  LearnRuntimeOptions learn_runtime;
+  learn_runtime.num_threads = options_.runtime_threads;
+  learn_runtime.max_shards = options_.runtime_shards;
+  ShardedLearner learner(options_, learn_runtime);
+  LearnerRunStats learn_stats;
+  Result<LearnerResult> learned =
+      learner.Learn(dataset, signals, subset, DefaultWeights(), &learn_stats);
+  if (!learned.ok()) return learned.status();
+  JOCL_LOG(kInfo) << "learned weights over " << learn_stats.labels
+                  << " labels (" << learn_stats.components
+                  << " components) in " << learned.ValueOrDie().trace.size()
+                  << " iterations";
+  return learned.MoveValueOrDie().weights;
 }
 
 Result<JoclResult> Jocl::Infer(const Dataset& dataset,

@@ -102,8 +102,11 @@ class Jocl {
   static std::vector<double> DefaultWeights();
 
   /// Learns weights from `dataset.validation_triples` (paper protocol:
-  /// the 20%-of-entities ReVerb45K split). Returns DefaultWeights() when
-  /// the data set has no validation split.
+  /// the 20%-of-entities ReVerb45K split) on the sharded learning runtime
+  /// (`ShardedLearner`, core/sharded_learner.h) — component-parallel
+  /// expectation passes under `runtime_threads` / `runtime_shards`, with
+  /// byte-identical weights for every setting. Returns DefaultWeights()
+  /// when the data set has no validation split.
   Result<std::vector<double>> LearnWeights(const Dataset& dataset,
                                            const SignalBundle& signals) const;
 

@@ -193,10 +193,13 @@ JoclProblem BuildProblem(const Dataset& dataset, const SignalBundle& signals,
     }
     auto it = cache->entity_candidates.find(surface);
     if (it == cache->entity_candidates.end()) {
+      ++cache->misses;
       it = cache->entity_candidates
                .emplace(surface,
                         ckb.EntityCandidates(surface, options.max_candidates))
                .first;
+    } else {
+      ++cache->hits;
     }
     return it->second;
   };
@@ -206,10 +209,13 @@ JoclProblem BuildProblem(const Dataset& dataset, const SignalBundle& signals,
     }
     auto it = cache->relation_candidates.find(surface);
     if (it == cache->relation_candidates.end()) {
+      ++cache->misses;
       it = cache->relation_candidates
                .emplace(surface, ckb.RelationCandidates(
                                      surface, options.max_candidates))
                .first;
+    } else {
+      ++cache->hits;
     }
     return it->second;
   };

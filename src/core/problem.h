@@ -115,6 +115,12 @@ struct ProblemCache {
       entity_candidates;
   std::unordered_map<std::string, std::vector<RelationCandidate>>
       relation_candidates;
+  /// Lifetime lookup counters, maintained by BuildProblem: a lookup that
+  /// found a memoized surface counts as a hit, one that had to run
+  /// candidate generation as a miss. `SessionStats` reports per-batch
+  /// deltas so incremental-ingestion regressions show up in logs.
+  size_t hits = 0;
+  size_t misses = 0;
 };
 
 /// \brief Builds the problem for the given triple subset (ascending order

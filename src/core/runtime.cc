@@ -1,9 +1,7 @@
 #include "core/runtime.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
-#include <numeric>
 #include <thread>
 
 #include "core/decode.h"
@@ -11,6 +9,7 @@
 #include "graph/inference.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/worker_pool.h"
 
 namespace jocl {
 
@@ -265,28 +264,9 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
 
   // Heaviest shards first so stragglers start early; execution order does
   // not affect the output (disjoint writes, order-independent merge).
-  std::vector<size_t> queue(plan.shards.size());
-  std::iota(queue.begin(), queue.end(), 0);
-  std::sort(queue.begin(), queue.end(), [&](size_t a, size_t b) {
-    size_t wa = plan.shards[a].triple_map.size();
-    size_t wb = plan.shards[b].triple_map.size();
-    if (wa != wb) return wa > wb;
-    return a < b;
-  });
-  if (n_threads <= 1) {
-    for (size_t s : queue) run_shard(s);
-  } else {
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-      for (size_t i; (i = next.fetch_add(1)) < queue.size();) {
-        run_shard(queue[i]);
-      }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(n_threads);
-    for (size_t w = 0; w < n_threads; ++w) threads.emplace_back(worker);
-    for (auto& thread : threads) thread.join();
-  }
+  RunOnPool(
+      plan.shards.size(), n_threads,
+      [&](size_t s) { return plan.shards[s].triple_map.size(); }, run_shard);
   local_stats.shard_seconds = watch.ElapsedSeconds();
 
   // ---- merge + global decode ----------------------------------------------

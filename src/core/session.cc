@@ -1,8 +1,6 @@
 #include "core/session.h"
 
 #include <algorithm>
-#include <atomic>
-#include <numeric>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -10,6 +8,7 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/worker_pool.h"
 
 namespace jocl {
 namespace {
@@ -242,6 +241,23 @@ Status JoclSession::RemoveTriples(const std::vector<size_t>& batch,
   return Refresh(removed, stats);
 }
 
+Status JoclSession::UpdateWeights(std::vector<double> weights,
+                                  SessionStats* stats) {
+  if (stats != nullptr) *stats = SessionStats();
+  if (weights.empty()) weights = Jocl::DefaultWeights();
+  if (weights.size() != WeightLayout::kCount) {
+    return Status::InvalidArgument(
+        "session weights must have WeightLayout::kCount entries");
+  }
+  if (weights == weights_) return Status::OK();  // no-op, result unchanged
+  weights_ = std::move(weights);
+  // Every cached belief was computed under the old weights; the store is
+  // the reuse guard, so clearing it marks every component dirty.
+  store_.clear();
+  if (active_.empty()) return Status::OK();  // nothing to re-infer yet
+  return Refresh({}, stats);
+}
+
 Status JoclSession::Refresh(const std::vector<size_t>& changed,
                             SessionStats* stats) {
   SessionStats local_stats;
@@ -250,8 +266,13 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
   Stopwatch watch;
 
   // ---- global problem rebuild (memoized candidate generation) -------------
+  const size_t cache_hits_before = problem_cache_.hits;
+  const size_t cache_misses_before = problem_cache_.misses;
   JoclProblem problem = BuildProblem(*dataset_, *signals_, active_,
                                      options_.problem, &problem_cache_);
+  local_stats.problem_cache_hits = problem_cache_.hits - cache_hits_before;
+  local_stats.problem_cache_misses =
+      problem_cache_.misses - cache_misses_before;
   local_stats.problem_seconds = watch.ElapsedSeconds();
 
   // ---- append-only signal-cache ingestion ---------------------------------
@@ -333,28 +354,10 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
         &timings[d]);
     ScatterShardBeliefs(shard, outcomes[d], options_.builder, &beliefs);
   };
-  std::vector<size_t> queue(dirty.size());
-  std::iota(queue.begin(), queue.end(), 0);
-  std::sort(queue.begin(), queue.end(), [&](size_t a, size_t b) {
-    size_t wa = plan.shards[dirty[a]].triple_map.size();
-    size_t wb = plan.shards[dirty[b]].triple_map.size();
-    if (wa != wb) return wa > wb;
-    return a < b;
-  });
-  if (n_threads <= 1) {
-    for (size_t d : queue) run_dirty(d);
-  } else {
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-      for (size_t i; (i = next.fetch_add(1)) < queue.size();) {
-        run_dirty(queue[i]);
-      }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(n_threads);
-    for (size_t w = 0; w < n_threads; ++w) threads.emplace_back(worker);
-    for (auto& thread : threads) thread.join();
-  }
+  RunOnPool(
+      dirty.size(), n_threads,
+      [&](size_t d) { return plan.shards[dirty[d]].triple_map.size(); },
+      run_dirty);
   // Clean shards: scatter the cached beliefs.
   for (size_t s = 0; s < plan.shards.size(); ++s) {
     if (reused[s] != nullptr) {

@@ -50,6 +50,13 @@ struct SessionStats {
   size_t variables = 0;            ///< across dirty-shard graphs only
   size_t factors = 0;
   size_t warm_hints = 0;           ///< variables seeded from old beliefs
+  /// Memoized candidate-generation lookups this batch (ProblemCache):
+  /// a healthy incremental batch is hit-dominated — misses only for
+  /// genuinely new surfaces. A miss-heavy steady state is an
+  /// incremental-ingestion regression (jocl_stream reports these per
+  /// batch for CI visibility).
+  size_t problem_cache_hits = 0;
+  size_t problem_cache_misses = 0;
 };
 
 /// \brief Long-lived incremental runtime over one dataset: the streaming
@@ -86,9 +93,10 @@ struct SessionStats {
 class JoclSession {
  public:
   /// \p dataset and \p signals must outlive the session. \p weights empty
-  /// = Jocl::DefaultWeights(); weights are fixed for the session's
-  /// lifetime (cached beliefs are only valid for the weights that
-  /// produced them).
+  /// = Jocl::DefaultWeights(); weights stay fixed across ingestion
+  /// batches (cached beliefs are only valid for the weights that produced
+  /// them) and change only through UpdateWeights, which invalidates the
+  /// belief store wholesale.
   JoclSession(const Dataset* dataset, const SignalBundle* signals,
               JoclOptions options = {}, SessionOptions session = {},
               std::vector<double> weights = {});
@@ -102,6 +110,19 @@ class JoclSession {
   /// Retires a batch of dataset triple indices (inactive ids are
   /// ignored) and re-infers dirty shards.
   Status RemoveTriples(const std::vector<size_t>& batch,
+                       SessionStats* stats = nullptr);
+
+  /// Hot-swaps the session onto \p weights (empty =
+  /// Jocl::DefaultWeights()): drops every cached component belief (they
+  /// are only valid for the weights that produced them), re-infers the
+  /// whole active set under the new weights, and fires the publish
+  /// callback — the learn → infer → serve loop's last hop, letting a
+  /// retrain reach a live `jocl_serve` store without restarting the
+  /// session. Identical weights are a no-op (result and generation
+  /// unchanged). With `warm_start` off, the refreshed state is
+  /// byte-identical to a cold session built with \p weights from the
+  /// start (tested in tests/learner_runtime_test.cc).
+  Status UpdateWeights(std::vector<double> weights,
                        SessionStats* stats = nullptr);
 
   /// The current joint result over the active triple set. Valid after the

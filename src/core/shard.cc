@@ -73,6 +73,32 @@ void BuildRole(const ProblemShard& shard,
 
 }  // namespace
 
+std::vector<size_t> PackWeightedItems(const std::vector<size_t>& weights,
+                                      size_t bins) {
+  const size_t n = weights.size();
+  std::vector<size_t> bin_of(n);
+  if (bins == 0 || bins >= n) {
+    std::iota(bin_of.begin(), bin_of.end(), 0);
+    return bin_of;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  std::vector<size_t> bin_weight(bins, 0);
+  for (size_t item : order) {
+    size_t lightest = 0;
+    for (size_t bin = 1; bin < bins; ++bin) {
+      if (bin_weight[bin] < bin_weight[lightest]) lightest = bin;
+    }
+    bin_of[item] = lightest;
+    bin_weight[lightest] += weights[item];
+  }
+  return bin_of;
+}
+
 ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
   const size_t n_triples = problem.triples.size();
 
@@ -107,30 +133,7 @@ ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
   const size_t n_shards =
       (max_shards == 0 || max_shards >= n_components) ? n_components
                                                       : max_shards;
-  std::vector<size_t> shard_of_comp(n_components);
-  if (n_shards == n_components) {
-    std::iota(shard_of_comp.begin(), shard_of_comp.end(), 0);
-  } else {
-    // Deterministic greedy packing: heaviest component first onto the
-    // currently lightest bin (ties: lower component id / lower bin).
-    std::vector<size_t> order(n_components);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (comp_weight[a] != comp_weight[b]) {
-        return comp_weight[a] > comp_weight[b];
-      }
-      return a < b;
-    });
-    std::vector<size_t> bin_weight(n_shards, 0);
-    for (size_t comp : order) {
-      size_t lightest = 0;
-      for (size_t bin = 1; bin < n_shards; ++bin) {
-        if (bin_weight[bin] < bin_weight[lightest]) lightest = bin;
-      }
-      shard_of_comp[comp] = lightest;
-      bin_weight[lightest] += comp_weight[comp];
-    }
-  }
+  std::vector<size_t> shard_of_comp = PackWeightedItems(comp_weight, n_shards);
   plan.shards.resize(n_shards);
 
   std::vector<size_t> shard_of_triple(n_triples);

@@ -39,6 +39,15 @@ struct ProblemShard {
   std::vector<size_t> object_pair_map;
 };
 
+/// \brief Deterministic greedy packing of weighted items into bins:
+/// heaviest item first onto the currently lightest bin (ties: lower item
+/// id / lower bin id). Returns each item's bin. \p bins = 0 or >= the
+/// item count yields the identity (one bin per item). Shared by
+/// `PartitionProblem`'s component grouping and the sharded learner's
+/// scheduling bins, so the two can never drift apart.
+std::vector<size_t> PackWeightedItems(const std::vector<size_t>& weights,
+                                      size_t bins);
+
 /// \brief A deterministic partition of a problem into independent shards.
 struct ShardPlan {
   std::vector<ProblemShard> shards;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -11,6 +12,14 @@
 #include "util/string_util.h"
 
 namespace jocl {
+namespace {
+
+/// The header's magic first cell. The remaining cells are the
+/// WeightLayout names in order — the load-time proof that the file was
+/// written by this feature layout.
+constexpr char kHeaderMagic[] = "# jocl-weights";
+
+}  // namespace
 
 Status SaveWeights(const std::vector<double>& weights,
                    const std::string& path) {
@@ -22,6 +31,11 @@ Status SaveWeights(const std::vector<double>& weights,
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + path);
   }
+  out << kHeaderMagic;
+  for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+    out << '\t' << WeightLayout::Name(k);
+  }
+  out << '\n';
   // Shortest-round-trip std::to_chars, not stream insertion: stream
   // formatting honors the global locale (a comma decimal point under
   // e.g. de_DE corrupts the TSV), to_chars is locale-independent by
@@ -52,11 +66,46 @@ Result<std::vector<double>> LoadWeights(const std::string& path) {
     index.emplace(WeightLayout::Name(k), k);
   }
   std::vector<double> weights(WeightLayout::kCount, 1.0);
+  std::vector<uint8_t> seen(WeightLayout::kCount, 0);
+  bool has_header = false;
   std::string line;
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only the layout header is a recognized comment; validate it cell
+      // by cell so a reordered or extended feature set names its first
+      // point of divergence instead of misassigning silently.
+      std::vector<std::string> cells = Split(line, '\t');
+      if (cells.empty() || cells[0] != kHeaderMagic) {
+        return Status::IOError("unrecognized comment at line " +
+                               std::to_string(line_number) +
+                               " (expected a '" + kHeaderMagic +
+                               "' header)");
+      }
+      if (line_number != 1) {
+        return Status::IOError("weights header must be the first line");
+      }
+      if (cells.size() != WeightLayout::kCount + 1) {
+        return Status::IOError(
+            "weights header names " + std::to_string(cells.size() - 1) +
+            " feature columns, this build has " +
+            std::to_string(WeightLayout::kCount) +
+            " — the file was written by a different feature set");
+      }
+      for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+        if (cells[k + 1] != WeightLayout::Name(k)) {
+          return Status::IOError(
+              "weights header column " + std::to_string(k) + " is '" +
+              cells[k + 1] + "', this build expects '" +
+              WeightLayout::Name(k) +
+              "' — the file was written by a reordered feature set");
+        }
+      }
+      has_header = true;
+      continue;
+    }
     std::vector<std::string> cells = Split(line, '\t');
     if (cells.size() != 2) {
       return Status::IOError("malformed weights line " +
@@ -77,6 +126,18 @@ Result<std::vector<double>> LoadWeights(const std::string& path) {
                              std::to_string(line_number));
     }
     weights[it->second] = value;
+    seen[it->second] = 1;
+  }
+  if (has_header) {
+    // The header promises the full set; a hole means the file was
+    // truncated or hand-edited. Headerless legacy files stay lenient
+    // (missing entries keep the 1.0 uniform prior).
+    for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+      if (!seen[k]) {
+        return Status::IOError("weights file has a header but no value for '" +
+                               WeightLayout::Name(k) + "'");
+      }
+    }
   }
   return weights;
 }

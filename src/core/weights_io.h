@@ -12,13 +12,20 @@ namespace jocl {
 /// the WeightLayout names (alpha1.idf, beta5.cons_s, ...). Weights are the
 /// unit of transfer in the paper's protocol (learn on the ReVerb45K
 /// validation split, apply everywhere), so they deserve a stable on-disk
-/// form.
+/// form. The first line is a header naming every feature column in layout
+/// order (`# jocl-weights\talpha1.idf\t...`), which pins the file to the
+/// feature set that wrote it.
 Status SaveWeights(const std::vector<double>& weights,
                    const std::string& path);
 
 /// \brief Loads weights saved by SaveWeights. Entries are matched by
-/// name, so the file survives reordering; missing entries default to 1.0
-/// (the uniform prior) and unknown names are an error.
+/// name, so the file survives row reordering; unknown names are an error.
+/// A header line, when present, must name exactly this build's feature
+/// columns in layout order and every named weight must appear — a file
+/// written by a reordered or extended feature set fails with a
+/// descriptive Status instead of silently misassigning weights. Legacy
+/// headerless files keep the lenient behavior: missing entries default to
+/// 1.0 (the uniform prior).
 Result<std::vector<double>> LoadWeights(const std::string& path);
 
 /// \brief Renders the weights as a human-readable report (one line per

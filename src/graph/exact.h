@@ -52,6 +52,11 @@ class ExactEngine : public InferenceEngine {
   void AccumulateExpectedFeatures(
       std::vector<double>* expectations) const override;
 
+  /// The exact log Z of the enumerated joint (valid after Run()).
+  double LogPartitionEstimate() const override {
+    return exact_.log_partition;
+  }
+
   std::vector<size_t> Decode() const override;
 
  private:

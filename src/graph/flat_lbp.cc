@@ -465,6 +465,31 @@ void FlatLbpEngine::AccumulateExpectedFeatures(
   }
 }
 
+double FlatLbpEngine::LogPartitionEstimate() const {
+  const CompiledGraph& c = *compiled_;
+  double log_z = 0.0;
+  for (FactorId f = 0; f < c.factor_count(); ++f) {
+    const std::vector<double> belief = FactorBelief(f);
+    const double* log_potential =
+        log_potential_.data() + c.assignment_offset[f];
+    for (size_t a = 0; a < belief.size(); ++a) {
+      if (belief[a] <= 0.0) continue;
+      log_z += belief[a] * (log_potential[a] - std::log(belief[a]));
+    }
+  }
+  for (VariableId v = 0; v < c.variable_count(); ++v) {
+    const double degree =
+        static_cast<double>(c.attach_offset[v + 1] - c.attach_offset[v]);
+    const double* m = marginal_.data() + c.var_state_offset[v];
+    double negative_entropy = 0.0;
+    for (size_t x = 0; x < c.cardinality[v]; ++x) {
+      if (m[x] > 0.0) negative_entropy += m[x] * std::log(m[x]);
+    }
+    log_z += (degree - 1.0) * negative_entropy;
+  }
+  return log_z;
+}
+
 std::vector<size_t> FlatLbpEngine::Decode() const {
   const CompiledGraph& c = *compiled_;
   std::vector<size_t> states(c.variable_count(), 0);

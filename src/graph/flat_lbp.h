@@ -64,6 +64,13 @@ class FlatLbpEngine : public InferenceEngine {
   void AccumulateExpectedFeatures(
       std::vector<double>* expectations) const override;
 
+  /// Bethe approximation of log Z from the run's beliefs:
+  ///   `sum_f sum_a b_f(a)(log psi_f(a) - log b_f(a))
+  ///    + sum_v (d_v - 1) sum_x b_v(x) log b_v(x)`.
+  /// Exact on trees; honors clamps (a clamped variable's delta belief has
+  /// zero entropy and restricts its factors' belief support).
+  double LogPartitionEstimate() const override;
+
   std::vector<size_t> Decode() const override;
 
   /// Number of connected components (independent LBP sub-problems).

@@ -2,6 +2,7 @@
 #define JOCL_GRAPH_INFERENCE_H_
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -115,6 +116,16 @@ class InferenceEngine {
   /// `E[h]` under the current (clamped or free) distribution.
   virtual void AccumulateExpectedFeatures(
       std::vector<double>* expectations) const = 0;
+
+  /// Estimate of `log Z` of the current distribution (valid after Run(),
+  /// honoring clamps). FlatLbpEngine returns the Bethe approximation from
+  /// its beliefs (exact on trees); ExactEngine returns the exact value.
+  /// The learner's per-iteration objective is
+  /// `log p(Y^L) ≈ logZ_clamped − logZ_free`. Backends without an
+  /// estimate return NaN (the default).
+  virtual double LogPartitionEstimate() const {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
 
   /// Per-variable decoding (argmax of marginals / max-marginals).
   virtual std::vector<size_t> Decode() const = 0;

@@ -6,8 +6,30 @@
 
 #include "graph/compiled_graph.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace jocl {
+
+LearnerTrace ApplyAscentStep(const LearnerOptions& options, size_t iteration,
+                             const std::vector<double>& gradient_base,
+                             double log_likelihood,
+                             const std::vector<double>& anchor,
+                             std::vector<double>* weights) {
+  double max_norm = 0.0;
+  double penalty = 0.0;
+  for (size_t k = 0; k < weights->size(); ++k) {
+    const double deviation = (*weights)[k] - anchor[k];
+    penalty += deviation * deviation;
+    const double gradient = gradient_base[k] - options.l2 * deviation;
+    (*weights)[k] += options.learning_rate * gradient;
+    max_norm = std::max(max_norm, std::abs(gradient));
+  }
+  LearnerTrace trace;
+  trace.iteration = iteration;
+  trace.objective = log_likelihood - 0.5 * options.l2 * penalty;
+  trace.gradient_max_norm = max_norm;
+  return trace;
+}
 
 FactorGraphLearner::FactorGraphLearner(LearnerOptions options)
     : options_(std::move(options)) {}
@@ -24,6 +46,7 @@ LearnerResult FactorGraphLearner::Learn(
 
   std::vector<double> clamped_expect(w);
   std::vector<double> free_expect(w);
+  std::vector<double> gradient_base(w);
 
   // Freeze the graph structure once and bind one engine to it for every
   // pass below: the compiled CSR form, the engine's schedule and its
@@ -34,7 +57,9 @@ LearnerResult FactorGraphLearner::Learn(
   std::unique_ptr<InferenceEngine> engine = CreateInferenceEngine(
       options_.backend, &compiled, &result.weights, options_.lbp);
 
+  Stopwatch watch;
   for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    watch.Reset();
     // E_{p(Y|Y^L)}[h]: clamp labels, run inference.
     graph->UnclampAll();
     for (const auto& [variable, state] : labels) {
@@ -44,24 +69,27 @@ LearnerResult FactorGraphLearner::Learn(
     std::fill(clamped_expect.begin(), clamped_expect.end(), 0.0);
     engine->Run();
     engine->AccumulateExpectedFeatures(&clamped_expect);
+    const double clamped_log_z = engine->LogPartitionEstimate();
 
     // E_{p(Y)}[h]: free pass.
     graph->UnclampAll();
     std::fill(free_expect.begin(), free_expect.end(), 0.0);
     engine->Run();
     engine->AccumulateExpectedFeatures(&free_expect);
+    const double free_log_z = engine->LogPartitionEstimate();
 
-    double max_norm = 0.0;
     for (size_t k = 0; k < w; ++k) {
-      double gradient = clamped_expect[k] - free_expect[k] -
-                        options_.l2 * (result.weights[k] - anchor[k]);
-      result.weights[k] += options_.learning_rate * gradient;
-      max_norm = std::max(max_norm, std::abs(gradient));
+      gradient_base[k] = clamped_expect[k] - free_expect[k];
     }
-    result.trace.push_back(LearnerTrace{iter, max_norm});
-    JOCL_LOG(kDebug) << "learner iter " << iter << " grad max-norm "
-                     << max_norm;
-    if (max_norm < options_.gradient_tolerance) {
+    LearnerTrace trace =
+        ApplyAscentStep(options_, iter, gradient_base,
+                        clamped_log_z - free_log_z, anchor, &result.weights);
+    trace.seconds = watch.ElapsedSeconds();
+    result.trace.push_back(trace);
+    JOCL_LOG(kDebug) << "learner iter " << iter << " objective "
+                     << trace.objective << " grad max-norm "
+                     << trace.gradient_max_norm;
+    if (trace.gradient_max_norm < options_.gradient_tolerance) {
       result.converged = true;
       break;
     }

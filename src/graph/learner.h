@@ -33,7 +33,15 @@ struct LearnerOptions {
 /// \brief Progress record for one learning iteration.
 struct LearnerTrace {
   size_t iteration = 0;
+  /// Estimated objective at this iteration's weights (before the update):
+  /// `log p(Y^L) ≈ logZ_clamped − logZ_free` via the backend's
+  /// LogPartitionEstimate (Bethe under LBP, exact under kExact), minus the
+  /// L2 penalty `l2/2 * |w − anchor|^2`. Ascends toward 0 as the clamped
+  /// and free distributions' moments match.
+  double objective = 0.0;
   double gradient_max_norm = 0.0;
+  /// Wall-clock seconds this iteration took (both passes + update).
+  double seconds = 0.0;
 };
 
 /// \brief Result of a learning run.
@@ -42,6 +50,20 @@ struct LearnerResult {
   std::vector<LearnerTrace> trace;
   bool converged = false;
 };
+
+/// \brief One (optionally L2-regularized) gradient-ascent step — the
+/// single definition of the update math shared by `FactorGraphLearner`
+/// and `ShardedLearner`, which are required to agree to float summation
+/// order (tests/learner_runtime_test.cc). \p gradient_base holds
+/// `E[h | Y^L] − E[h]` per weight; \p log_likelihood the iteration's
+/// `logZ_clamped − logZ_free` estimate. Updates \p weights in place and
+/// returns the trace entry (`seconds` is left 0 for the caller to fill;
+/// callers check `gradient_max_norm` against their tolerance).
+LearnerTrace ApplyAscentStep(const LearnerOptions& options, size_t iteration,
+                             const std::vector<double>& gradient_base,
+                             double log_likelihood,
+                             const std::vector<double>& anchor,
+                             std::vector<double>* weights);
 
 /// \brief Maximum-likelihood learning of shared factor weights
 /// (paper §3.4, Eq. 5–6).

@@ -421,8 +421,11 @@ void CanonServer::WorkerLoop() {
       fd = pending_.front();
       pending_.pop_front();
     }
-    HandleConnection(fd);
+    // Count before handling: the client holds its response (and may read
+    // /stats or counters()) the instant HandleConnection sends it, so an
+    // after-the-fact increment could lag an observed response.
     requests_.fetch_add(1, std::memory_order_relaxed);
+    HandleConnection(fd);
   }
 }
 

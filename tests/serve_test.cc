@@ -435,6 +435,66 @@ TEST_F(ServeWorld, ConcurrentReadersSurviveStoreSwapsMidFlight) {
   server.Stop();
 }
 
+TEST_F(ServeWorld, RetrainedWeightsReachReadersWithoutDroppingRequests) {
+  // The learn -> infer -> serve loop's last hop: a live session hot-swaps
+  // new weights via UpdateWeights while readers keep hitting the server.
+  // Every in-flight response must stay valid, and after the swap a reader
+  // must observe the post-retrain generation.
+  ServeOptions options;
+  options.num_workers = 2;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  JoclSession session(dataset_, signals_);
+  session.SetPublishCallback([&](const JoclSession& s) {
+    server.Publish(std::make_shared<const CanonStore>(BuildCanonStore(
+        s.problem(), s.result(), dataset_->ckb, s.generation())));
+  });
+  ASSERT_TRUE(session.AddTriples({0, 1, 2}).ok());
+  const size_t generation_before = session.generation();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<size_t> served{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      Result<HttpResponse> response = HttpGet(server.port(), "/stats");
+      if (!response.ok() || response.ValueOrDie().status != 200 ||
+          !LooksLikeJson(response.ValueOrDie().body)) {
+        failures.fetch_add(1);
+      } else {
+        served.fetch_add(1);
+      }
+    }
+  });
+
+  // Retrain stand-in: any new weight vector exercises the same path as a
+  // learner-produced one (ShardedLearner needs gold labels this
+  // handcrafted world intentionally keeps minimal).
+  std::vector<double> retrained = Jocl::DefaultWeights();
+  retrained[WeightLayout::kAlpha1] = 2.5;
+  retrained[WeightLayout::kBeta5] = 0.4;
+  SessionStats stats;
+  ASSERT_TRUE(session.UpdateWeights(retrained, &stats).ok());
+  EXPECT_EQ(session.generation(), generation_before + 1);
+  EXPECT_EQ(stats.dirty_shards, stats.shards);
+
+  // Post-swap, readers observe the retrained generation.
+  Result<HttpResponse> after = HttpGet(server.port(), "/stats");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after.ValueOrDie().status, 200);
+  EXPECT_NE(after.ValueOrDie().body.find(
+                "\"generation\":" + std::to_string(session.generation())),
+            std::string::npos)
+      << after.ValueOrDie().body;
+
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(served.load(), 0u);
+  server.Stop();
+}
+
 // ---------- session publish hook --------------------------------------------
 
 TEST_F(ServeWorld, SessionPublishCallbackFiresPerSuccessfulBatch) {

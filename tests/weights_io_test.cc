@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <locale>
+#include <string>
 
 #include "core/feature_config.h"
 #include "core/weights_io.h"
@@ -96,6 +98,97 @@ TEST(WeightsIoTest, RejectsUnknownNamesAndGarbage) {
   EXPECT_FALSE(LoadWeights(path).ok());
   std::remove(path.c_str());
   EXPECT_FALSE(LoadWeights("/nonexistent/weights.tsv").ok());
+}
+
+TEST(WeightsIoTest, SavedFileCarriesValidatedHeader) {
+  std::vector<double> weights(WeightLayout::kCount, 1.0);
+  weights[WeightLayout::kAlpha3] = 2.75;
+  std::string path = ::testing::TempDir() + "/jocl_header_weights.tsv";
+  ASSERT_TRUE(SaveWeights(weights, path).ok());
+  // The first line names every feature column in layout order.
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header.rfind("# jocl-weights\t", 0), 0u);
+  EXPECT_NE(header.find("\talpha1.idf\t"), std::string::npos);
+  in.close();
+  auto loaded = LoadWeights(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_DOUBLE_EQ(loaded.ValueOrDie()[WeightLayout::kAlpha3], 2.75);
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, RejectsReorderedHeader) {
+  // A header whose first two columns are swapped simulates a file from a
+  // build with a different WeightLayout: it must fail with a message
+  // naming the divergence, not silently misassign by name.
+  std::string path = ::testing::TempDir() + "/jocl_reordered_weights.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::string header = "# jocl-weights";
+  for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+    size_t swapped = k == 0 ? 1 : (k == 1 ? 0 : k);
+    header += "\t" + WeightLayout::Name(swapped);
+  }
+  fputs((header + "\n").c_str(), f);
+  for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+    fputs((WeightLayout::Name(k) + "\t1.0\n").c_str(), f);
+  }
+  fclose(f);
+  auto loaded = LoadWeights(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("reordered"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, RejectsExtendedHeader) {
+  // One extra column = the file came from an extended feature set.
+  std::string path = ::testing::TempDir() + "/jocl_extended_weights.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::string header = "# jocl-weights";
+  for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+    header += "\t" + WeightLayout::Name(k);
+  }
+  header += "\tbeta8.future";
+  fputs((header + "\n").c_str(), f);
+  fclose(f);
+  auto loaded = LoadWeights(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("different feature set"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, HeaderedFileRejectsMissingEntries) {
+  // With a header the file promises the full set; a truncated body is an
+  // error (headerless legacy files stay lenient — see
+  // MissingEntriesDefaultToUniform above).
+  std::string path = ::testing::TempDir() + "/jocl_truncated_weights.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::string header = "# jocl-weights";
+  for (size_t k = 0; k < WeightLayout::kCount; ++k) {
+    header += "\t" + WeightLayout::Name(k);
+  }
+  fputs((header + "\n").c_str(), f);
+  fputs("alpha1.idf\t3.5\n", f);
+  fclose(f);
+  auto loaded = LoadWeights(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("no value for"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, RejectsUnrecognizedComment) {
+  std::string path = ::testing::TempDir() + "/jocl_comment_weights.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("# some other tool's banner\nalpha1.idf\t1.0\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadWeights(path).ok());
+  std::remove(path.c_str());
 }
 
 TEST(WeightsIoTest, ReportSortsByAdjustment) {

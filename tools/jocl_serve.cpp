@@ -12,7 +12,7 @@
 // Usage:
 //   jocl_serve [scale] [--port N] [--workers N] [--batches N]
 //              [--snapshot PATH] [--snapshot-out PATH]
-//              [--serve-seconds N]
+//              [--serve-seconds N] [--retrain]
 //
 //   scale             workload scale in live mode (default 0.2)
 //   --port N          TCP port (default 0 = ephemeral; printed on start)
@@ -22,6 +22,11 @@
 //   --snapshot-out P  in live mode, also save a snapshot after each batch
 //   --serve-seconds N exit after N seconds of serving (default 0 = until
 //                     SIGINT/SIGTERM)
+//   --retrain         in live mode, after ingestion: learn weights on the
+//                     validation split (ShardedLearner) and hot-swap them
+//                     into the running session via UpdateWeights — the
+//                     publish callback republishes the store while readers
+//                     keep being served (learn → infer → serve)
 //
 // Endpoints: /lookup?surface=S[&kind=np|rp], /cluster?id=N[&kind=..],
 // /link?surface=S[&kind=..], /stats. See docs/serving.md.
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
   double scale = 0.2;
   size_t batches = 4;
   size_t serve_seconds = 0;
+  bool retrain = false;
   std::string snapshot_in;
   std::string snapshot_out;
   ServeOptions serve_options;
@@ -96,6 +102,8 @@ int main(int argc, char** argv) {
       snapshot_out = v;
     } else if (const char* v = value_of("--serve-seconds")) {
       serve_seconds = static_cast<size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--retrain") == 0) {
+      retrain = true;
     } else {
       scale = std::atof(argv[i]);
       if (scale <= 0) scale = 0.2;
@@ -170,6 +178,27 @@ int main(int argc, char** argv) {
                   "(%zu/%zu shards dirty) -> published generation %zu\n",
                   b + 1, batches, batch.size(), watch.ElapsedSeconds(),
                   stats.dirty_shards, stats.shards, session.generation());
+      std::fflush(stdout);
+    }
+
+    // ---- retrain + hot-swap ------------------------------------------------
+    // Readers keep hitting the current store the whole time: learning runs
+    // beside the server, and UpdateWeights republishes through the same
+    // non-blocking RCU swap as an ingestion batch.
+    if (retrain && g_stop == 0) {
+      std::printf("retraining on the validation split (%zu triples)...\n",
+                  ds.validation_triples.size());
+      std::fflush(stdout);
+      Result<std::vector<double>> weights = Jocl().LearnWeights(ds, sig);
+      if (!weights.ok()) return Fail(weights.status());
+      SessionStats stats;
+      Stopwatch watch;
+      status = session.UpdateWeights(weights.MoveValueOrDie(), &stats);
+      if (!status.ok()) return Fail(status);
+      std::printf("retrained -> hot-swapped weights, re-inferred %zu shards "
+                  "in %.3fs, published generation %zu\n",
+                  stats.dirty_shards, watch.ElapsedSeconds(),
+                  session.generation());
       std::fflush(stdout);
     }
   }
