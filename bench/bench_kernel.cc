@@ -1,0 +1,330 @@
+// LBP kernel bench: the vectorized message kernel vs the scalar
+// reference, and the residual-priority schedule vs the staged sweep, on
+// the head-component worst case — one giant loopy component with skewed
+// hub degrees, the shape that dominates end-to-end inference time.
+// Emits BENCH_kernel.json (path: JOCL_BENCH_OUT, default
+// ./BENCH_kernel.json) for CI tracking.
+//
+// Hard-fail guards (exit nonzero):
+//   * the vectorized kernel's marginals must be byte-identical to the
+//     scalar reference's (on both the synthetic head world and the real
+//     generated joint graph);
+//   * vectorized must never regress below 0.9x scalar on the head
+//     worlds (CI smoke floor, any scale);
+//   * the residual run must certify convergence (max pending residual
+//     below tolerance at stop) and match the staged decode (any scale);
+//   * at full scale (JOCL_BENCH_SCALE >= 1): vectorized >= 1.5x scalar
+//     on the head world under max-product (where the kernel flop loops
+//     dominate; sum-product is bounded by the order-pinned log-sum-exp
+//     chain), and the residual schedule needs >= 3x fewer message
+//     updates than the staged sweep.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/graph_builder.h"
+#include "core/problem.h"
+#include "graph/compiled_graph.h"
+#include "graph/flat_lbp.h"
+#include "util/rng.h"
+
+namespace jocl {
+namespace bench {
+namespace {
+
+// The head-component worst case: a backbone chain with skewed cross
+// links (low-index hubs collect most of the degree, like the giant
+// canonicalization component does), unary evidence on every third
+// variable and ternary ties on every fifth. Cardinalities 2..8.
+FactorGraph MakeHeadHeavyGraph(Rng* rng, size_t head_vars) {
+  FactorGraph g;
+  g.set_weight_count(1);
+  // Coupling strength decays away from the hubs: the hub region is
+  // strongly coupled (slow mixing, many sweeps), the tail is weak
+  // evidence that settles immediately — the profile a residual schedule
+  // exploits and a staged sweep pays full price for.
+  auto random_table = [&](size_t states, double amplitude) {
+    std::vector<double> table(states);
+    for (double& v : table) v = rng->UniformDouble(-amplitude, amplitude);
+    return FeatureTable::Uniform(0, std::move(table));
+  };
+  auto coupling = [](size_t i) { return 1.5 * 32.0 / (32.0 + i); };
+  std::vector<VariableId> head;
+  for (size_t i = 0; i < head_vars; ++i) {
+    head.push_back(g.AddVariable(2 + i % 7));
+  }
+  auto card = [&](VariableId v) { return g.variable(v).cardinality; };
+  for (size_t i = 1; i < head.size(); ++i) {
+    g.AddFactor({head[i - 1], head[i]},
+                random_table(card(head[i - 1]) * card(head[i]),
+                             coupling(i)))
+        .ValueOrDie();
+  }
+  for (size_t i = 1; i < head.size(); ++i) {
+    const size_t hub = static_cast<size_t>(
+        rng->UniformUint64(std::max<size_t>(1, i / 4)));
+    const VariableId other = head[hub == i ? i - 1 : i];
+    g.AddFactor({head[hub], other},
+                random_table(card(head[hub]) * card(other), coupling(i)))
+        .ValueOrDie();
+  }
+  for (size_t i = 0; i < head.size(); i += 3) {
+    g.AddFactor({head[i]}, random_table(card(head[i]), 1.5)).ValueOrDie();
+  }
+  for (size_t i = 5; i + 2 < head.size(); i += 5) {
+    g.AddFactor({head[i], head[i + 1], head[i + 2]},
+                random_table(card(head[i]) * card(head[i + 1]) *
+                                 card(head[i + 2]),
+                             coupling(i)))
+        .ValueOrDie();
+  }
+  return g;
+}
+
+struct KernelRun {
+  const char* world = "";
+  size_t variables = 0;
+  size_t factors = 0;
+  double scalar_seconds = 0.0;
+  double vectorized_seconds = 0.0;
+  double speedup = 0.0;
+  size_t message_updates = 0;
+  size_t sweeps = 0;
+  bool byte_identical = false;
+};
+
+// Times one (kernel) configuration over a precompiled graph: best of
+// \p reps full Run() calls, result of the last.
+double TimeKernel(const CompiledGraph& compiled,
+                  const std::vector<double>& weights, LbpOptions options,
+                  int reps, LbpResult* result) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    FlatLbpEngine engine(&compiled, &weights, options);
+    Stopwatch watch;
+    *result = engine.Run();
+    double seconds = watch.ElapsedSeconds();
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+KernelRun CompareKernels(const char* world, const CompiledGraph& compiled,
+                         const std::vector<double>& weights,
+                         LbpOptions options, int reps) {
+  KernelRun run;
+  run.world = world;
+  run.variables = compiled.variable_count();
+  run.factors = compiled.factor_count();
+  LbpResult scalar, vectorized;
+  options.kernel = LbpKernel::kScalarReference;
+  run.scalar_seconds = TimeKernel(compiled, weights, options, reps, &scalar);
+  options.kernel = LbpKernel::kVectorized;
+  run.vectorized_seconds =
+      TimeKernel(compiled, weights, options, reps, &vectorized);
+  run.speedup = run.vectorized_seconds > 0.0
+                    ? run.scalar_seconds / run.vectorized_seconds
+                    : 0.0;
+  run.message_updates = vectorized.message_updates;
+  run.sweeps = vectorized.iterations;
+  // EXPECT_EQ-grade identity: identical op order means no bit may differ.
+  run.byte_identical = vectorized.marginals == scalar.marginals &&
+                       vectorized.final_residual == scalar.final_residual &&
+                       vectorized.iterations == scalar.iterations;
+  return run;
+}
+
+int Run() {
+  int failures = 0;
+  BenchEnv env = BenchEnv::FromEnv();
+  Banner("LBP kernel: vectorized vs scalar, residual vs staged", env);
+  const std::vector<double> unit_weights = {1.0};
+  const int reps = 3;
+
+  // ---- synthetic head-component world -------------------------------------
+  size_t head_vars = static_cast<size_t>(1200 * env.scale);
+  if (head_vars < 120) head_vars = 120;
+  Rng rng(env.seed);
+  FactorGraph head_graph = MakeHeadHeavyGraph(&rng, head_vars);
+  CompiledGraph head_compiled = CompiledGraph::Compile(head_graph);
+  LbpOptions head_options;
+  head_options.max_iterations = 30;
+
+  TablePrinter table({"World", "Vars", "Factors", "Scalar (s)",
+                      "Vectorized (s)", "Speedup", "Identical"});
+  auto add_row = [&](const KernelRun& run) {
+    table.AddRow({run.world, std::to_string(run.variables),
+                  std::to_string(run.factors),
+                  TablePrinter::Num(run.scalar_seconds, 3),
+                  TablePrinter::Num(run.vectorized_seconds, 3),
+                  TablePrinter::Num(run.speedup, 2) + "x",
+                  run.byte_identical ? "yes" : "NO (bug!)"});
+  };
+  KernelRun head_run = CompareKernels("head sum-product", head_compiled,
+                                      unit_weights, head_options, reps);
+  add_row(head_run);
+  LbpOptions head_max_options = head_options;
+  head_max_options.mode = LbpMode::kMaxProduct;
+  KernelRun head_max_run = CompareKernels(
+      "head max-product", head_compiled, unit_weights, head_max_options,
+      reps);
+  add_row(head_max_run);
+
+  // ---- the real joint graph (generated ReVerb45K-like workload) -----------
+  std::unique_ptr<DataPack> pack = DataPack::ReVerb(env);
+  JoclProblem problem = BuildProblem(pack->dataset(), pack->signals(),
+                                     pack->eval_triples());
+  JoclGraph jgraph = BuildJoclGraph(problem, pack->signals(),
+                                    pack->dataset().ckb);
+  CompiledGraph joint_compiled = CompiledGraph::Compile(jgraph.graph);
+  std::vector<double> joint_weights = Jocl::DefaultWeights();
+  LbpOptions joint_options;
+  joint_options.factor_schedule = jgraph.schedule;
+  KernelRun joint_run = CompareKernels("joint graph", joint_compiled,
+                                       joint_weights, joint_options, reps);
+  add_row(joint_run);
+  std::printf("%s\n", table.Render().c_str());
+
+  if (!head_run.byte_identical || !head_max_run.byte_identical ||
+      !joint_run.byte_identical) {
+    ++failures;
+  }
+  // CI smoke floor: a vectorized kernel slower than 0.9x scalar on the
+  // synthetic head worlds is a regression regardless of scale or machine
+  // (the joint-graph row is reported but not floor-guarded — its wall
+  // time includes too much shared non-kernel work to be noise-stable).
+  if (head_run.speedup < 0.9 || head_max_run.speedup < 0.9) {
+    std::printf("GUARD FAILED: vectorized below 0.9x scalar\n");
+    ++failures;
+  }
+  // The scale-dependent acceptance bars hold at the default workload
+  // (JOCL_BENCH_SCALE >= 1); at reduced smoke scales they are reported
+  // but informational. The >= 1.5x bar is measured on max-product, where
+  // the kernel's flop loops dominate; sum-product is bounded by the
+  // log-sum-exp transcendental chain, whose evaluation order byte
+  // identity pins (see docs/benchmarks.md).
+  const bool full_scale = env.scale >= 1.0;
+  const bool accept_speedup = head_max_run.speedup >= 1.5;
+  std::printf("acceptance (head max-product vectorized >= 1.5x): %s%s\n\n",
+              accept_speedup ? "PASS" : "FAIL",
+              full_scale ? "" : " (informational below scale 1)");
+  if (full_scale && !accept_speedup) ++failures;
+
+  // ---- residual-priority schedule vs staged sweep --------------------------
+  // Both run the *vectorized* kernel; the contest is pure scheduling: how
+  // many message updates buy a certified fixed point.
+  LbpOptions staged_options = head_options;
+  staged_options.max_iterations = 60;
+  FlatLbpEngine staged_engine(&head_graph, &unit_weights, staged_options);
+  LbpResult staged = staged_engine.Run();
+  const std::vector<size_t> staged_decode = staged_engine.Decode();
+
+  LbpOptions residual_options = staged_options;
+  residual_options.schedule = LbpSchedule::kResidual;
+  FlatLbpEngine residual_engine(&head_graph, &unit_weights,
+                                residual_options);
+  Stopwatch residual_watch;
+  LbpResult residual = residual_engine.Run();
+  double residual_seconds = residual_watch.ElapsedSeconds();
+  const bool decode_match = residual_engine.Decode() == staged_decode;
+  const double update_ratio =
+      residual.message_updates > 0
+          ? static_cast<double>(staged.message_updates) /
+                static_cast<double>(residual.message_updates)
+          : 0.0;
+
+  std::printf("staged sweep:      %zu message updates (%zu sweeps, "
+              "converged: %s)\n",
+              staged.message_updates, staged.iterations,
+              staged.converged ? "yes" : "no");
+  std::printf("residual schedule: %zu message updates, %zu pops, %.3fs "
+              "(%.1fx fewer updates)\n",
+              residual.message_updates, residual.residual_pops,
+              residual_seconds, update_ratio);
+  std::printf("certificate: max residual %.2e at stop (tolerance %.0e), "
+              "converged: %s, decode match: %s\n",
+              residual.final_residual, residual_options.tolerance,
+              residual.converged ? "yes" : "no",
+              decode_match ? "yes" : "no");
+  const bool accept_residual = residual.converged &&
+                               residual.final_residual <
+                                   residual_options.tolerance &&
+                               decode_match && update_ratio >= 3.0;
+  std::printf("acceptance (certified, decode-match, >= 3x fewer updates): "
+              "%s%s\n\n",
+              accept_residual ? "PASS" : "FAIL",
+              full_scale ? "" : " (informational below scale 1)");
+  // The certificate and decode checks are scale-independent correctness;
+  // only the 3x update-ratio bar needs the full-scale workload.
+  const bool residual_correct = residual.converged &&
+                                residual.final_residual <
+                                    residual_options.tolerance &&
+                                decode_match;
+  if (!residual_correct || (full_scale && !accept_residual)) ++failures;
+
+  // ---- JSON artifact ------------------------------------------------------
+  const char* out_path = std::getenv("JOCL_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_kernel.json";
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"scale\": %.3f,\n  \"seed\": %llu,\n", env.scale,
+               static_cast<unsigned long long>(env.seed));
+  std::fprintf(out, "  \"kernels\": [\n");
+  const KernelRun* runs[] = {&head_run, &head_max_run, &joint_run};
+  const size_t run_count = 3;
+  for (size_t i = 0; i < run_count; ++i) {
+    const KernelRun& run = *runs[i];
+    std::fprintf(out,
+                 "    {\"world\": \"%s\", \"variables\": %zu, "
+                 "\"factors\": %zu, \"scalar_seconds\": %.4f, "
+                 "\"vectorized_seconds\": %.4f, \"speedup\": %.2f, "
+                 "\"message_updates\": %zu, \"sweeps\": %zu, "
+                 "\"byte_identical\": %s}%s\n",
+                 run.world, run.variables, run.factors, run.scalar_seconds,
+                 run.vectorized_seconds, run.speedup, run.message_updates,
+                 run.sweeps, run.byte_identical ? "true" : "false",
+                 i + 1 < run_count ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"residual\": {\"staged_updates\": %zu, "
+               "\"residual_updates\": %zu, \"residual_pops\": %zu, "
+               "\"update_ratio\": %.2f, \"certificate\": %.6e, "
+               "\"tolerance\": %.0e, \"converged\": %s, "
+               "\"decode_match\": %s, \"seconds\": %.4f},\n",
+               staged.message_updates, residual.message_updates,
+               residual.residual_pops, update_ratio, residual.final_residual,
+               residual_options.tolerance,
+               residual.converged ? "true" : "false",
+               decode_match ? "true" : "false", residual_seconds);
+  std::fprintf(out, "  \"guard_vectorized_ge_0_9x\": %s,\n",
+               head_run.speedup >= 0.9 && head_max_run.speedup >= 0.9
+                   ? "true"
+                   : "false");
+  std::fprintf(out, "  \"full_scale_acceptance\": %s,\n",
+               full_scale ? "true" : "false");
+  std::fprintf(out, "  \"acceptance_vectorized_ge_1_5x\": %s,\n",
+               accept_speedup ? "true" : "false");
+  std::fprintf(out, "  \"acceptance_residual_ge_3x_fewer\": %s\n",
+               accept_residual ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  if (failures > 0) {
+    std::printf("%d correctness/acceptance check(s) FAILED\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jocl
+
+int main() { return jocl::bench::Run(); }

@@ -3,6 +3,8 @@
 // factor-graph construction.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "cluster/hac.h"
 #include "data/generator.h"
 #include "embedding/word2vec.h"
@@ -191,6 +193,89 @@ void BM_LbpSweepPrecompiled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LbpSweepPrecompiled)->Arg(10)->Arg(20)->Arg(40);
+
+// The head-component worst case in miniature: a backbone chain with
+// skewed hub cross-links, unary evidence and ternary ties, cards 2..8
+// (one giant loopy component — the shape that dominates joint graphs).
+FactorGraph MakeHeadHeavy(size_t head_vars) {
+  Rng rng(11);
+  FactorGraph g;
+  g.set_weight_count(1);
+  auto random_table = [&](size_t states) {
+    std::vector<double> table(states);
+    for (double& v : table) v = rng.UniformDouble(-1.5, 1.5);
+    return FeatureTable::Uniform(0, std::move(table));
+  };
+  std::vector<VariableId> head;
+  for (size_t i = 0; i < head_vars; ++i) {
+    head.push_back(g.AddVariable(2 + i % 7));
+  }
+  auto card = [&](VariableId v) { return g.variable(v).cardinality; };
+  for (size_t i = 1; i < head.size(); ++i) {
+    (void)g.AddFactor({head[i - 1], head[i]},
+                      random_table(card(head[i - 1]) * card(head[i])));
+  }
+  for (size_t i = 1; i < head.size(); ++i) {
+    const size_t hub = static_cast<size_t>(
+        rng.UniformUint64(std::max<size_t>(1, i / 4)));
+    const VariableId other = head[hub == i ? i - 1 : i];
+    (void)g.AddFactor({head[hub], other},
+                      random_table(card(head[hub]) * card(other)));
+  }
+  for (size_t i = 0; i < head.size(); i += 3) {
+    (void)g.AddFactor({head[i]}, random_table(card(head[i])));
+  }
+  for (size_t i = 5; i + 2 < head.size(); i += 5) {
+    (void)g.AddFactor({head[i], head[i + 1], head[i + 2]},
+                      random_table(card(head[i]) * card(head[i + 1]) *
+                                   card(head[i + 2])));
+  }
+  return g;
+}
+
+void BM_LbpKernelHeadHeavy(benchmark::State& state) {
+  // Arg0: head variables; Arg1: 0 = vectorized kernel, 1 = scalar
+  // reference. Both produce byte-identical marginals; the ratio of these
+  // two rows is the kernel speedup bench_kernel guards.
+  FactorGraph g = MakeHeadHeavy(static_cast<size_t>(state.range(0)));
+  CompiledGraph compiled = CompiledGraph::Compile(g);
+  std::vector<double> weights = {1.0};
+  for (auto _ : state) {
+    LbpOptions options;
+    options.max_iterations = 5;
+    options.kernel = state.range(1) == 0 ? LbpKernel::kVectorized
+                                         : LbpKernel::kScalarReference;
+    FlatLbpEngine engine(&compiled, &weights, options);
+    benchmark::DoNotOptimize(engine.Run());
+  }
+}
+BENCHMARK(BM_LbpKernelHeadHeavy)
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({800, 0})
+    ->Args({800, 1});
+
+void BM_LbpScheduleHeadHeavy(benchmark::State& state) {
+  // Arg0: head variables; Arg1: 0 = staged sweeps, 1 = residual-priority
+  // queue. Residual runs to its convergence certificate within the same
+  // sweep budget.
+  FactorGraph g = MakeHeadHeavy(static_cast<size_t>(state.range(0)));
+  CompiledGraph compiled = CompiledGraph::Compile(g);
+  std::vector<double> weights = {1.0};
+  for (auto _ : state) {
+    LbpOptions options;
+    options.max_iterations = 30;
+    options.schedule = state.range(1) == 0 ? LbpSchedule::kStaged
+                                           : LbpSchedule::kResidual;
+    FlatLbpEngine engine(&compiled, &weights, options);
+    benchmark::DoNotOptimize(engine.Run());
+  }
+}
+BENCHMARK(BM_LbpScheduleHeadHeavy)
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({800, 0})
+    ->Args({800, 1});
 
 void BM_LbpComponentParallel(benchmark::State& state) {
   // Fragmented workload (many disjoint grids — the shape of JOCL's joint

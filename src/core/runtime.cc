@@ -25,6 +25,11 @@ void MergeShardDiagnostics(const LbpResult& shard, LbpResult* merged) {
     merged->residual_history[i] =
         std::max(merged->residual_history[i], shard.residual_history[i]);
   }
+  // Kernel counters are totals, not maxima: shards partition the factor
+  // set, so the merged run's work is the sum of the shard runs' work.
+  merged->message_updates += shard.message_updates;
+  merged->residual_pops += shard.residual_pops;
+  merged->sweeps_skipped += shard.sweeps_skipped;
 }
 
 ShardBeliefs RunShardInference(const JoclProblem& local,
@@ -280,6 +285,9 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
     local_stats.graph_seconds += timings[s].graph_seconds;
     local_stats.infer_seconds += timings[s].infer_seconds;
   }
+  local_stats.message_updates = diagnostics.message_updates;
+  local_stats.residual_pops = diagnostics.residual_pops;
+  local_stats.sweeps_skipped = diagnostics.sweeps_skipped;
   JoclResult result = AssembleJoclResult(problem, beliefs, options_,
                                          std::move(weights),
                                          std::move(diagnostics));

@@ -41,6 +41,10 @@ struct RuntimeStats {
   size_t components = 0;
   size_t variables = 0;  ///< across all shard graphs
   size_t factors = 0;
+  // ---- LBP kernel counters, summed across shards -----------------------
+  size_t message_updates = 0;  ///< factor message updates executed
+  size_t residual_pops = 0;    ///< residual-queue pops (kResidual only)
+  size_t sweeps_skipped = 0;   ///< sweeps' worth of updates not spent
 };
 
 /// \brief One shard's inference outputs in *local* indexing — the unit of

@@ -380,6 +380,9 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
         MergeShardDiagnostics(outcomes[d].diagnostics, &diagnostics);
         local_stats.variables += outcomes[d].variables;
         local_stats.factors += outcomes[d].factors;
+        local_stats.message_updates += outcomes[d].diagnostics.message_updates;
+        local_stats.residual_pops += outcomes[d].diagnostics.residual_pops;
+        local_stats.sweeps_skipped += outcomes[d].diagnostics.sweeps_skipped;
         local_stats.graph_seconds += timings[d].graph_seconds;
         local_stats.infer_seconds += timings[d].infer_seconds;
         ++d;

@@ -57,6 +57,11 @@ struct SessionStats {
   /// batch for CI visibility).
   size_t problem_cache_hits = 0;
   size_t problem_cache_misses = 0;
+  // ---- LBP kernel counters, summed over *dirty* shards only (clean
+  // shards spend no kernel work — their beliefs come from the store) ----
+  size_t message_updates = 0;  ///< factor message updates executed
+  size_t residual_pops = 0;    ///< residual-queue pops (kResidual only)
+  size_t sweeps_skipped = 0;   ///< sweeps' worth of updates not spent
 };
 
 /// \brief Long-lived incremental runtime over one dataset: the streaming

@@ -1,6 +1,7 @@
 #include "graph/compiled_graph.h"
 
 #include <algorithm>
+#include <string>
 
 #include "cluster/union_find.h"
 
@@ -73,9 +74,12 @@ CompiledGraph CompiledGraph::Compile(const FactorGraph& graph) {
   c.assignment_offset[nf] = assignment_total;
 
   c.scope_var.resize(edge_total);
+  c.edge_factor.resize(edge_total);
   c.slot_stride.resize(edge_total);
   c.edge_state_offset.resize(edge_total + 1);
+  c.edge_lane_offset.resize(edge_total + 1);
   size_t edge_state_total = 0;
+  size_t edge_lane_total = 0;
   for (FactorId f = 0; f < nf; ++f) {
     const auto& scope = graph.factor(f).scope;
     const size_t base = c.scope_offset[f];
@@ -86,17 +90,35 @@ CompiledGraph CompiledGraph::Compile(const FactorGraph& graph) {
       stride *= graph.variable(scope[slot]).cardinality;
     }
     size_t factor_states = 0;
+    size_t factor_lane_states = 0;
     for (size_t slot = 0; slot < scope.size(); ++slot) {
       const size_t e = base + slot;
+      const size_t card = graph.variable(scope[slot]).cardinality;
       c.scope_var[e] = static_cast<uint32_t>(scope[slot]);
+      c.edge_factor[e] = static_cast<uint32_t>(f);
       c.edge_state_offset[e] = edge_state_total;
-      edge_state_total += graph.variable(scope[slot]).cardinality;
-      factor_states += graph.variable(scope[slot]).cardinality;
+      c.edge_lane_offset[e] = edge_lane_total;
+      edge_state_total += card;
+      edge_lane_total += RoundUpTo(card, kLaneDoubles);
+      factor_states += card;
+      factor_lane_states += RoundUpTo(card, kLaneDoubles);
     }
     c.max_arity = std::max(c.max_arity, scope.size());
     c.max_factor_states = std::max(c.max_factor_states, factor_states);
+    c.max_factor_lane_states =
+        std::max(c.max_factor_lane_states, factor_lane_states);
   }
   c.edge_state_offset[edge_total] = edge_state_total;
+  c.edge_lane_offset[edge_total] = edge_lane_total;
+
+  // ---- padded per-variable belief lanes ----
+  c.var_lane_offset.resize(nv + 1);
+  size_t var_lane_total = 0;
+  for (VariableId v = 0; v < nv; ++v) {
+    c.var_lane_offset[v] = var_lane_total;
+    var_lane_total += RoundUpTo(c.cardinality[v], kLaneDoubles);
+  }
+  c.var_lane_offset[nv] = var_lane_total;
 
   // ---- attachments (counting sort of edges by variable) ----
   c.attach_offset.assign(nv + 1, 0);
@@ -197,6 +219,63 @@ CompiledGraph CompiledGraph::Compile(const FactorGraph& graph) {
     }
   }
   return c;
+}
+
+Status CompiledGraph::ValidateSource(const FactorGraph& graph) {
+  const size_t nv = graph.variable_count();
+  for (VariableId v = 0; v < nv; ++v) {
+    const VariableNode& node = graph.variable(v);
+    if (node.cardinality == 0) {
+      return Status::InvalidArgument("variable " + std::to_string(v) +
+                                     " has cardinality 0");
+    }
+    if (node.clamped_state >= 0 &&
+        static_cast<size_t>(node.clamped_state) >= node.cardinality) {
+      return Status::FailedPrecondition(
+          "variable " + std::to_string(v) + " clamped to state " +
+          std::to_string(node.clamped_state) + " >= cardinality " +
+          std::to_string(node.cardinality));
+    }
+  }
+  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+    const FactorNode& factor = graph.factor(f);
+    size_t assignments = 1;
+    for (VariableId v : factor.scope) {
+      if (v >= nv) {
+        return Status::InvalidArgument(
+            "factor " + std::to_string(f) + " references variable " +
+            std::to_string(v) + " >= variable count " + std::to_string(nv));
+      }
+      assignments *= graph.variable(v).cardinality;
+    }
+    if (factor.features.assignment_count() != assignments) {
+      return Status::InvalidArgument(
+          "factor " + std::to_string(f) + " feature table covers " +
+          std::to_string(factor.features.assignment_count()) +
+          " assignments, scope has " + std::to_string(assignments));
+    }
+    const size_t weight_count = graph.weight_count();
+    Status weight_status;  // set by the feature scan below
+    for (size_t a = 0; a < assignments && weight_status.ok(); ++a) {
+      factor.features.ForEachFeature(a, [&](WeightId weight, double value) {
+        (void)value;
+        if (weight >= weight_count && weight_status.ok()) {
+          weight_status = Status::InvalidArgument(
+              "factor " + std::to_string(f) + " references weight " +
+              std::to_string(weight) + " >= weight count " +
+              std::to_string(weight_count));
+        }
+      });
+      if (factor.features.is_uniform()) break;  // one shared weight
+    }
+    if (!weight_status.ok()) return weight_status;
+  }
+  return Status::OK();
+}
+
+Result<CompiledGraph> CompiledGraph::CompileChecked(const FactorGraph& graph) {
+  JOCL_RETURN_NOT_OK(ValidateSource(graph));
+  return Compile(graph);
 }
 
 }  // namespace jocl

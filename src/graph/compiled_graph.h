@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "graph/factor_graph.h"
+#include "util/aligned.h"
+#include "util/result.h"
 
 namespace jocl {
 
@@ -63,8 +65,19 @@ struct CompiledGraph {
   // ---- factor scopes (CSR over edges) ----
   std::vector<size_t> scope_offset;       // [nf + 1] -> edge id ranges
   std::vector<uint32_t> scope_var;        // [ne]
+  std::vector<uint32_t> edge_factor;      // [ne] owning factor of each edge
   std::vector<size_t> slot_stride;        // [ne] row-major assignment stride
   std::vector<size_t> edge_state_offset;  // [ne + 1] -> message arenas
+
+  // ---- padded message/belief lanes (SIMD layout) ----
+  // Same spans as edge_state_offset / var_state_offset, but each lane is
+  // padded to a multiple of kLaneDoubles so every lane starts on a
+  // kLaneAlignment boundary of a kArenaAlignment-aligned arena. The LBP
+  // kernels index their arenas through these; the padding tails are never
+  // read or written, so the padded layout changes memory placement only —
+  // not a single arithmetic result.
+  std::vector<size_t> edge_lane_offset;   // [ne + 1]
+  std::vector<size_t> var_lane_offset;    // [nv + 1]
 
   // ---- assignments ----
   std::vector<size_t> assignment_offset;  // [nf + 1] global assignment ids
@@ -93,6 +106,7 @@ struct CompiledGraph {
 
   // ---- scratch sizing ----
   size_t max_factor_states = 0;  // max over f of sum of scope cardinalities
+  size_t max_factor_lane_states = 0;  // same, over padded lanes
   size_t max_arity = 0;
 
   size_t variable_count() const { return cardinality.size(); }
@@ -100,6 +114,8 @@ struct CompiledGraph {
   size_t edge_count() const { return scope_var.size(); }
   size_t total_var_states() const { return var_state_offset.back(); }
   size_t total_edge_states() const { return edge_state_offset.back(); }
+  size_t total_edge_lane_states() const { return edge_lane_offset.back(); }
+  size_t total_var_lane_states() const { return var_lane_offset.back(); }
   size_t total_assignments() const { return assignment_offset.back(); }
 
   /// Log-potential of factor \p f's local assignment \p a under
@@ -139,8 +155,23 @@ struct CompiledGraph {
   }
 
   /// Flattens \p graph into the CSR form. O(edges + assignments + feature
-  /// entries); the source must outlive the compiled graph.
+  /// entries); the source must outlive the compiled graph. The graph is
+  /// assumed structurally valid (the builder API cannot produce an invalid
+  /// one); graphs of uncertain provenance go through CompileChecked.
   static CompiledGraph Compile(const FactorGraph& graph);
+
+  /// Validating variant of Compile for graphs of uncertain provenance
+  /// (deserialized, hand-assembled): verifies every structural invariant
+  /// the engines rely on — scope variables in range, positive
+  /// cardinalities, feature tables sized to their scope's assignment
+  /// count, weight references below weight_count, clamps within
+  /// cardinality — and returns a descriptive InvalidArgument /
+  /// FailedPrecondition Status instead of compiling undefined behavior.
+  static Result<CompiledGraph> CompileChecked(const FactorGraph& graph);
+
+  /// The validation half of CompileChecked, usable on its own (the
+  /// engines' Validate() precondition checks share it).
+  static Status ValidateSource(const FactorGraph& graph);
 };
 
 /// \brief Connected-component label of every variable (variables sharing a

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <string>
+
+#include "graph/compiled_graph.h"
 
 namespace jocl {
 
@@ -124,6 +127,20 @@ ExactEngine::ExactEngine(const FactorGraph* graph,
                          LbpOptions options)
     : graph_(graph), weights_(weights) {
   (void)options;
+}
+
+Status ExactEngine::Validate() const {
+  if (weights_ == nullptr) {
+    return Status::InvalidArgument("no weight vector bound");
+  }
+  JOCL_RETURN_NOT_OK(CompiledGraph::ValidateSource(*graph_));
+  if (weights_->size() < graph_->weight_count()) {
+    return Status::FailedPrecondition(
+        "weight vector holds " + std::to_string(weights_->size()) +
+        " weights, graph references " +
+        std::to_string(graph_->weight_count()));
+  }
+  return Status::OK();
 }
 
 LbpResult ExactEngine::Run() {

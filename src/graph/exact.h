@@ -41,6 +41,8 @@ class ExactEngine : public InferenceEngine {
   ExactEngine(const FactorGraph* graph, const std::vector<double>* weights,
               LbpOptions options = {});
 
+  Status Validate() const override;
+
   LbpResult Run() override;
 
   const std::vector<double>& Marginal(VariableId id) const override {

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <thread>
 
 namespace jocl {
@@ -12,7 +13,14 @@ namespace jocl {
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-// Normalizes a log-space message span so its max entry is 0 (avoids drift).
+// Residual-queue bucket count: bucket b holds residuals in
+// [tolerance * 2^(b-1), tolerance * 2^b); the top bucket also absorbs
+// +inf (the "never updated" seed priority).
+constexpr int kResidualBuckets = 48;
+
+// Normalizes a log-space message span so its max entry is 0 (avoids
+// drift). The subtract loop is a pure element-wise lane operation — it
+// auto-vectorizes on the padded lanes.
 void NormalizeLog(double* message, size_t n) {
   double mx = kNegInf;
   for (size_t i = 0; i < n; ++i) mx = std::max(mx, message[i]);
@@ -20,10 +28,33 @@ void NormalizeLog(double* message, size_t n) {
   for (size_t i = 0; i < n; ++i) message[i] -= mx;
 }
 
+// One running log-sum-exp accumulation step, branch-for-branch identical
+// to the reference kernel's in-place form: the first touch of a fresh
+// (-inf) cell yields the cavity, ties take the `cell` branch, and both
+// operands are finite otherwise (infeasible assignments are skipped
+// before cavities are formed).
+inline double LseStep(double cell, double cavity) {
+  if (cell == kNegInf) return cavity;
+  if (cavity > cell) return cavity + std::log1p(std::exp(cell - cavity));
+  return cell + std::log1p(std::exp(cavity - cell));
+}
+
 size_t ResolveThreads(size_t requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+// Bucket for a residual r >= tolerance: floor(log2(r / tolerance)),
+// clamped to the table. +inf and non-positive tolerances land in the top
+// bucket.
+int ResidualBucket(double r, double tolerance) {
+  if (tolerance <= 0.0 || !(r < std::numeric_limits<double>::infinity())) {
+    return kResidualBuckets - 1;
+  }
+  int exponent = 0;
+  std::frexp(r / tolerance, &exponent);  // ratio >= 1 -> exponent >= 1
+  return std::min(exponent - 1, kResidualBuckets - 1);
 }
 }  // namespace
 
@@ -56,16 +87,31 @@ FlatLbpEngine::FlatLbpEngine(const CompiledGraph* compiled,
   InitArenas();
 }
 
+Status FlatLbpEngine::Validate() const {
+  if (weights_ == nullptr) {
+    return Status::InvalidArgument("no weight vector bound");
+  }
+  JOCL_RETURN_NOT_OK(CompiledGraph::ValidateSource(*compiled_->source));
+  if (weights_->size() < compiled_->source->weight_count()) {
+    return Status::FailedPrecondition(
+        "weight vector holds " + std::to_string(weights_->size()) +
+        " weights, graph references " +
+        std::to_string(compiled_->source->weight_count()));
+  }
+  return Status::OK();
+}
+
 void FlatLbpEngine::InitArenas() {
   // Size everything up front so interface queries are defined (if dull)
   // even before Run(), matching the old engine's constructor-allocated
-  // storage; Run()'s assign() calls reuse this capacity.
+  // storage; Run()'s assign() calls reuse this capacity. Message and
+  // belief arenas are lane-padded (tails never read).
   const CompiledGraph& c = *compiled_;
   log_potential_.assign(c.total_assignments(), 0.0);
-  msg_f2v_.assign(c.total_edge_states(), 0.0);
-  msg_v2f_.assign(c.total_edge_states(), 0.0);
-  belief_.assign(c.total_var_states(), 0.0);
-  marginal_.assign(c.total_var_states(), 0.0);
+  msg_f2v_.assign(c.total_edge_lane_states(), 0.0);
+  msg_v2f_.assign(c.total_edge_lane_states(), 0.0);
+  belief_.assign(c.total_var_lane_states(), 0.0);
+  marginal_.assign(c.total_var_lane_states(), 0.0);
   marginals_.resize(c.variable_count());
   for (VariableId v = 0; v < c.variable_count(); ++v) {
     marginals_[v].assign(c.cardinality[v], 0.0);
@@ -115,50 +161,128 @@ void FlatLbpEngine::BuildSchedule() {
   }
 }
 
-void FlatLbpEngine::RefreshComponentVariables(size_t component) {
+void FlatLbpEngine::RefreshVariable(uint32_t v) {
   const CompiledGraph& c = *compiled_;
   const FactorGraph& g = *c.source;
-  for (size_t i = c.comp_var_offset[component];
-       i < c.comp_var_offset[component + 1]; ++i) {
-    const uint32_t v = c.comp_vars[i];
-    const size_t card = c.cardinality[v];
-    double* sums = belief_.data() + c.var_state_offset[v];
-    const bool clamped = g.IsClamped(v);
-    const size_t observed =
-        clamped ? static_cast<size_t>(g.variable(v).clamped_state) : 0;
-    if (clamped) {
-      for (size_t x = 0; x < card; ++x) {
-        sums[x] = (x == observed) ? 0.0 : kNegInf;
-      }
-    } else {
-      // belief_sums[v][x] = sum over attached edges of msg_f2v.
-      std::fill(sums, sums + card, 0.0);
-      for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
-        const double* incoming =
-            msg_f2v_.data() + c.edge_state_offset[c.attach_edge[k]];
-        for (size_t x = 0; x < card; ++x) sums[x] += incoming[x];
-      }
-      NormalizeLog(sums, card);
+  const size_t card = c.cardinality[v];
+  double* sums = AssumeLaneAligned(belief_.data() + c.var_lane_offset[v]);
+  if (g.IsClamped(v)) {
+    const size_t observed = static_cast<size_t>(g.variable(v).clamped_state);
+    for (size_t x = 0; x < card; ++x) {
+      sums[x] = (x == observed) ? 0.0 : kNegInf;
     }
-    // Variable -> factor messages: cavity sums (subtract own incoming).
     for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
-      const size_t base = c.edge_state_offset[c.attach_edge[k]];
-      double* outgoing = msg_v2f_.data() + base;
-      if (clamped) {
-        for (size_t x = 0; x < card; ++x) {
-          outgoing[x] = (x == observed) ? 0.0 : kNegInf;
-        }
-        continue;
+      double* outgoing = AssumeLaneAligned(
+          msg_v2f_.data() + c.edge_lane_offset[c.attach_edge[k]]);
+      for (size_t x = 0; x < card; ++x) {
+        outgoing[x] = (x == observed) ? 0.0 : kNegInf;
       }
-      const double* incoming = msg_f2v_.data() + base;
-      for (size_t x = 0; x < card; ++x) outgoing[x] = sums[x] - incoming[x];
-      NormalizeLog(outgoing, card);
     }
+    return;
+  }
+  // belief_sums[v][x] = sum over attached edges of msg_f2v. Each += pass
+  // is an independent-lane loop over the padded span — vectorizable.
+  std::fill(sums, sums + card, 0.0);
+  for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
+    const double* incoming = AssumeLaneAligned(
+        msg_f2v_.data() + c.edge_lane_offset[c.attach_edge[k]]);
+    for (size_t x = 0; x < card; ++x) sums[x] += incoming[x];
+  }
+  NormalizeLog(sums, card);
+  // Variable -> factor messages: cavity sums (subtract own incoming),
+  // with the normalize max fused into the subtraction pass (one pass
+  // fewer than subtract + NormalizeLog; same operations, same order).
+  for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
+    const size_t base = c.edge_lane_offset[c.attach_edge[k]];
+    double* outgoing = AssumeLaneAligned(msg_v2f_.data() + base);
+    const double* incoming = AssumeLaneAligned(msg_f2v_.data() + base);
+    double mx = kNegInf;
+    for (size_t x = 0; x < card; ++x) {
+      const double value = sums[x] - incoming[x];
+      outgoing[x] = value;
+      mx = std::max(mx, value);
+    }
+    if (mx == kNegInf) continue;
+    for (size_t x = 0; x < card; ++x) outgoing[x] -= mx;
   }
 }
 
-void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
-                                         Scratch* scratch) {
+void FlatLbpEngine::RefreshComponentVariables(size_t component) {
+  const CompiledGraph& c = *compiled_;
+  for (size_t i = c.comp_var_offset[component];
+       i < c.comp_var_offset[component + 1]; ++i) {
+    RefreshVariable(c.comp_vars[i]);
+  }
+}
+
+void FlatLbpEngine::BumpFactorPriority(uint32_t f, double delta,
+                                       Scratch* scratch) {
+  if (!(delta > scratch->priority[f])) return;
+  scratch->priority[f] = delta;
+  if (delta < options_.tolerance) return;  // below-certificate: no entry
+  const int bucket = ResidualBucket(delta, options_.tolerance);
+  if (bucket <= scratch->bucket_of[f]) return;  // queued at least this high
+  scratch->bucket_of[f] = bucket;
+  const uint32_t stamp = ++scratch->stamp[f];
+  scratch->buckets[bucket].push_back((static_cast<uint64_t>(f) << 32) |
+                                     stamp);
+}
+
+void FlatLbpEngine::RefreshVariableTrackDeltas(uint32_t v, Scratch* scratch) {
+  const CompiledGraph& c = *compiled_;
+  const FactorGraph& g = *c.source;
+  if (g.IsClamped(v)) return;  // delta messages never change after init
+  const size_t card = c.cardinality[v];
+  double* sums = AssumeLaneAligned(belief_.data() + c.var_lane_offset[v]);
+  std::fill(sums, sums + card, 0.0);
+  for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
+    const double* incoming = AssumeLaneAligned(
+        msg_f2v_.data() + c.edge_lane_offset[c.attach_edge[k]]);
+    for (size_t x = 0; x < card; ++x) sums[x] += incoming[x];
+  }
+  NormalizeLog(sums, card);
+  double* lane = scratch->lane.data();
+  for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
+    const uint32_t e = c.attach_edge[k];
+    const size_t base = c.edge_lane_offset[e];
+    double* outgoing = AssumeLaneAligned(msg_v2f_.data() + base);
+    const double* incoming = AssumeLaneAligned(msg_f2v_.data() + base);
+    double mx = kNegInf;
+    for (size_t x = 0; x < card; ++x) {
+      const double value = sums[x] - incoming[x];
+      lane[x] = value;
+      mx = std::max(mx, value);
+    }
+    const double shift = (mx == kNegInf) ? 0.0 : mx;
+    double delta = 0.0;
+    for (size_t x = 0; x < card; ++x) {
+      const double value = lane[x] - shift;
+      const double diff = std::abs(value - outgoing[x]);
+      // NaN here means both sides are -inf (no change); an infinite diff
+      // is a genuine support change and must reach the queue.
+      if (!std::isnan(diff)) delta = std::max(delta, diff);
+      outgoing[x] = value;
+    }
+    BumpFactorPriority(c.edge_factor[e], delta, scratch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Factor -> variable kernels.
+//
+// All kernels share the floating-point contract of the original scalar
+// implementation: assignments are visited in row-major order (last scope
+// slot fastest), an assignment is skipped the moment any incoming message
+// is -inf, the feasible total accumulates as `((lp + m0) + m1) + m2`, the
+// per-slot cavity is `total - m_slot`, and each fresh cell accumulates
+// cavities with LseStep (sum-product) or std::max (max-product) in visit
+// order. The specialized kernels below change only *bookkeeping* — no
+// mixed-radix counter, no per-assignment feasibility re-scan, hoisted
+// message-lane pointers — so their outputs are byte-identical.
+// ---------------------------------------------------------------------------
+
+template <bool kMaxProduct>
+void FlatLbpEngine::UpdateFactorGeneric(FactorId f, Scratch* scratch) {
   const CompiledGraph& c = *compiled_;
   const FactorGraph& g = *c.source;
   const size_t edge_begin = c.scope_offset[f];
@@ -167,13 +291,19 @@ void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
   const double* log_potential = log_potential_.data() + c.assignment_offset[f];
 
   // Fresh outgoing accumulators for all slots, contiguous per factor:
-  // slot's states live at edge_state_offset[e] - state_base.
-  const size_t state_base = c.edge_state_offset[edge_begin];
-  const size_t factor_states = c.edge_state_offset[edge_end] - state_base;
+  // slot's states live at edge_lane_offset[e] - lane_base.
+  const size_t lane_base = c.edge_lane_offset[edge_begin];
+  const size_t factor_lanes = c.edge_lane_offset[edge_end] - lane_base;
   double* fresh = scratch->fresh.data();
-  std::fill(fresh, fresh + factor_states, kNegInf);
+  std::fill(fresh, fresh + factor_lanes, kNegInf);
   size_t* states = scratch->states.data();
   uint8_t* pinned = scratch->pinned.data();
+  // Hoist the per-slot cardinality / stride / lane lookups out of the
+  // enumeration (the stride walk used to chase cardinality[scope_var[e]]
+  // and edge offsets on every increment).
+  size_t* cards = scratch->cards.data();
+  size_t* strides = scratch->strides.data();
+  size_t* lanes = scratch->lanes.data();
 
   // Clamped scope variables pin their slot: only assignments consistent
   // with the observations are enumerated (the precomputed strides keep
@@ -184,29 +314,30 @@ void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
   size_t a = 0;
   size_t reduced = 1;
   for (size_t slot = 0; slot < arity; ++slot) {
-    const uint32_t v = c.scope_var[edge_begin + slot];
+    const size_t e = edge_begin + slot;
+    const uint32_t v = c.scope_var[e];
+    cards[slot] = c.cardinality[v];
+    strides[slot] = c.slot_stride[e];
+    lanes[slot] = c.edge_lane_offset[e];
     if (g.IsClamped(v)) {
-      const size_t observed =
-          static_cast<size_t>(g.variable(v).clamped_state);
+      const size_t observed = static_cast<size_t>(g.variable(v).clamped_state);
       states[slot] = observed;
-      a += observed * c.slot_stride[edge_begin + slot];
+      a += observed * strides[slot];
       pinned[slot] = 1;
     } else {
       states[slot] = 0;
-      reduced *= c.cardinality[v];
+      reduced *= cards[slot];
       pinned[slot] = 0;
     }
   }
 
-  const bool max_product = options_.mode == LbpMode::kMaxProduct;
   // Enumerate assignments once; for each, distribute the cavity total to
   // every slot. Row-major decode is done incrementally for speed.
   for (size_t r = 0; r < reduced; ++r) {
     double total = log_potential[a];
     bool feasible = true;
     for (size_t slot = 0; slot < arity; ++slot) {
-      const double m =
-          msg_v2f_[c.edge_state_offset[edge_begin + slot] + states[slot]];
+      const double m = msg_v2f_[lanes[slot] + states[slot]];
       if (m == kNegInf) {
         feasible = false;
         break;
@@ -215,20 +346,12 @@ void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
     }
     if (feasible) {
       for (size_t slot = 0; slot < arity; ++slot) {
-        const size_t local =
-            c.edge_state_offset[edge_begin + slot] - state_base;
-        const double cavity =
-            total -
-            msg_v2f_[c.edge_state_offset[edge_begin + slot] + states[slot]];
-        double& cell = fresh[local + states[slot]];
-        if (max_product) {
+        const double cavity = total - msg_v2f_[lanes[slot] + states[slot]];
+        double& cell = fresh[lanes[slot] - lane_base + states[slot]];
+        if (kMaxProduct) {
           cell = std::max(cell, cavity);
-        } else if (cell == kNegInf) {
-          cell = cavity;  // LSE accumulate below
-        } else if (cavity > cell) {
-          cell = cavity + std::log1p(std::exp(cell - cavity));
         } else {
-          cell = cell + std::log1p(std::exp(cavity - cell));
+          cell = LseStep(cell, cavity);
         }
       }
     }
@@ -236,8 +359,8 @@ void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
     // keeping the assignment index in sync via the strides.
     for (size_t slot = arity; slot-- > 0;) {
       if (pinned[slot]) continue;
-      const size_t stride = c.slot_stride[edge_begin + slot];
-      if (++states[slot] < c.cardinality[c.scope_var[edge_begin + slot]]) {
+      const size_t stride = strides[slot];
+      if (++states[slot] < cards[slot]) {
         a += stride;
         break;
       }
@@ -245,18 +368,148 @@ void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
       states[slot] = 0;
     }
   }
+}
 
-  for (size_t slot = 0; slot < arity; ++slot) {
-    const size_t e = edge_begin + slot;
+template <bool kMaxProduct>
+void FlatLbpEngine::UpdateFactorUnary(FactorId f, Scratch* scratch) {
+  const CompiledGraph& c = *compiled_;
+  const size_t e0 = c.scope_offset[f];
+  const size_t card = c.cardinality[c.scope_var[e0]];
+  const double* log_potential = log_potential_.data() + c.assignment_offset[f];
+  const double* m0 =
+      AssumeLaneAligned(msg_v2f_.data() + c.edge_lane_offset[e0]);
+  double* fresh = scratch->fresh.data();
+  // Each cell is touched exactly once: the first LseStep / max on a fresh
+  // -inf cell yields the cavity itself, so no fill pass is needed.
+  for (size_t s = 0; s < card; ++s) {
+    const double m = m0[s];
+    if (m == kNegInf) {
+      fresh[s] = kNegInf;
+      continue;
+    }
+    const double total = log_potential[s] + m;
+    fresh[s] = total - m;  // NOT lp[s]: (lp + m) - m must match reference
+  }
+}
+
+template <bool kMaxProduct>
+void FlatLbpEngine::UpdateFactorBinary(FactorId f, Scratch* scratch) {
+  const CompiledGraph& c = *compiled_;
+  const size_t e0 = c.scope_offset[f];
+  const size_t e1 = e0 + 1;
+  const size_t c0 = c.cardinality[c.scope_var[e0]];
+  const size_t c1 = c.cardinality[c.scope_var[e1]];
+  const double* log_potential = log_potential_.data() + c.assignment_offset[f];
+  const double* m0 =
+      AssumeLaneAligned(msg_v2f_.data() + c.edge_lane_offset[e0]);
+  const double* m1 =
+      AssumeLaneAligned(msg_v2f_.data() + c.edge_lane_offset[e1]);
+  const size_t lane_base = c.edge_lane_offset[e0];
+  double* fresh0 = scratch->fresh.data();
+  double* fresh1 = fresh0 + (c.edge_lane_offset[e1] - lane_base);
+  const size_t factor_lanes = c.edge_lane_offset[e1 + 1] - lane_base;
+  std::fill(fresh0, fresh0 + factor_lanes, kNegInf);
+
+  const double* lp_row = log_potential;
+  for (size_t s0 = 0; s0 < c0; ++s0, lp_row += c1) {
+    const double m0v = m0[s0];
+    // Row skip == the reference's slot-0 feasibility break: every
+    // assignment in this row is infeasible and writes nothing.
+    if (m0v == kNegInf) continue;
+    double acc0 = kNegInf;  // fresh0[s0] chain, kept in a register
+    for (size_t s1 = 0; s1 < c1; ++s1) {
+      const double m1v = m1[s1];
+      if (m1v == kNegInf) continue;
+      const double total = (lp_row[s1] + m0v) + m1v;
+      if (kMaxProduct) {
+        acc0 = std::max(acc0, total - m0v);
+        fresh1[s1] = std::max(fresh1[s1], total - m1v);
+      } else {
+        acc0 = LseStep(acc0, total - m0v);
+        fresh1[s1] = LseStep(fresh1[s1], total - m1v);
+      }
+    }
+    fresh0[s0] = acc0;
+  }
+}
+
+template <bool kMaxProduct>
+void FlatLbpEngine::UpdateFactorTernary(FactorId f, Scratch* scratch) {
+  const CompiledGraph& c = *compiled_;
+  const size_t e0 = c.scope_offset[f];
+  const size_t e1 = e0 + 1;
+  const size_t e2 = e0 + 2;
+  const size_t c0 = c.cardinality[c.scope_var[e0]];
+  const size_t c1 = c.cardinality[c.scope_var[e1]];
+  const size_t c2 = c.cardinality[c.scope_var[e2]];
+  const double* log_potential = log_potential_.data() + c.assignment_offset[f];
+  const double* m0 =
+      AssumeLaneAligned(msg_v2f_.data() + c.edge_lane_offset[e0]);
+  const double* m1 =
+      AssumeLaneAligned(msg_v2f_.data() + c.edge_lane_offset[e1]);
+  const double* m2 =
+      AssumeLaneAligned(msg_v2f_.data() + c.edge_lane_offset[e2]);
+  const size_t lane_base = c.edge_lane_offset[e0];
+  double* fresh0 = scratch->fresh.data();
+  double* fresh1 = fresh0 + (c.edge_lane_offset[e1] - lane_base);
+  double* fresh2 = fresh0 + (c.edge_lane_offset[e2] - lane_base);
+  const size_t factor_lanes = c.edge_lane_offset[e2 + 1] - lane_base;
+  std::fill(fresh0, fresh0 + factor_lanes, kNegInf);
+
+  for (size_t s0 = 0; s0 < c0; ++s0) {
+    const double m0v = m0[s0];
+    if (m0v == kNegInf) continue;
+    double acc0 = kNegInf;  // spans the whole s1 x s2 plane
+    const double* lp_plane = log_potential + s0 * c1 * c2;
+    for (size_t s1 = 0; s1 < c1; ++s1) {
+      const double m1v = m1[s1];
+      if (m1v == kNegInf) continue;
+      double acc1 = fresh1[s1];  // resumes this cell's chain across s0
+      const double* lp_row = lp_plane + s1 * c2;
+      for (size_t s2 = 0; s2 < c2; ++s2) {
+        const double m2v = m2[s2];
+        if (m2v == kNegInf) continue;
+        const double total = ((lp_row[s2] + m0v) + m1v) + m2v;
+        if (kMaxProduct) {
+          acc0 = std::max(acc0, total - m0v);
+          acc1 = std::max(acc1, total - m1v);
+          fresh2[s2] = std::max(fresh2[s2], total - m2v);
+        } else {
+          acc0 = LseStep(acc0, total - m0v);
+          acc1 = LseStep(acc1, total - m1v);
+          fresh2[s2] = LseStep(fresh2[s2], total - m2v);
+        }
+      }
+      fresh1[s1] = acc1;
+    }
+    fresh0[s0] = acc0;
+  }
+}
+
+void FlatLbpEngine::FinishFactorUpdate(FactorId f, double* residual,
+                                       Scratch* scratch) {
+  const CompiledGraph& c = *compiled_;
+  const size_t edge_begin = c.scope_offset[f];
+  const size_t edge_end = c.scope_offset[f + 1];
+  const size_t lane_base = c.edge_lane_offset[edge_begin];
+  const double damping = options_.damping;
+  double* fresh = scratch->fresh.data();
+  for (size_t e = edge_begin; e < edge_end; ++e) {
     const size_t card = c.cardinality[c.scope_var[e]];
-    const size_t local = c.edge_state_offset[e] - state_base;
-    NormalizeLog(fresh + local, card);
-    double* old = msg_f2v_.data() + c.edge_state_offset[e];
+    double* fr = fresh + (c.edge_lane_offset[e] - lane_base);
+    // Normalize max pass (a pure lane reduction), then a single fused
+    // subtract + damp + residual pass — one pass fewer than the old
+    // NormalizeLog-then-damp epilogue, with identical operations:
+    // `x - 0.0 == x` bit-for-bit when the lane is all -inf (NormalizeLog's
+    // early-out case).
+    double mx = kNegInf;
+    for (size_t x = 0; x < card; ++x) mx = std::max(mx, fr[x]);
+    const double shift = (mx == kNegInf) ? 0.0 : mx;
+    double* old = AssumeLaneAligned(msg_f2v_.data() + c.edge_lane_offset[e]);
     for (size_t x = 0; x < card; ++x) {
-      double updated = fresh[local + x];
-      if (options_.damping > 0.0 && old[x] != kNegInf && updated != kNegInf) {
-        updated =
-            (1.0 - options_.damping) * updated + options_.damping * old[x];
+      double updated = fr[x] - shift;
+      if (damping > 0.0 && old[x] != kNegInf && updated != kNegInf) {
+        updated = (1.0 - damping) * updated + damping * old[x];
       }
       const double delta = std::abs(updated - old[x]);
       if (std::isfinite(delta)) *residual = std::max(*residual, delta);
@@ -265,14 +518,47 @@ void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
   }
 }
 
+void FlatLbpEngine::UpdateFactorMessages(FactorId f, double* residual,
+                                         Scratch* scratch) {
+  const size_t arity = compiled_->scope_offset[f + 1] - compiled_->scope_offset[f];
+  const bool max_product = options_.mode == LbpMode::kMaxProduct;
+  if (options_.kernel == LbpKernel::kScalarReference || arity > 3) {
+    if (max_product) {
+      UpdateFactorGeneric<true>(f, scratch);
+    } else {
+      UpdateFactorGeneric<false>(f, scratch);
+    }
+  } else if (arity == 1) {
+    if (max_product) {
+      UpdateFactorUnary<true>(f, scratch);
+    } else {
+      UpdateFactorUnary<false>(f, scratch);
+    }
+  } else if (arity == 2) {
+    if (max_product) {
+      UpdateFactorBinary<true>(f, scratch);
+    } else {
+      UpdateFactorBinary<false>(f, scratch);
+    }
+  } else {
+    if (max_product) {
+      UpdateFactorTernary<true>(f, scratch);
+    } else {
+      UpdateFactorTernary<false>(f, scratch);
+    }
+  }
+  FinishFactorUpdate(f, residual, scratch);
+}
+
 void FlatLbpEngine::MaterializeComponentMarginals(size_t component) {
   const CompiledGraph& c = *compiled_;
   for (size_t i = c.comp_var_offset[component];
        i < c.comp_var_offset[component + 1]; ++i) {
     const uint32_t v = c.comp_vars[i];
     const size_t card = c.cardinality[v];
-    const double* log_belief = belief_.data() + c.var_state_offset[v];
-    double* out = marginal_.data() + c.var_state_offset[v];
+    const double* log_belief =
+        AssumeLaneAligned(belief_.data() + c.var_lane_offset[v]);
+    double* out = AssumeLaneAligned(marginal_.data() + c.var_lane_offset[v]);
     double mx = kNegInf;
     for (size_t x = 0; x < card; ++x) mx = std::max(mx, log_belief[x]);
     if (mx == kNegInf) {
@@ -291,6 +577,9 @@ void FlatLbpEngine::MaterializeComponentMarginals(size_t component) {
 
 FlatLbpEngine::ComponentStats FlatLbpEngine::RunComponent(size_t component,
                                                           Scratch* scratch) {
+  if (options_.schedule == LbpSchedule::kResidual) {
+    return RunComponentResidual(component, scratch);
+  }
   ComponentStats stats;
   RefreshComponentVariables(component);
   const size_t begin = sched_offset_[component];
@@ -312,6 +601,7 @@ FlatLbpEngine::ComponentStats FlatLbpEngine::RunComponent(size_t component,
       }
       RefreshComponentVariables(component);
     }
+    stats.message_updates += end - begin;
     stats.iterations = iter + 1;
     stats.final_residual = residual;
     stats.residuals.push_back(residual);
@@ -320,6 +610,125 @@ FlatLbpEngine::ComponentStats FlatLbpEngine::RunComponent(size_t component,
       break;
     }
   }
+  stats.sweeps_skipped = options_.max_iterations - stats.iterations;
+  MaterializeComponentMarginals(component);
+  return stats;
+}
+
+FlatLbpEngine::ComponentStats FlatLbpEngine::RunComponentResidual(
+    size_t component, Scratch* scratch) {
+  const CompiledGraph& c = *compiled_;
+  ComponentStats stats;
+  RefreshComponentVariables(component);
+  const size_t begin = sched_offset_[component];
+  const size_t end = sched_offset_[component + 1];
+  const size_t nf = end - begin;
+  if (nf == 0) {
+    stats.converged = true;
+    MaterializeComponentMarginals(component);
+    return stats;
+  }
+
+  // Lazily size the factor-indexed queue state, then reset only this
+  // component's slots (workers reuse one Scratch across components).
+  if (scratch->priority.size() < c.factor_count()) {
+    scratch->priority.assign(c.factor_count(), 0.0);
+    scratch->bucket_of.assign(c.factor_count(), -1);
+    scratch->stamp.assign(c.factor_count(), 0);
+  }
+  if (scratch->buckets.size() < static_cast<size_t>(kResidualBuckets)) {
+    scratch->buckets.resize(kResidualBuckets);
+    scratch->bucket_head.resize(kResidualBuckets);
+  }
+  for (int b = 0; b < kResidualBuckets; ++b) {
+    scratch->buckets[b].clear();
+    scratch->bucket_head[b] = 0;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t f = sched_factor_[i];
+    scratch->priority[f] = 0.0;
+    scratch->bucket_of[f] = -1;
+  }
+
+  // Seed every factor at +inf priority, in schedule order — the first
+  // "sweep's worth" of pops replays the staged schedule before residuals
+  // take over.
+  for (size_t i = begin; i < end; ++i) {
+    BumpFactorPriority(sched_factor_[i],
+                       std::numeric_limits<double>::infinity(), scratch);
+  }
+
+  const size_t budget = options_.max_iterations * nf;
+  int top = kResidualBuckets - 1;
+  double unused_residual = 0.0;
+  while (stats.message_updates < budget) {
+    // Pop the highest-residual factor: scan buckets downward, FIFO within
+    // a bucket, skipping stale entries (a factor re-queued at a higher
+    // bucket leaves its old entry behind).
+    uint32_t f = 0;
+    bool found = false;
+    while (top >= 0) {
+      auto& bucket = scratch->buckets[top];
+      size_t& head = scratch->bucket_head[top];
+      if (head == bucket.size()) {
+        bucket.clear();
+        head = 0;
+        --top;
+        continue;
+      }
+      const uint64_t entry = bucket[head++];
+      ++stats.residual_pops;
+      const uint32_t candidate = static_cast<uint32_t>(entry >> 32);
+      const uint32_t stamp = static_cast<uint32_t>(entry);
+      if (scratch->bucket_of[candidate] != top ||
+          scratch->stamp[candidate] != stamp) {
+        continue;  // stale
+      }
+      f = candidate;
+      found = true;
+      break;
+    }
+    if (!found) break;  // queue drained: every pending residual < tolerance
+
+    scratch->bucket_of[f] = -1;
+    scratch->priority[f] = 0.0;
+    UpdateFactorMessages(f, &unused_residual, scratch);
+    ++stats.message_updates;
+    // Propagate: refresh the scope variables now (asynchronous BP) and
+    // raise the priority of every factor whose inputs moved.
+    const size_t edge_begin = c.scope_offset[f];
+    const size_t edge_end = c.scope_offset[f + 1];
+    for (size_t e = edge_begin; e < edge_end; ++e) {
+      const uint32_t v = c.scope_var[e];
+      bool seen = false;  // scopes may repeat a variable; refresh once
+      for (size_t p = edge_begin; p < e; ++p) {
+        if (c.scope_var[p] == v) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) RefreshVariableTrackDeltas(v, scratch);
+    }
+    // A re-raised top pointer: BumpFactorPriority may have pushed above
+    // the current scan position.
+    for (int b = kResidualBuckets - 1; b > top; --b) {
+      if (scratch->bucket_head[b] != scratch->buckets[b].size()) {
+        top = b;
+        break;
+      }
+    }
+  }
+
+  // Convergence certificate: the largest residual still pending at stop.
+  double certificate = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    certificate = std::max(certificate, scratch->priority[sched_factor_[i]]);
+  }
+  stats.final_residual = certificate;
+  stats.converged = certificate < options_.tolerance;
+  stats.iterations = (stats.message_updates + nf - 1) / nf;
+  stats.residuals.push_back(certificate);
+  stats.sweeps_skipped = (budget - stats.message_updates) / nf;
   MaterializeComponentMarginals(component);
   return stats;
 }
@@ -337,10 +746,10 @@ void FlatLbpEngine::WarmStart(
 LbpResult FlatLbpEngine::Run() {
   const CompiledGraph& c = *compiled_;
   compiled_->ComputeLogPotentials(*weights_, &log_potential_);
-  msg_f2v_.assign(c.total_edge_states(), 0.0);
-  msg_v2f_.assign(c.total_edge_states(), 0.0);
-  belief_.assign(c.total_var_states(), 0.0);
-  marginal_.assign(c.total_var_states(), 0.0);
+  msg_f2v_.assign(c.total_edge_lane_states(), 0.0);
+  msg_v2f_.assign(c.total_edge_lane_states(), 0.0);
+  belief_.assign(c.total_var_lane_states(), 0.0);
+  marginal_.assign(c.total_var_lane_states(), 0.0);
 
   // Warm start: spread each prior's log-belief evenly over the variable's
   // incoming edges so the first variable refresh sums back to log(prior).
@@ -351,7 +760,7 @@ LbpResult FlatLbpEngine::Run() {
     if (deg == 0) continue;
     const size_t card = c.cardinality[v];
     for (size_t k = c.attach_offset[v]; k < c.attach_offset[v + 1]; ++k) {
-      double* message = msg_f2v_.data() + c.edge_state_offset[c.attach_edge[k]];
+      double* message = msg_f2v_.data() + c.edge_lane_offset[c.attach_edge[k]];
       for (size_t x = 0; x < card; ++x) {
         message[x] = std::log(std::max(prior[x], 1e-12)) /
                      static_cast<double>(deg);
@@ -364,19 +773,28 @@ LbpResult FlatLbpEngine::Run() {
   std::vector<ComponentStats> stats(nc);
   const size_t threads =
       std::min(std::max<size_t>(1, ResolveThreads(options_.num_threads)), nc);
-  if (threads <= 1) {
+  auto make_scratch = [&]() {
     Scratch scratch;
-    scratch.fresh.resize(c.max_factor_states);
+    scratch.fresh.resize(c.max_factor_lane_states);
     scratch.states.resize(c.max_arity);
     scratch.pinned.resize(c.max_arity);
+    scratch.cards.resize(c.max_arity);
+    scratch.strides.resize(c.max_arity);
+    scratch.lanes.resize(c.max_arity);
+    size_t max_card = 0;
+    for (VariableId v = 0; v < c.variable_count(); ++v) {
+      max_card = std::max<size_t>(max_card, c.cardinality[v]);
+    }
+    scratch.lane.resize(RoundUpTo(max_card, kLaneDoubles));
+    return scratch;
+  };
+  if (threads <= 1) {
+    Scratch scratch = make_scratch();
     for (size_t k = 0; k < nc; ++k) stats[k] = RunComponent(k, &scratch);
   } else {
     std::atomic<size_t> next(0);
     auto worker = [&]() {
-      Scratch scratch;
-      scratch.fresh.resize(c.max_factor_states);
-      scratch.states.resize(c.max_arity);
-      scratch.pinned.resize(c.max_arity);
+      Scratch scratch = make_scratch();
       for (;;) {
         const size_t k = next.fetch_add(1);
         if (k >= nc) return;
@@ -396,6 +814,9 @@ LbpResult FlatLbpEngine::Run() {
     result.iterations = std::max(result.iterations, s.iterations);
     result.converged = result.converged && s.converged;
     result.final_residual = std::max(result.final_residual, s.final_residual);
+    result.message_updates += s.message_updates;
+    result.residual_pops += s.residual_pops;
+    result.sweeps_skipped += s.sweeps_skipped;
   }
   result.residual_history.resize(result.iterations, 0.0);
   for (const ComponentStats& s : stats) {
@@ -408,7 +829,7 @@ LbpResult FlatLbpEngine::Run() {
   // Materialize nested marginals from the flat arena.
   marginals_.resize(c.variable_count());
   for (VariableId v = 0; v < c.variable_count(); ++v) {
-    const double* begin = marginal_.data() + c.var_state_offset[v];
+    const double* begin = marginal_.data() + c.var_lane_offset[v];
     marginals_[v].assign(begin, begin + c.cardinality[v]);
   }
   result.marginals = marginals_;
@@ -428,7 +849,7 @@ std::vector<double> FlatLbpEngine::FactorBelief(FactorId f) const {
   for (size_t a = 0; a < assignments; ++a) {
     double total = log_potential[a];
     for (size_t slot = 0; slot < arity; ++slot) {
-      total += msg_v2f_[c.edge_state_offset[edge_begin + slot] + states[slot]];
+      total += msg_v2f_[c.edge_lane_offset[edge_begin + slot] + states[slot]];
     }
     log_belief[a] = total;
     for (size_t slot = arity; slot-- > 0;) {
@@ -480,7 +901,7 @@ double FlatLbpEngine::LogPartitionEstimate() const {
   for (VariableId v = 0; v < c.variable_count(); ++v) {
     const double degree =
         static_cast<double>(c.attach_offset[v + 1] - c.attach_offset[v]);
-    const double* m = marginal_.data() + c.var_state_offset[v];
+    const double* m = marginal_.data() + c.var_lane_offset[v];
     double negative_entropy = 0.0;
     for (size_t x = 0; x < c.cardinality[v]; ++x) {
       if (m[x] > 0.0) negative_entropy += m[x] * std::log(m[x]);
@@ -494,7 +915,7 @@ std::vector<size_t> FlatLbpEngine::Decode() const {
   const CompiledGraph& c = *compiled_;
   std::vector<size_t> states(c.variable_count(), 0);
   for (VariableId v = 0; v < c.variable_count(); ++v) {
-    const double* m = marginal_.data() + c.var_state_offset[v];
+    const double* m = marginal_.data() + c.var_lane_offset[v];
     size_t best = 0;
     for (size_t x = 1; x < c.cardinality[v]; ++x) {
       if (m[x] > m[best]) best = x;

@@ -2,33 +2,60 @@
 #define JOCL_GRAPH_FLAT_LBP_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "graph/compiled_graph.h"
 #include "graph/inference.h"
+#include "util/aligned.h"
 
 namespace jocl {
 
-/// \brief Log-space Loopy Belief Propagation over flat arenas.
+/// \brief Log-space Loopy Belief Propagation over flat, aligned arenas.
 ///
 /// All state lives in contiguous arrays indexed by the CompiledGraph's
 /// precomputed offsets: factor->variable and variable->factor messages in
-/// per-edge-state arenas, belief sums and marginals in per-variable-state
-/// arenas, and a per-assignment log-potential table computed once per Run
-/// (weights are fixed within a run, so no message update ever walks a
-/// feature list). There is no per-factor or per-sweep allocation.
+/// per-edge *lane* arenas (each lane padded to a vector boundary — see
+/// util/aligned.h), belief sums and marginals in per-variable lane arenas,
+/// and a per-assignment log-potential table computed once per Run (weights
+/// are fixed within a run, so no message update ever walks a feature
+/// list). There is no per-factor or per-sweep allocation.
+///
+/// Two message-update kernels share this layout (LbpOptions::kernel):
+///
+///  * **kVectorized** (default) — arity-specialized updates (unary,
+///    binary, ternary factors; the generic path covers higher arities)
+///    whose per-state inner loops run straight over the padded lanes so
+///    the compiler can vectorize them. Every floating-point operation
+///    happens in exactly the reference kernel's order — the message total
+///    is accumulated `((lp + m0) + m1) + m2`, the cavity is `total -
+///    m_slot`, log-sum-exp accumulates cell-sequentially in row-major
+///    assignment order — so marginals are *byte-identical* to the
+///    reference; the speedup comes from eliminating the mixed-radix
+///    counter, per-assignment feasibility re-checks, and per-state offset
+///    chasing, plus vectorized belief/cavity/normalize lane loops.
+///  * **kScalarReference** — the pre-vectorization kernel (generic
+///    mixed-radix assignment enumeration), kept as the byte-identity
+///    oracle for tests and the baseline the kernel benchmarks guard
+///    against.
 ///
 /// Execution is component-at-a-time: messages never cross connected
-/// components, so each component runs its own staged schedule —
-/// factor->variable updates group by group with variable->factor messages
-/// refreshed between groups, damping and clamped-delta semantics as
-/// before — to *its own* convergence within max_iterations. Components
-/// touch disjoint arena slices, which makes the component loop trivially
-/// parallel: `options.num_threads > 1` distributes components across a
-/// thread pool and produces bit-for-bit identical marginals (the paper's
-/// §3.4 segmentation remark, folded into the engine instead of copying
-/// subgraphs).
+/// components, so each component runs its own schedule to *its own*
+/// convergence within max_iterations. Components touch disjoint arena
+/// slices, which makes the component loop trivially parallel:
+/// `options.num_threads > 1` distributes components across a thread pool
+/// and produces bit-for-bit identical marginals.
+///
+/// Per component, LbpOptions::schedule selects between the exact staged
+/// sweep (factor->variable updates group by group with variable->factor
+/// messages refreshed between groups — the paper's §3.4 procedure) and
+/// the opt-in residual-priority schedule (kResidual): a bucketed priority
+/// queue keyed by how much each factor's inputs moved since its last
+/// update, highest residual first, with an update budget of
+/// `max_iterations * component factor count`. Residual runs report their
+/// convergence certificate through LbpResult (final_residual = max
+/// residual at stop, sweeps_skipped = unspent budget in sweeps).
 class FlatLbpEngine : public InferenceEngine {
  public:
   /// Compiles \p graph internally. \p graph and \p weights must outlive
@@ -44,6 +71,8 @@ class FlatLbpEngine : public InferenceEngine {
 
   FlatLbpEngine(const FlatLbpEngine&) = delete;
   FlatLbpEngine& operator=(const FlatLbpEngine&) = delete;
+
+  Status Validate() const override;
 
   LbpResult Run() override;
 
@@ -83,20 +112,58 @@ class FlatLbpEngine : public InferenceEngine {
     bool converged = false;
     double final_residual = 0.0;
     std::vector<double> residuals;
+    size_t message_updates = 0;
+    size_t residual_pops = 0;
+    size_t sweeps_skipped = 0;
   };
 
-  /// Thread-local scratch for one factor update (sized once per worker).
+  /// Thread-local scratch for one worker (sized once per worker; the
+  /// residual-queue arrays are factor-indexed but each component only
+  /// touches — and resets — its own factors' entries).
   struct Scratch {
-    std::vector<double> fresh;    // max_factor_states accumulators
-    std::vector<size_t> states;   // max_arity mixed-radix counter
-    std::vector<uint8_t> pinned;  // max_arity clamped-slot flags
+    AlignedVector<double> fresh;   // max_factor_lane_states accumulators
+    std::vector<size_t> states;    // max_arity mixed-radix counter
+    std::vector<uint8_t> pinned;   // max_arity clamped-slot flags
+    std::vector<size_t> cards;     // max_arity hoisted cardinalities
+    std::vector<size_t> strides;   // max_arity hoisted assignment strides
+    std::vector<size_t> lanes;     // max_arity hoisted lane offsets
+    AlignedVector<double> lane;    // one padded lane (residual deltas)
+    // ---- residual-schedule state (sized on first kResidual component) --
+    std::vector<double> priority;  // [nf] pending residual per factor
+    std::vector<int32_t> bucket_of;  // [nf] queued bucket, -1 = not queued
+    std::vector<uint32_t> stamp;   // [nf] push generation (stale detection)
+    std::vector<std::vector<uint64_t>> buckets;  // FIFO entries per bucket
+    std::vector<size_t> bucket_head;  // consumed prefix per bucket
   };
 
   void BuildSchedule();
   void InitArenas();
   ComponentStats RunComponent(size_t component, Scratch* scratch);
+  ComponentStats RunComponentResidual(size_t component, Scratch* scratch);
+
+  /// Dispatches one factor update to the selected kernel and finishes
+  /// with the shared normalize/damp/residual epilogue.
   void UpdateFactorMessages(FactorId f, double* residual, Scratch* scratch);
+  template <bool kMaxProduct>
+  void UpdateFactorGeneric(FactorId f, Scratch* scratch);
+  template <bool kMaxProduct>
+  void UpdateFactorUnary(FactorId f, Scratch* scratch);
+  template <bool kMaxProduct>
+  void UpdateFactorBinary(FactorId f, Scratch* scratch);
+  template <bool kMaxProduct>
+  void UpdateFactorTernary(FactorId f, Scratch* scratch);
+  void FinishFactorUpdate(FactorId f, double* residual, Scratch* scratch);
+
+  /// Recomputes variable \p v's belief sums and outgoing v->f cavity
+  /// messages from the current f->v messages (normalized, clamp-aware).
+  void RefreshVariable(uint32_t v);
   void RefreshComponentVariables(size_t component);
+  /// Residual-schedule variant: same message math as RefreshVariable, but
+  /// measures each outgoing message's change and raises the receiving
+  /// factor's queue priority accordingly.
+  void RefreshVariableTrackDeltas(uint32_t v, Scratch* scratch);
+  void BumpFactorPriority(uint32_t f, double delta, Scratch* scratch);
+
   void MaterializeComponentMarginals(size_t component);
 
   const CompiledGraph* compiled_;
@@ -111,12 +178,15 @@ class FlatLbpEngine : public InferenceEngine {
   std::vector<uint32_t> sched_group_;
   std::vector<size_t> sched_offset_;
 
-  // Flat arenas (log space), indexed via CompiledGraph offsets.
-  std::vector<double> log_potential_;  // [total_assignments]
-  std::vector<double> msg_f2v_;        // [total_edge_states]
-  std::vector<double> msg_v2f_;        // [total_edge_states]
-  std::vector<double> belief_;         // [total_var_states]
-  std::vector<double> marginal_;       // [total_var_states], probabilities
+  // Flat arenas (log space). Message and belief arenas use the compiled
+  // graph's *lane* offsets — per-edge / per-variable spans padded to
+  // kLaneAlignment — so arena bases and every lane are vector-aligned.
+  // The padding tails are initialized but never read.
+  std::vector<double> log_potential_;    // [total_assignments]
+  AlignedVector<double> msg_f2v_;        // [total_edge_lane_states]
+  AlignedVector<double> msg_v2f_;        // [total_edge_lane_states]
+  AlignedVector<double> belief_;         // [total_var_lane_states]
+  AlignedVector<double> marginal_;       // [total_var_lane_states], probs
 
   // Materialized per-variable marginals (LbpResult-compatible shape).
   std::vector<std::vector<double>> marginals_;

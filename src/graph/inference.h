@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/factor_graph.h"
+#include "util/status.h"
 
 namespace jocl {
 
@@ -16,6 +17,39 @@ struct CompiledGraph;
 /// inference, §3.4–3.5); max-product computes max-marginals for MAP
 /// decoding.
 enum class LbpMode { kSumProduct, kMaxProduct };
+
+/// \brief Message-update scheduling policy.
+enum class LbpSchedule {
+  /// Exact mode (default): staged full sweeps — every factor updated each
+  /// sweep, group by group. Deterministic fixed-point iteration; the
+  /// byte-identity contract across threads/shards holds here.
+  kStaged,
+  /// Opt-in approximate mode (residual belief propagation, Elidan et al.):
+  /// a bucketed priority queue orders factors by message residual and the
+  /// highest-residual factor is updated first, stopping when every
+  /// residual falls below tolerance or the update budget (max_iterations
+  /// sweeps' worth of factor updates) is spent. Converges in far fewer
+  /// updates on skewed graphs (the head-component shape), is still
+  /// deterministic for every thread/shard count, but follows a different
+  /// update order than kStaged — marginals agree within tolerance, not
+  /// byte-for-byte. The run reports a convergence certificate
+  /// (LbpResult::final_residual at stop + update counters) so the
+  /// exact/approximate contract stays explicit.
+  kResidual,
+};
+
+/// \brief Which message-update kernel executes the sweep.
+enum class LbpKernel {
+  /// Default: arity-specialized, SIMD-friendly updates over the padded,
+  /// aligned message lanes. Byte-identical to kScalarReference — every
+  /// cross-message reduction keeps the reference's operation order — just
+  /// faster.
+  kVectorized,
+  /// The pre-vectorization scalar reference kernel (generic mixed-radix
+  /// assignment enumeration). Kept as the byte-identity oracle for tests
+  /// and the baseline for bench_kernel's speedup guard.
+  kScalarReference,
+};
 
 /// \brief Options for a Loopy Belief Propagation run.
 struct LbpOptions {
@@ -41,6 +75,12 @@ struct LbpOptions {
   /// independent sub-problems over disjoint arena slices, so marginals
   /// are bit-for-bit identical for every thread count.
   size_t num_threads = 1;
+  /// Update scheduling: exact staged sweeps (default) or the opt-in
+  /// approximate residual-priority schedule. See LbpSchedule.
+  LbpSchedule schedule = LbpSchedule::kStaged;
+  /// Message-update kernel. kVectorized is byte-identical to
+  /// kScalarReference; the reference exists as the identity oracle.
+  LbpKernel kernel = LbpKernel::kVectorized;
 };
 
 /// \brief Marginals and convergence diagnostics produced by inference.
@@ -51,11 +91,25 @@ struct LbpResult {
   size_t iterations = 0;
   /// True when every component met the tolerance before max_iterations.
   bool converged = false;
-  /// Max message residual across components after their final sweep.
+  /// Max message residual across components after their final sweep. For
+  /// LbpSchedule::kResidual this is the convergence certificate: an upper
+  /// bound on how much any factor's next message update could still move,
+  /// measured at the moment the run stopped.
   double final_residual = 0.0;
   /// Per-sweep max residual across components still running that sweep
   /// (for convergence diagnostics).
   std::vector<double> residual_history;
+
+  // ---- kernel counters (summed across components/shards) ----
+  /// Factor message updates executed (one per UpdateFactorMessages call;
+  /// each recomputes all of the factor's outgoing messages).
+  size_t message_updates = 0;
+  /// Residual-priority queue pops (kResidual only; includes stale pops).
+  size_t residual_pops = 0;
+  /// Full sweeps' worth of factor updates *not* spent: early convergence
+  /// under kStaged, budget left over under kResidual. The "iterations
+  /// saved" half of the residual certificate.
+  size_t sweeps_skipped = 0;
 };
 
 /// \brief Marginals of a component-partitioned LBP run (compatibility
@@ -86,6 +140,15 @@ struct ParallelLbpResult {
 class InferenceEngine {
  public:
   virtual ~InferenceEngine() = default;
+
+  /// Checks the engine's Run() preconditions — the bound weight vector
+  /// sized to the graph's weight count, clamps within cardinality, a
+  /// structurally valid graph — returning a descriptive Status instead of
+  /// the undefined behavior a malformed binding would produce. Cheap
+  /// relative to a Run; callers on untrusted inputs check once before the
+  /// first Run (graphs built by core/graph_builder are valid by
+  /// construction). Default: OK.
+  virtual Status Validate() const { return Status::OK(); }
 
   /// Executes inference; query methods below are valid afterwards.
   virtual LbpResult Run() = 0;

@@ -1,0 +1,359 @@
+// Tests of the LBP kernel rework: the vectorized message kernel must be
+// byte-identical to the scalar reference for every thread/shard count, the
+// residual-priority schedule must report an honest convergence certificate
+// and decode-match the exact schedule in fewer updates, and the new
+// Status/Result precondition paths must reject malformed inputs instead of
+// compiling undefined behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/runtime.h"
+#include "data/generator.h"
+#include "graph/compiled_graph.h"
+#include "graph/exact.h"
+#include "graph/flat_lbp.h"
+#include "graph/inference.h"
+#include "util/rng.h"
+
+namespace jocl {
+namespace {
+
+FeatureTable FixedTable(std::vector<double> log_potentials) {
+  return FeatureTable::Uniform(0, std::move(log_potentials));
+}
+
+// Heterogeneous multi-component graph (same shape the engine tests use):
+// chains of mixed cardinality, a loopy square, a ternary island, an
+// isolated variable.
+FactorGraph MakeFragmentedGraph(Rng* rng) {
+  FactorGraph g;
+  g.set_weight_count(1);
+  auto pair_table = [&](size_t ca, size_t cb) {
+    std::vector<double> table(ca * cb);
+    for (double& v : table) v = rng->UniformDouble(-1.0, 1.0);
+    return FixedTable(std::move(table));
+  };
+  for (size_t chain = 0; chain < 3; ++chain) {
+    VariableId prev = g.AddVariable(2 + chain % 2);
+    for (size_t i = 1; i < 4; ++i) {
+      VariableId v = g.AddVariable(2 + (chain + i) % 3);
+      g.AddFactor({prev, v}, pair_table(g.variable(prev).cardinality,
+                                        g.variable(v).cardinality))
+          .ValueOrDie();
+      prev = v;
+    }
+  }
+  std::vector<VariableId> square;
+  for (size_t i = 0; i < 4; ++i) square.push_back(g.AddVariable(2));
+  for (size_t i = 0; i < 4; ++i) {
+    g.AddFactor({square[i], square[(i + 1) % 4]}, pair_table(2, 2))
+        .ValueOrDie();
+  }
+  VariableId ta = g.AddVariable(2);
+  VariableId tb = g.AddVariable(3);
+  VariableId tc = g.AddVariable(2);
+  std::vector<double> ternary(12);
+  for (double& v : ternary) v = rng->UniformDouble(-1.0, 1.0);
+  g.AddFactor({ta, tb, tc}, FixedTable(std::move(ternary))).ValueOrDie();
+  g.AddVariable(3);
+  return g;
+}
+
+// The head-component worst case in miniature: one giant loopy component —
+// a backbone chain with skewed cross links, unary evidence, and a
+// sprinkling of ternary factors — plus a few small satellite components.
+FactorGraph MakeHeadHeavyGraph(Rng* rng, size_t head_vars) {
+  FactorGraph g;
+  g.set_weight_count(1);
+  auto random_table = [&](size_t states) {
+    std::vector<double> table(states);
+    for (double& v : table) v = rng->UniformDouble(-1.5, 1.5);
+    return FixedTable(std::move(table));
+  };
+  std::vector<VariableId> head;
+  for (size_t i = 0; i < head_vars; ++i) {
+    head.push_back(g.AddVariable(2 + i % 7));  // cards 2..8
+  }
+  auto card = [&](VariableId v) { return g.variable(v).cardinality; };
+  // Backbone chain keeps the component connected.
+  for (size_t i = 1; i < head.size(); ++i) {
+    g.AddFactor({head[i - 1], head[i]},
+                random_table(card(head[i - 1]) * card(head[i])))
+        .ValueOrDie();
+  }
+  // Skewed cross links: low-index "head entity" variables collect most of
+  // the degree, like the giant canonicalization component does.
+  for (size_t i = 1; i < head.size(); ++i) {
+    const size_t hub = static_cast<size_t>(
+        rng->UniformUint64(std::max<size_t>(1, i / 4)));
+    const VariableId other = head[hub == i ? i - 1 : i];
+    g.AddFactor({head[hub], other},
+                random_table(card(head[hub]) * card(other)))
+        .ValueOrDie();
+  }
+  // Unary evidence on every third variable, ternary ties on every fifth.
+  for (size_t i = 0; i < head.size(); i += 3) {
+    g.AddFactor({head[i]}, random_table(card(head[i]))).ValueOrDie();
+  }
+  for (size_t i = 5; i + 2 < head.size(); i += 5) {
+    g.AddFactor({head[i], head[i + 1], head[i + 2]},
+                random_table(card(head[i]) * card(head[i + 1]) *
+                             card(head[i + 2])))
+        .ValueOrDie();
+  }
+  // Satellite components.
+  for (size_t s = 0; s < 3; ++s) {
+    VariableId a = g.AddVariable(3);
+    VariableId b = g.AddVariable(2);
+    g.AddFactor({a, b}, random_table(6)).ValueOrDie();
+  }
+  return g;
+}
+
+LbpResult RunEngine(const FactorGraph& g, const std::vector<double>& w,
+                    LbpOptions options) {
+  FlatLbpEngine engine(&g, &w, options);
+  return engine.Run();
+}
+
+// ---------- byte identity: vectorized kernel vs scalar reference ------------
+
+class KernelIdentityTest : public ::testing::TestWithParam<LbpMode> {};
+
+TEST_P(KernelIdentityTest, VectorizedMatchesReferenceBitForBit) {
+  Rng rng(17);
+  const std::vector<double> weights = {1.0};
+  std::vector<FactorGraph> graphs;
+  graphs.push_back(MakeFragmentedGraph(&rng));
+  graphs.push_back(MakeHeadHeavyGraph(&rng, 60));
+  for (const FactorGraph& graph : graphs) {
+    for (double damping : {0.0, 0.3}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        LbpOptions reference;
+        reference.mode = GetParam();
+        reference.damping = damping;
+        reference.num_threads = 1;
+        reference.kernel = LbpKernel::kScalarReference;
+        const LbpResult expected = RunEngine(graph, weights, reference);
+
+        LbpOptions vectorized = reference;
+        vectorized.num_threads = threads;
+        vectorized.kernel = LbpKernel::kVectorized;
+        const LbpResult actual = RunEngine(graph, weights, vectorized);
+
+        // Exact equality, not tolerance: the vectorized kernel performs
+        // the reference's floating-point operations in the reference's
+        // order, so no bit may differ.
+        EXPECT_EQ(actual.marginals, expected.marginals)
+            << "damping " << damping << ", " << threads << " threads";
+        EXPECT_EQ(actual.iterations, expected.iterations);
+        EXPECT_EQ(actual.converged, expected.converged);
+        EXPECT_EQ(actual.final_residual, expected.final_residual);
+        EXPECT_EQ(actual.residual_history, expected.residual_history);
+        EXPECT_EQ(actual.message_updates, expected.message_updates);
+      }
+    }
+  }
+}
+
+TEST_P(KernelIdentityTest, VectorizedMatchesReferenceUnderClamps) {
+  Rng rng(29);
+  FactorGraph graph = MakeHeadHeavyGraph(&rng, 40);
+  // Clamp a spread of variables (the learner's conditioned pass).
+  for (VariableId v = 0; v < graph.variable_count(); v += 7) {
+    ASSERT_TRUE(graph.Clamp(v, v % graph.variable(v).cardinality).ok());
+  }
+  const std::vector<double> weights = {1.0};
+  LbpOptions reference;
+  reference.mode = GetParam();
+  reference.kernel = LbpKernel::kScalarReference;
+  const LbpResult expected = RunEngine(graph, weights, reference);
+  LbpOptions vectorized = reference;
+  vectorized.kernel = LbpKernel::kVectorized;
+  vectorized.num_threads = 4;
+  const LbpResult actual = RunEngine(graph, weights, vectorized);
+  EXPECT_EQ(actual.marginals, expected.marginals);
+  EXPECT_EQ(actual.final_residual, expected.final_residual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, KernelIdentityTest,
+                         ::testing::Values(LbpMode::kSumProduct,
+                                           LbpMode::kMaxProduct));
+
+// The full sharded runtime: kernel choice must not change a single output
+// bit for any (shards, threads) configuration on a generated world.
+TEST(KernelRuntimeTest, ShardedRuntimeByteIdenticalAcrossKernels) {
+  Dataset dataset =
+      GenerateReVerb45K(/*scale=*/0.2, /*seed=*/13).MoveValueOrDie();
+  SignalOptions signal_options;
+  signal_options.embedding_epochs = 2;
+  SignalBundle signals =
+      BuildSignals(dataset, signal_options).MoveValueOrDie();
+
+  JoclOptions reference_options;
+  reference_options.inference.kernel = LbpKernel::kScalarReference;
+  RuntimeOptions mono;
+  mono.max_shards = 1;
+  mono.num_threads = 1;
+  JoclRuntime reference(reference_options, mono);
+  JoclResult expected =
+      reference.Infer(dataset, signals, dataset.test_triples)
+          .MoveValueOrDie();
+
+  for (size_t shards : {size_t{1}, size_t{8}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      JoclOptions options;  // kernel defaults to kVectorized
+      RuntimeOptions runtime_options;
+      runtime_options.max_shards = shards;
+      runtime_options.num_threads = threads;
+      JoclRuntime runtime(options, runtime_options);
+      JoclResult result =
+          runtime.Infer(dataset, signals, dataset.test_triples)
+              .MoveValueOrDie();
+      EXPECT_EQ(result.np_cluster, expected.np_cluster)
+          << shards << " shards, " << threads << " threads";
+      EXPECT_EQ(result.rp_cluster, expected.rp_cluster);
+      EXPECT_EQ(result.np_link, expected.np_link);
+      EXPECT_EQ(result.triples, expected.triples);
+      EXPECT_EQ(result.diagnostics.marginals, expected.diagnostics.marginals);
+      EXPECT_EQ(result.diagnostics.final_residual,
+                expected.diagnostics.final_residual);
+    }
+  }
+}
+
+// ---------- residual schedule ------------------------------------------------
+
+TEST(ResidualScheduleTest, CertificateWithinToleranceAndDecodeMatches) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0};
+  std::vector<FactorGraph> graphs;
+  graphs.push_back(MakeFragmentedGraph(&rng));
+  graphs.push_back(MakeHeadHeavyGraph(&rng, 60));
+  for (const FactorGraph& graph : graphs) {
+    LbpOptions staged;
+    staged.max_iterations = 60;
+    FlatLbpEngine staged_engine(&graph, &weights, staged);
+    const LbpResult exact = staged_engine.Run();
+    const std::vector<size_t> exact_decode = staged_engine.Decode();
+
+    LbpOptions residual = staged;
+    residual.schedule = LbpSchedule::kResidual;
+    FlatLbpEngine residual_engine(&graph, &weights, residual);
+    const LbpResult approx = residual_engine.Run();
+
+    // The certificate is honest: converged means every pending factor
+    // residual is below tolerance at stop.
+    EXPECT_TRUE(approx.converged);
+    EXPECT_LT(approx.final_residual, residual.tolerance);
+    EXPECT_GT(approx.residual_pops, 0u);
+    // Residual scheduling reaches a decode-equivalent fixed point...
+    EXPECT_EQ(residual_engine.Decode(), exact_decode);
+    // ...in no more updates than the staged sweeps spent.
+    EXPECT_LE(approx.message_updates, exact.message_updates);
+    for (size_t v = 0; v < graph.variable_count(); ++v) {
+      for (size_t x = 0; x < graph.variable(v).cardinality; ++x) {
+        EXPECT_NEAR(approx.marginals[v][x], exact.marginals[v][x], 5e-3);
+      }
+    }
+  }
+}
+
+TEST(ResidualScheduleTest, HonorsClampsAndBudget) {
+  Rng rng(37);
+  FactorGraph graph = MakeHeadHeavyGraph(&rng, 30);
+  ASSERT_TRUE(graph.Clamp(0, 1).ok());
+  ASSERT_TRUE(graph.Clamp(9, 0).ok());
+  const std::vector<double> weights = {1.0};
+
+  LbpOptions residual;
+  residual.schedule = LbpSchedule::kResidual;
+  FlatLbpEngine engine(&graph, &weights, residual);
+  const LbpResult result = engine.Run();
+  // Clamped variables keep their delta marginals under the new schedule.
+  EXPECT_DOUBLE_EQ(result.marginals[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(result.marginals[9][0], 1.0);
+  // The budget caps updates at max_iterations sweeps' worth.
+  size_t scheduled_factors = 0;
+  for (FactorId f = 0; f < graph.factor_count(); ++f) {
+    if (!graph.factor(f).scope.empty()) ++scheduled_factors;
+  }
+  EXPECT_LE(result.message_updates,
+            residual.max_iterations * scheduled_factors);
+}
+
+TEST(ResidualScheduleTest, DeterministicAcrossThreadCounts) {
+  Rng rng(41);
+  FactorGraph graph = MakeFragmentedGraph(&rng);
+  const std::vector<double> weights = {1.0};
+  LbpOptions residual;
+  residual.schedule = LbpSchedule::kResidual;
+  residual.num_threads = 1;
+  const LbpResult one = RunEngine(graph, weights, residual);
+  residual.num_threads = 4;
+  const LbpResult four = RunEngine(graph, weights, residual);
+  // Components run their queues sequentially, so thread count changes
+  // nothing — the approximate schedule is still deterministic.
+  EXPECT_EQ(one.marginals, four.marginals);
+  EXPECT_EQ(one.message_updates, four.message_updates);
+  EXPECT_EQ(one.residual_pops, four.residual_pops);
+  EXPECT_EQ(one.final_residual, four.final_residual);
+}
+
+// ---------- Status/Result precondition paths --------------------------------
+
+TEST(GraphValidationTest, CompileCheckedRejectsMalformedGraphs) {
+  // Weight reference beyond weight_count (weights are late-bound, so the
+  // builder cannot catch this; CompileChecked must).
+  {
+    FactorGraph g;
+    g.set_weight_count(1);
+    VariableId a = g.AddVariable(2);
+    g.AddFactor({a}, FeatureTable::Uniform(5, {0.0, 1.0})).ValueOrDie();
+    Result<CompiledGraph> result = CompiledGraph::CompileChecked(g);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Same for sparse feature entries.
+  {
+    FactorGraph g;
+    g.set_weight_count(2);
+    VariableId a = g.AddVariable(2);
+    FeatureTable sparse(2);
+    sparse.Add(0, 0, 1.0);
+    sparse.Add(1, 7, -1.0);  // weight 7 out of range
+    g.AddFactor({a}, std::move(sparse)).ValueOrDie();
+    EXPECT_FALSE(CompiledGraph::CompileChecked(g).ok());
+  }
+  // A well-formed graph passes.
+  {
+    Rng rng(43);
+    FactorGraph g = MakeFragmentedGraph(&rng);
+    EXPECT_TRUE(CompiledGraph::CompileChecked(g).ok());
+  }
+}
+
+TEST(GraphValidationTest, EngineValidateChecksRunPreconditions) {
+  Rng rng(47);
+  FactorGraph g = MakeFragmentedGraph(&rng);
+  const std::vector<double> good_weights = {1.0};
+  const std::vector<double> no_weights;
+
+  FlatLbpEngine ok_engine(&g, &good_weights);
+  EXPECT_TRUE(ok_engine.Validate().ok());
+
+  FlatLbpEngine short_engine(&g, &no_weights);
+  const Status status = short_engine.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  ExactEngine exact_ok(&g, &good_weights);
+  EXPECT_TRUE(exact_ok.Validate().ok());
+  ExactEngine exact_short(&g, &no_weights);
+  EXPECT_FALSE(exact_short.Validate().ok());
+}
+
+}  // namespace
+}  // namespace jocl

@@ -14,6 +14,14 @@
 // Both are pure execution knobs: the result is byte-identical for every
 // setting (see core/runtime.h).
 //
+// Kernel flags (demo mode):
+//   --schedule staged|residual   LBP message schedule (default staged;
+//                                residual is approximate — it stops on a
+//                                convergence certificate, not a fixed
+//                                sweep count)
+//   --kernel vectorized|scalar   message-update kernel (byte-identical;
+//                                scalar is the reference baseline)
+//
 // The TSV format is documented in data/dataset_io.h. Real deployments
 // would load their own triples with LoadTriplesTsv and construct a
 // CuratedKb from their KB dump; the synthetic path exists so the binary
@@ -39,6 +47,8 @@ int Usage() {
                "usage:\n"
                "  jocl_run generate <reverb|nytimes> <scale> <out.tsv>\n"
                "  jocl_run demo [scale] [--threads N] [--shards N]\n"
+               "               [--schedule staged|residual]"
+               " [--kernel vectorized|scalar]\n"
                "  jocl_run weights <out.tsv> [scale]\n");
   return 2;
 }
@@ -68,6 +78,54 @@ int ParseRuntimeFlags(int argc, char** argv, RuntimeOptions* runtime) {
   return kept;
 }
 
+// Strips --schedule/--kernel (either "--flag VALUE" or "--flag=VALUE")
+// from argv, returning the remaining positional count. Unknown values
+// warn and leave the option at its default.
+int ParseKernelFlags(int argc, char** argv, LbpOptions* lbp) {
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    auto value_of = [&](const char* flag, const char** out) {
+      size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) != 0) return false;
+      if (argv[i][len] == '=') {
+        *out = argv[i] + len + 1;
+        return true;
+      }
+      if (argv[i][len] == '\0' && i + 1 < argc) {
+        *out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    const char* value = nullptr;
+    if (value_of("--schedule", &value)) {
+      if (std::strcmp(value, "residual") == 0) {
+        lbp->schedule = LbpSchedule::kResidual;
+        continue;
+      }
+      if (std::strcmp(value, "staged") == 0) {
+        lbp->schedule = LbpSchedule::kStaged;
+        continue;
+      }
+      std::fprintf(stderr, "unknown --schedule value: %s\n", value);
+      continue;
+    } else if (value_of("--kernel", &value)) {
+      if (std::strcmp(value, "scalar") == 0) {
+        lbp->kernel = LbpKernel::kScalarReference;
+        continue;
+      }
+      if (std::strcmp(value, "vectorized") == 0) {
+        lbp->kernel = LbpKernel::kVectorized;
+        continue;
+      }
+      std::fprintf(stderr, "unknown --kernel value: %s\n", value);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  return kept;
+}
+
 Dataset Generate(const char* kind, double scale) {
   if (std::strcmp(kind, "nytimes") == 0) {
     return GenerateNYTimes2018(scale).MoveValueOrDie();
@@ -92,13 +150,15 @@ int RunGenerate(int argc, char** argv) {
 int RunDemo(int argc, char** argv) {
   RuntimeOptions runtime_options;
   argc = ParseRuntimeFlags(argc, argv, &runtime_options);
+  JoclOptions jocl_options;
+  argc = ParseKernelFlags(argc, argv, &jocl_options.inference);
   double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
   std::printf("generating ReVerb45K-like benchmark (scale %.2f)...\n", scale);
   Dataset ds = GenerateReVerb45K(scale).MoveValueOrDie();
   std::printf("building signals (IDF, word2vec, AMIE, KBP)...\n");
   SignalBundle sig = BuildSignals(ds).MoveValueOrDie();
 
-  Jocl jocl;
+  Jocl jocl(jocl_options);
   std::printf("learning weights on the validation split...\n");
   std::vector<double> weights = jocl.LearnWeights(ds, sig).MoveValueOrDie();
   std::printf("running joint inference over %zu test triples...\n",
@@ -121,6 +181,15 @@ int RunDemo(int argc, char** argv) {
       stats.components, stats.shards, stats.problem_seconds,
       stats.cache_seconds, stats.shard_seconds, stats.graph_seconds,
       stats.infer_seconds, stats.decode_seconds);
+  std::printf("  kernel          %zu message updates", stats.message_updates);
+  if (jocl_options.inference.schedule == LbpSchedule::kResidual) {
+    std::printf(", %zu residual pops, %zu sweeps' budget unspent",
+                stats.residual_pops, stats.sweeps_skipped);
+  } else if (stats.sweeps_skipped > 0) {
+    std::printf(", %zu sweeps saved by early convergence",
+                stats.sweeps_skipped);
+  }
+  std::printf("\n");
 
   std::vector<size_t> gold_np;
   std::vector<int64_t> gold_entities;
@@ -137,9 +206,11 @@ int RunDemo(int argc, char** argv) {
       score.macro.f1, score.micro.f1, score.pairwise.f1, score.average_f1);
   std::printf("entity linking accuracy: %.3f\n",
               LinkingAccuracy(result.np_link, gold_entities));
-  std::printf("LBP sweeps: %zu (converged: %s)\n",
+  std::printf("LBP sweeps: %zu (converged: %s, certificate: max residual "
+              "%.2e at stop)\n",
               result.diagnostics.iterations,
-              result.diagnostics.converged ? "yes" : "no");
+              result.diagnostics.converged ? "yes" : "no",
+              result.diagnostics.final_residual);
   std::printf("\nmost-adjusted weights:\n%s",
               FormatWeightReport(weights).c_str());
   return 0;
