@@ -1,12 +1,18 @@
 // Serving-layer bench: what the canonical-KB read path costs. Measures
 // in-process CanonStore lookups (the floor), HTTP round trips through
-// jocl_serve's CanonServer (QPS + p50/p99 latency, 4 concurrent
-// clients), the same under continuous store republication (the RCU swap
-// stall), and snapshot save/load. Emits BENCH_serve.json (path:
-// JOCL_BENCH_OUT, default ./BENCH_serve.json) for CI tracking.
+// jocl_serve's CanonServer in both connection-per-request and
+// keep-alive modes (QPS + p50/p99 latency), a keep-alive client sweep
+// (1/4/16/64 connections), the pre-rendered cache against the
+// allocating renderer, the same load under continuous store
+// republication (the RCU swap stall), and snapshot save/load. Emits
+// BENCH_serve.json (path: JOCL_BENCH_OUT, default ./BENCH_serve.json)
+// for CI tracking.
 //
 // Acceptance (ISSUE 4): snapshot round trip byte-identical; the JSON
 // must report p99 lookup latency and QPS.
+// Acceptance (ISSUE 7): keep-alive QPS at 16 clients must beat the
+// connection-per-request QPS at 16 clients — this process exits
+// nonzero otherwise, which is the CI gate.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -47,9 +53,27 @@ struct HttpPhase {
   double p99_ms = 0.0;
 };
 
-/// Drives \p clients concurrent readers, \p per_client requests each,
-/// rotating over \p targets. Latencies are per full HTTP round trip
-/// (connect + request + response over loopback).
+HttpPhase FinishPhase(const Stopwatch& wall, size_t requests, size_t errors,
+                      const std::vector<std::vector<double>>& latencies) {
+  HttpPhase phase;
+  phase.wall_seconds = wall.ElapsedSeconds();
+  phase.requests = requests;
+  phase.errors = errors;
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  phase.qps = phase.wall_seconds > 0.0
+                  ? static_cast<double>(all.size()) / phase.wall_seconds
+                  : 0.0;
+  phase.p50_ms = Percentile(all, 50.0);
+  phase.p99_ms = Percentile(all, 99.0);
+  return phase;
+}
+
+/// Connection-per-request mode: \p clients concurrent readers, each
+/// request opening a fresh TCP connection (the pre-PR 7 client).
+/// Latencies are per full round trip (connect + request + response).
 HttpPhase RunHttpPhase(int port, const std::vector<std::string>& targets,
                        size_t clients, size_t per_client) {
   std::vector<std::vector<double>> latencies(clients);
@@ -74,20 +98,63 @@ HttpPhase RunHttpPhase(int port, const std::vector<std::string>& targets,
     });
   }
   for (std::thread& thread : threads) thread.join();
-  HttpPhase phase;
-  phase.wall_seconds = wall.ElapsedSeconds();
-  phase.requests = clients * per_client;
-  phase.errors = errors.load();
-  std::vector<double> all;
-  for (const auto& per_thread : latencies) {
-    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  return FinishPhase(wall, clients * per_client, errors.load(), latencies);
+}
+
+/// Keep-alive mode: each client holds ONE persistent connection for all
+/// its requests (reconnecting only if the server drops it). Latencies
+/// are per request on the warm connection.
+HttpPhase RunKeepAlivePhase(int port, const std::vector<std::string>& targets,
+                            size_t clients, size_t per_client) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      HttpConnection conn;
+      for (size_t i = 0; i < per_client; ++i) {
+        if (!conn.connected()) {
+          Result<HttpConnection> fresh = HttpConnection::Connect(port);
+          if (!fresh.ok()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          conn = fresh.MoveValueOrDie();
+        }
+        const std::string& target = targets[(c + i) % targets.size()];
+        Stopwatch request_watch;
+        Result<HttpResponse> response = conn.Get(target);
+        const double ms = request_watch.ElapsedMillis();
+        if (!response.ok() || response.ValueOrDie().status != 200 ||
+            !LooksLikeJson(response.ValueOrDie().body)) {
+          errors.fetch_add(1);
+        } else {
+          latencies[c].push_back(ms);
+        }
+      }
+    });
   }
-  phase.qps = phase.wall_seconds > 0.0
-                  ? static_cast<double>(all.size()) / phase.wall_seconds
-                  : 0.0;
-  phase.p50_ms = Percentile(all, 50.0);
-  phase.p99_ms = Percentile(all, 99.0);
-  return phase;
+  for (std::thread& thread : threads) thread.join();
+  return FinishPhase(wall, clients * per_client, errors.load(), latencies);
+}
+
+void PrintPhase(const char* label, const HttpPhase& phase) {
+  std::printf("%s: %zu requests, %zu errors, %.0f QPS, p50 %.3fms "
+              "p99 %.3fms\n",
+              label, phase.requests, phase.errors, phase.qps, phase.p50_ms,
+              phase.p99_ms);
+}
+
+void EmitPhase(FILE* out, const char* name, size_t clients,
+               const HttpPhase& phase, bool trailing_comma) {
+  std::fprintf(out,
+               "  \"%s\": {\"clients\": %zu, \"requests\": %zu, "
+               "\"errors\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
+               "\"p99_ms\": %.4f}%s\n",
+               name, clients, phase.requests, phase.errors, phase.qps,
+               phase.p50_ms, phase.p99_ms, trailing_comma ? "," : "");
 }
 
 int Run() {
@@ -164,8 +231,12 @@ int Run() {
               inproc_p50, inproc_p99, found);
 
   // ---- HTTP: static store -------------------------------------------------
+  // Event threads sized to the machine: extra epoll threads on a small
+  // container only add context switches.
+  const size_t hardware =
+      std::max(1u, std::thread::hardware_concurrency());
   ServeOptions serve_options;
-  serve_options.num_workers = 4;
+  serve_options.num_workers = std::min<size_t>(4, hardware);
   CanonServer server(serve_options);
   Status status = server.Start();
   if (!status.ok()) {
@@ -181,19 +252,89 @@ int Run() {
   targets.push_back("/stats");
   const size_t kClients = 4;
   const size_t kPerClient = 400;
+  // Connection-per-request at 4 clients: the PR 4 baseline, kept
+  // byte-compatible in the JSON for cross-PR comparison.
   HttpPhase static_phase =
       RunHttpPhase(server.port(), targets, kClients, kPerClient);
-  std::printf("http static: %zu requests, %zu errors, %.0f QPS, "
-              "p50 %.3fms p99 %.3fms\n",
-              static_phase.requests, static_phase.errors, static_phase.qps,
-              static_phase.p50_ms, static_phase.p99_ms);
+  PrintPhase("http static (connection-per-request, 4 clients)",
+             static_phase);
   if (static_phase.errors > 0) ++failures;
+
+  // ---- keep-alive sweep (1 / 4 / 16 / 64 persistent connections) ----------
+  const size_t kKeepAlivePerClient =
+      static_cast<size_t>(800.0 * env.scale) + 100;
+  const std::vector<size_t> sweep_clients = {1, 4, 16, 64};
+  std::vector<HttpPhase> sweep;
+  HttpPhase keepalive_16;
+  for (size_t clients : sweep_clients) {
+    HttpPhase phase = RunKeepAlivePhase(server.port(), targets, clients,
+                                        kKeepAlivePerClient);
+    char label[64];
+    std::snprintf(label, sizeof(label), "http keep-alive (%zu clients)",
+                  clients);
+    PrintPhase(label, phase);
+    if (phase.errors > 0) ++failures;
+    if (clients == 16) keepalive_16 = phase;
+    sweep.push_back(phase);
+  }
+
+  // ---- close vs keep-alive at 16 clients (the CI gate) --------------------
+  HttpPhase close_16 =
+      RunHttpPhase(server.port(), targets, 16, kPerClient / 2);
+  PrintPhase("http connection-per-request (16 clients)", close_16);
+  if (close_16.errors > 0) ++failures;
+  const double keepalive_speedup =
+      close_16.qps > 0.0 ? keepalive_16.qps / close_16.qps : 0.0;
+  std::printf("keep-alive vs connection-per-request at 16 clients: %.2fx "
+              "(%.0f vs %.0f QPS)\n",
+              keepalive_speedup, keepalive_16.qps, close_16.qps);
+  if (keepalive_16.qps <= close_16.qps) {
+    std::printf("FAIL: keep-alive QPS (%.0f) did not beat "
+                "connection-per-request QPS (%.0f) at 16 clients\n",
+                keepalive_16.qps, close_16.qps);
+    ++failures;
+  }
+
+  // ---- cached vs rendered (prerender off) at 16 clients -------------------
+  ServeOptions rendered_options;
+  rendered_options.num_workers = std::min<size_t>(4, hardware);
+  rendered_options.prerender = false;
+  CanonServer rendered_server(rendered_options);
+  status = rendered_server.Start();
+  if (!status.ok()) {
+    std::printf("ERROR: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  rendered_server.Publish(store);
+  HttpPhase rendered_16 = RunKeepAlivePhase(rendered_server.port(), targets,
+                                            16, kKeepAlivePerClient);
+  // Sequential single client: with no concurrency to hide behind, the
+  // per-request server CPU (parse -> binary-search -> writev vs full
+  // JSON rendering) sits on the latency critical path.
+  HttpPhase rendered_1 = RunKeepAlivePhase(rendered_server.port(), targets,
+                                           1, kKeepAlivePerClient);
+  rendered_server.Stop();
+  PrintPhase("http keep-alive, prerender OFF (16 clients)", rendered_16);
+  PrintPhase("http keep-alive, prerender OFF (1 client)", rendered_1);
+  if (rendered_16.errors > 0) ++failures;
+  if (rendered_1.errors > 0) ++failures;
+  const double cache_speedup =
+      rendered_16.qps > 0.0 ? keepalive_16.qps / rendered_16.qps : 0.0;
+  const HttpPhase& cached_1 = sweep[0];  // the 1-client sweep entry
+  const double cache_p50_gain =
+      cached_1.p50_ms > 0.0 ? rendered_1.p50_ms / cached_1.p50_ms : 0.0;
+  std::printf("pre-rendered cache vs allocating renderer: %.2fx QPS at 16 "
+              "clients; sequential p50 %.3fms cached vs %.3fms rendered "
+              "(%.2fx)\n",
+              cache_speedup, cached_1.p50_ms, rendered_1.p50_ms,
+              cache_p50_gain);
 
   // ---- HTTP: continuous republication (swap stall) ------------------------
   // A second store (half the triples) alternates with the full one every
-  // few milliseconds while the same reader load runs: readers pin their
-  // version at request start, so the p99 under churn vs static measures
-  // the real swap stall, and publish_max_ms bounds the writer side.
+  // few milliseconds while reader load runs: readers pin their bundle at
+  // request start, so p99 under churn vs static measures the real swap
+  // stall, and publish_max_ms bounds the writer side — which now
+  // includes pre-rendering the response cache on every publish.
   std::vector<size_t> half(eval.begin(),
                            eval.begin() + static_cast<long>(eval.size() / 2));
   JoclResult half_result =
@@ -215,6 +356,8 @@ int Run() {
   });
   HttpPhase churn_phase =
       RunHttpPhase(server.port(), targets, kClients, kPerClient);
+  HttpPhase keepalive_churn =
+      RunKeepAlivePhase(server.port(), targets, 16, kKeepAlivePerClient);
   publishing.store(false);
   publisher.join();
   const double publish_p99 = Percentile(publish_ms, 99.0);
@@ -222,13 +365,23 @@ int Run() {
       publish_ms.empty()
           ? 0.0
           : *std::max_element(publish_ms.begin(), publish_ms.end());
-  std::printf("http under churn: %zu requests, %zu errors, %.0f QPS, "
-              "p50 %.3fms p99 %.3fms; %zu publishes, publish p99 %.4fms "
-              "max %.4fms\n",
-              churn_phase.requests, churn_phase.errors, churn_phase.qps,
-              churn_phase.p50_ms, churn_phase.p99_ms, publish_ms.size(),
-              publish_p99, publish_max);
+  PrintPhase("http under churn (connection-per-request, 4 clients)",
+             churn_phase);
+  PrintPhase("http under churn (keep-alive, 16 clients)", keepalive_churn);
+  std::printf("churn publisher: %zu publishes (cache pre-render included), "
+              "p99 %.4fms max %.4fms\n",
+              publish_ms.size(), publish_p99, publish_max);
   if (churn_phase.errors > 0) ++failures;
+  if (keepalive_churn.errors > 0) ++failures;
+  const ServeCounters counters = server.counters();
+  std::printf("event-loop counters: accepted %llu, reused %llu, timed_out "
+              "%llu, cache_hits %llu, cache_misses %llu, writev_bytes %llu\n",
+              static_cast<unsigned long long>(counters.connections_accepted),
+              static_cast<unsigned long long>(counters.connections_reused),
+              static_cast<unsigned long long>(counters.connections_timed_out),
+              static_cast<unsigned long long>(counters.cache_hits),
+              static_cast<unsigned long long>(counters.cache_misses),
+              static_cast<unsigned long long>(counters.writev_bytes));
   server.Stop();
 
   // ---- JSON artifact ------------------------------------------------------
@@ -260,20 +413,50 @@ int Run() {
                "  \"inprocess_lookup\": {\"samples\": %zu, \"p50_ns\": %.0f, "
                "\"p99_ns\": %.0f},\n",
                lookup_ns.size(), inproc_p50, inproc_p99);
+  EmitPhase(out, "http_static", kClients, static_phase, true);
+  std::fprintf(out, "  \"keepalive_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"clients\": %zu, \"requests\": %zu, \"errors\": %zu, "
+                 "\"qps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 sweep_clients[i], sweep[i].requests, sweep[i].errors,
+                 sweep[i].qps, sweep[i].p50_ms, sweep[i].p99_ms,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  EmitPhase(out, "close_16", 16, close_16, true);
   std::fprintf(out,
-               "  \"http_static\": {\"clients\": %zu, \"requests\": %zu, "
-               "\"errors\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
-               "\"p99_ms\": %.4f},\n",
-               kClients, static_phase.requests, static_phase.errors,
-               static_phase.qps, static_phase.p50_ms, static_phase.p99_ms);
+               "  \"keepalive_vs_close_16\": {\"close_qps\": %.1f, "
+               "\"keepalive_qps\": %.1f, \"speedup\": %.3f},\n",
+               close_16.qps, keepalive_16.qps, keepalive_speedup);
+  std::fprintf(out,
+               "  \"cached_vs_rendered_16\": {\"rendered_qps\": %.1f, "
+               "\"cached_qps\": %.1f, \"speedup\": %.3f},\n",
+               rendered_16.qps, keepalive_16.qps, cache_speedup);
+  std::fprintf(out,
+               "  \"cached_vs_rendered_1\": {\"rendered_p50_ms\": %.4f, "
+               "\"cached_p50_ms\": %.4f, \"p50_speedup\": %.3f},\n",
+               rendered_1.p50_ms, cached_1.p50_ms, cache_p50_gain);
   std::fprintf(out,
                "  \"http_under_churn\": {\"clients\": %zu, \"requests\": "
                "%zu, \"errors\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
                "\"p99_ms\": %.4f, \"publishes\": %zu, "
-               "\"publish_p99_ms\": %.5f, \"publish_max_ms\": %.5f}\n",
+               "\"publish_p99_ms\": %.5f, \"publish_max_ms\": %.5f},\n",
                kClients, churn_phase.requests, churn_phase.errors,
                churn_phase.qps, churn_phase.p50_ms, churn_phase.p99_ms,
                publish_ms.size(), publish_p99, publish_max);
+  EmitPhase(out, "keepalive_under_churn", 16, keepalive_churn, true);
+  std::fprintf(out,
+               "  \"counters\": {\"connections_accepted\": %llu, "
+               "\"connections_reused\": %llu, \"connections_timed_out\": "
+               "%llu, \"cache_hits\": %llu, \"cache_misses\": %llu, "
+               "\"writev_bytes\": %llu}\n",
+               static_cast<unsigned long long>(counters.connections_accepted),
+               static_cast<unsigned long long>(counters.connections_reused),
+               static_cast<unsigned long long>(counters.connections_timed_out),
+               static_cast<unsigned long long>(counters.cache_hits),
+               static_cast<unsigned long long>(counters.cache_misses),
+               static_cast<unsigned long long>(counters.writev_bytes));
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path);

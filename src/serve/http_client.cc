@@ -2,13 +2,83 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
+
+#include "serve/http_util.h"
 
 namespace jocl {
+namespace {
+
+/// Connects a blocking TCP socket to 127.0.0.1:\p port with send and
+/// receive timeouts. Shared by the close-mode and keep-alive clients.
+Result<int> ConnectLoopback(int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  timeval timeout;
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect(127.0.0.1:" + std::to_string(port) +
+                           ") failed: " + error);
+  }
+  return fd;
+}
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("send() failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Parses "HTTP/1.1 <code> ..." out of \p head's first line.
+bool ParseStatusLine(std::string_view head, int* status) {
+  if (head.size() < 12 || head.compare(0, 5, "HTTP/") != 0) return false;
+  const size_t sp = head.find(' ');
+  const size_t line_end = head.find("\r\n");
+  if (sp == std::string_view::npos || line_end == std::string_view::npos ||
+      sp + 4 > line_end) {
+    return false;
+  }
+  int value = 0;
+  for (size_t i = sp + 1; i < sp + 4; ++i) {
+    if (head[i] < '0' || head[i] > '9') return false;
+    value = value * 10 + (head[i] - '0');
+  }
+  *status = value;
+  return true;
+}
+
+}  // namespace
 
 std::string UrlEncode(std::string_view value) {
   static const char* hex = "0123456789ABCDEF";
@@ -31,48 +101,26 @@ std::string UrlEncode(std::string_view value) {
 }
 
 Result<HttpResponse> HttpGet(int port, const std::string& target) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError("socket() failed: " +
-                           std::string(std::strerror(errno)));
-  }
-  timeval timeout;
-  timeout.tv_sec = 5;
-  timeout.tv_usec = 0;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::IOError("connect(127.0.0.1:" + std::to_string(port) +
-                           ") failed: " + error);
-  }
+  Result<int> connected = ConnectLoopback(port, /*timeout_ms=*/5000);
+  if (!connected.ok()) return connected.status();
+  const int fd = connected.ValueOrDie();
   const std::string request = "GET " + target +
                               " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
                               "Connection: close\r\n\r\n";
-  size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::send(fd, request.data() + sent,
-                             request.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      ::close(fd);
-      return Status::IOError("send() failed");
-    }
-    sent += static_cast<size_t>(n);
+  Status sent = SendAll(fd, request);
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
   }
   std::string raw;
   char buffer[4096];
   for (;;) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string error = std::strerror(errno);
       ::close(fd);
-      return Status::IOError("recv() failed: " +
-                             std::string(std::strerror(errno)));
+      return Status::IOError("recv() failed: " + error);
     }
     if (n == 0) break;
     raw.append(buffer, static_cast<size_t>(n));
@@ -80,22 +128,126 @@ Result<HttpResponse> HttpGet(int port, const std::string& target) {
   ::close(fd);
 
   HttpResponse response;
-  // Status line: HTTP/1.1 <code> <text>\r\n
-  const size_t line_end = raw.find("\r\n");
-  if (line_end == std::string::npos || raw.size() < 12 ||
-      raw.compare(0, 5, "HTTP/") != 0) {
-    return Status::IOError("malformed HTTP response");
-  }
-  const size_t sp = raw.find(' ');
-  if (sp == std::string::npos || sp + 4 > line_end) {
+  if (!ParseStatusLine(raw, &response.status)) {
     return Status::IOError("malformed HTTP status line");
   }
-  response.status = std::atoi(raw.c_str() + sp + 1);
   const size_t header_end = raw.find("\r\n\r\n");
   if (header_end == std::string::npos) {
     return Status::IOError("HTTP response missing header terminator");
   }
   response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+HttpConnection& HttpConnection::operator=(HttpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    buffer_ = std::move(other.buffer_);
+    requests_sent_ = other.requests_sent_;
+    other.fd_ = -1;
+    other.buffer_.clear();
+    other.requests_sent_ = 0;
+  }
+  return *this;
+}
+
+Result<HttpConnection> HttpConnection::Connect(int port, int timeout_ms) {
+  Result<int> connected = ConnectLoopback(port, timeout_ms);
+  if (!connected.ok()) return connected.status();
+  HttpConnection conn;
+  conn.fd_ = connected.ValueOrDie();
+  conn.port_ = port;
+  return conn;
+}
+
+void HttpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<HttpResponse> HttpConnection::Get(const std::string& target) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition(
+        "HttpConnection is closed (server sent Connection: close or a "
+        "previous request failed)");
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: keep-alive\r\n\r\n";
+  Status sent = SendAll(fd_, request);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+
+  auto fill = [&]() -> Status {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      const std::string error = std::strerror(errno);
+      Close();
+      return Status::IOError(
+          (errno == EAGAIN || errno == EWOULDBLOCK)
+              ? "recv() timed out waiting for response on 127.0.0.1:" +
+                    std::to_string(port_)
+              : "recv() failed: " + error);
+    }
+    if (n == 0) {
+      Close();
+      return Status::IOError(
+          "server closed the connection mid-response (127.0.0.1:" +
+          std::to_string(port_) + ")");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return Status::OK();
+  };
+
+  // Head: everything through the blank line.
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    JOCL_RETURN_NOT_OK(fill());
+  }
+  const std::string_view head(buffer_.data(), head_end);
+  HttpResponse response;
+  if (!ParseStatusLine(head, &response.status)) {
+    Close();
+    return Status::IOError("malformed HTTP status line");
+  }
+  const size_t line_end = head.find("\r\n");
+  const std::string_view headers = head.substr(line_end + 2);
+  bool found = false;
+  const std::string_view length_text =
+      FindHeaderValue(headers, "content-length", &found);
+  if (!found || length_text.empty() ||
+      length_text.find_first_not_of("0123456789") != std::string_view::npos) {
+    Close();
+    return Status::IOError(
+        "keep-alive response missing a numeric Content-Length");
+  }
+  size_t content_length = 0;
+  for (char c : length_text) {
+    content_length = content_length * 10 + static_cast<size_t>(c - '0');
+  }
+  const std::string_view connection =
+      FindHeaderValue(headers, "connection", &found);
+  const bool server_closes = found && connection == "close";
+
+  // Body: exactly Content-Length bytes; any surplus stays buffered for
+  // the next response on this connection.
+  const size_t body_start = head_end + 4;
+  while (buffer_.size() < body_start + content_length) {
+    JOCL_RETURN_NOT_OK(fill());
+  }
+  response.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  ++requests_sent_;
+  if (server_closes) Close();
   return response;
 }
 

@@ -2,88 +2,36 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
+#include <vector>
 
+#include "serve/http_util.h"
 #include "serve/json.h"
 #include "util/ids.h"
 
 namespace jocl {
 namespace {
 
-constexpr size_t kMaxRequestBytes = 16 * 1024;
+/// Connection-header tails the event loop appends after a pre-rendered
+/// (or rendered) head; the blank line that ends the head rides along.
+constexpr std::string_view kKeepAliveTail = "Connection: keep-alive\r\n\r\n";
+constexpr std::string_view kCloseTail = "Connection: close\r\n\r\n";
 
-const char* StatusText(int code) {
-  switch (code) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 503: return "Service Unavailable";
-    default: return "Error";
-  }
-}
-
-int HexValue(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
-}
-
-std::string UrlDecode(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '+') {
-      out.push_back(' ');
-    } else if (text[i] == '%' && i + 2 < text.size() &&
-               HexValue(text[i + 1]) >= 0 && HexValue(text[i + 2]) >= 0) {
-      out.push_back(static_cast<char>(HexValue(text[i + 1]) * 16 +
-                                      HexValue(text[i + 2])));
-      i += 2;
-    } else {
-      out.push_back(text[i]);
-    }
-  }
-  return out;
-}
-
-/// Decoded `key=value` pairs of a query string.
-struct QueryParams {
-  std::vector<std::pair<std::string, std::string>> params;
-
-  const std::string* Find(std::string_view key) const {
-    for (const auto& [k, v] : params) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-QueryParams ParseQuery(std::string_view query) {
-  QueryParams out;
-  size_t start = 0;
-  while (start <= query.size()) {
-    size_t end = query.find('&', start);
-    if (end == std::string_view::npos) end = query.size();
-    std::string_view pair = query.substr(start, end - start);
-    if (!pair.empty()) {
-      const size_t eq = pair.find('=');
-      if (eq == std::string_view::npos) {
-        out.params.emplace_back(UrlDecode(pair), "");
-      } else {
-        out.params.emplace_back(UrlDecode(pair.substr(0, eq)),
-                                UrlDecode(pair.substr(eq + 1)));
-      }
-    }
-    if (end == query.size()) break;
-    start = end + 1;
-  }
-  return out;
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 std::string ErrorBody(std::string_view message) {
@@ -257,7 +205,19 @@ std::string HandleStats(const CanonStore* store,
   out.append(std::to_string(counters.unavailable));
   out.append(",\"publishes\":");
   out.append(std::to_string(counters.publishes));
-  out.push_back('}');
+  out.append(",\"events\":{\"accepted\":");
+  out.append(std::to_string(counters.connections_accepted));
+  out.append(",\"reused\":");
+  out.append(std::to_string(counters.connections_reused));
+  out.append(",\"timed_out\":");
+  out.append(std::to_string(counters.connections_timed_out));
+  out.append(",\"cache_hits\":");
+  out.append(std::to_string(counters.cache_hits));
+  out.append(",\"cache_misses\":");
+  out.append(std::to_string(counters.cache_misses));
+  out.append(",\"writev_bytes\":");
+  out.append(std::to_string(counters.writev_bytes));
+  out.append("}}");
   return out;
 }
 
@@ -302,86 +262,150 @@ std::string HandleCanonRequest(const CanonStore* store,
 CanonServer::CanonServer(ServeOptions options)
     : options_(std::move(options)) {
   if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.idle_timeout_ms <= 0) options_.idle_timeout_ms = 5000;
 }
 
 CanonServer::~CanonServer() { Stop(); }
 
-Status CanonServer::Start() {
-  if (running_.load()) {
-    return Status::FailedPrecondition("server already started");
-  }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+Status CanonServer::OpenListener(int* out_fd) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
     return Status::IOError("socket() failed: " +
                            std::string(std::strerror(errno)));
   }
-  int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // One listener per event thread on the same port: the kernel spreads
+  // incoming connections across them, so accepted fds never cross
+  // threads and the hot path runs lock-free.
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("setsockopt(SO_REUSEPORT) failed: " + error);
+  }
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const std::string error = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IOError("bind(127.0.0.1:" +
-                           std::to_string(options_.port) +
+    ::close(fd);
+    return Status::IOError("bind(127.0.0.1:" + std::to_string(port_) +
                            ") failed: " + error);
   }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) == 0) {
+  if (port_ == 0) {
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
+        0) {
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("getsockname() failed: " + error);
+    }
     port_ = ntohs(addr.sin_port);
   }
-  if (::listen(listen_fd_, options_.backlog) < 0) {
+  if (::listen(fd, options_.backlog) < 0) {
     const std::string error = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IOError("listen() failed: " + error);
+    ::close(fd);
+    return Status::IOError("listen(127.0.0.1:" + std::to_string(port_) +
+                           ") failed: " + error);
+  }
+  *out_fd = fd;
+  return Status::OK();
+}
+
+Status CanonServer::Start() {
+  if (!event_threads_.empty()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  port_ = options_.port;
+  auto fail = [&](Status status) {
+    for (auto& et : event_threads_) {
+      if (et->listen_fd >= 0) ::close(et->listen_fd);
+      if (et->wake_fd >= 0) ::close(et->wake_fd);
+      if (et->epoll_fd >= 0) ::close(et->epoll_fd);
+    }
+    event_threads_.clear();
+    port_ = 0;
+    return status;
+  };
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    auto et = std::make_unique<EventThread>();
+    event_threads_.push_back(std::move(et));
+    EventThread* slot = event_threads_.back().get();
+    Status status = OpenListener(&slot->listen_fd);
+    if (!status.ok()) return fail(std::move(status));
+    slot->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (slot->epoll_fd < 0) {
+      return fail(Status::IOError("epoll_create1() failed: " +
+                                  std::string(std::strerror(errno))));
+    }
+    slot->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (slot->wake_fd < 0) {
+      return fail(Status::IOError("eventfd() failed: " +
+                                  std::string(std::strerror(errno))));
+    }
+    epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EPOLLIN;
+    event.data.fd = slot->listen_fd;
+    if (::epoll_ctl(slot->epoll_fd, EPOLL_CTL_ADD, slot->listen_fd, &event) <
+        0) {
+      return fail(Status::IOError("epoll_ctl(listener) failed: " +
+                                  std::string(std::strerror(errno))));
+    }
+    event.data.fd = slot->wake_fd;
+    if (::epoll_ctl(slot->epoll_fd, EPOLL_CTL_ADD, slot->wake_fd, &event) <
+        0) {
+      return fail(Status::IOError("epoll_ctl(eventfd) failed: " +
+                                  std::string(std::strerror(errno))));
+    }
   }
   running_.store(true);
-  listener_ = std::thread(&CanonServer::AcceptLoop, this);
-  workers_.reserve(options_.num_workers);
-  for (size_t w = 0; w < options_.num_workers; ++w) {
-    workers_.emplace_back(&CanonServer::WorkerLoop, this);
+  for (auto& et : event_threads_) {
+    et->thread = std::thread(&CanonServer::EventLoop, this, et.get());
   }
   return Status::OK();
 }
 
 void CanonServer::Stop() {
-  if (!running_.exchange(false)) return;
-  // Unblock accept(); closing also releases the port.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  {
-    // Serialize with the workers' predicate check: a worker that saw
-    // running_ == true must reach cv.wait() before the notify below, or
-    // the wakeup would be lost and Stop() would join forever.
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (event_threads_.empty()) return;
+  running_.store(false);
+  for (auto& et : event_threads_) {
+    const uint64_t one = 1;
+    // A failed wake write is unrecoverable but harmless: the loop also
+    // polls `running_` on its timeout tick.
+    (void)!::write(et->wake_fd, &one, sizeof(one));
   }
-  queue_cv_.notify_all();
-  if (listener_.joinable()) listener_.join();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  for (auto& et : event_threads_) {
+    if (et->thread.joinable()) et->thread.join();
   }
-  workers_.clear();
-  // Close connections accepted but never picked up.
-  std::lock_guard<std::mutex> lock(queue_mutex_);
-  for (int fd : pending_) ::close(fd);
-  pending_.clear();
+  event_threads_.clear();
+  port_ = 0;
 }
 
 void CanonServer::Publish(std::shared_ptr<const CanonStore> store) {
-  std::atomic_store(&store_, std::move(store));
+  std::shared_ptr<const ServingBundle> bundle;
+  if (store != nullptr) {
+    auto fresh = std::make_shared<ServingBundle>();
+    fresh->store = std::move(store);
+    if (options_.prerender) {
+      // Rendering happens here, on the publisher thread; readers only
+      // ever see the finished bundle through the atomic swap below.
+      fresh->cache = BuildResponseCache(*fresh->store);
+      fresh->has_cache = true;
+    }
+    bundle = std::move(fresh);
+  }
+  std::atomic_store(&bundle_, std::move(bundle));
   publishes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const CanonStore> CanonServer::store() const {
-  return std::atomic_load(&store_);
+  const std::shared_ptr<const ServingBundle> bundle =
+      std::atomic_load(&bundle_);
+  return bundle == nullptr ? nullptr : bundle->store;
 }
 
 ServeCounters CanonServer::counters() const {
@@ -392,102 +416,383 @@ ServeCounters CanonServer::counters() const {
   counters.bad_request = bad_request_.load(std::memory_order_relaxed);
   counters.unavailable = unavailable_.load(std::memory_order_relaxed);
   counters.publishes = publishes_.load(std::memory_order_relaxed);
+  counters.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  counters.connections_reused =
+      connections_reused_.load(std::memory_order_relaxed);
+  counters.connections_timed_out =
+      connections_timed_out_.load(std::memory_order_relaxed);
+  counters.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  counters.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  counters.writev_bytes = writev_bytes_.load(std::memory_order_relaxed);
   return counters;
 }
 
-void CanonServer::AcceptLoop() {
-  while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (!running_.load()) break;
-      continue;
-    }
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      pending_.push_back(fd);
-    }
-    queue_cv_.notify_one();
-  }
-}
-
-void CanonServer::WorkerLoop() {
-  for (;;) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [&] { return !pending_.empty() || !running_.load(); });
-      if (pending_.empty()) return;  // stopping and drained
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    // Count before handling: the client holds its response (and may read
-    // /stats or counters()) the instant HandleConnection sends it, so an
-    // after-the-fact increment could lag an observed response.
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    HandleConnection(fd);
-  }
-}
-
-void CanonServer::HandleConnection(int fd) {
-  // Bound the worker's exposure to slow or dead clients.
-  timeval timeout;
-  timeout.tv_sec = 5;
-  timeout.tv_usec = 0;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-
-  std::string request;
-  char buffer[4096];
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.size() < kMaxRequestBytes) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    request.append(buffer, static_cast<size_t>(n));
-  }
-
-  int http_status = 400;
-  std::string body;
-  const size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) {
-    body = ErrorBody("malformed request line");
-  } else {
-    const std::string_view line(request.data(), line_end);
-    const size_t sp1 = line.find(' ');
-    const size_t sp2 =
-        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
-    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
-      body = ErrorBody("malformed request line");
-    } else {
-      // Pin the store version for the whole request (RCU read side).
-      const std::shared_ptr<const CanonStore> pinned = store();
-      body = HandleCanonRequest(pinned.get(), line.substr(0, sp1),
-                                line.substr(sp1 + 1, sp2 - sp1 - 1),
-                                counters(), &http_status);
-    }
-  }
+void CanonServer::CountStatus(int http_status) {
   switch (http_status) {
     case 200: ok_.fetch_add(1, std::memory_order_relaxed); break;
     case 404: not_found_.fetch_add(1, std::memory_order_relaxed); break;
     case 503: unavailable_.fetch_add(1, std::memory_order_relaxed); break;
     default: bad_request_.fetch_add(1, std::memory_order_relaxed); break;
   }
+}
 
+void CanonServer::EventLoop(EventThread* et) {
+  // Timeout enforcement only needs ~idle/4 resolution; the tick also
+  // doubles as the running_ fallback poll.
+  const int tick_ms =
+      std::max(10, std::min(250, options_.idle_timeout_ms / 4));
+  int64_t last_sweep = NowMillis();
+  epoll_event events[64];
+  while (running_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(et->epoll_fd, events, 64, tick_ms);
+    if (!running_.load(std::memory_order_relaxed)) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == et->listen_fd) {
+        AcceptReady(et);
+        continue;
+      }
+      if (fd == et->wake_fd) {
+        uint64_t drained = 0;
+        (void)!::read(et->wake_fd, &drained, sizeof(drained));
+        continue;
+      }
+      auto it = et->conns.find(fd);
+      if (it == et->conns.end()) continue;
+      const uint32_t mask = events[i].events;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(et, fd);
+        continue;
+      }
+      if (mask & EPOLLOUT) {
+        FlushOut(et, fd, &it->second);
+        it = et->conns.find(fd);  // FlushOut may close on drain/error
+        if (it == et->conns.end()) continue;
+      }
+      if (mask & EPOLLIN) Readable(et, fd, &it->second);
+    }
+    const int64_t now = NowMillis();
+    if (now - last_sweep >= tick_ms) {
+      SweepTimeouts(et, now);
+      last_sweep = now;
+    }
+  }
+  for (auto& [fd, conn] : et->conns) ::close(fd);
+  et->conns.clear();
+  ::close(et->listen_fd);
+  ::close(et->wake_fd);
+  ::close(et->epoll_fd);
+  et->listen_fd = et->wake_fd = et->epoll_fd = -1;
+}
+
+void CanonServer::AcceptReady(EventThread* et) {
+  for (;;) {
+    const int fd = ::accept4(et->listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // EAGAIN (drained) or a transient kernel error
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (::epoll_ctl(et->epoll_fd, EPOLL_CTL_ADD, fd, &event) < 0) {
+      ::close(fd);
+      continue;
+    }
+    Conn& conn = et->conns[fd];
+    conn.in.reserve(1024);  // one allocation per connection, amortized
+                            // over its keep-alive lifetime
+    conn.last_activity_ms = NowMillis();
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CanonServer::Readable(EventThread* et, int fd, Conn* conn) {
+  bool peer_closed = false;
+  for (;;) {
+    char buffer[16384];
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->in.append(buffer, static_cast<size_t>(n));
+      conn->last_activity_ms = NowMillis();
+      if (static_cast<size_t>(n) < sizeof(buffer)) break;  // drained
+    } else if (n == 0) {
+      peer_closed = true;
+      break;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      CloseConn(et, fd);
+      return;
+    }
+  }
+  if (!ProcessBuffered(et, fd, conn)) return;  // connection closed
+  if (peer_closed) {
+    if (conn->out.empty()) {
+      CloseConn(et, fd);
+    } else {
+      conn->close_after_drain = true;  // finish writing queued responses
+    }
+  }
+}
+
+bool CanonServer::ProcessBuffered(EventThread* et, int fd, Conn* conn) {
+  for (;;) {
+    if (conn->close_after_drain) return true;  // no more requests
+    const size_t head_end = conn->in.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (conn->in.size() > options_.max_request_bytes) {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        CountStatus(431);
+        SendRendered(et, fd, conn, 431, ErrorBody("request too large"),
+                     /*keep_alive=*/false);
+        if (conn->broken || conn->out.empty()) {
+          CloseConn(et, fd);
+          return false;
+        }
+        conn->close_after_drain = true;
+      }
+      return true;  // incomplete head: wait for more bytes
+    }
+    if (head_end + 4 > options_.max_request_bytes) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      CountStatus(431);
+      SendRendered(et, fd, conn, 431, ErrorBody("request too large"),
+                   /*keep_alive=*/false);
+      if (conn->broken || conn->out.empty()) {
+        CloseConn(et, fd);
+        return false;
+      }
+      conn->close_after_drain = true;
+      return true;
+    }
+    const std::string_view head(conn->in.data(), head_end + 4);
+    const bool keep = ServeRequest(et, fd, conn, head);
+    conn->in.erase(0, head_end + 4);  // keeps capacity: no allocation
+    if (conn->broken) {
+      CloseConn(et, fd);
+      return false;
+    }
+    if (!keep) {
+      if (conn->out.empty()) {
+        CloseConn(et, fd);
+        return false;
+      }
+      conn->close_after_drain = true;
+      return true;
+    }
+  }
+}
+
+bool CanonServer::ServeRequest(EventThread* et, int fd, Conn* conn,
+                               std::string_view head) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (conn->requests_served > 0) {
+    connections_reused_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++conn->requests_served;
+
+  const RequestHead request = ParseRequestHead(head);
+  if (!request.valid) {
+    CountStatus(400);
+    SendRendered(et, fd, conn, 400, ErrorBody("malformed request line"),
+                 /*keep_alive=*/false);
+    return false;
+  }
+  if (request.content_length > 0) {
+    CountStatus(400);
+    SendRendered(et, fd, conn, 400,
+                 ErrorBody("request bodies are not supported"),
+                 /*keep_alive=*/false);
+    return false;
+  }
+
+  // Pin one bundle for the whole request (RCU read side): body and
+  // store generation always come from the same publication.
+  const std::shared_ptr<const ServingBundle> bundle =
+      std::atomic_load(&bundle_);
+  if (bundle != nullptr && bundle->has_cache) {
+    char scratch[2048];
+    ResponseCache::Hit hit;
+    if (bundle->cache.Find(request.method, request.target, scratch,
+                           sizeof(scratch), &hit)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      CountStatus(200);
+      SendCached(et, fd, conn, hit, request.keep_alive);
+      return request.keep_alive;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  int http_status = 400;
+  const CanonStore* store = bundle == nullptr ? nullptr : bundle->store.get();
+  const std::string body = HandleCanonRequest(store, request.method,
+                                              request.target, counters(),
+                                              &http_status);
+  CountStatus(http_status);
+  SendRendered(et, fd, conn, http_status, body, request.keep_alive);
+  return request.keep_alive;
+}
+
+namespace {
+
+/// sendmsg == writev + MSG_NOSIGNAL: one gather write of the
+/// precomputed pieces without risking SIGPIPE on a dead peer.
+ssize_t GatherWrite(int fd, iovec* iov, int iovcnt) {
+  msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = iov;
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+void CanonServer::SendCached(EventThread* et, int fd, Conn* conn,
+                             const ResponseCache::Hit& hit, bool keep_alive) {
+  const std::string_view tail = keep_alive ? kKeepAliveTail : kCloseTail;
+  iovec iov[3];
+  iov[0].iov_base = const_cast<char*>(hit.header.data());
+  iov[0].iov_len = hit.header.size();
+  iov[1].iov_base = const_cast<char*>(tail.data());
+  iov[1].iov_len = tail.size();
+  iov[2].iov_base = const_cast<char*>(hit.body.data());
+  iov[2].iov_len = hit.body.size();
+  QueueOrSend(et, fd, conn, iov, 3);
+}
+
+void CanonServer::SendRendered(EventThread* et, int fd, Conn* conn,
+                               int http_status, std::string_view body,
+                               bool keep_alive) {
   std::string response = "HTTP/1.1 " + std::to_string(http_status) + " " +
-                         StatusText(http_status) +
+                         HttpStatusText(http_status) +
                          "\r\nContent-Type: application/json\r\n"
                          "Content-Length: " +
-                         std::to_string(body.size()) +
-                         "\r\nConnection: close\r\n\r\n" +
-                         body;
-  size_t sent = 0;
-  while (sent < response.size()) {
-    const ssize_t n = ::send(fd, response.data() + sent,
-                             response.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<size_t>(n);
+                         std::to_string(body.size()) + "\r\n";
+  response.append(keep_alive ? kKeepAliveTail : kCloseTail);
+  response.append(body);
+  iovec iov[1];
+  iov[0].iov_base = const_cast<char*>(response.data());
+  iov[0].iov_len = response.size();
+  QueueOrSend(et, fd, conn, iov, 1);
+}
+
+void CanonServer::QueueOrSend(EventThread* et, int fd, Conn* conn, iovec* iov,
+                              int iovcnt) {
+  size_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) total += iov[i].iov_len;
+  size_t written = 0;
+  if (conn->out.empty()) {
+    // Hot path: the whole response usually fits the socket buffer in
+    // one gather write and nothing is copied or queued.
+    for (;;) {
+      const ssize_t n = GatherWrite(fd, iov, iovcnt);
+      if (n >= 0) {
+        writev_bytes_.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+        written = static_cast<size_t>(n);
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        written = 0;
+        break;
+      }
+      conn->broken = true;
+      return;
+    }
+    if (written == total) return;
   }
+  // Slow client: queue the unsent remainder and let EPOLLOUT drain it.
+  size_t skip = written;
+  for (int i = 0; i < iovcnt; ++i) {
+    if (skip >= iov[i].iov_len) {
+      skip -= iov[i].iov_len;
+      continue;
+    }
+    conn->out.append(static_cast<const char*>(iov[i].iov_base) + skip,
+                     iov[i].iov_len - skip);
+    skip = 0;
+  }
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN | EPOLLOUT;
+  event.data.fd = fd;
+  ::epoll_ctl(et->epoll_fd, EPOLL_CTL_MOD, fd, &event);
+  conn->last_activity_ms = NowMillis();
+}
+
+void CanonServer::FlushOut(EventThread* et, int fd, Conn* conn) {
+  while (!conn->out.empty()) {
+    iovec iov;
+    iov.iov_base = const_cast<char*>(conn->out.data());
+    iov.iov_len = conn->out.size();
+    const ssize_t n = GatherWrite(fd, &iov, 1);
+    if (n > 0) {
+      writev_bytes_.fetch_add(static_cast<uint64_t>(n),
+                              std::memory_order_relaxed);
+      conn->out.erase(0, static_cast<size_t>(n));
+      conn->last_activity_ms = NowMillis();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    CloseConn(et, fd);
+    return;
+  }
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.fd = fd;
+  ::epoll_ctl(et->epoll_fd, EPOLL_CTL_MOD, fd, &event);
+  if (conn->close_after_drain) CloseConn(et, fd);
+}
+
+void CanonServer::CloseConn(EventThread* et, int fd) {
+  ::epoll_ctl(et->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
+  et->conns.erase(fd);
+}
+
+void CanonServer::SweepTimeouts(EventThread* et, int64_t now_ms) {
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : et->conns) {
+    if (now_ms - conn.last_activity_ms >= options_.idle_timeout_ms) {
+      expired.push_back(fd);
+    }
+  }
+  for (const int fd : expired) {
+    Conn& conn = et->conns[fd];
+    connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    if (!conn.in.empty()) {
+      // Slow-loris: a request head has been trickling in past the
+      // deadline. Best-effort 408, then drop the connection.
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      CountStatus(408);
+      const std::string body = ErrorBody("request timeout");
+      std::string response =
+          "HTTP/1.1 408 Request Timeout\r\n"
+          "Content-Type: application/json\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n";
+      response.append(kCloseTail);
+      response.append(body);
+      iovec iov;
+      iov.iov_base = const_cast<char*>(response.data());
+      iov.iov_len = response.size();
+      const ssize_t n = GatherWrite(fd, &iov, 1);
+      if (n > 0) {
+        writev_bytes_.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+      }
+    }
+    CloseConn(et, fd);
+  }
 }
 
 }  // namespace jocl

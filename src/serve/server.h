@@ -1,18 +1,19 @@
 #ifndef JOCL_SERVE_SERVER_H_
 #define JOCL_SERVE_SERVER_H_
 
+#include <sys/uio.h>
+
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/canon_store.h"
+#include "serve/response_cache.h"
 #include "util/result.h"
 
 namespace jocl {
@@ -22,45 +23,77 @@ struct ServeOptions {
   /// TCP port to bind on 127.0.0.1; 0 = any free (ephemeral) port, read
   /// back via `CanonServer::port()`.
   int port = 0;
-  /// Worker threads answering requests.
+  /// Event-loop threads. Each runs its own epoll instance over its own
+  /// `SO_REUSEPORT` listener, so accepted connections are kernel-
+  /// distributed and never migrate between threads (no cross-thread
+  /// locks on the hot path). Kept under its historical name — before
+  /// the event loop these were pool workers.
   size_t num_workers = 4;
-  /// Listen backlog.
+  /// Listen backlog (per listener).
   int backlog = 64;
+  /// A connection is closed when this long passes without progress —
+  /// both the keep-alive idle case and the slow-loris partial-request
+  /// case (the latter is answered with 408 best-effort first).
+  int idle_timeout_ms = 5000;
+  /// Requests whose head exceeds this are rejected with 431 and the
+  /// connection is closed.
+  size_t max_request_bytes = 16 * 1024;
+  /// Pre-render hot-endpoint responses on every Publish (the
+  /// parse → binary-search → writev path). Disable to serve through
+  /// the allocating renderer only — bench_serve measures the gap.
+  bool prerender = true;
 };
 
 /// \brief Monotonic request counters (one snapshot, not a live view).
 struct ServeCounters {
-  uint64_t requests = 0;     ///< connections fully handled
+  uint64_t requests = 0;     ///< requests fully handled (not connections)
   uint64_t ok = 0;           ///< 200 responses
   uint64_t not_found = 0;    ///< 404 responses
-  uint64_t bad_request = 0;  ///< 400/405 responses
+  uint64_t bad_request = 0;  ///< 400/405/408/431 responses
   uint64_t unavailable = 0;  ///< 503 (no store published yet)
   uint64_t publishes = 0;    ///< store swaps
+  // Event-loop counters (PR 7).
+  uint64_t connections_accepted = 0;   ///< accept() successes
+  uint64_t connections_reused = 0;     ///< requests served on a connection
+                                       ///< past its first request
+  uint64_t connections_timed_out = 0;  ///< idle/slow closes by the loop
+  uint64_t cache_hits = 0;             ///< answered from the arena
+  uint64_t cache_misses = 0;           ///< rendered by the fallback path
+  uint64_t writev_bytes = 0;           ///< response bytes written
 };
 
-/// \brief Pure request dispatcher behind the socket loop: routes a
+/// \brief Pure request dispatcher behind the event loop: routes a
 /// request target (`/lookup?surface=...`, `/cluster?id=...`,
 /// `/link?surface=...`, `/stats`) against an immutable store and returns
 /// the JSON body. \p store may be null (not published yet — 503 for data
 /// endpoints, zeroed `/stats`). Sets \p http_status to the response
-/// code. Exposed separately so tests can drive routing without sockets.
+/// code. Exposed separately so tests can drive routing without sockets
+/// and `BuildResponseCache` can pre-render byte-identical bodies.
 std::string HandleCanonRequest(const CanonStore* store,
                                std::string_view method,
                                std::string_view target,
                                const ServeCounters& counters,
                                int* http_status);
 
-/// \brief Dependency-free concurrent HTTP/1.1 front end over an
-/// RCU-style store pointer (the tentpole's layer 3).
+/// \brief Dependency-free event-driven HTTP/1.1 front end over an
+/// RCU-swapped (store + pre-rendered cache) bundle.
 ///
-/// One listener thread accepts connections on 127.0.0.1 and queues them;
-/// `num_workers` worker threads parse one GET request per connection and
-/// answer JSON. The served store is a `std::shared_ptr<const CanonStore>`
-/// read with `std::atomic_load` at the start of every request and
-/// swapped by `Publish` with `std::atomic_store`: readers pin whichever
-/// version they loaded for the duration of the request and **never block
-/// on a publication** — the classic read-copy-update discipline. Old
-/// stores are freed by the last reader's shared_ptr release.
+/// `num_workers` event threads each own an epoll instance and an
+/// `SO_REUSEPORT` listener on 127.0.0.1; a connection lives on the
+/// thread that accepted it for its whole life. Connections are
+/// keep-alive by default (HTTP/1.1 semantics), requests may be
+/// pipelined, and per-connection state machines enforce idle /
+/// slow-client timeouts and the request-size cap off the epoll timer.
+///
+/// The served state is a `std::shared_ptr<const ServingBundle>` — the
+/// CanonStore plus the responses pre-rendered from it — read with
+/// `std::atomic_load` per request and swapped whole by `Publish`:
+/// readers pin whichever bundle they loaded and **never block on a
+/// publication** (read-copy-update), and because body arena and store
+/// travel together a reader can never pair a cached body with a
+/// mismatched generation. The steady-state hot path is
+/// parse → binary-search → `writev` of precomputed header + body —
+/// zero allocation, zero JSON work.
 ///
 /// Endpoints (reference + worked curl examples in docs/serving.md):
 ///   GET /lookup?surface=S[&kind=np|rp]   cluster + members + link of S
@@ -75,19 +108,22 @@ class CanonServer {
   CanonServer(const CanonServer&) = delete;
   CanonServer& operator=(const CanonServer&) = delete;
 
-  /// Binds, listens and spawns the listener + workers. Fails with a
-  /// descriptive status when the port is taken.
+  /// Binds the listeners, spawns the event threads. Fails with a
+  /// descriptive Status when the port is taken or epoll setup fails.
   Status Start();
 
-  /// Stops accepting, drains queued connections, joins all threads.
+  /// Closes every connection and listener, joins all event threads.
   /// Idempotent; also run by the destructor.
   void Stop();
 
   /// The bound port (after a successful Start).
   int port() const { return port_; }
 
-  /// Atomically swaps the served store. Thread-safe against concurrent
-  /// readers and other publishers; null resets to "not published".
+  /// Atomically swaps the served store; when pre-rendering is enabled
+  /// the response cache is built here (publisher's cost, never the
+  /// readers') and swapped under the same pointer. Thread-safe against
+  /// concurrent readers and other publishers; null resets to "not
+  /// published".
   void Publish(std::shared_ptr<const CanonStore> store);
 
   /// The currently served store (atomic load; may be null).
@@ -96,23 +132,57 @@ class CanonServer {
   ServeCounters counters() const;
 
  private:
-  void AcceptLoop();
-  void WorkerLoop();
-  void HandleConnection(int fd);
+  /// Per-connection state machine.
+  struct Conn {
+    std::string in;        ///< buffered unparsed request bytes
+    std::string out;       ///< response bytes awaiting POLLOUT
+    int64_t last_activity_ms = 0;
+    uint64_t requests_served = 0;
+    bool close_after_drain = false;  ///< close once `out` empties
+    bool broken = false;             ///< fatal write error; owner closes
+  };
+
+  /// One event thread: epoll instance + SO_REUSEPORT listener + its
+  /// connections. Only its own thread touches `conns`.
+  struct EventThread {
+    int epoll_fd = -1;
+    int listen_fd = -1;
+    int wake_fd = -1;  ///< eventfd; Stop() writes to break epoll_wait
+    std::unordered_map<int, Conn> conns;
+    std::thread thread;
+  };
+
+  Status OpenListener(int* out_fd);
+  void EventLoop(EventThread* et);
+  void AcceptReady(EventThread* et);
+  void Readable(EventThread* et, int fd, Conn* conn);
+  /// Drains complete pipelined requests out of `conn->in`. Returns
+  /// false when it closed the connection.
+  bool ProcessBuffered(EventThread* et, int fd, Conn* conn);
+  /// Answers one parsed request; returns false when the connection must
+  /// close (protocol error or Connection: close).
+  bool ServeRequest(EventThread* et, int fd, Conn* conn,
+                    std::string_view head);
+  void SendCached(EventThread* et, int fd, Conn* conn,
+                  const ResponseCache::Hit& hit, bool keep_alive);
+  void SendRendered(EventThread* et, int fd, Conn* conn, int http_status,
+                    std::string_view body, bool keep_alive);
+  /// One gather write of `iov`; the unsent remainder is queued on
+  /// `conn->out` with EPOLLOUT armed. Sets `conn->broken` on error.
+  void QueueOrSend(EventThread* et, int fd, Conn* conn, iovec* iov,
+                   int iovcnt);
+  void FlushOut(EventThread* et, int fd, Conn* conn);
+  void CloseConn(EventThread* et, int fd);
+  void SweepTimeouts(EventThread* et, int64_t now_ms);
+  void CountStatus(int http_status);
 
   ServeOptions options_;
-  int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
+  std::vector<std::unique_ptr<EventThread>> event_threads_;
 
   /// Accessed only through std::atomic_load / std::atomic_store.
-  std::shared_ptr<const CanonStore> store_;
-
-  std::thread listener_;
-  std::vector<std::thread> workers_;
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;
+  std::shared_ptr<const ServingBundle> bundle_;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> ok_{0};
@@ -120,6 +190,12 @@ class CanonServer {
   std::atomic<uint64_t> bad_request_{0};
   std::atomic<uint64_t> unavailable_{0};
   std::atomic<uint64_t> publishes_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_reused_{0};
+  std::atomic<uint64_t> connections_timed_out_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> writev_bytes_{0};
 };
 
 }  // namespace jocl

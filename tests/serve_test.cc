@@ -6,8 +6,16 @@
 // session swaps the published store mid-flight.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <set>
 #include <string>
 #include <thread>
@@ -17,9 +25,28 @@
 #include "core/session.h"
 #include "serve/canon_store.h"
 #include "serve/http_client.h"
+#include "serve/http_util.h"
 #include "serve/json.h"
+#include "serve/response_cache.h"
 #include "serve/server.h"
 #include "serve/snapshot_io.h"
+
+// ---------- heap-allocation probe (zero-alloc acceptance) --------------------
+//
+// Replacing the global operator new lets tests count allocations on the
+// calling thread only, so the server's own threads never add noise.
+namespace {
+thread_local uint64_t g_thread_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_thread_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace jocl {
 namespace {
@@ -492,6 +519,437 @@ TEST_F(ServeWorld, RetrainedWeightsReachReadersWithoutDroppingRequests) {
   reader.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(served.load(), 0u);
+  server.Stop();
+}
+
+// ---------- http_util: parsing the event loop relies on ---------------------
+
+TEST(HttpUtilTest, ParseRequestHeadAppliesKeepAliveRules) {
+  RequestHead head = ParseRequestHead("GET /x HTTP/1.1\r\nHost: h\r\n\r\n");
+  EXPECT_TRUE(head.valid);
+  EXPECT_EQ(head.method, "GET");
+  EXPECT_EQ(head.target, "/x");
+  EXPECT_TRUE(head.keep_alive);  // 1.1 default
+  head = ParseRequestHead("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_FALSE(head.keep_alive);
+  head = ParseRequestHead("GET /x HTTP/1.0\r\nHost: h\r\n\r\n");
+  EXPECT_FALSE(head.keep_alive);  // 1.0 default
+  head = ParseRequestHead("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  EXPECT_TRUE(head.keep_alive);
+  head = ParseRequestHead(
+      "GET /x HTTP/1.1\r\nConnection: Keep-Alive, Upgrade\r\n\r\n");
+  EXPECT_TRUE(head.keep_alive);  // token list, case-insensitive
+  head = ParseRequestHead(
+      "POST /x HTTP/1.1\r\nContent-Length: 12\r\n\r\n");
+  EXPECT_TRUE(head.valid);
+  EXPECT_EQ(head.content_length, 12u);
+  EXPECT_FALSE(ParseRequestHead("garbage\r\n\r\n").valid);
+}
+
+TEST(HttpUtilTest, ZeroAllocDecodersAgreeWithAllocatingParser) {
+  char scratch[16];
+  std::string_view out;
+  const std::string_view plain = "abc";
+  ASSERT_TRUE(UrlDecodeInto(plain, scratch, sizeof(scratch), &out));
+  EXPECT_EQ(out, "abc");
+  EXPECT_EQ(out.data(), plain.data());  // no escapes: aliases the input
+  ASSERT_TRUE(UrlDecodeInto("a%20b+c", scratch, sizeof(scratch), &out));
+  EXPECT_EQ(out, "a b c");
+  EXPECT_EQ(out, UrlDecode("a%20b+c"));
+  // Decoded form longer than the scratch capacity: refuse, don't clip.
+  EXPECT_FALSE(UrlDecodeInto("0123456789abcdef%20", scratch, 16, &out));
+
+  std::string_view raw;
+  EXPECT_EQ(FindQueryValue("surface=UMD&kind=np", "kind", &raw),
+            QueryScan::kFound);
+  EXPECT_EQ(raw, "np");
+  EXPECT_EQ(FindQueryValue("surface=UMD", "kind", &raw), QueryScan::kMissing);
+  // An escaped key can only be resolved by full decoding — the scanner
+  // must hand over rather than guess.
+  EXPECT_EQ(FindQueryValue("%73urface=UMD", "surface", &raw),
+            QueryScan::kNeedsFallback);
+  // First-match-wins, mirroring QueryParams::Find.
+  EXPECT_EQ(FindQueryValue("kind=np&kind=rp", "kind", &raw),
+            QueryScan::kFound);
+  EXPECT_EQ(raw, "np");
+}
+
+// ---------- pre-rendered response cache --------------------------------------
+
+TEST_F(ServeWorld, CachedResponsesAreByteIdenticalToRenderedOnes) {
+  const ResponseCache cache = BuildResponseCache(*store_);
+  ASSERT_FALSE(cache.empty());
+  EXPECT_GT(cache.arena_bytes(), 0u);
+  const ServeCounters no_counters;
+  char scratch[2048];
+  const std::vector<std::string> hot_targets = {
+      "/lookup?surface=UMD",
+      "/lookup?surface=University%20of%20Maryland&kind=np",
+      "/link?surface=University%20of%20Maryland",
+      "/cluster?id=0",
+      "/cluster?id=0&kind=rp",
+  };
+  for (const std::string& target : hot_targets) {
+    ResponseCache::Hit hit;
+    ASSERT_TRUE(cache.Find("GET", target, scratch, sizeof(scratch), &hit))
+        << target;
+    int status = 0;
+    const std::string rendered =
+        HandleCanonRequest(store_, "GET", target, no_counters, &status);
+    ASSERT_EQ(status, 200) << target;
+    EXPECT_EQ(hit.body, rendered) << target;
+    EXPECT_NE(hit.header.find("Content-Length: " +
+                              std::to_string(rendered.size())),
+              std::string_view::npos)
+        << hit.header;
+  }
+  // Everything else is a miss and falls back to the renderer: /stats,
+  // unknown surfaces, malformed parameters, escaped keys, bad methods.
+  ResponseCache::Hit hit;
+  EXPECT_FALSE(cache.Find("GET", "/stats", scratch, sizeof(scratch), &hit));
+  EXPECT_FALSE(
+      cache.Find("GET", "/lookup?surface=zzz", scratch, sizeof(scratch), &hit));
+  EXPECT_FALSE(cache.Find("GET", "/lookup", scratch, sizeof(scratch), &hit));
+  EXPECT_FALSE(
+      cache.Find("GET", "/cluster?id=99999", scratch, sizeof(scratch), &hit));
+  EXPECT_FALSE(
+      cache.Find("GET", "/cluster?id=abc", scratch, sizeof(scratch), &hit));
+  EXPECT_FALSE(cache.Find("POST", "/lookup?surface=UMD", scratch,
+                          sizeof(scratch), &hit));
+  EXPECT_FALSE(cache.Find("GET", "/lookup?%73urface=UMD", scratch,
+                          sizeof(scratch), &hit));
+}
+
+TEST_F(ServeWorld, CachedHotPathDoesNotAllocate) {
+  const ResponseCache cache = BuildResponseCache(*store_);
+  const std::string raw_head =
+      "GET /lookup?surface=University%20of%20Maryland HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\nConnection: keep-alive\r\n\r\n";
+  const std::string cluster_target = "/cluster?id=0";
+  char scratch[2048];
+  ResponseCache::Hit hit;
+  // Warm-up, and prove these are hits at all.
+  RequestHead head = ParseRequestHead(raw_head);
+  ASSERT_TRUE(head.valid);
+  ASSERT_TRUE(
+      cache.Find(head.method, head.target, scratch, sizeof(scratch), &hit));
+  ASSERT_TRUE(
+      cache.Find("GET", cluster_target, scratch, sizeof(scratch), &hit));
+
+  // The steady-state serving path: parse head -> binary-search the
+  // cache (with a percent-escape decoded into stack scratch) -> hand
+  // the arena views to writev. Zero heap allocations, counted by the
+  // replaced global operator new on this thread.
+  const uint64_t allocations_before = g_thread_allocations;
+  for (int i = 0; i < 1000; ++i) {
+    const RequestHead request = ParseRequestHead(raw_head);
+    cache.Find(request.method, request.target, scratch, sizeof(scratch),
+               &hit);
+    cache.Find("GET", cluster_target, scratch, sizeof(scratch), &hit);
+  }
+  EXPECT_EQ(g_thread_allocations, allocations_before)
+      << "cached hot path allocated on the heap";
+}
+
+// ---------- keep-alive over real sockets -------------------------------------
+
+namespace {
+
+int ConnectRaw(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval timeout;
+  timeout.tv_sec = 5;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendRaw(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string ReadUntilEof(int fd) {
+  std::string out;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+TEST_F(ServeWorld, KeepAliveConnectionServesManySequentialRequests) {
+  ServeOptions options;
+  options.num_workers = 2;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  server.Publish(std::make_shared<const CanonStore>(*store_));
+
+  Result<HttpConnection> connected = HttpConnection::Connect(server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status();
+  HttpConnection conn = connected.MoveValueOrDie();
+  const std::string lookup =
+      "/lookup?surface=" + UrlEncode("University of Maryland");
+  constexpr int kRequests = 50;
+  for (int i = 0; i < kRequests; ++i) {
+    // Mix the cached endpoint with /stats, which renders every time.
+    const std::string target = (i % 3 == 2) ? std::string("/stats") : lookup;
+    Result<HttpResponse> response = conn.Get(target);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response.ValueOrDie().status, 200);
+    EXPECT_TRUE(LooksLikeJson(response.ValueOrDie().body))
+        << response.ValueOrDie().body;
+  }
+  EXPECT_TRUE(conn.connected());
+  EXPECT_EQ(conn.requests_sent(), static_cast<uint64_t>(kRequests));
+
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.connections_accepted, 1u);
+  EXPECT_GE(counters.requests, static_cast<uint64_t>(kRequests));
+  EXPECT_GE(counters.connections_reused, static_cast<uint64_t>(kRequests - 1));
+  EXPECT_GT(counters.cache_hits, 0u);
+  EXPECT_GT(counters.cache_misses, 0u);  // the /stats renders
+  EXPECT_GT(counters.writev_bytes, 0u);
+  server.Stop();
+}
+
+TEST_F(ServeWorld, PipelinedRequestsAreAnsweredInOrder) {
+  ServeOptions options;
+  options.num_workers = 1;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  server.Publish(std::make_shared<const CanonStore>(*store_));
+
+  const int fd = ConnectRaw(server.port());
+  ASSERT_GE(fd, 0);
+  // Three requests in one burst; the last one closes the connection so
+  // EOF frames the full pipeline for the reader.
+  const std::string batch =
+      "GET /lookup?surface=UMD HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /cluster?id=0 HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /stats HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(SendRaw(fd, batch));
+  const std::string raw = ReadUntilEof(fd);
+  ::close(fd);
+
+  EXPECT_EQ(CountOccurrences(raw, "HTTP/1.1 200 OK"), 3u) << raw;
+  const size_t first = raw.find("\"surface\":\"UMD\"");
+  const size_t second = raw.find("\"cluster\":{");
+  const size_t third = raw.find("\"published\":true");
+  EXPECT_NE(first, std::string::npos) << raw;
+  EXPECT_NE(second, std::string::npos) << raw;
+  EXPECT_NE(third, std::string::npos) << raw;
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+  server.Stop();
+}
+
+TEST_F(ServeWorld, SlowLorisAndIdleConnectionsTimeOut) {
+  ServeOptions options;
+  options.num_workers = 1;
+  options.idle_timeout_ms = 100;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  server.Publish(std::make_shared<const CanonStore>(*store_));
+
+  // Slow loris: a request head that trickles in and never completes.
+  const int slow_fd = ConnectRaw(server.port());
+  ASSERT_GE(slow_fd, 0);
+  ASSERT_TRUE(SendRaw(slow_fd, "GET /stats HTT"));
+  const std::string raw = ReadUntilEof(slow_fd);  // server must close
+  ::close(slow_fd);
+  EXPECT_NE(raw.find("HTTP/1.1 408"), std::string::npos) << raw;
+
+  // Plain idle connection: closed quietly, no response owed.
+  const int idle_fd = ConnectRaw(server.port());
+  ASSERT_GE(idle_fd, 0);
+  EXPECT_EQ(ReadUntilEof(idle_fd), "");
+  ::close(idle_fd);
+
+  EXPECT_GE(server.counters().connections_timed_out, 2u);
+  server.Stop();
+}
+
+TEST_F(ServeWorld, OversizedRequestHeadIsRejectedWith431) {
+  ServeOptions options;
+  options.num_workers = 1;
+  CanonServer server(options);  // default 16 KiB cap
+  ASSERT_TRUE(server.Start().ok());
+  server.Publish(std::make_shared<const CanonStore>(*store_));
+
+  const int fd = ConnectRaw(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string huge =
+      "GET /stats HTTP/1.1\r\nX-Filler: " + std::string(18 * 1024, 'x');
+  ASSERT_TRUE(SendRaw(fd, huge));  // no terminator: the cap must trip
+  const std::string raw = ReadUntilEof(fd);
+  ::close(fd);
+  EXPECT_NE(raw.find("HTTP/1.1 431"), std::string::npos) << raw;
+  EXPECT_GE(server.counters().bad_request, 1u);
+  server.Stop();
+}
+
+TEST_F(ServeWorld, PrerenderOffServesIdenticalBytesToPrerenderOn) {
+  ServeOptions cached_options;
+  cached_options.num_workers = 1;
+  ServeOptions rendered_options;
+  rendered_options.num_workers = 1;
+  rendered_options.prerender = false;
+  CanonServer cached_server(cached_options);
+  CanonServer rendered_server(rendered_options);
+  ASSERT_TRUE(cached_server.Start().ok());
+  ASSERT_TRUE(rendered_server.Start().ok());
+  auto store = std::make_shared<const CanonStore>(*store_);
+  cached_server.Publish(store);
+  rendered_server.Publish(store);
+
+  const std::vector<std::string> targets = {
+      "/lookup?surface=" + UrlEncode("University of Maryland"),
+      "/link?surface=" + UrlEncode("UMD"),
+      "/cluster?id=0",
+      "/lookup?surface=zzz",  // 404s render identically too
+  };
+  for (const std::string& target : targets) {
+    Result<HttpResponse> from_cache = HttpGet(cached_server.port(), target);
+    Result<HttpResponse> from_render =
+        HttpGet(rendered_server.port(), target);
+    ASSERT_TRUE(from_cache.ok()) << from_cache.status();
+    ASSERT_TRUE(from_render.ok()) << from_render.status();
+    EXPECT_EQ(from_cache.ValueOrDie().status,
+              from_render.ValueOrDie().status)
+        << target;
+    EXPECT_EQ(from_cache.ValueOrDie().body, from_render.ValueOrDie().body)
+        << target;
+  }
+  EXPECT_GT(cached_server.counters().cache_hits, 0u);
+  EXPECT_EQ(rendered_server.counters().cache_hits, 0u);
+  cached_server.Stop();
+  rendered_server.Stop();
+}
+
+// ---------- acceptance: keep-alive + cached path across republish ------------
+
+TEST_F(ServeWorld, KeepAliveCachedReadersNeverMixGenerations) {
+  // The PR 4 mixed-generation invariant, extended to the pre-rendered
+  // cache and keep-alive connections: every body observed over a
+  // long-lived connection while the bundle is republished underneath
+  // must match SOME published generation byte-for-byte — the cache and
+  // its store swap under one pointer, so a cached body can never pair
+  // with a mismatched generation.
+  ServeOptions options;
+  options.num_workers = 4;  // prerender stays on (the default)
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string lookup_target =
+      "/lookup?surface=" + UrlEncode("University of Maryland");
+  const std::string link_target = "/link?surface=" + UrlEncode("U21");
+
+  std::mutex expected_mutex;
+  std::set<std::string> expected_bodies;
+  auto remember = [&](const CanonStore& store) {
+    ServeCounters no_counters;
+    int status = 0;
+    std::lock_guard<std::mutex> lock(expected_mutex);
+    expected_bodies.insert(HandleCanonRequest(
+        &store, "GET", "/lookup?surface=University%20of%20Maryland",
+        no_counters, &status));
+    expected_bodies.insert(HandleCanonRequest(
+        &store, "GET", "/link?surface=U21", no_counters, &status));
+  };
+
+  JoclSession session(dataset_, signals_);
+  session.SetPublishCallback([&](const JoclSession& s) {
+    auto store = std::make_shared<const CanonStore>(BuildCanonStore(
+        s.problem(), s.result(), dataset_->ckb, s.generation()));
+    remember(*store);
+    server.Publish(std::move(store));
+  });
+  ASSERT_TRUE(session.AddTriples({0}).ok());
+
+  constexpr size_t kReaders = 4;
+  constexpr size_t kRequestsPerReader = 150;
+  std::vector<std::string> observed[kReaders];
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      HttpConnection conn;
+      for (size_t i = 0; i < kRequestsPerReader; ++i) {
+        if (!conn.connected()) {
+          Result<HttpConnection> fresh = HttpConnection::Connect(server.port());
+          if (!fresh.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          conn = fresh.MoveValueOrDie();
+        }
+        const std::string& target =
+            (i % 2 == 0) ? lookup_target : link_target;
+        Result<HttpResponse> response = conn.Get(target);
+        if (!response.ok() ||
+            (response.ValueOrDie().status != 200 &&
+             response.ValueOrDie().status != 404) ||
+            !LooksLikeJson(response.ValueOrDie().body)) {
+          failures.fetch_add(1);
+          continue;
+        }
+        observed[r].push_back(response.ValueOrDie().body);
+      }
+    });
+  }
+  ASSERT_TRUE(session.AddTriples({1}).ok());
+  ASSERT_TRUE(session.AddTriples({2}).ok());
+  ASSERT_TRUE(session.RemoveTriples({2}).ok());
+  ASSERT_TRUE(session.AddTriples({2}).ok());
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  std::lock_guard<std::mutex> lock(expected_mutex);
+  ASSERT_GE(expected_bodies.size(), 2u);
+  size_t total = 0;
+  for (size_t r = 0; r < kReaders; ++r) {
+    total += observed[r].size();
+    for (const std::string& body : observed[r]) {
+      EXPECT_TRUE(expected_bodies.count(body) == 1)
+          << "mixed-generation or torn response: " << body;
+    }
+  }
+  EXPECT_EQ(total, kReaders * kRequestsPerReader);
+  const ServeCounters counters = server.counters();
+  EXPECT_GE(counters.publishes, 5u);
+  EXPECT_GT(counters.cache_hits, 0u);
+  EXPECT_GT(counters.connections_reused, 0u);
   server.Stop();
 }
 

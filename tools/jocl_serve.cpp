@@ -13,10 +13,15 @@
 //   jocl_serve [scale] [--port N] [--workers N] [--batches N]
 //              [--snapshot PATH] [--snapshot-out PATH]
 //              [--serve-seconds N] [--retrain]
+//              [--idle-timeout-ms N] [--no-prerender]
 //
 //   scale             workload scale in live mode (default 0.2)
 //   --port N          TCP port (default 0 = ephemeral; printed on start)
-//   --workers N       HTTP worker threads (default 4)
+//   --workers N       epoll event-loop threads (default 4)
+//   --idle-timeout-ms N  close keep-alive connections idle this long
+//                     (default 5000; slow partial requests get a 408)
+//   --no-prerender    skip the pre-rendered response cache; every
+//                     request goes through the allocating renderer
 //   --batches N       ingestion batches in live mode (default 4)
 //   --snapshot PATH   serve this snapshot instead of live ingestion
 //   --snapshot-out P  in live mode, also save a snapshot after each batch
@@ -102,6 +107,10 @@ int main(int argc, char** argv) {
       snapshot_out = v;
     } else if (const char* v = value_of("--serve-seconds")) {
       serve_seconds = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--idle-timeout-ms")) {
+      serve_options.idle_timeout_ms = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--no-prerender") == 0) {
+      serve_options.prerender = false;
     } else if (std::strcmp(argv[i], "--retrain") == 0) {
       retrain = true;
     } else {
@@ -223,5 +232,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(counters.bad_request),
               static_cast<unsigned long long>(counters.unavailable),
               static_cast<unsigned long long>(counters.publishes));
+  std::printf("event loop: %llu connections accepted, %llu keep-alive "
+              "reuses, %llu timed out; cache %llu hits / %llu misses, "
+              "%llu response bytes written\n",
+              static_cast<unsigned long long>(counters.connections_accepted),
+              static_cast<unsigned long long>(counters.connections_reused),
+              static_cast<unsigned long long>(counters.connections_timed_out),
+              static_cast<unsigned long long>(counters.cache_hits),
+              static_cast<unsigned long long>(counters.cache_misses),
+              static_cast<unsigned long long>(counters.writev_bytes));
   return 0;
 }

@@ -2,8 +2,10 @@
 # Serve smoke test: start jocl_serve on an ephemeral port with a small
 # live-ingestion workload, wait for the first published store, curl
 # /stats and /lookup (with a surface the server printed), and assert
-# HTTP 200 + valid JSON on both. CI runs this against the Release build;
-# locally: sh tools/serve_smoke.sh ./build/jocl_serve
+# HTTP 200 + valid JSON on both. Then issue both requests again over a
+# single curl invocation and assert curl reused the connection
+# (keep-alive). CI runs this against the Release build; locally:
+# sh tools/serve_smoke.sh ./build/jocl_serve
 set -u
 
 BIN=${1:-./build/jocl_serve}
@@ -56,4 +58,22 @@ check() {
 
 check "http://127.0.0.1:$PORT/stats"
 check "http://127.0.0.1:$PORT/lookup" -G --data-urlencode "surface=$SURFACE"
+
+# Keep-alive: two requests in one curl invocation share one TCP
+# connection (curl reuses it unless the server sends Connection: close).
+VERBOSE=$(mktemp)
+codes=$(curl -sS -v -o /dev/null -o /dev/null -w '%{http_code}\n' \
+  "http://127.0.0.1:$PORT/stats" "http://127.0.0.1:$PORT/stats" \
+  2> "$VERBOSE") \
+  || { echo "keep-alive curl failed"; cat "$VERBOSE"; rm -f "$VERBOSE"; exit 1; }
+if [ "$(printf '%s\n' "$codes" | grep -c '^200$')" != "2" ]; then
+  echo "keep-alive requests did not both return 200:"; echo "$codes"
+  rm -f "$VERBOSE"; exit 1
+fi
+if ! grep -qi 're-us.* connection' "$VERBOSE"; then
+  echo "curl did not reuse the connection (keep-alive broken):"
+  cat "$VERBOSE"; rm -f "$VERBOSE"; exit 1
+fi
+rm -f "$VERBOSE"
+echo "OK  keep-alive: two requests over one connection"
 echo "serve smoke test passed"
