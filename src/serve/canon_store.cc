@@ -188,10 +188,45 @@ Status ValidateSection(const CanonStore& store, const CanonSection& s) {
       return Invalid("cluster link name id range");
     }
   }
+  // Shard stores carry strictly-ascending global id maps; a monolith
+  // leaves them empty (identity).
+  if (!s.surface_global.empty()) {
+    if (s.surface_global.size() != ns) {
+      return Invalid("surface global map size disagrees");
+    }
+    for (size_t i = 1; i < ns; ++i) {
+      if (s.surface_global[i] <= s.surface_global[i - 1]) {
+        return Invalid("surface global map is not strictly ascending");
+      }
+    }
+  }
+  if (!s.cluster_global.empty()) {
+    if (s.cluster_global.size() != nc) {
+      return Invalid("cluster global map size disagrees");
+    }
+    for (size_t i = 1; i < nc; ++i) {
+      if (s.cluster_global[i] <= s.cluster_global[i - 1]) {
+        return Invalid("cluster global map is not strictly ascending");
+      }
+    }
+  }
   return Status::OK();
 }
 
 }  // namespace
+
+int64_t CanonStore::FindClusterByGlobalId(CanonKind kind,
+                                          uint64_t global_id) const {
+  const CanonSection& s = section(kind);
+  if (s.cluster_global.empty()) {
+    return global_id < s.cluster_count() ? static_cast<int64_t>(global_id)
+                                         : -1;
+  }
+  const auto it = std::lower_bound(s.cluster_global.begin(),
+                                   s.cluster_global.end(), global_id);
+  if (it == s.cluster_global.end() || *it != global_id) return -1;
+  return static_cast<int64_t>(it - s.cluster_global.begin());
+}
 
 int64_t CanonStore::FindSurface(CanonKind kind,
                                 std::string_view surface) const {
@@ -249,6 +284,9 @@ Status ValidateCanonStore(const CanonStore& store) {
                                   store.text_pool.size(), "text offsets"));
   JOCL_RETURN_NOT_OK(ValidateSection(store, store.np));
   JOCL_RETURN_NOT_OK(ValidateSection(store, store.rp));
+  if (store.shard_count > 0 && store.shard_index >= store.shard_count) {
+    return Invalid("shard index out of range");
+  }
   return Status::OK();
 }
 

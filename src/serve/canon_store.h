@@ -61,6 +61,15 @@ struct CanonSection {
   /// Member mentions that voted for the winning link.
   std::vector<uint64_t> cluster_link_votes;
 
+  /// Shard stores only (`BuildShardedCanonStores`): the monolith surface
+  /// id of each local surface, strictly ascending. Empty on a monolith
+  /// store, which means the identity mapping — responses always speak
+  /// global ids, so a shard's JSON is byte-identical to the monolith's.
+  std::vector<uint32_t> surface_global;
+  /// Monolith cluster id of each local cluster, strictly ascending;
+  /// empty = identity (monolith store).
+  std::vector<uint32_t> cluster_global;
+
   size_t surface_count() const { return surface_text.size(); }
   size_t cluster_count() const { return cluster_link.size(); }
 };
@@ -91,6 +100,11 @@ struct CanonStore {
   uint64_t triple_count = 0;
   /// Publication stamp (the session batch that produced the store).
   uint64_t generation = 0;
+  /// Shard identity (`BuildShardedCanonStores`): this store holds the
+  /// surfaces whose FNV-1a hash lands on `shard_index` of `shard_count`.
+  /// A monolith store has shard_count == 0.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;
 
   size_t string_count() const {
     return text_offset.empty() ? 0 : text_offset.size() - 1;
@@ -145,6 +159,26 @@ struct CanonStore {
   std::string_view ClusterLinkName(CanonKind kind, size_t cluster) const {
     return Text(section(kind).cluster_link_name[cluster]);
   }
+
+  /// Monolith id of a local surface (identity on a monolith store).
+  /// Responses always print global ids, so shard and monolith stores
+  /// render byte-identical JSON for the same surface.
+  uint32_t GlobalSurfaceId(CanonKind kind, size_t surface) const {
+    const CanonSection& s = section(kind);
+    return s.surface_global.empty() ? static_cast<uint32_t>(surface)
+                                    : s.surface_global[surface];
+  }
+
+  /// Monolith id of a local cluster (identity on a monolith store).
+  uint32_t GlobalClusterId(CanonKind kind, size_t cluster) const {
+    const CanonSection& s = section(kind);
+    return s.cluster_global.empty() ? static_cast<uint32_t>(cluster)
+                                    : s.cluster_global[cluster];
+  }
+
+  /// Local cluster id for a monolith cluster id, or -1 when this store
+  /// does not carry the cluster. O(log n) (the global map is ascending).
+  int64_t FindClusterByGlobalId(CanonKind kind, uint64_t global_id) const;
 };
 
 /// \brief Builds the immutable serving index over a decoded result.

@@ -78,6 +78,21 @@ bool ParseStatusLine(std::string_view head, int* status) {
   return true;
 }
 
+/// Parses the serving tier's `X-Jocl-Generation` header out of a header
+/// block; -1 when absent or malformed.
+int64_t ParseGenerationHeader(std::string_view headers) {
+  bool found = false;
+  const std::string_view text =
+      FindHeaderValue(headers, "x-jocl-generation", &found);
+  if (!found || text.empty() ||
+      text.find_first_not_of("0123456789") != std::string_view::npos) {
+    return -1;
+  }
+  int64_t value = 0;
+  for (char c : text) value = value * 10 + (c - '0');
+  return value;
+}
+
 }  // namespace
 
 std::string UrlEncode(std::string_view value) {
@@ -134,6 +149,11 @@ Result<HttpResponse> HttpGet(int port, const std::string& target) {
   const size_t header_end = raw.find("\r\n\r\n");
   if (header_end == std::string::npos) {
     return Status::IOError("HTTP response missing header terminator");
+  }
+  const std::string_view head(raw.data(), header_end);
+  const size_t line_end = head.find("\r\n");
+  if (line_end != std::string_view::npos) {
+    response.generation = ParseGenerationHeader(head.substr(line_end + 2));
   }
   response.body = raw.substr(header_end + 4);
   return response;
@@ -237,6 +257,7 @@ Result<HttpResponse> HttpConnection::Get(const std::string& target) {
   const std::string_view connection =
       FindHeaderValue(headers, "connection", &found);
   const bool server_closes = found && connection == "close";
+  response.generation = ParseGenerationHeader(headers);
 
   // Body: exactly Content-Length bytes; any surplus stays buffered for
   // the next response on this connection.

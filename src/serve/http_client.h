@@ -9,10 +9,14 @@
 
 namespace jocl {
 
-/// \brief A parsed HTTP response (status line + body; headers dropped).
+/// \brief A parsed HTTP response (status line + body; headers dropped,
+/// except the serving tier's generation stamp).
 struct HttpResponse {
   int status = 0;
   std::string body;
+  /// Value of the `X-Jocl-Generation` response header; -1 when absent
+  /// (errors rendered without a published store, non-JOCL servers).
+  int64_t generation = -1;
 };
 
 /// \brief Minimal blocking HTTP/1.1 GET against 127.0.0.1:\p port in

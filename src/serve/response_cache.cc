@@ -11,12 +11,16 @@ namespace jocl {
 namespace {
 
 /// The arena entry layout shared with the fallback renderer: status
-/// line + fixed headers + Content-Length, stopping before the
-/// Connection line so the event loop can finish the head per request.
-void AppendResponseHead(std::string* arena, size_t body_len) {
+/// line + fixed headers + Content-Length + the store's generation,
+/// stopping before the Connection line so the event loop can finish the
+/// head per request.
+void AppendResponseHead(std::string* arena, size_t body_len,
+                        uint64_t generation) {
   arena->append("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
                 "Content-Length: ");
   arena->append(std::to_string(body_len));
+  arena->append("\r\nX-Jocl-Generation: ");
+  arena->append(std::to_string(generation));
   arena->append("\r\n");
 }
 
@@ -92,9 +96,16 @@ bool ResponseCache::Find(std::string_view method, std::string_view target,
     uint64_t id = 0;
     for (char c : raw_id) {
       id = id * 10 + static_cast<uint64_t>(c - '0');
-      if (id >= kc.cluster.size()) return false;  // fallback renders the 404
+      if (id > 0xffffffffull) return false;  // fallback renders the 404
     }
-    slice = &kc.cluster[id];
+    // Targets carry global ids; on a shard the global map takes them to
+    // the local slice index.
+    const int64_t local =
+        store_->FindClusterByGlobalId(kind, id);
+    if (local < 0 || static_cast<size_t>(local) >= kc.cluster.size()) {
+      return false;  // fallback renders the 404
+    }
+    slice = &kc.cluster[static_cast<size_t>(local)];
   } else {
     std::string_view raw_surface;
     if (FindQueryValue(query, "surface", &raw_surface) != QueryScan::kFound) {
@@ -117,6 +128,7 @@ bool ResponseCache::Find(std::string_view method, std::string_view target,
 
 ResponseCache BuildResponseCache(const CanonStore& store) {
   ResponseCache cache;
+  cache.store_ = &store;
   std::string& arena = cache.arena_;
   const ServeCounters no_counters;
   for (CanonKind kind : {CanonKind::kNp, CanonKind::kRp}) {
@@ -139,7 +151,7 @@ ResponseCache BuildResponseCache(const CanonStore& store) {
           HandleCanonRequest(&store, "GET", target, no_counters, &status);
       if (status != 200) return;  // leave the slice empty: always a miss
       slice->offset = arena.size();
-      AppendResponseHead(&arena, body.size());
+      AppendResponseHead(&arena, body.size(), store.generation);
       slice->header_len = static_cast<uint32_t>(arena.size() - slice->offset);
       arena.append(body);
       slice->body_len = static_cast<uint32_t>(body.size());
@@ -152,7 +164,11 @@ ResponseCache BuildResponseCache(const CanonStore& store) {
       render("/link?surface=" + encoded, &kc.link[s]);
     }
     for (size_t c = 0; c < section.cluster_count(); ++c) {
-      render("/cluster?id=" + std::to_string(c) + KindQuerySuffix(kind),
+      // Targets speak global ids, matching what clients (and the
+      // router) actually request against a shard.
+      render("/cluster?id=" +
+                 std::to_string(store.GlobalClusterId(kind, c)) +
+                 KindQuerySuffix(kind),
              &kc.cluster[c]);
     }
   }

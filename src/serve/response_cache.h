@@ -102,6 +102,10 @@ class ResponseCache {
 
   std::string arena_;
   KindCache kinds_[2];  ///< indexed by CanonKind
+  /// The store the cache was rendered from (global→local cluster id
+  /// mapping on the hot path). Same lifetime rule as the arena's key
+  /// views: the bundle keeps store and cache together.
+  const CanonStore* store_ = nullptr;
 };
 
 /// \brief Renders the hot-endpoint responses of \p store into a fresh

@@ -1,0 +1,228 @@
+#include "serve/router.h"
+
+#include <utility>
+
+#include "serve/http_util.h"
+#include "serve/json.h"
+#include "serve/shard_store.h"
+
+namespace jocl {
+
+struct CanonRouter::RouterContext : ThreadContext {
+  std::vector<HttpConnection> conns;  ///< by shard
+  std::vector<int> ports;             ///< port each conn was opened to
+};
+
+CanonRouter::CanonRouter(std::vector<int> shard_ports, ServeOptions options)
+    : EventHttpServer(std::move(options)) {
+  shards_.reserve(shard_ports.size());
+  for (int port : shard_ports) {
+    shards_.push_back(std::make_unique<ShardState>());
+    shards_.back()->port.store(port, std::memory_order_relaxed);
+  }
+}
+
+CanonRouter::~CanonRouter() {
+  // Must run here, not in the base destructor: event threads dispatch
+  // into our virtual HandleRequest until they are joined.
+  Stop();
+}
+
+void CanonRouter::SetShardPort(size_t shard, int port) {
+  shards_[shard]->port.store(port, std::memory_order_relaxed);
+}
+
+int CanonRouter::shard_port(size_t shard) const {
+  return shards_[shard]->port.load(std::memory_order_relaxed);
+}
+
+int64_t CanonRouter::shard_generation(size_t shard) const {
+  return shards_[shard]->generation.load(std::memory_order_relaxed);
+}
+
+std::unique_ptr<EventHttpServer::ThreadContext>
+CanonRouter::MakeThreadContext() {
+  auto ctx = std::make_unique<RouterContext>();
+  ctx->conns.resize(shards_.size());
+  ctx->ports.assign(shards_.size(), -1);
+  return ctx;
+}
+
+bool CanonRouter::Forward(RouterContext* ctx, size_t shard,
+                          const std::string& target, HttpResponse* out) {
+  ShardState& state = *shards_[shard];
+  const int port = state.port.load(std::memory_order_relaxed);
+  if (port <= 0) {
+    state.failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  HttpConnection& conn = ctx->conns[shard];
+  // Reconnect when the backend moved (recovery publishes a fresh
+  // ephemeral port) or the previous request broke the connection.
+  if (!conn.connected() || ctx->ports[shard] != port) {
+    Result<HttpConnection> fresh =
+        HttpConnection::Connect(port, backend_timeout_ms_);
+    if (!fresh.ok()) {
+      state.failures.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    conn = fresh.MoveValueOrDie();
+    ctx->ports[shard] = port;
+  }
+  Result<HttpResponse> got = conn.Get(target);
+  if (!got.ok()) {
+    // Retry once on a fresh connection: a kept-alive socket dies with
+    // its backend process, but the shard may already be back.
+    state.retries.fetch_add(1, std::memory_order_relaxed);
+    const int retry_port = state.port.load(std::memory_order_relaxed);
+    Result<HttpConnection> fresh =
+        HttpConnection::Connect(retry_port, backend_timeout_ms_);
+    if (!fresh.ok()) {
+      state.failures.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    conn = fresh.MoveValueOrDie();
+    ctx->ports[shard] = retry_port;
+    got = conn.Get(target);
+    if (!got.ok()) {
+      state.failures.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  *out = got.MoveValueOrDie();
+  state.forwarded.fetch_add(1, std::memory_order_relaxed);
+  if (out->generation >= 0) {
+    state.generation.store(out->generation, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void CanonRouter::Relay(HttpResponse response, HttpReply* reply) {
+  reply->status = response.status;
+  reply->body = std::move(response.body);
+  if (response.generation >= 0) {
+    reply->extra_headers = "X-Jocl-Generation: " +
+                           std::to_string(response.generation) + "\r\n";
+  }
+}
+
+std::string CanonRouter::StatsJson() const {
+  const ServeCounters c = counters();
+  std::string out = "{\"router\":true,\"shards\":";
+  out.append(std::to_string(shards_.size()));
+  out.append(",\"per_shard\":[");
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    const ShardState& s = *shards_[k];
+    if (k > 0) out.push_back(',');
+    out.append("{\"port\":");
+    out.append(std::to_string(s.port.load(std::memory_order_relaxed)));
+    out.append(",\"generation\":");
+    out.append(
+        std::to_string(s.generation.load(std::memory_order_relaxed)));
+    out.append(",\"forwarded\":");
+    out.append(std::to_string(s.forwarded.load(std::memory_order_relaxed)));
+    out.append(",\"retries\":");
+    out.append(std::to_string(s.retries.load(std::memory_order_relaxed)));
+    out.append(",\"failures\":");
+    out.append(std::to_string(s.failures.load(std::memory_order_relaxed)));
+    out.push_back('}');
+  }
+  out.append("],\"requests\":");
+  out.append(std::to_string(c.requests));
+  out.append(",\"ok\":");
+  out.append(std::to_string(c.ok));
+  out.append(",\"not_found\":");
+  out.append(std::to_string(c.not_found));
+  out.append(",\"bad_request\":");
+  out.append(std::to_string(c.bad_request));
+  out.append(",\"unavailable\":");
+  out.append(std::to_string(c.unavailable));
+  out.append(",\"events\":{\"accepted\":");
+  out.append(std::to_string(c.connections_accepted));
+  out.append(",\"reused\":");
+  out.append(std::to_string(c.connections_reused));
+  out.append(",\"timed_out\":");
+  out.append(std::to_string(c.connections_timed_out));
+  out.append(",\"writev_bytes\":");
+  out.append(std::to_string(c.writev_bytes));
+  out.append("}}");
+  return out;
+}
+
+void CanonRouter::HandleRequest(const RequestHead& request,
+                                ThreadContext* context, HttpReply* reply) {
+  RouterContext* ctx = static_cast<RouterContext*>(context);
+  if (request.method != "GET") {
+    reply->status = 405;
+    reply->body = ErrorBody("method not allowed (GET only)");
+    return;
+  }
+  std::string_view path = request.target;
+  std::string_view query_text;
+  const size_t qmark = request.target.find('?');
+  if (qmark != std::string_view::npos) {
+    path = std::string_view(request.target).substr(0, qmark);
+    query_text = std::string_view(request.target).substr(qmark + 1);
+  }
+  if (path == "/stats") {
+    reply->status = 200;
+    reply->body = StatsJson();
+    return;
+  }
+  const std::string target(request.target);
+  if (path == "/cluster") {
+    // Broadcast: the owner of any member carries the cluster, so the
+    // first non-404 answer is authoritative; ids nobody carries 404
+    // with the monolith's exact body on every shard. Each relayed body
+    // comes from exactly one shard — never merged.
+    HttpResponse last;
+    bool have_last = false;
+    bool any_down = false;
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      HttpResponse response;
+      if (!Forward(ctx, k, target, &response)) {
+        any_down = true;
+        continue;
+      }
+      if (response.status != 404) {
+        Relay(std::move(response), reply);
+        return;
+      }
+      last = std::move(response);
+      have_last = true;
+    }
+    if (any_down || !have_last) {
+      reply->status = 503;
+      reply->body = ErrorBody("one or more shards unavailable");
+      return;
+    }
+    Relay(std::move(last), reply);
+    return;
+  }
+  if (path != "/lookup" && path != "/link") {
+    reply->status = 404;
+    reply->body = "{\"error\":\"unknown endpoint\",\"path\":";
+    AppendJsonString(&reply->body, path);
+    reply->body.push_back('}');
+    return;
+  }
+  const QueryParams query = ParseQuery(query_text);
+  const std::string* surface = query.Find("surface");
+  if (surface == nullptr) {
+    reply->status = 400;
+    reply->body = ErrorBody("missing required parameter 'surface'");
+    return;
+  }
+  const uint32_t shard =
+      ShardOfSurface(*surface, static_cast<uint32_t>(shards_.size()));
+  HttpResponse response;
+  if (!Forward(ctx, shard, target, &response)) {
+    reply->status = 503;
+    reply->body =
+        ErrorBody("shard " + std::to_string(shard) + " unavailable");
+    return;
+  }
+  Relay(std::move(response), reply);
+}
+
+}  // namespace jocl

@@ -1,66 +1,18 @@
 #ifndef JOCL_SERVE_SERVER_H_
 #define JOCL_SERVE_SERVER_H_
 
-#include <sys/uio.h>
-
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
 #include "serve/canon_store.h"
+#include "serve/event_server.h"
 #include "serve/response_cache.h"
 #include "util/result.h"
 
 namespace jocl {
-
-/// \brief Execution knobs of the serving front end.
-struct ServeOptions {
-  /// TCP port to bind on 127.0.0.1; 0 = any free (ephemeral) port, read
-  /// back via `CanonServer::port()`.
-  int port = 0;
-  /// Event-loop threads. Each runs its own epoll instance over its own
-  /// `SO_REUSEPORT` listener, so accepted connections are kernel-
-  /// distributed and never migrate between threads (no cross-thread
-  /// locks on the hot path). Kept under its historical name — before
-  /// the event loop these were pool workers.
-  size_t num_workers = 4;
-  /// Listen backlog (per listener).
-  int backlog = 64;
-  /// A connection is closed when this long passes without progress —
-  /// both the keep-alive idle case and the slow-loris partial-request
-  /// case (the latter is answered with 408 best-effort first).
-  int idle_timeout_ms = 5000;
-  /// Requests whose head exceeds this are rejected with 431 and the
-  /// connection is closed.
-  size_t max_request_bytes = 16 * 1024;
-  /// Pre-render hot-endpoint responses on every Publish (the
-  /// parse → binary-search → writev path). Disable to serve through
-  /// the allocating renderer only — bench_serve measures the gap.
-  bool prerender = true;
-};
-
-/// \brief Monotonic request counters (one snapshot, not a live view).
-struct ServeCounters {
-  uint64_t requests = 0;     ///< requests fully handled (not connections)
-  uint64_t ok = 0;           ///< 200 responses
-  uint64_t not_found = 0;    ///< 404 responses
-  uint64_t bad_request = 0;  ///< 400/405/408/431 responses
-  uint64_t unavailable = 0;  ///< 503 (no store published yet)
-  uint64_t publishes = 0;    ///< store swaps
-  // Event-loop counters (PR 7).
-  uint64_t connections_accepted = 0;   ///< accept() successes
-  uint64_t connections_reused = 0;     ///< requests served on a connection
-                                       ///< past its first request
-  uint64_t connections_timed_out = 0;  ///< idle/slow closes by the loop
-  uint64_t cache_hits = 0;             ///< answered from the arena
-  uint64_t cache_misses = 0;           ///< rendered by the fallback path
-  uint64_t writev_bytes = 0;           ///< response bytes written
-};
 
 /// \brief Pure request dispatcher behind the event loop: routes a
 /// request target (`/lookup?surface=...`, `/cluster?id=...`,
@@ -69,21 +21,19 @@ struct ServeCounters {
 /// endpoints, zeroed `/stats`). Sets \p http_status to the response
 /// code. Exposed separately so tests can drive routing without sockets
 /// and `BuildResponseCache` can pre-render byte-identical bodies.
+///
+/// Surface and cluster ids in responses are always **global** (monolith)
+/// ids — on a shard store they go through the section's global maps —
+/// so the owner shard's body is byte-identical to the monolith's for
+/// the same request.
 std::string HandleCanonRequest(const CanonStore* store,
                                std::string_view method,
                                std::string_view target,
                                const ServeCounters& counters,
                                int* http_status);
 
-/// \brief Dependency-free event-driven HTTP/1.1 front end over an
-/// RCU-swapped (store + pre-rendered cache) bundle.
-///
-/// `num_workers` event threads each own an epoll instance and an
-/// `SO_REUSEPORT` listener on 127.0.0.1; a connection lives on the
-/// thread that accepted it for its whole life. Connections are
-/// keep-alive by default (HTTP/1.1 semantics), requests may be
-/// pipelined, and per-connection state machines enforce idle /
-/// slow-client timeouts and the request-size cap off the epoll timer.
+/// \brief The single-store serving front end: an `EventHttpServer`
+/// over an RCU-swapped (store + pre-rendered cache) bundle.
 ///
 /// The served state is a `std::shared_ptr<const ServingBundle>` — the
 /// CanonStore plus the responses pre-rendered from it — read with
@@ -95,29 +45,19 @@ std::string HandleCanonRequest(const CanonStore* store,
 /// parse → binary-search → `writev` of precomputed header + body —
 /// zero allocation, zero JSON work.
 ///
+/// Every response rendered from a published store carries an
+/// `X-Jocl-Generation` header — the router and the distributed tests
+/// use it to prove generation consistency end to end.
+///
 /// Endpoints (reference + worked curl examples in docs/serving.md):
 ///   GET /lookup?surface=S[&kind=np|rp]   cluster + members + link of S
 ///   GET /cluster?id=N[&kind=np|rp]       members + link of cluster N
 ///   GET /link?surface=S[&kind=np|rp]     canonical CKB link of S
 ///   GET /stats                           store + request counters
-class CanonServer {
+class CanonServer : public EventHttpServer {
  public:
   explicit CanonServer(ServeOptions options = {});
-  ~CanonServer();
-
-  CanonServer(const CanonServer&) = delete;
-  CanonServer& operator=(const CanonServer&) = delete;
-
-  /// Binds the listeners, spawns the event threads. Fails with a
-  /// descriptive Status when the port is taken or epoll setup fails.
-  Status Start();
-
-  /// Closes every connection and listener, joins all event threads.
-  /// Idempotent; also run by the destructor.
-  void Stop();
-
-  /// The bound port (after a successful Start).
-  int port() const { return port_; }
+  ~CanonServer() override;
 
   /// Atomically swaps the served store; when pre-rendering is enabled
   /// the response cache is built here (publisher's cost, never the
@@ -129,73 +69,19 @@ class CanonServer {
   /// The currently served store (atomic load; may be null).
   std::shared_ptr<const CanonStore> store() const;
 
-  ServeCounters counters() const;
+  ServeCounters counters() const override;
+
+ protected:
+  void HandleRequest(const RequestHead& request, ThreadContext* context,
+                     HttpReply* reply) override;
 
  private:
-  /// Per-connection state machine.
-  struct Conn {
-    std::string in;        ///< buffered unparsed request bytes
-    std::string out;       ///< response bytes awaiting POLLOUT
-    int64_t last_activity_ms = 0;
-    uint64_t requests_served = 0;
-    bool close_after_drain = false;  ///< close once `out` empties
-    bool broken = false;             ///< fatal write error; owner closes
-  };
-
-  /// One event thread: epoll instance + SO_REUSEPORT listener + its
-  /// connections. Only its own thread touches `conns`.
-  struct EventThread {
-    int epoll_fd = -1;
-    int listen_fd = -1;
-    int wake_fd = -1;  ///< eventfd; Stop() writes to break epoll_wait
-    std::unordered_map<int, Conn> conns;
-    std::thread thread;
-  };
-
-  Status OpenListener(int* out_fd);
-  void EventLoop(EventThread* et);
-  void AcceptReady(EventThread* et);
-  void Readable(EventThread* et, int fd, Conn* conn);
-  /// Drains complete pipelined requests out of `conn->in`. Returns
-  /// false when it closed the connection.
-  bool ProcessBuffered(EventThread* et, int fd, Conn* conn);
-  /// Answers one parsed request; returns false when the connection must
-  /// close (protocol error or Connection: close).
-  bool ServeRequest(EventThread* et, int fd, Conn* conn,
-                    std::string_view head);
-  void SendCached(EventThread* et, int fd, Conn* conn,
-                  const ResponseCache::Hit& hit, bool keep_alive);
-  void SendRendered(EventThread* et, int fd, Conn* conn, int http_status,
-                    std::string_view body, bool keep_alive);
-  /// One gather write of `iov`; the unsent remainder is queued on
-  /// `conn->out` with EPOLLOUT armed. Sets `conn->broken` on error.
-  void QueueOrSend(EventThread* et, int fd, Conn* conn, iovec* iov,
-                   int iovcnt);
-  void FlushOut(EventThread* et, int fd, Conn* conn);
-  void CloseConn(EventThread* et, int fd);
-  void SweepTimeouts(EventThread* et, int64_t now_ms);
-  void CountStatus(int http_status);
-
-  ServeOptions options_;
-  int port_ = 0;
-  std::atomic<bool> running_{false};
-  std::vector<std::unique_ptr<EventThread>> event_threads_;
-
   /// Accessed only through std::atomic_load / std::atomic_store.
   std::shared_ptr<const ServingBundle> bundle_;
 
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> ok_{0};
-  std::atomic<uint64_t> not_found_{0};
-  std::atomic<uint64_t> bad_request_{0};
-  std::atomic<uint64_t> unavailable_{0};
   std::atomic<uint64_t> publishes_{0};
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_reused_{0};
-  std::atomic<uint64_t> connections_timed_out_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
-  std::atomic<uint64_t> writev_bytes_{0};
 };
 
 }  // namespace jocl

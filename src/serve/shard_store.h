@@ -1,0 +1,51 @@
+#ifndef JOCL_SERVE_SHARD_STORE_H_
+#define JOCL_SERVE_SHARD_STORE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "serve/canon_store.h"
+#include "util/result.h"
+
+namespace jocl {
+
+/// \brief The shard a surface form lives on: FNV-1a 64 of the surface
+/// bytes modulo \p num_shards (0 when num_shards is 0). The one hash
+/// every tier agrees on — `BuildShardedCanonStores` partitions with it,
+/// `CanonRouter` routes with it, and smart clients may shard with it
+/// directly.
+uint32_t ShardOfSurface(std::string_view surface, uint32_t num_shards);
+
+/// \brief Partitions a monolith store into \p num_shards shard stores.
+///
+/// Shard k owns every surface whose `ShardOfSurface` is k, and
+/// additionally carries the full membership of every cluster an owned
+/// surface belongs to (so `/lookup` can render complete member lists
+/// without leaving the shard). Each shard is a fully valid store
+/// (`ValidateCanonStore` passes, snapshots round-trip) whose sections
+/// carry `surface_global` / `cluster_global` maps back to monolith ids —
+/// responses always speak global ids, so the owner shard's rendered
+/// JSON for a surface is byte-identical to the monolith's.
+///
+/// Deterministic: the same monolith and shard count always produce the
+/// same shard stores, and `MergeShardedCanonStores` reconstructs the
+/// monolith's exact snapshot bytes — the union is byte-equivalent to
+/// the monolith (asserted in tests/serve_distributed_test.cc).
+///
+/// Fails only on bad arguments: zero shards, or a store that is itself
+/// already a shard.
+Result<std::vector<CanonStore>> BuildShardedCanonStores(
+    const CanonStore& monolith, uint32_t num_shards);
+
+/// \brief Reassembles the monolith from a complete shard set (any
+/// order). The inverse of `BuildShardedCanonStores`:
+/// `SerializeSnapshot(merge(split(m))) == SerializeSnapshot(m)`.
+/// Fails with a descriptive Status on an incomplete, duplicated or
+/// mixed-generation shard set.
+Result<CanonStore> MergeShardedCanonStores(
+    const std::vector<CanonStore>& shards);
+
+}  // namespace jocl
+
+#endif  // JOCL_SERVE_SHARD_STORE_H_

@@ -258,16 +258,136 @@ TEST_F(ServeWorld, LoadRejectsWrongMagic) {
 
 TEST_F(ServeWorld, LoadRejectsFutureVersion) {
   std::string corrupt = SerializeSnapshot(*store_);
-  corrupt[8] = 2;  // version field (little-endian u32 at offset 8)
+  corrupt[8] = 99;  // version field (little-endian u32 at offset 8)
   Result<CanonStore> loaded = DeserializeSnapshot(corrupt);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(loaded.status().message().find("version 2"), std::string::npos)
+  EXPECT_NE(loaded.status().message().find("version 99"), std::string::npos)
       << loaded.status();
 }
 
 TEST(SnapshotIoTest, LoadRejectsMissingFile) {
   EXPECT_FALSE(LoadSnapshot("/nonexistent/dir/store.snap").ok());
+}
+
+// ---------- delta snapshots --------------------------------------------------
+
+TEST_F(ServeWorld, DeltaSnapshotRoundTripIsByteIdentical) {
+  // Two structurally different generations out of a live session: the
+  // second batch grows the text pool, every array, and the generation.
+  JoclSession session(dataset_, signals_);
+  std::vector<CanonStore> generations;
+  session.SetPublishCallback([&](const JoclSession& s) {
+    generations.push_back(BuildCanonStore(s.problem(), s.result(),
+                                          dataset_->ckb, s.generation()));
+  });
+  ASSERT_TRUE(session.AddTriples({0}).ok());
+  ASSERT_TRUE(session.AddTriples({1, 2}).ok());
+  ASSERT_EQ(generations.size(), 2u);
+  const CanonStore& base = generations[0];
+  const CanonStore& target = generations[1];
+
+  const std::string delta = SerializeDeltaSnapshot(base, target);
+  Result<CanonStore> applied = ApplyDeltaSnapshot(base, delta);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_EQ(SerializeSnapshot(applied.ValueOrDie()),
+            SerializeSnapshot(target));
+
+  // A self-delta degenerates to one "unchanged" op per chunk — far
+  // smaller than any full snapshot.
+  const std::string identity = SerializeDeltaSnapshot(target, target);
+  EXPECT_LT(identity.size(), 200u);
+  Result<CanonStore> same = ApplyDeltaSnapshot(target, identity);
+  ASSERT_TRUE(same.ok()) << same.status();
+  EXPECT_EQ(SerializeSnapshot(same.ValueOrDie()), SerializeSnapshot(target));
+
+  // File round trip.
+  const std::string path = ::testing::TempDir() + "/jocl_serve_test.delta";
+  size_t written = 0;
+  ASSERT_TRUE(SaveDeltaSnapshot(base, target, path, &written).ok());
+  EXPECT_GT(written, 0u);
+  Result<CanonStore> from_file = LoadAndApplyDeltaSnapshot(base, path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  EXPECT_EQ(SerializeSnapshot(from_file.ValueOrDie()),
+            SerializeSnapshot(target));
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeWorld, DeltaRejectsTruncationAndBitFlips) {
+  CanonStore target =
+      BuildCanonStore(*problem_, *result_, dataset_->ckb, /*generation=*/8);
+  const std::string delta = SerializeDeltaSnapshot(*store_, target);
+  ASSERT_GT(delta.size(), 64u);
+
+  // Header truncation.
+  Result<CanonStore> header =
+      ApplyDeltaSnapshot(*store_, std::string_view(delta).substr(0, 12));
+  ASSERT_FALSE(header.ok());
+  EXPECT_NE(header.status().message().find("32-byte header"),
+            std::string::npos)
+      << header.status();
+  // Mid-payload truncation: the header's promised size no longer holds.
+  Result<CanonStore> cut = ApplyDeltaSnapshot(
+      *store_, std::string_view(delta).substr(0, delta.size() - 5));
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kIOError);
+  EXPECT_NE(cut.status().message().find("truncated"), std::string::npos)
+      << cut.status();
+  // One flipped payload byte trips the delta's own checksum.
+  std::string corrupt = delta;
+  corrupt[kSnapshotHeaderBytes + corrupt.size() / 4] ^= 0x20;
+  Result<CanonStore> flipped = ApplyDeltaSnapshot(*store_, corrupt);
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_NE(flipped.status().message().find("checksum"), std::string::npos)
+      << flipped.status();
+}
+
+TEST_F(ServeWorld, DeltaRejectsWrongBaseAndForeignFormats) {
+  CanonStore target =
+      BuildCanonStore(*problem_, *result_, dataset_->ckb, /*generation=*/8);
+  const std::string delta = SerializeDeltaSnapshot(*store_, target);
+
+  // Wrong base generation.
+  CanonStore other =
+      BuildCanonStore(*problem_, *result_, dataset_->ckb, /*generation=*/9);
+  Result<CanonStore> wrong_gen = ApplyDeltaSnapshot(other, delta);
+  ASSERT_FALSE(wrong_gen.ok());
+  EXPECT_EQ(wrong_gen.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(wrong_gen.status().message().find("base generation 7"),
+            std::string::npos)
+      << wrong_gen.status();
+
+  // Same generation, different bytes: the base checksum catches it.
+  CanonStore tweaked = *store_;
+  tweaked.triple_count += 1;
+  Result<CanonStore> wrong_base = ApplyDeltaSnapshot(tweaked, delta);
+  ASSERT_FALSE(wrong_base.ok());
+  EXPECT_EQ(wrong_base.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(wrong_base.status().message().find("does not match this base"),
+            std::string::npos)
+      << wrong_base.status();
+
+  // Future delta version.
+  std::string future = delta;
+  future[8] = 99;  // version field (little-endian u32 at offset 8)
+  Result<CanonStore> version = ApplyDeltaSnapshot(*store_, future);
+  ASSERT_FALSE(version.ok());
+  EXPECT_EQ(version.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(version.status().message().find("version 99"), std::string::npos)
+      << version.status();
+
+  // Cross-format hints: a full snapshot is not a delta and vice versa.
+  Result<CanonStore> full_as_delta =
+      ApplyDeltaSnapshot(*store_, SerializeSnapshot(*store_));
+  ASSERT_FALSE(full_as_delta.ok());
+  EXPECT_NE(full_as_delta.status().message().find("full snapshot"),
+            std::string::npos)
+      << full_as_delta.status();
+  Result<CanonStore> delta_as_full = DeserializeSnapshot(delta);
+  ASSERT_FALSE(delta_as_full.ok());
+  EXPECT_NE(delta_as_full.status().message().find("delta snapshot"),
+            std::string::npos)
+      << delta_as_full.status();
 }
 
 // ---------- JSON helpers -----------------------------------------------------
@@ -574,6 +694,52 @@ TEST(HttpUtilTest, ZeroAllocDecodersAgreeWithAllocatingParser) {
   EXPECT_EQ(raw, "np");
 }
 
+TEST(HttpUtilTest, TruncatedPercentEscapesPassThroughVerbatim) {
+  // Malformed escapes must neither crash nor eat adjacent bytes, and
+  // both decoders must agree on every case.
+  struct Case {
+    std::string_view in;
+    std::string_view want;
+  };
+  const Case kCases[] = {
+      {"abc%", "abc%"},      // bare percent at the end
+      {"abc%4", "abc%4"},    // one hex digit, then EOF
+      {"abc%zz", "abc%zz"},  // non-hex continuation
+      {"%", "%"},
+      {"%%41", "%A"},        // first % malformed, second decodes
+      {"a%2zb", "a%2zb"},    // one good digit, one bad
+      {"%41%", "A%"},
+      {"%ff", "\xff"},       // lowercase hex
+  };
+  char scratch[32];
+  for (const Case& c : kCases) {
+    EXPECT_EQ(UrlDecode(c.in), c.want) << c.in;
+    std::string_view out;
+    ASSERT_TRUE(UrlDecodeInto(c.in, scratch, sizeof(scratch), &out)) << c.in;
+    EXPECT_EQ(out, c.want) << c.in;
+  }
+}
+
+TEST(HttpUtilTest, DuplicateQueryKeysKeepFirstMatch) {
+  const QueryParams params =
+      ParseQuery("kind=np&kind=rp&surface=a&surface=b&empty=&empty=x");
+  ASSERT_NE(params.Find("kind"), nullptr);
+  EXPECT_EQ(*params.Find("kind"), "np");
+  ASSERT_NE(params.Find("surface"), nullptr);
+  EXPECT_EQ(*params.Find("surface"), "a");
+  ASSERT_NE(params.Find("empty"), nullptr);
+  EXPECT_EQ(*params.Find("empty"), "");
+  // An escaped first key still wins after decoding.
+  const QueryParams escaped = ParseQuery("%6Bind=np&kind=rp");
+  ASSERT_NE(escaped.Find("kind"), nullptr);
+  EXPECT_EQ(*escaped.Find("kind"), "np");
+  // The zero-alloc scanner mirrors the semantics on raw keys.
+  std::string_view raw;
+  EXPECT_EQ(FindQueryValue("surface=a&surface=b", "surface", &raw),
+            QueryScan::kFound);
+  EXPECT_EQ(raw, "a");
+}
+
 // ---------- pre-rendered response cache --------------------------------------
 
 TEST_F(ServeWorld, CachedResponsesAreByteIdenticalToRenderedOnes) {
@@ -816,6 +982,70 @@ TEST_F(ServeWorld, OversizedRequestHeadIsRejectedWith431) {
   ::close(fd);
   EXPECT_NE(raw.find("HTTP/1.1 431"), std::string::npos) << raw;
   EXPECT_GE(server.counters().bad_request, 1u);
+  server.Stop();
+}
+
+TEST_F(ServeWorld, OversizedTargetLinesAreRejectedAtTheCap) {
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_request_bytes = 512;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  server.Publish(std::make_shared<const CanonStore>(*store_));
+
+  // Query sizes straddling the cap; the expectation derives from the
+  // full head size, so both sides of the boundary are exercised.
+  const size_t kSurfaceLengths[] = {8, 200, 400, 470, 520, 2048};
+  for (const size_t length : kSurfaceLengths) {
+    const std::string head =
+        "GET /lookup?surface=" + std::string(length, 'z') +
+        " HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n";
+    const bool expect_431 = head.size() > options.max_request_bytes;
+    const int fd = ConnectRaw(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendRaw(fd, head));
+    const std::string raw = ReadUntilEof(fd);
+    ::close(fd);
+    if (expect_431) {
+      EXPECT_NE(raw.find("HTTP/1.1 431"), std::string::npos)
+          << "surface length " << length << ": " << raw.substr(0, 64);
+    } else {
+      // Inside the cap: an ordinary answer (404 — no such surface).
+      EXPECT_NE(raw.find("HTTP/1.1 404"), std::string::npos)
+          << "surface length " << length << ": " << raw.substr(0, 64);
+    }
+  }
+  server.Stop();
+}
+
+TEST_F(ServeWorld, PipelinedRequestsSurviveEveryByteSplit) {
+  ServeOptions options;
+  options.num_workers = 1;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  server.Publish(std::make_shared<const CanonStore>(*store_));
+
+  // Two pipelined requests; the second closes the connection so EOF
+  // frames the pair. Splitting the burst at every byte boundary walks
+  // the parser through every partial-head and partial-pipeline state.
+  const std::string batch =
+      "GET /lookup?surface=UMD HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /stats HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n";
+  for (size_t split = 1; split < batch.size(); ++split) {
+    const int fd = ConnectRaw(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendRaw(fd, std::string_view(batch).substr(0, split)));
+    ASSERT_TRUE(SendRaw(fd, std::string_view(batch).substr(split)));
+    const std::string raw = ReadUntilEof(fd);
+    ::close(fd);
+    EXPECT_EQ(CountOccurrences(raw, "HTTP/1.1 200 OK"), 2u)
+        << "split at byte " << split;
+    const size_t first = raw.find("\"surface\":\"UMD\"");
+    const size_t second = raw.find("\"published\":true");
+    EXPECT_NE(first, std::string::npos) << "split at byte " << split;
+    EXPECT_NE(second, std::string::npos) << "split at byte " << split;
+    EXPECT_LT(first, second) << "split at byte " << split;
+  }
   server.Stop();
 }
 

@@ -1,6 +1,6 @@
 // jocl_serve — the canonical-KB serving front end (src/serve).
 //
-// Serves a CanonStore over HTTP/1.1 on 127.0.0.1. Two modes:
+// Serves a CanonStore over HTTP/1.1 on 127.0.0.1. Two data modes:
 //
 //   * snapshot mode (--snapshot PATH): load a snapshot produced by
 //     jocl_stream --snapshot-out or SaveSnapshot, publish it, serve.
@@ -9,8 +9,18 @@
 //     JoclSession, and republish a fresh store after every batch while
 //     readers keep hitting the old one — the RCU swap never blocks them.
 //
+// And two topologies:
+//
+//   * single (default): one CanonServer serving the monolithic store.
+//   * distributed (--shards N [--router]): every publish partitions the
+//     store with BuildShardedCanonStores and hands shard k to its own
+//     CanonServer on an ephemeral port; with --router a CanonRouter
+//     fronts them on the requested --port, fanning /lookup and /link by
+//     surface hash and broadcasting /cluster.
+//
 // Usage:
 //   jocl_serve [scale] [--port N] [--workers N] [--batches N]
+//              [--shards N] [--router]
 //              [--snapshot PATH] [--snapshot-out PATH]
 //              [--serve-seconds N] [--retrain]
 //              [--idle-timeout-ms N] [--no-prerender]
@@ -18,6 +28,10 @@
 //   scale             workload scale in live mode (default 0.2)
 //   --port N          TCP port (default 0 = ephemeral; printed on start)
 //   --workers N       epoll event-loop threads (default 4)
+//   --shards N        partition each published store into N shard
+//                     backends (default 1 = monolithic)
+//   --router          front the shard backends with a CanonRouter on
+//                     --port; its port prints first
 //   --idle-timeout-ms N  close keep-alive connections idle this long
 //                     (default 5000; slow partial requests get a 408)
 //   --no-prerender    skip the pre-rendered response cache; every
@@ -44,11 +58,14 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/session.h"
 #include "data/generator.h"
 #include "serve/canon_store.h"
+#include "serve/router.h"
 #include "serve/server.h"
+#include "serve/shard_store.h"
 #include "serve/snapshot_io.h"
 #include "util/stopwatch.h"
 
@@ -73,12 +90,35 @@ void PrintSample(const CanonStore& store) {
   }
 }
 
+void PrintCounters(const char* label, const ServeCounters& counters) {
+  std::printf("%s: served %llu requests (%llu ok, %llu not found, "
+              "%llu bad, %llu unavailable), %llu publishes\n",
+              label, static_cast<unsigned long long>(counters.requests),
+              static_cast<unsigned long long>(counters.ok),
+              static_cast<unsigned long long>(counters.not_found),
+              static_cast<unsigned long long>(counters.bad_request),
+              static_cast<unsigned long long>(counters.unavailable),
+              static_cast<unsigned long long>(counters.publishes));
+  std::printf("%s: event loop: %llu connections accepted, %llu keep-alive "
+              "reuses, %llu timed out; cache %llu hits / %llu misses, "
+              "%llu response bytes written\n",
+              label,
+              static_cast<unsigned long long>(counters.connections_accepted),
+              static_cast<unsigned long long>(counters.connections_reused),
+              static_cast<unsigned long long>(counters.connections_timed_out),
+              static_cast<unsigned long long>(counters.cache_hits),
+              static_cast<unsigned long long>(counters.cache_misses),
+              static_cast<unsigned long long>(counters.writev_bytes));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double scale = 0.2;
   size_t batches = 4;
   size_t serve_seconds = 0;
+  size_t shards = 1;
+  bool router_mode = false;
   bool retrain = false;
   std::string snapshot_in;
   std::string snapshot_out;
@@ -101,6 +141,9 @@ int main(int argc, char** argv) {
       serve_options.num_workers = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value_of("--batches")) {
       batches = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--shards")) {
+      shards = static_cast<size_t>(std::atoll(v));
+      if (shards == 0) shards = 1;
     } else if (const char* v = value_of("--snapshot")) {
       snapshot_in = v;
     } else if (const char* v = value_of("--snapshot-out")) {
@@ -111,6 +154,8 @@ int main(int argc, char** argv) {
       serve_options.idle_timeout_ms = std::atoi(v);
     } else if (std::strcmp(argv[i], "--no-prerender") == 0) {
       serve_options.prerender = false;
+    } else if (std::strcmp(argv[i], "--router") == 0) {
+      router_mode = true;
     } else if (std::strcmp(argv[i], "--retrain") == 0) {
       retrain = true;
     } else {
@@ -122,13 +167,65 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
-  CanonServer server(serve_options);
-  Status status = server.Start();
-  if (!status.ok()) return Fail(status);
-  std::printf("listening on http://127.0.0.1:%d\n", server.port());
+  // ---- topology ------------------------------------------------------------
+  const bool distributed = router_mode || shards > 1;
+  std::unique_ptr<CanonServer> single;
+  std::vector<std::unique_ptr<CanonServer>> shard_servers;
+  std::unique_ptr<CanonRouter> router;
+  if (!distributed) {
+    single = std::make_unique<CanonServer>(serve_options);
+    Status status = single->Start();
+    if (!status.ok()) return Fail(status);
+    std::printf("listening on http://127.0.0.1:%d\n", single->port());
+  } else {
+    // Shard backends always bind ephemeral ports; --port belongs to the
+    // router (or, without one, stays unused so two backends never race
+    // for the same port).
+    ServeOptions shard_options = serve_options;
+    shard_options.port = 0;
+    std::vector<int> shard_ports;
+    for (size_t k = 0; k < shards; ++k) {
+      shard_servers.push_back(std::make_unique<CanonServer>(shard_options));
+      Status status = shard_servers.back()->Start();
+      if (!status.ok()) return Fail(status);
+      shard_ports.push_back(shard_servers.back()->port());
+    }
+    if (router_mode) {
+      router = std::make_unique<CanonRouter>(shard_ports, serve_options);
+      Status status = router->Start();
+      if (!status.ok()) return Fail(status);
+      std::printf("listening on http://127.0.0.1:%d\n", router->port());
+      std::printf("router fronting %zu shard(s):", shards);
+    } else {
+      std::printf("listening on http://127.0.0.1:%d\n", shard_ports[0]);
+      std::printf("%zu shard backend(s), no router:", shards);
+    }
+    for (size_t k = 0; k < shards; ++k) {
+      std::printf(" %zu=http://127.0.0.1:%d", k, shard_ports[k]);
+    }
+    std::printf("\n");
+  }
   std::printf("endpoints: /lookup?surface=S[&kind=np|rp]  "
               "/cluster?id=N  /link?surface=S  /stats\n");
   std::fflush(stdout);
+
+  // Publishes one monolithic store generation to the active topology:
+  // straight to the single server, or partitioned across the shard set.
+  auto publish = [&](std::shared_ptr<const CanonStore> store) -> Status {
+    if (!distributed) {
+      single->Publish(std::move(store));
+      return Status::OK();
+    }
+    Result<std::vector<CanonStore>> parts =
+        BuildShardedCanonStores(*store, static_cast<uint32_t>(shards));
+    JOCL_RETURN_NOT_OK(parts.status());
+    std::vector<CanonStore> stores = parts.MoveValueOrDie();
+    for (size_t k = 0; k < stores.size(); ++k) {
+      shard_servers[k]->Publish(
+          std::make_shared<const CanonStore>(std::move(stores[k])));
+    }
+    return Status::OK();
+  };
 
   // ---- snapshot mode -------------------------------------------------------
   if (!snapshot_in.empty()) {
@@ -143,7 +240,8 @@ int main(int argc, char** argv) {
                 store->np.surface_count(), store->np.cluster_count(),
                 static_cast<unsigned long long>(store->generation));
     PrintSample(*store);
-    server.Publish(std::move(store));
+    Status published = publish(std::move(store));
+    if (!published.ok()) return Fail(published);
   } else {
     // ---- live-ingestion mode ----------------------------------------------
     std::printf("generating ReVerb45K-like benchmark (scale %.2f)...\n",
@@ -171,7 +269,11 @@ int main(int argc, char** argv) {
         PrintSample(*store);
         first_publish = false;
       }
-      server.Publish(std::move(store));
+      Status published = publish(std::move(store));
+      if (!published.ok()) {
+        std::fprintf(stderr, "publish failed: %s\n",
+                     published.ToString().c_str());
+      }
     });
     const std::vector<size_t>& stream = ds.test_triples;
     for (size_t b = 0; b < batches && g_stop == 0; ++b) {
@@ -181,7 +283,7 @@ int main(int argc, char** argv) {
                                 stream.begin() + end);
       SessionStats stats;
       Stopwatch watch;
-      status = session.AddTriples(batch, &stats);
+      Status status = session.AddTriples(batch, &stats);
       if (!status.ok()) return Fail(status);
       std::printf("batch %zu/%zu: %zu triples in %.3fs "
                   "(%zu/%zu shards dirty) -> published generation %zu\n",
@@ -202,7 +304,7 @@ int main(int argc, char** argv) {
       if (!weights.ok()) return Fail(weights.status());
       SessionStats stats;
       Stopwatch watch;
-      status = session.UpdateWeights(weights.MoveValueOrDie(), &stats);
+      Status status = session.UpdateWeights(weights.MoveValueOrDie(), &stats);
       if (!status.ok()) return Fail(status);
       std::printf("retrained -> hot-swapped weights, re-inferred %zu shards "
                   "in %.3fs, published generation %zu\n",
@@ -222,24 +324,22 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     if (serve_seconds > 0 && uptime.ElapsedSeconds() >= serve_seconds) break;
   }
-  const ServeCounters counters = server.counters();
-  server.Stop();
-  std::printf("served %llu requests (%llu ok, %llu not found, "
-              "%llu bad, %llu unavailable), %llu publishes\n",
-              static_cast<unsigned long long>(counters.requests),
-              static_cast<unsigned long long>(counters.ok),
-              static_cast<unsigned long long>(counters.not_found),
-              static_cast<unsigned long long>(counters.bad_request),
-              static_cast<unsigned long long>(counters.unavailable),
-              static_cast<unsigned long long>(counters.publishes));
-  std::printf("event loop: %llu connections accepted, %llu keep-alive "
-              "reuses, %llu timed out; cache %llu hits / %llu misses, "
-              "%llu response bytes written\n",
-              static_cast<unsigned long long>(counters.connections_accepted),
-              static_cast<unsigned long long>(counters.connections_reused),
-              static_cast<unsigned long long>(counters.connections_timed_out),
-              static_cast<unsigned long long>(counters.cache_hits),
-              static_cast<unsigned long long>(counters.cache_misses),
-              static_cast<unsigned long long>(counters.writev_bytes));
+  if (!distributed) {
+    const ServeCounters counters = single->counters();
+    single->Stop();
+    PrintCounters("server", counters);
+  } else {
+    if (router) {
+      const ServeCounters counters = router->counters();
+      router->Stop();
+      PrintCounters("router", counters);
+    }
+    for (size_t k = 0; k < shard_servers.size(); ++k) {
+      const ServeCounters counters = shard_servers[k]->counters();
+      shard_servers[k]->Stop();
+      const std::string label = "shard " + std::to_string(k);
+      PrintCounters(label.c_str(), counters);
+    }
+  }
   return 0;
 }

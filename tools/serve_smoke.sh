@@ -4,14 +4,26 @@
 # /stats and /lookup (with a surface the server printed), and assert
 # HTTP 200 + valid JSON on both. Then issue both requests again over a
 # single curl invocation and assert curl reused the connection
-# (keep-alive). CI runs this against the Release build; locally:
-# sh tools/serve_smoke.sh ./build/jocl_serve
+# (keep-alive). With a second argument of "router" the server runs the
+# distributed topology (--shards 2 --router) and the script additionally
+# asserts that a broadcast /cluster probe fanned out to every shard
+# (no per_shard entry left with "forwarded":0). CI runs both modes
+# against the Release build; locally:
+#   sh tools/serve_smoke.sh ./build/jocl_serve
+#   sh tools/serve_smoke.sh ./build/jocl_serve router
 set -u
 
 BIN=${1:-./build/jocl_serve}
+MODE=${2:-single}
 [ -x "$BIN" ] || { echo "missing binary: $BIN"; exit 1; }
+TOPOLOGY=""
+if [ "$MODE" = "router" ]; then
+  TOPOLOGY="--shards 2 --router"
+fi
 LOG=$(mktemp)
-"$BIN" 0.1 --batches 1 --workers 2 --serve-seconds 120 > "$LOG" 2>&1 &
+# shellcheck disable=SC2086  # TOPOLOGY is intentionally word-split
+"$BIN" 0.1 --batches 1 --workers 2 --serve-seconds 120 $TOPOLOGY \
+  > "$LOG" 2>&1 &
 PID=$!
 cleanup() {
   kill "$PID" 2>/dev/null
@@ -58,6 +70,26 @@ check() {
 
 check "http://127.0.0.1:$PORT/stats"
 check "http://127.0.0.1:$PORT/lookup" -G --data-urlencode "surface=$SURFACE"
+
+if [ "$MODE" = "router" ]; then
+  # A /cluster miss broadcasts to every shard before reporting 404
+  # (a hit stops at the first shard that owns the cluster), so after
+  # this probe the router stats must show forwarded > 0 per shard.
+  curl -sS -o /dev/null "http://127.0.0.1:$PORT/cluster?id=999999999" \
+    || { echo "broadcast /cluster probe failed"; exit 1; }
+  STATS=$(curl -sS "http://127.0.0.1:$PORT/stats") \
+    || { echo "router /stats failed"; exit 1; }
+  case "$STATS" in
+    *'"router":true'*) ;;
+    *) echo "stats did not come from the router:"; echo "$STATS"; exit 1 ;;
+  esac
+  FANOUT=$(printf '%s' "$STATS" | grep -o '"forwarded":[0-9]*' | wc -l)
+  IDLE=$(printf '%s' "$STATS" | grep -c '"forwarded":0' || true)
+  if [ "$FANOUT" -lt 2 ] || [ "$IDLE" -ne 0 ]; then
+    echo "router did not fan out to every shard:"; echo "$STATS"; exit 1
+  fi
+  echo "OK  router fan-out: $FANOUT shard(s) all forwarded > 0"
+fi
 
 # Keep-alive: two requests in one curl invocation share one TCP
 # connection (curl reuses it unless the server sends Connection: close).
