@@ -13,6 +13,9 @@
 // Acceptance (ISSUE 7): keep-alive QPS at 16 clients must beat the
 // connection-per-request QPS at 16 clients — this process exits
 // nonzero otherwise, which is the CI gate.
+// Acceptance (ISSUE 9): keep-alive QPS with request-latency histograms
+// live must be >= 0.95x a metrics-off server (ServeOptions::metrics =
+// false) — `metrics_overhead_ratio` in the JSON, also a CI gate.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -295,6 +298,45 @@ int Run() {
     ++failures;
   }
 
+  // ---- metrics overhead at 16 clients (the ISSUE 9 gate) ------------------
+  // Same store, same workers, only ServeOptions::metrics differs: the
+  // metrics-off server skips the two clock reads and the histogram add
+  // per request (counters run either way). Best-of-3, phases alternated
+  // so ambient noise (CI neighbors, frequency scaling) hits both sides.
+  ServeOptions nometrics_options;
+  nometrics_options.num_workers = std::min<size_t>(4, hardware);
+  nometrics_options.metrics = false;
+  CanonServer nometrics_server(nometrics_options);
+  status = nometrics_server.Start();
+  if (!status.ok()) {
+    std::printf("ERROR: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  nometrics_server.Publish(store);
+  double metrics_off_qps = 0.0;
+  double metrics_on_qps = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    HttpPhase off = RunKeepAlivePhase(nometrics_server.port(), targets, 16,
+                                      kKeepAlivePerClient);
+    HttpPhase on = RunKeepAlivePhase(server.port(), targets, 16,
+                                     kKeepAlivePerClient);
+    if (off.errors > 0 || on.errors > 0) ++failures;
+    metrics_off_qps = std::max(metrics_off_qps, off.qps);
+    metrics_on_qps = std::max(metrics_on_qps, on.qps);
+  }
+  nometrics_server.Stop();
+  const double metrics_overhead_ratio =
+      metrics_off_qps > 0.0 ? metrics_on_qps / metrics_off_qps : 0.0;
+  std::printf("metrics overhead at 16 clients: %.3fx QPS with histograms "
+              "live (%.0f vs %.0f QPS metrics-off, best of 3)\n",
+              metrics_overhead_ratio, metrics_on_qps, metrics_off_qps);
+  if (metrics_overhead_ratio < 0.95) {
+    std::printf("FAIL: QPS with latency histograms (%.0f) fell below 0.95x "
+                "the metrics-off baseline (%.0f)\n",
+                metrics_on_qps, metrics_off_qps);
+    ++failures;
+  }
+
   // ---- cached vs rendered (prerender off) at 16 clients -------------------
   ServeOptions rendered_options;
   rendered_options.num_workers = std::min<size_t>(4, hardware);
@@ -446,6 +488,11 @@ int Run() {
                churn_phase.qps, churn_phase.p50_ms, churn_phase.p99_ms,
                publish_ms.size(), publish_p99, publish_max);
   EmitPhase(out, "keepalive_under_churn", 16, keepalive_churn, true);
+  std::fprintf(out,
+               "  \"metrics_overhead\": {\"metrics_on_qps\": %.1f, "
+               "\"metrics_off_qps\": %.1f, \"metrics_overhead_ratio\": "
+               "%.4f},\n",
+               metrics_on_qps, metrics_off_qps, metrics_overhead_ratio);
   std::fprintf(out,
                "  \"counters\": {\"connections_accepted\": %llu, "
                "\"connections_reused\": %llu, \"connections_timed_out\": "

@@ -2,16 +2,50 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "core/decode.h"
 #include "core/graph_builder.h"
 #include "graph/inference.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/worker_pool.h"
 
 namespace jocl {
+namespace {
+
+/// Mirrors a finished run's stats onto the process-wide registry — the
+/// single source `/metrics` and the tools read. The handles are
+/// function-local statics: first call registers, later calls re-use.
+void MirrorRuntimeStats(const RuntimeStats& stats) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  static Counter* runs =
+      global.AddCounter("jocl_infer_runs_total", "", "Full inference runs");
+  static Counter* updates =
+      global.AddCounter("jocl_lbp_message_updates_total", "",
+                        "LBP message updates across all engines");
+  static Counter* pops =
+      global.AddCounter("jocl_lbp_residual_pops_total", "",
+                        "Residual-schedule priority pops");
+  static Counter* skipped =
+      global.AddCounter("jocl_lbp_sweeps_skipped_total", "",
+                        "Converged sweeps the kernel skipped");
+  static Counter* variables = global.AddCounter(
+      "jocl_graph_variables_total", "", "Variables across built graphs");
+  static Counter* factors = global.AddCounter(
+      "jocl_graph_factors_total", "", "Factors across built graphs");
+  runs->Add();
+  updates->Add(stats.message_updates);
+  pops->Add(stats.residual_pops);
+  skipped->Add(stats.sweeps_skipped);
+  variables->Add(stats.variables);
+  factors->Add(stats.factors);
+}
+
+}  // namespace
 
 void MergeShardDiagnostics(const LbpResult& shard, LbpResult* merged) {
   merged->iterations = std::max(merged->iterations, shard.iterations);
@@ -40,10 +74,16 @@ ShardBeliefs RunShardInference(const JoclProblem& local,
                                const ShardWarmStart* warm,
                                ShardRunTimings* timings) {
   Stopwatch watch;
+  // Stage spans land on the caller's current track (the pool worker's
+  // "shard/<s>" scope); one atomic load each when tracing is off.
+  std::optional<ScopedSpan> span;
+  span.emplace("build_graph");
   JoclGraph jgraph = BuildJoclGraph(local, cache, ckb, options.builder);
+  span.reset();
   LbpOptions lbp_options = options.inference;
   lbp_options.factor_schedule = jgraph.schedule;
   lbp_options.num_threads = engine_threads;
+  span.emplace("compile");
   std::unique_ptr<InferenceEngine> engine = CreateInferenceEngine(
       options.inference_backend, &jgraph.graph, &weights, lbp_options);
   if (warm != nullptr) {
@@ -67,9 +107,11 @@ ShardBeliefs RunShardInference(const JoclProblem& local,
     seed(jgraph.rp_vars, warm->rp_prior);
     seed(jgraph.eo_vars, warm->eo_prior);
   }
+  span.reset();
   if (timings != nullptr) timings->graph_seconds = watch.ElapsedSeconds();
 
   watch.Reset();
+  span.emplace("infer");
   ShardBeliefs out;
   out.diagnostics = engine->Run();
   out.diagnostics.marginals.clear();
@@ -108,6 +150,7 @@ ShardBeliefs RunShardInference(const JoclProblem& local,
     extract_links(jgraph.rp_vars, &out.rp_marg, &out.rp_state);
     extract_links(jgraph.eo_vars, &out.eo_marg, &out.eo_state);
   }
+  span.reset();
   if (timings != nullptr) timings->infer_seconds = watch.ElapsedSeconds();
   return out;
 }
@@ -210,18 +253,26 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
   }
   RuntimeStats local_stats;
   Stopwatch watch;
+  ScopedSpan infer_span("runtime_infer");
+  std::optional<ScopedSpan> span;
 
   // ---- global stages: problem, signal cache, partition --------------------
+  span.emplace("build_problem");
   JoclProblem problem =
       BuildProblem(dataset, signals, triple_subset, options_.problem);
+  span.reset();
   local_stats.problem_seconds = watch.ElapsedSeconds();
 
   watch.Reset();
+  span.emplace("signal_cache");
   SignalCache cache = SignalCache::ForProblem(problem, signals, dataset.ckb);
+  span.reset();
   local_stats.cache_seconds = watch.ElapsedSeconds();
 
   watch.Reset();
+  span.emplace("partition");
   ShardPlan plan = PartitionProblem(problem, runtime_.max_shards);
+  span.reset();
   local_stats.partition_seconds = watch.ElapsedSeconds();
   local_stats.shards = plan.shards.size();
   local_stats.components = plan.component_count;
@@ -250,6 +301,10 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
   }
 
   auto run_shard = [&](size_t s) {
+    // Logical track "shard/<s>": the plan index, not the worker thread,
+    // keys the trace — so dumps are identical across thread counts.
+    TraceTrackScope track("shard/", s);
+    ScopedSpan span("shard_run");
     const ProblemShard& shard = plan.shards[s];
     outcomes[s] =
         RunShardInference(shard.problem, cache, dataset.ckb, options_,
@@ -276,6 +331,7 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
 
   // ---- merge + global decode ----------------------------------------------
   watch.Reset();
+  span.emplace("decode");
   LbpResult diagnostics;
   diagnostics.converged = true;
   for (size_t s = 0; s < outcomes.size(); ++s) {
@@ -291,11 +347,13 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
   JoclResult result = AssembleJoclResult(problem, beliefs, options_,
                                          std::move(weights),
                                          std::move(diagnostics));
+  span.reset();
   local_stats.decode_seconds = watch.ElapsedSeconds();
 
   JOCL_LOG(kDebug) << "runtime: " << plan.shards.size() << " shards over "
                    << n_threads << " threads, " << local_stats.variables
                    << " variables, " << local_stats.factors << " factors";
+  MirrorRuntimeStats(local_stats);
   if (stats != nullptr) *stats = local_stats;
   return result;
 }

@@ -1,17 +1,62 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/worker_pool.h"
 
 namespace jocl {
 namespace {
+
+/// Mirrors a finished batch's stats onto the process-wide registry (the
+/// LBP families are shared with the runtime — same (name, labels) pair,
+/// same handle).
+void MirrorSessionStats(const SessionStats& stats, uint64_t generation) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  static Counter* batches = global.AddCounter(
+      "jocl_session_batches_total", "", "Session refreshes (ingest batches)");
+  static Counter* dirty = global.AddCounter(
+      "jocl_session_dirty_shards_total", "", "Shards re-inferred per batch");
+  static Counter* clean =
+      global.AddCounter("jocl_session_clean_shards_total", "",
+                        "Shards reused from the belief store");
+  static Counter* cache_hits = global.AddCounter(
+      "jocl_problem_cache_hits_total", "", "Problem-cache candidate hits");
+  static Counter* cache_misses = global.AddCounter(
+      "jocl_problem_cache_misses_total", "", "Problem-cache candidate misses");
+  static Counter* new_phrases =
+      global.AddCounter("jocl_signal_cache_new_phrases_total", "",
+                        "Phrases first seen by the signal cache");
+  static Counter* updates =
+      global.AddCounter("jocl_lbp_message_updates_total", "",
+                        "LBP message updates across all engines");
+  static Counter* pops =
+      global.AddCounter("jocl_lbp_residual_pops_total", "",
+                        "Residual-schedule priority pops");
+  static Counter* skipped =
+      global.AddCounter("jocl_lbp_sweeps_skipped_total", "",
+                        "Converged sweeps the kernel skipped");
+  static Gauge* gen = global.AddGauge("jocl_session_generation", "",
+                                      "Generation of the latest batch");
+  batches->Add();
+  dirty->Add(stats.dirty_shards);
+  clean->Add(stats.clean_shards);
+  cache_hits->Add(stats.problem_cache_hits);
+  cache_misses->Add(stats.problem_cache_misses);
+  new_phrases->Add(stats.cache_new_phrases);
+  updates->Add(stats.message_updates);
+  pops->Add(stats.residual_pops);
+  skipped->Add(stats.sweeps_skipped);
+  gen->Set(static_cast<int64_t>(generation));
+}
 
 /// Structural equality of two local problems — the session's reuse guard.
 /// Cached beliefs are a pure function of the local problem + weights, so
@@ -264,8 +309,11 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
   local_stats.added = stats != nullptr ? stats->added : 0;
   local_stats.removed = stats != nullptr ? stats->removed : 0;
   Stopwatch watch;
+  ScopedSpan batch_span("ingest_batch");
+  std::optional<ScopedSpan> span;
 
   // ---- global problem rebuild (memoized candidate generation) -------------
+  span.emplace("build_problem");
   const size_t cache_hits_before = problem_cache_.hits;
   const size_t cache_misses_before = problem_cache_.misses;
   JoclProblem problem = BuildProblem(*dataset_, *signals_, active_,
@@ -273,23 +321,28 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
   local_stats.problem_cache_hits = problem_cache_.hits - cache_hits_before;
   local_stats.problem_cache_misses =
       problem_cache_.misses - cache_misses_before;
+  span.reset();
   local_stats.problem_seconds = watch.ElapsedSeconds();
 
   // ---- append-only signal-cache ingestion ---------------------------------
   watch.Reset();
+  span.emplace("signal_cache");
   const size_t phrases_before = cache_.size();
   cache_.RegisterProblem(problem, dataset_->ckb);
   cache_.Finalize(*signals_);
   local_stats.cache_new_phrases = cache_.size() - phrases_before;
+  span.reset();
   local_stats.cache_seconds = watch.ElapsedSeconds();
 
   // ---- partition + delta classification -----------------------------------
   // One shard per connected component: dirtiness is per-component, and
   // packing would only coarsen reuse.
   watch.Reset();
+  span.emplace("partition");
   ShardPlan plan = PartitionProblem(problem, /*max_shards=*/0);
   ShardDelta delta =
       ClassifyShardDelta(plan, previous_components_, changed);
+  span.reset();
   local_stats.partition_seconds = watch.ElapsedSeconds();
   local_stats.shards = plan.shards.size();
   local_stats.merged_shards = delta.merged;
@@ -347,6 +400,10 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
     engine_threads = (requested_threads + dirty.size() - 1) / dirty.size();
   }
   auto run_dirty = [&](size_t d) {
+    // Track by the *plan* shard index: a deterministic key across thread
+    // counts and batch replays (the pool's worker id is neither).
+    TraceTrackScope track("shard/", dirty[d]);
+    ScopedSpan span("shard_run");
     const ProblemShard& shard = plan.shards[dirty[d]];
     outcomes[d] = RunShardInference(
         shard.problem, cache_, dataset_->ckb, options_, weights_,
@@ -369,6 +426,7 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
 
   // ---- merge + global decode ----------------------------------------------
   watch.Reset();
+  span.emplace("decode");
   LbpResult diagnostics;
   diagnostics.converged = true;
   {
@@ -391,6 +449,7 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
   }
   result_ = AssembleJoclResult(problem, beliefs, options_, weights_,
                                std::move(diagnostics));
+  span.reset();
   local_stats.decode_seconds = watch.ElapsedSeconds();
 
   // ---- persist state + store upkeep ---------------------------------------
@@ -422,8 +481,12 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
                    << " dirty shards (" << delta.merged << " merged, "
                    << delta.split << " split), "
                    << local_stats.cache_new_phrases << " new phrases";
+  MirrorSessionStats(local_stats, generation_);
   if (stats != nullptr) *stats = local_stats;
-  if (publish_callback_) publish_callback_(*this);
+  if (publish_callback_) {
+    ScopedSpan publish_span("publish");
+    publish_callback_(*this);
+  }
   return Status::OK();
 }
 

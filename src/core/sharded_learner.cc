@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -11,6 +12,8 @@
 #include "core/signal_cache.h"
 #include "graph/compiled_graph.h"
 #include "graph/inference.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/worker_pool.h"
@@ -49,21 +52,42 @@ struct ComponentState {
 /// so concurrent calls on different components never share writes.
 void RunComponentPasses(ComponentState* state) {
   FactorGraph* graph = &state->jgraph.graph;
-  graph->UnclampAll();
-  for (const auto& [variable, label_state] : state->labels) {
-    Status st = graph->Clamp(variable, label_state);
-    (void)st;  // labels are built from the graph's own variables
+  double clamped_log_z = 0.0;
+  {
+    ScopedSpan span("clamped_pass");
+    graph->UnclampAll();
+    for (const auto& [variable, label_state] : state->labels) {
+      Status st = graph->Clamp(variable, label_state);
+      (void)st;  // labels are built from the graph's own variables
+    }
+    std::fill(state->clamped_expect.begin(), state->clamped_expect.end(),
+              0.0);
+    state->engine->Run();
+    state->engine->AccumulateExpectedFeatures(&state->clamped_expect);
+    clamped_log_z = state->engine->LogPartitionEstimate();
   }
-  std::fill(state->clamped_expect.begin(), state->clamped_expect.end(), 0.0);
-  state->engine->Run();
-  state->engine->AccumulateExpectedFeatures(&state->clamped_expect);
-  const double clamped_log_z = state->engine->LogPartitionEstimate();
 
+  ScopedSpan span("free_pass");
   graph->UnclampAll();
   std::fill(state->free_expect.begin(), state->free_expect.end(), 0.0);
   state->engine->Run();
   state->engine->AccumulateExpectedFeatures(&state->free_expect);
   state->log_likelihood = clamped_log_z - state->engine->LogPartitionEstimate();
+}
+
+/// Mirrors a finished learning run's stats onto the process-wide
+/// registry.
+void MirrorLearnerStats(const LearnerRunStats& stats, size_t iterations) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  static Counter* runs = global.AddCounter("jocl_learn_runs_total", "",
+                                           "Learning runs completed");
+  static Counter* iters = global.AddCounter(
+      "jocl_learn_iterations_total", "", "Gradient-ascent iterations");
+  static Counter* labels = global.AddCounter(
+      "jocl_learn_labels_total", "", "Gold labels clamped per run");
+  runs->Add();
+  iters->Add(iterations);
+  labels->Add(stats.labels);
 }
 
 /// Groups component indices into scheduling bins via the partition
@@ -169,6 +193,7 @@ Result<LearnerResult> ShardedLearner::Learn(
 
   LearnerRunStats local_stats;
   Stopwatch watch;
+  ScopedSpan learn_span("learn");
 
   // ---- global stages: problem, signal cache, partition --------------------
   JoclProblem problem =
@@ -214,6 +239,8 @@ Result<LearnerResult> ShardedLearner::Learn(
   // `result.weights` is the one weight vector every engine binds; it is
   // only written between iterations, after all workers joined.
   watch.Reset();
+  std::optional<ScopedSpan> span;
+  span.emplace("setup");
   std::vector<std::unique_ptr<ComponentState>> components(n_components);
   RunOnPool(
       n_components, requested_threads,
@@ -241,6 +268,7 @@ Result<LearnerResult> ShardedLearner::Learn(
     local_stats.variables += state->jgraph.graph.variable_count();
     local_stats.factors += state->jgraph.graph.factor_count();
   }
+  span.reset();
   local_stats.setup_seconds = watch.ElapsedSeconds();
 
   // ---- gradient ascent ----------------------------------------------------
@@ -249,16 +277,26 @@ Result<LearnerResult> ShardedLearner::Learn(
   Stopwatch iteration_watch;
   for (size_t iter = 0; iter < options_.learner.iterations; ++iter) {
     iteration_watch.Reset();
+    ScopedSpan iteration_span("iteration");
     // Expectation passes, bin-parallel. Every write is component-local.
     RunOnPool(
         bins.size(), requested_threads,
         [&](size_t b) {
           size_t total = 0;
-          for (size_t c : bins[b]) total += component_weight[c];
+          for (size_t c : bins[b]) {
+            total += component_weight[c];
+          }
           return total;
         },
         [&](size_t b) {
-          for (size_t c : bins[b]) RunComponentPasses(components[c].get());
+          for (size_t c : bins[b]) {
+            // Track by component index — deterministic across thread
+            // counts and bin packings (the clamped/free spans inside
+            // nest under this one).
+            TraceTrackScope track("learner/", c);
+            ScopedSpan span("component_passes");
+            RunComponentPasses(components[c].get());
+          }
         });
 
     // Deterministic reduction: ascending component order per weight, on
@@ -294,6 +332,7 @@ Result<LearnerResult> ShardedLearner::Learn(
   JOCL_LOG(kDebug) << "sharded learner: " << n_components << " components in "
                    << bins.size() << " bins over " << requested_threads
                    << " threads, " << local_stats.labels << " labels";
+  MirrorLearnerStats(local_stats, result.trace.size());
   if (stats != nullptr) *stats = local_stats;
   return result;
 }

@@ -25,6 +25,7 @@ namespace {
 /// (or rendered) head; the blank line that ends the head rides along.
 constexpr std::string_view kKeepAliveTail = "Connection: keep-alive\r\n\r\n";
 constexpr std::string_view kCloseTail = "Connection: close\r\n\r\n";
+constexpr std::string_view kJsonContentType = "application/json";
 
 int64_t NowMillis() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -55,6 +56,58 @@ EventHttpServer::EventHttpServer(ServeOptions options)
     : options_(std::move(options)) {
   if (options_.num_workers == 0) options_.num_workers = 1;
   if (options_.idle_timeout_ms <= 0) options_.idle_timeout_ms = 5000;
+  requests_ = registry_.AddCounter("jocl_requests_total", "",
+                                   "Data-path requests handled");
+  scrapes_ = registry_.AddCounter(
+      "jocl_scrapes_total", "",
+      "/stats and /metrics requests, counted apart from the data path");
+  ok_ = registry_.AddCounter("jocl_responses_total", "code=\"200\"",
+                             "Responses by status code class");
+  not_found_ = registry_.AddCounter("jocl_responses_total", "code=\"404\"",
+                                    "Responses by status code class");
+  bad_request_ = registry_.AddCounter("jocl_responses_total", "code=\"4xx\"",
+                                      "Responses by status code class");
+  unavailable_ = registry_.AddCounter("jocl_responses_total", "code=\"503\"",
+                                      "Responses by status code class");
+  connections_accepted_ = registry_.AddCounter(
+      "jocl_connections_accepted_total", "", "accept() successes");
+  connections_reused_ = registry_.AddCounter(
+      "jocl_connections_reused_total", "",
+      "Requests served on a connection past its first request");
+  connections_timed_out_ = registry_.AddCounter(
+      "jocl_connections_timed_out_total", "",
+      "Connections closed by the idle/slow-loris sweep");
+  writev_bytes_ = registry_.AddCounter("jocl_writev_bytes_total", "",
+                                       "Response bytes written");
+  static constexpr std::string_view kEndpointLabels[kNumEndpoints] = {
+      "endpoint=\"/lookup\"",  "endpoint=\"/link\"",
+      "endpoint=\"/cluster\"", "endpoint=\"/stats\"",
+      "endpoint=\"/metrics\"", "endpoint=\"other\"",
+  };
+  for (size_t e = 0; e < kNumEndpoints; ++e) {
+    latency_[e] = registry_.AddHistogram(
+        "jocl_request_latency_seconds", kEndpointLabels[e],
+        "Server-side request latency, request parse to last byte queued");
+  }
+}
+
+EventHttpServer::Endpoint EventHttpServer::ClassifyTarget(
+    std::string_view target) {
+  std::string_view path = target;
+  const size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) path = target.substr(0, qmark);
+  if (path == "/lookup") return Endpoint::kLookup;
+  if (path == "/link") return Endpoint::kLink;
+  if (path == "/cluster") return Endpoint::kCluster;
+  if (path == "/stats") return Endpoint::kStats;
+  if (path == "/metrics") return Endpoint::kMetrics;
+  return Endpoint::kOther;
+}
+
+void EventHttpServer::FillMetricsReply(HttpReply* reply) const {
+  reply->status = 200;
+  reply->body = registry_.RenderPrometheus();
+  reply->content_type.assign(kPrometheusContentType);
 }
 
 EventHttpServer::~EventHttpServer() { Stop(); }
@@ -182,27 +235,25 @@ void EventHttpServer::Stop() {
 
 ServeCounters EventHttpServer::counters() const {
   ServeCounters counters;
-  counters.requests = requests_.load(std::memory_order_relaxed);
-  counters.ok = ok_.load(std::memory_order_relaxed);
-  counters.not_found = not_found_.load(std::memory_order_relaxed);
-  counters.bad_request = bad_request_.load(std::memory_order_relaxed);
-  counters.unavailable = unavailable_.load(std::memory_order_relaxed);
-  counters.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  counters.connections_reused =
-      connections_reused_.load(std::memory_order_relaxed);
-  counters.connections_timed_out =
-      connections_timed_out_.load(std::memory_order_relaxed);
-  counters.writev_bytes = writev_bytes_.load(std::memory_order_relaxed);
+  counters.requests = requests_->Value();
+  counters.scrapes = scrapes_->Value();
+  counters.ok = ok_->Value();
+  counters.not_found = not_found_->Value();
+  counters.bad_request = bad_request_->Value();
+  counters.unavailable = unavailable_->Value();
+  counters.connections_accepted = connections_accepted_->Value();
+  counters.connections_reused = connections_reused_->Value();
+  counters.connections_timed_out = connections_timed_out_->Value();
+  counters.writev_bytes = writev_bytes_->Value();
   return counters;
 }
 
 void EventHttpServer::CountStatus(int http_status) {
   switch (http_status) {
-    case 200: ok_.fetch_add(1, std::memory_order_relaxed); break;
-    case 404: not_found_.fetch_add(1, std::memory_order_relaxed); break;
-    case 503: unavailable_.fetch_add(1, std::memory_order_relaxed); break;
-    default: bad_request_.fetch_add(1, std::memory_order_relaxed); break;
+    case 200: ok_->Add(); break;
+    case 404: not_found_->Add(); break;
+    case 503: unavailable_->Add(); break;
+    default: bad_request_->Add(); break;
   }
 }
 
@@ -277,7 +328,7 @@ void EventHttpServer::AcceptReady(EventThread* et) {
     conn.in.reserve(1024);  // one allocation per connection, amortized
                             // over its keep-alive lifetime
     conn.last_activity_ms = NowMillis();
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_->Add();
   }
 }
 
@@ -318,10 +369,10 @@ bool EventHttpServer::ProcessBuffered(EventThread* et, int fd, Conn* conn) {
     const size_t head_end = conn->in.find("\r\n\r\n");
     if (head_end == std::string::npos) {
       if (conn->in.size() > options_.max_request_bytes) {
-        requests_.fetch_add(1, std::memory_order_relaxed);
+        requests_->Add();
         CountStatus(431);
         SendRendered(et, fd, conn, 431, ErrorBody("request too large"), {},
-                     /*keep_alive=*/false);
+                     kJsonContentType, /*keep_alive=*/false);
         if (conn->broken || conn->out.empty()) {
           CloseConn(et, fd);
           return false;
@@ -331,10 +382,10 @@ bool EventHttpServer::ProcessBuffered(EventThread* et, int fd, Conn* conn) {
       return true;  // incomplete head: wait for more bytes
     }
     if (head_end + 4 > options_.max_request_bytes) {
-      requests_.fetch_add(1, std::memory_order_relaxed);
+      requests_->Add();
       CountStatus(431);
       SendRendered(et, fd, conn, 431, ErrorBody("request too large"), {},
-                   /*keep_alive=*/false);
+                   kJsonContentType, /*keep_alive=*/false);
       if (conn->broken || conn->out.empty()) {
         CloseConn(et, fd);
         return false;
@@ -362,24 +413,37 @@ bool EventHttpServer::ProcessBuffered(EventThread* et, int fd, Conn* conn) {
 
 bool EventHttpServer::ServeRequest(EventThread* et, int fd, Conn* conn,
                                    std::string_view head) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  // Latency is measured request-parse to last-byte-queued; the two
+  // clock reads and the histogram add are the only cost the `metrics`
+  // toggle gates (bench_serve holds the gap to >= 0.95x).
+  const bool timed = options_.metrics;
+  const uint64_t start_ns = timed ? MonotonicNanos() : 0;
   if (conn->requests_served > 0) {
-    connections_reused_.fetch_add(1, std::memory_order_relaxed);
+    connections_reused_->Add();
   }
   ++conn->requests_served;
 
   const RequestHead request = ParseRequestHead(head);
   if (!request.valid) {
+    requests_->Add();
     CountStatus(400);
     SendRendered(et, fd, conn, 400, ErrorBody("malformed request line"), {},
-                 /*keep_alive=*/false);
+                 kJsonContentType, /*keep_alive=*/false);
     return false;
+  }
+  // Scrapes are counted apart from data-path requests so monitoring
+  // traffic never skews QPS-facing numbers.
+  const Endpoint endpoint = ClassifyTarget(request.target);
+  if (endpoint == Endpoint::kStats || endpoint == Endpoint::kMetrics) {
+    scrapes_->Add();
+  } else {
+    requests_->Add();
   }
   if (request.content_length > 0) {
     CountStatus(400);
     SendRendered(et, fd, conn, 400,
                  ErrorBody("request bodies are not supported"), {},
-                 /*keep_alive=*/false);
+                 kJsonContentType, /*keep_alive=*/false);
     return false;
   }
 
@@ -392,7 +456,13 @@ bool EventHttpServer::ServeRequest(EventThread* et, int fd, Conn* conn,
   } else {
     CountStatus(reply.status);
     SendRendered(et, fd, conn, reply.status, reply.body, reply.extra_headers,
+                 reply.content_type.empty() ? kJsonContentType
+                                            : reply.content_type,
                  request.keep_alive);
+  }
+  if (timed) {
+    latency_[static_cast<size_t>(endpoint)]->Record(MonotonicNanos() -
+                                                    start_ns);
   }
   return request.keep_alive;
 }
@@ -415,12 +485,13 @@ void EventHttpServer::SendRendered(EventHttpServer::EventThread* et, int fd,
                                    Conn* conn, int http_status,
                                    std::string_view body,
                                    std::string_view extra_headers,
+                                   std::string_view content_type,
                                    bool keep_alive) {
   std::string response = "HTTP/1.1 " + std::to_string(http_status) + " " +
-                         HttpStatusText(http_status) +
-                         "\r\nContent-Type: application/json\r\n"
-                         "Content-Length: " +
-                         std::to_string(body.size()) + "\r\n";
+                         HttpStatusText(http_status) + "\r\nContent-Type: ";
+  response.append(content_type);
+  response.append("\r\nContent-Length: " + std::to_string(body.size()) +
+                  "\r\n");
   response.append(extra_headers);
   response.append(keep_alive ? kKeepAliveTail : kCloseTail);
   response.append(body);
@@ -441,8 +512,7 @@ void EventHttpServer::QueueOrSend(EventThread* et, int fd, Conn* conn,
     for (;;) {
       const ssize_t n = GatherWrite(fd, iov, iovcnt);
       if (n >= 0) {
-        writev_bytes_.fetch_add(static_cast<uint64_t>(n),
-                                std::memory_order_relaxed);
+        writev_bytes_->Add(static_cast<uint64_t>(n));
         written = static_cast<size_t>(n);
         break;
       }
@@ -482,8 +552,7 @@ void EventHttpServer::FlushOut(EventThread* et, int fd, Conn* conn) {
     iov.iov_len = conn->out.size();
     const ssize_t n = GatherWrite(fd, &iov, 1);
     if (n > 0) {
-      writev_bytes_.fetch_add(static_cast<uint64_t>(n),
-                              std::memory_order_relaxed);
+      writev_bytes_->Add(static_cast<uint64_t>(n));
       conn->out.erase(0, static_cast<size_t>(n));
       conn->last_activity_ms = NowMillis();
       continue;
@@ -516,11 +585,11 @@ void EventHttpServer::SweepTimeouts(EventThread* et, int64_t now_ms) {
   }
   for (const int fd : expired) {
     Conn& conn = et->conns[fd];
-    connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    connections_timed_out_->Add();
     if (!conn.in.empty()) {
       // Slow-loris: a request head has been trickling in past the
       // deadline. Best-effort 408, then drop the connection.
-      requests_.fetch_add(1, std::memory_order_relaxed);
+      requests_->Add();
       CountStatus(408);
       const std::string body = ErrorBody("request timeout");
       std::string response =
@@ -534,8 +603,7 @@ void EventHttpServer::SweepTimeouts(EventThread* et, int64_t now_ms) {
       iov.iov_len = response.size();
       const ssize_t n = GatherWrite(fd, &iov, 1);
       if (n > 0) {
-        writev_bytes_.fetch_add(static_cast<uint64_t>(n),
-                                std::memory_order_relaxed);
+        writev_bytes_->Add(static_cast<uint64_t>(n));
       }
     }
     CloseConn(et, fd);

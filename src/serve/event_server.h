@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/http_util.h"
 #include "util/result.h"
 
@@ -41,11 +42,20 @@ struct ServeOptions {
   /// parse → binary-search → writev path). Disable to serve through
   /// the allocating renderer only — bench_serve measures the gap.
   bool prerender = true;
+  /// Record per-endpoint request-latency histograms (request parse to
+  /// last byte queued). Counters always run (they replace the old
+  /// atomics at the same cost); this gates only the two clock reads and
+  /// the histogram add per request — bench_serve measures the gap and
+  /// gates it at >= 0.95x.
+  bool metrics = true;
 };
 
 /// \brief Monotonic request counters (one snapshot, not a live view).
 struct ServeCounters {
-  uint64_t requests = 0;     ///< requests fully handled (not connections)
+  uint64_t requests = 0;     ///< data-path requests handled (not
+                             ///< connections; excludes scrapes)
+  uint64_t scrapes = 0;      ///< /stats + /metrics requests, counted
+                             ///< apart so scraping never skews QPS math
   uint64_t ok = 0;           ///< 200 responses
   uint64_t not_found = 0;    ///< 404 responses
   uint64_t bad_request = 0;  ///< 400/405/408/431 responses
@@ -77,6 +87,9 @@ struct HttpReply {
   int status = 200;
   std::string body;
   std::string extra_headers;
+  /// Content-Type of a rendered reply; empty = application/json (the
+  /// default everywhere but `/metrics`, which is Prometheus text).
+  std::string content_type;
   std::string_view cached_header;
   std::string_view cached_body;
   std::shared_ptr<const void> pin;
@@ -141,6 +154,27 @@ class EventHttpServer {
 
   const ServeOptions& options() const { return options_; }
 
+  /// Request targets bucketed for per-endpoint latency histograms and
+  /// the scrape/data-path request split.
+  enum class Endpoint {
+    kLookup = 0,
+    kLink,
+    kCluster,
+    kStats,
+    kMetrics,
+    kOther,
+  };
+  static constexpr size_t kNumEndpoints = 6;
+  static Endpoint ClassifyTarget(std::string_view target);
+
+  /// The server-scoped registry `/metrics` renders. Subclasses register
+  /// their own families here at construction time.
+  MetricsRegistry& metrics_registry() { return registry_; }
+  const MetricsRegistry& metrics_registry() const { return registry_; }
+
+  /// Fills \p reply with this server's Prometheus exposition.
+  void FillMetricsReply(HttpReply* reply) const;
+
  private:
   /// Per-connection state machine.
   struct Conn {
@@ -179,7 +213,7 @@ class EventHttpServer {
                   bool keep_alive);
   void SendRendered(EventThread* et, int fd, Conn* conn, int http_status,
                     std::string_view body, std::string_view extra_headers,
-                    bool keep_alive);
+                    std::string_view content_type, bool keep_alive);
   /// One gather write of `iov`; the unsent remainder is queued on
   /// `conn->out` with EPOLLOUT armed. Sets `conn->broken` on error.
   void QueueOrSend(EventThread* et, int fd, Conn* conn, iovec* iov,
@@ -194,15 +228,22 @@ class EventHttpServer {
   std::atomic<bool> running_{false};
   std::vector<std::unique_ptr<EventThread>> event_threads_;
 
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> ok_{0};
-  std::atomic<uint64_t> not_found_{0};
-  std::atomic<uint64_t> bad_request_{0};
-  std::atomic<uint64_t> unavailable_{0};
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_reused_{0};
-  std::atomic<uint64_t> connections_timed_out_{0};
-  std::atomic<uint64_t> writev_bytes_{0};
+  // Request counters live on the server-scoped registry (the single
+  // source `/metrics`, `/stats` and counters() all read); the handles
+  // are registered once in the constructor and recording through them
+  // is lock-free and allocation-free on the event threads.
+  MetricsRegistry registry_;
+  Counter* requests_ = nullptr;
+  Counter* scrapes_ = nullptr;
+  Counter* ok_ = nullptr;
+  Counter* not_found_ = nullptr;
+  Counter* bad_request_ = nullptr;
+  Counter* unavailable_ = nullptr;
+  Counter* connections_accepted_ = nullptr;
+  Counter* connections_reused_ = nullptr;
+  Counter* connections_timed_out_ = nullptr;
+  Counter* writev_bytes_ = nullptr;
+  Histogram* latency_[kNumEndpoints] = {nullptr};
 };
 
 }  // namespace jocl

@@ -15,10 +15,29 @@ struct CanonRouter::RouterContext : ThreadContext {
 
 CanonRouter::CanonRouter(std::vector<int> shard_ports, ServeOptions options)
     : EventHttpServer(std::move(options)) {
+  MetricsRegistry& registry = metrics_registry();
   shards_.reserve(shard_ports.size());
-  for (int port : shard_ports) {
+  for (size_t k = 0; k < shard_ports.size(); ++k) {
     shards_.push_back(std::make_unique<ShardState>());
-    shards_.back()->port.store(port, std::memory_order_relaxed);
+    ShardState& state = *shards_.back();
+    state.port.store(shard_ports[k], std::memory_order_relaxed);
+    const std::string label = "shard=\"" + std::to_string(k) + "\"";
+    state.forwarded = registry.AddCounter(
+        "jocl_shard_forwarded_total", label, "Backend requests per shard");
+    state.retries = registry.AddCounter(
+        "jocl_shard_retries_total", label,
+        "Backend requests retried on a fresh connection");
+    state.failures = registry.AddCounter(
+        "jocl_shard_failures_total", label,
+        "Backend requests answered 503 after the retry");
+    state.port_gauge = registry.AddGauge(
+        "jocl_shard_port", label, "Backend port per shard (0 = not up)");
+    state.generation_gauge = registry.AddGauge(
+        "jocl_shard_generation", label,
+        "Last generation observed from the shard (-1 before its first "
+        "data response)");
+    state.port_gauge->Set(shard_ports[k]);
+    state.generation_gauge->Set(-1);
   }
 }
 
@@ -30,6 +49,7 @@ CanonRouter::~CanonRouter() {
 
 void CanonRouter::SetShardPort(size_t shard, int port) {
   shards_[shard]->port.store(port, std::memory_order_relaxed);
+  shards_[shard]->port_gauge->Set(port);
 }
 
 int CanonRouter::shard_port(size_t shard) const {
@@ -53,7 +73,7 @@ bool CanonRouter::Forward(RouterContext* ctx, size_t shard,
   ShardState& state = *shards_[shard];
   const int port = state.port.load(std::memory_order_relaxed);
   if (port <= 0) {
-    state.failures.fetch_add(1, std::memory_order_relaxed);
+    state.failures->Add();
     return false;
   }
   HttpConnection& conn = ctx->conns[shard];
@@ -63,7 +83,7 @@ bool CanonRouter::Forward(RouterContext* ctx, size_t shard,
     Result<HttpConnection> fresh =
         HttpConnection::Connect(port, backend_timeout_ms_);
     if (!fresh.ok()) {
-      state.failures.fetch_add(1, std::memory_order_relaxed);
+      state.failures->Add();
       return false;
     }
     conn = fresh.MoveValueOrDie();
@@ -73,26 +93,27 @@ bool CanonRouter::Forward(RouterContext* ctx, size_t shard,
   if (!got.ok()) {
     // Retry once on a fresh connection: a kept-alive socket dies with
     // its backend process, but the shard may already be back.
-    state.retries.fetch_add(1, std::memory_order_relaxed);
+    state.retries->Add();
     const int retry_port = state.port.load(std::memory_order_relaxed);
     Result<HttpConnection> fresh =
         HttpConnection::Connect(retry_port, backend_timeout_ms_);
     if (!fresh.ok()) {
-      state.failures.fetch_add(1, std::memory_order_relaxed);
+      state.failures->Add();
       return false;
     }
     conn = fresh.MoveValueOrDie();
     ctx->ports[shard] = retry_port;
     got = conn.Get(target);
     if (!got.ok()) {
-      state.failures.fetch_add(1, std::memory_order_relaxed);
+      state.failures->Add();
       return false;
     }
   }
   *out = got.MoveValueOrDie();
-  state.forwarded.fetch_add(1, std::memory_order_relaxed);
+  state.forwarded->Add();
   if (out->generation >= 0) {
     state.generation.store(out->generation, std::memory_order_relaxed);
+    state.generation_gauge->Set(out->generation);
   }
   return true;
 }
@@ -120,15 +141,17 @@ std::string CanonRouter::StatsJson() const {
     out.append(
         std::to_string(s.generation.load(std::memory_order_relaxed)));
     out.append(",\"forwarded\":");
-    out.append(std::to_string(s.forwarded.load(std::memory_order_relaxed)));
+    out.append(std::to_string(s.forwarded->Value()));
     out.append(",\"retries\":");
-    out.append(std::to_string(s.retries.load(std::memory_order_relaxed)));
+    out.append(std::to_string(s.retries->Value()));
     out.append(",\"failures\":");
-    out.append(std::to_string(s.failures.load(std::memory_order_relaxed)));
+    out.append(std::to_string(s.failures->Value()));
     out.push_back('}');
   }
   out.append("],\"requests\":");
   out.append(std::to_string(c.requests));
+  out.append(",\"scrapes\":");
+  out.append(std::to_string(c.scrapes));
   out.append(",\"ok\":");
   out.append(std::to_string(c.ok));
   out.append(",\"not_found\":");
@@ -149,6 +172,23 @@ std::string CanonRouter::StatsJson() const {
   return out;
 }
 
+void CanonRouter::AggregatedMetrics(RouterContext* ctx, HttpReply* reply) {
+  PrometheusAggregator aggregator;
+  aggregator.AddText(metrics_registry().RenderPrometheus(), "");
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    HttpResponse response;
+    // A down shard is skipped, not an error: the aggregate stays useful
+    // through a republish, and jocl_shard_port{shard="k"} shows the gap.
+    if (!Forward(ctx, k, "/metrics", &response)) continue;
+    if (response.status != 200) continue;
+    aggregator.AddText(response.body,
+                       "shard=\"" + std::to_string(k) + "\"");
+  }
+  reply->status = 200;
+  reply->body = aggregator.Render();
+  reply->content_type.assign(kPrometheusContentType);
+}
+
 void CanonRouter::HandleRequest(const RequestHead& request,
                                 ThreadContext* context, HttpReply* reply) {
   RouterContext* ctx = static_cast<RouterContext*>(context);
@@ -167,6 +207,10 @@ void CanonRouter::HandleRequest(const RequestHead& request,
   if (path == "/stats") {
     reply->status = 200;
     reply->body = StatsJson();
+    return;
+  }
+  if (path == "/metrics") {
+    AggregatedMetrics(ctx, reply);
     return;
   }
   const std::string target(request.target);

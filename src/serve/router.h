@@ -66,12 +66,17 @@ class CanonRouter : public EventHttpServer {
 
  private:
   /// Health and telemetry of one backend, shared across event threads.
+  /// The counters and gauges live on the router's registry under
+  /// `shard="k"` labels (port/generation keep atomics for the cheap
+  /// accessor reads; the gauges mirror them for `/metrics`).
   struct ShardState {
     std::atomic<int> port{0};
     std::atomic<int64_t> generation{-1};
-    std::atomic<uint64_t> forwarded{0};
-    std::atomic<uint64_t> retries{0};
-    std::atomic<uint64_t> failures{0};
+    Counter* forwarded = nullptr;
+    Counter* retries = nullptr;
+    Counter* failures = nullptr;
+    Gauge* port_gauge = nullptr;
+    Gauge* generation_gauge = nullptr;
   };
 
   /// Per-event-thread backend connection pool.
@@ -83,6 +88,9 @@ class CanonRouter : public EventHttpServer {
                HttpResponse* out);
   void Relay(HttpResponse response, HttpReply* reply);
   std::string StatsJson() const;
+  /// `/metrics`: the router's own registry plus every live shard's
+  /// scrape, shard samples re-labeled with `shard="k"`.
+  void AggregatedMetrics(RouterContext* ctx, HttpReply* reply);
 
   std::vector<std::unique_ptr<ShardState>> shards_;
   int backend_timeout_ms_ = 2000;

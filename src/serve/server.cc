@@ -175,6 +175,8 @@ std::string HandleStats(const CanonStore* store,
   }
   out.append(",\"requests\":");
   out.append(std::to_string(counters.requests));
+  out.append(",\"scrapes\":");
+  out.append(std::to_string(counters.scrapes));
   out.append(",\"ok\":");
   out.append(std::to_string(counters.ok));
   out.append(",\"not_found\":");
@@ -240,7 +242,21 @@ std::string HandleCanonRequest(const CanonStore* store,
 }
 
 CanonServer::CanonServer(ServeOptions options)
-    : EventHttpServer(std::move(options)) {}
+    : EventHttpServer(std::move(options)) {
+  MetricsRegistry& registry = metrics_registry();
+  publishes_ =
+      registry.AddCounter("jocl_publishes_total", "", "Store swaps");
+  cache_hits_ = registry.AddCounter("jocl_cache_hits_total", "",
+                                    "Requests answered from the arena");
+  cache_misses_ = registry.AddCounter(
+      "jocl_cache_misses_total", "", "Requests rendered by the fallback path");
+  published_ = registry.AddGauge("jocl_published", "",
+                                 "1 when a store is being served");
+  generation_ = registry.AddGauge(
+      "jocl_generation", "", "Generation of the served store (-1 before "
+                             "the first publish)");
+  generation_->Set(-1);
+}
 
 CanonServer::~CanonServer() {
   // Must run here, not in the base destructor: event threads dispatch
@@ -261,8 +277,12 @@ void CanonServer::Publish(std::shared_ptr<const CanonStore> store) {
     }
     bundle = std::move(fresh);
   }
+  const bool live = bundle != nullptr;
+  const int64_t generation = live ? bundle->store->generation : -1;
   std::atomic_store(&bundle_, std::move(bundle));
-  publishes_.fetch_add(1, std::memory_order_relaxed);
+  publishes_->Add();
+  published_->Set(live ? 1 : 0);
+  generation_->Set(generation);
 }
 
 std::shared_ptr<const CanonStore> CanonServer::store() const {
@@ -273,15 +293,29 @@ std::shared_ptr<const CanonStore> CanonServer::store() const {
 
 ServeCounters CanonServer::counters() const {
   ServeCounters counters = EventHttpServer::counters();
-  counters.publishes = publishes_.load(std::memory_order_relaxed);
-  counters.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  counters.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  counters.publishes = publishes_->Value();
+  counters.cache_hits = cache_hits_->Value();
+  counters.cache_misses = cache_misses_->Value();
   return counters;
 }
 
 void CanonServer::HandleRequest(const RequestHead& request,
                                 ThreadContext* /*context*/,
                                 HttpReply* reply) {
+  // /metrics is routed before the cache probe: a scrape must never
+  // count as a cache miss (it is not data-path traffic). The server's
+  // own registry is followed by the process-global one so a jocl_serve
+  // deployment (ingestion + serving in one process) exposes the
+  // pipeline mirrors too; the family names are disjoint by
+  // construction, so plain concatenation is valid exposition.
+  if (ClassifyTarget(request.target) == Endpoint::kMetrics &&
+      request.method == "GET") {
+    reply->status = 200;
+    reply->body = metrics_registry().RenderPrometheus();
+    reply->body += MetricsRegistry::Global().RenderPrometheus();
+    reply->content_type.assign(kPrometheusContentType);
+    return;
+  }
   // Pin one bundle for the whole request (RCU read side): body and
   // store generation always come from the same publication.
   const std::shared_ptr<const ServingBundle> bundle =
@@ -291,14 +325,14 @@ void CanonServer::HandleRequest(const RequestHead& request,
     ResponseCache::Hit hit;
     if (bundle->cache.Find(request.method, request.target, scratch,
                            sizeof(scratch), &hit)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_->Add();
       reply->cached_header = hit.header;
       reply->cached_body = hit.body;
       reply->pin = bundle;  // arena views stay valid through the write
       return;
     }
   }
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  cache_misses_->Add();
   const CanonStore* store = bundle == nullptr ? nullptr : bundle->store.get();
   reply->body = HandleCanonRequest(store, request.method, request.target,
                                    counters(), &reply->status);

@@ -54,6 +54,7 @@ std::string HandleCanonRequest(const CanonStore* store,
 ///   GET /cluster?id=N[&kind=np|rp]       members + link of cluster N
 ///   GET /link?surface=S[&kind=np|rp]     canonical CKB link of S
 ///   GET /stats                           store + request counters
+///   GET /metrics                         Prometheus text exposition
 class CanonServer : public EventHttpServer {
  public:
   explicit CanonServer(ServeOptions options = {});
@@ -79,9 +80,13 @@ class CanonServer : public EventHttpServer {
   /// Accessed only through std::atomic_load / std::atomic_store.
   std::shared_ptr<const ServingBundle> bundle_;
 
-  std::atomic<uint64_t> publishes_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
+  // Store-serving families on the server-scoped registry (the event
+  // loop's request counters live in the base class).
+  Counter* publishes_ = nullptr;
+  Counter* cache_hits_ = nullptr;
+  Counter* cache_misses_ = nullptr;
+  Gauge* published_ = nullptr;
+  Gauge* generation_ = nullptr;
 };
 
 }  // namespace jocl

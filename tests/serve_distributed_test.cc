@@ -215,6 +215,88 @@ TEST_F(ShardFixture, RouterServesByteIdenticalResponsesToMonolith) {
   router.Stop();
 }
 
+TEST_F(ShardFixture, RouterAggregatesShardMetricsWithLabels) {
+  constexpr uint32_t kShards = 2;
+  const CanonStore& m = monolith();
+  std::vector<CanonStore> shards =
+      BuildShardedCanonStores(m, kShards).MoveValueOrDie();
+  ServeOptions options;
+  options.num_workers = 1;
+  std::vector<std::unique_ptr<CanonServer>> servers;
+  std::vector<int> ports;
+  for (uint32_t k = 0; k < kShards; ++k) {
+    servers.push_back(std::make_unique<CanonServer>(options));
+    ASSERT_TRUE(servers[k]->Start().ok());
+    servers[k]->Publish(std::make_shared<const CanonStore>(shards[k]));
+    ports.push_back(servers[k]->port());
+  }
+  CanonRouter router(ports, options);
+  ASSERT_TRUE(router.Start().ok());
+
+  // One data request through the router: shard 0's forwarding counters
+  // and its generation gauge move; shard 1's gauge stays at -1 (a
+  // /metrics forward carries no generation header).
+  const std::string surface = SurfaceOwnedBy(m, 0, kShards);
+  ASSERT_FALSE(surface.empty());
+  Result<HttpResponse> data =
+      HttpGet(router.port(), "/lookup?surface=" + UrlEncode(surface));
+  ASSERT_TRUE(data.ok()) << data.status();
+  ASSERT_EQ(data.ValueOrDie().status, 200);
+
+  Result<HttpResponse> scrape = HttpGet(router.port(), "/metrics");
+  ASSERT_TRUE(scrape.ok()) << scrape.status();
+  EXPECT_EQ(scrape.ValueOrDie().status, 200);
+  const std::string& body = scrape.ValueOrDie().body;
+  const std::string generation = std::to_string(m.generation);
+  // Router-own per-shard families.
+  EXPECT_NE(body.find("jocl_shard_generation{shard=\"0\"} " + generation),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("jocl_shard_generation{shard=\"1\"} -1"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("jocl_shard_port{shard=\"0\"} " +
+                      std::to_string(ports[0])),
+            std::string::npos);
+  EXPECT_NE(body.find("jocl_shard_forwarded_total{shard=\"0\"}"),
+            std::string::npos);
+  // Shard scrapes folded in with a shard label on every sample — both
+  // unlabeled families and already-labeled ones.
+  EXPECT_NE(body.find("jocl_requests_total{shard=\"0\"} 1"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("jocl_requests_total{shard=\"1\"} 0"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("jocl_generation{shard=\"1\"} " + generation),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("jocl_responses_total{shard=\"0\",code=\"200\"}"),
+            std::string::npos)
+      << body;
+  // One HELP/TYPE per family even though samples come from the router
+  // and both shards.
+  size_t type_lines = 0;
+  const std::string needle = "# TYPE jocl_requests_total counter";
+  for (size_t at = body.find(needle); at != std::string::npos;
+       at = body.find(needle, at + needle.size())) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u) << body;
+
+  // A down shard is skipped, not an error: its samples vanish while the
+  // aggregate stays serveable.
+  servers[1]->Stop();
+  Result<HttpResponse> degraded = HttpGet(router.port(), "/metrics");
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded.ValueOrDie().status, 200);
+  EXPECT_EQ(degraded.ValueOrDie().body.find("jocl_requests_total{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(degraded.ValueOrDie().body.find("jocl_requests_total{shard=\"0\"}"),
+            std::string::npos);
+  router.Stop();
+}
+
 // ---------- generation consistency under republish ---------------------------
 
 TEST_F(ShardFixture, RoutedReadersNeverObserveMixedGenerations) {

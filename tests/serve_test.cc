@@ -23,6 +23,7 @@
 
 #include "core/runtime.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 #include "serve/canon_store.h"
 #include "serve/http_client.h"
 #include "serve/http_util.h"
@@ -487,11 +488,95 @@ TEST_F(ServeWorld, ServerAnswersOverHttp) {
   ASSERT_TRUE(missing.ok()) << missing.status();
   EXPECT_EQ(missing.ValueOrDie().status, 404);
 
+  // /stats is a scrape, not a data-path request.
   const ServeCounters counters = server.counters();
-  EXPECT_GE(counters.requests, 3u);
+  EXPECT_GE(counters.requests, 2u);
+  EXPECT_GE(counters.scrapes, 1u);
   EXPECT_GE(counters.ok, 2u);
   EXPECT_GE(counters.not_found, 1u);
   server.Stop();
+}
+
+TEST_F(ServeWorld, MetricsEndpointExposesPrometheusFamilies) {
+  ServeOptions options;
+  options.num_workers = 2;
+  CanonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  server.Publish(std::make_shared<const CanonStore>(*store_));
+
+  // Drive the data path so counters and latency histograms move.
+  Result<HttpResponse> hit = HttpGet(
+      server.port(), "/lookup?surface=" + UrlEncode("UMD"));
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  ASSERT_EQ(hit.ValueOrDie().status, 200);
+  Result<HttpResponse> miss = HttpGet(server.port(), "/lookup?surface=zzz");
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  ASSERT_EQ(miss.ValueOrDie().status, 404);
+
+  Result<HttpResponse> scrape = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(scrape.ok()) << scrape.status();
+  EXPECT_EQ(scrape.ValueOrDie().status, 200);
+  const std::string& body = scrape.ValueOrDie().body;
+  EXPECT_NE(body.find("# TYPE jocl_requests_total counter"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("jocl_requests_total 2\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("jocl_responses_total{code=\"200\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("jocl_responses_total{code=\"404\"} 1\n"),
+            std::string::npos)
+      << body;
+  // Per-endpoint latency histograms: cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(body.find("# TYPE jocl_request_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("jocl_request_latency_seconds_bucket{"
+                      "endpoint=\"/lookup\",le=\"+Inf\"} 2\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(
+      body.find("jocl_request_latency_seconds_count{endpoint=\"/lookup\"} 2"),
+      std::string::npos)
+      << body;
+  EXPECT_NE(
+      body.find("jocl_request_latency_seconds_sum{endpoint=\"/lookup\"}"),
+      std::string::npos);
+  // Store gauges: the published generation is 7 in this world.
+  EXPECT_NE(body.find("jocl_generation 7\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("jocl_published 1\n"), std::string::npos) << body;
+
+  // /metrics itself lands on the scrape counter, not the data path.
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.requests, 2u);
+  EXPECT_GE(counters.scrapes, 1u);
+
+  // A second scrape sees the first one counted.
+  Result<HttpResponse> again = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_NE(again.ValueOrDie().body.find("jocl_scrapes_total"),
+            std::string::npos);
+  EXPECT_EQ(server.counters().requests, 2u);
+  server.Stop();
+}
+
+TEST_F(ServeWorld, MetricsRecordingDoesNotAllocate) {
+  // The per-request instrumentation the event loop runs — counter adds
+  // and a histogram record — must never touch the heap (same bar as the
+  // cached hot path; counted by the replaced operator new).
+  MetricsRegistry registry;
+  Counter* requests = registry.AddCounter("probe_requests_total", "", "");
+  Histogram* latency = registry.AddHistogram(
+      "probe_latency_seconds", "endpoint=\"/lookup\"", "");
+  // Warm-up: the first call pins this thread's cell slot.
+  requests->Add();
+  latency->Record(4096);
+
+  const uint64_t allocations_before = g_thread_allocations;
+  for (int i = 0; i < 1000; ++i) {
+    requests->Add();
+    latency->Record(MonotonicNanos() % (1u << 30));
+  }
+  EXPECT_EQ(g_thread_allocations, allocations_before)
+      << "metrics recording allocated on the heap";
 }
 
 // ---------- acceptance: concurrent readers across ingestion swaps ------------
@@ -901,7 +986,11 @@ TEST_F(ServeWorld, KeepAliveConnectionServesManySequentialRequests) {
 
   const ServeCounters counters = server.counters();
   EXPECT_EQ(counters.connections_accepted, 1u);
-  EXPECT_GE(counters.requests, static_cast<uint64_t>(kRequests));
+  // Every third request was a /stats scrape; the two counters split the
+  // stream between them.
+  EXPECT_GE(counters.requests + counters.scrapes,
+            static_cast<uint64_t>(kRequests));
+  EXPECT_GT(counters.scrapes, 0u);
   EXPECT_GE(counters.connections_reused, static_cast<uint64_t>(kRequests - 1));
   EXPECT_GT(counters.cache_hits, 0u);
   EXPECT_GT(counters.cache_misses, 0u);  // the /stats renders

@@ -22,6 +22,11 @@
 //   --kernel vectorized|scalar   message-update kernel (byte-identical;
 //                                scalar is the reference baseline)
 //
+// Tracing (demo and weights modes):
+//   --trace-out PATH   dump the pipeline's spans as Chrome trace-event
+//                      JSON (open in chrome://tracing or Perfetto);
+//                      byte-identical across runs modulo timestamps
+//
 // The TSV format is documented in data/dataset_io.h. Real deployments
 // would load their own triples with LoadTriplesTsv and construct a
 // CuratedKb from their KB dump; the synthetic path exists so the binary
@@ -29,6 +34,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
 
 #include "core/jocl.h"
 #include "core/runtime.h"
@@ -37,6 +44,7 @@
 #include "data/generator.h"
 #include "eval/clustering_metrics.h"
 #include "eval/linking_metrics.h"
+#include "obs/trace.h"
 
 using namespace jocl;
 
@@ -48,8 +56,9 @@ int Usage() {
                "  jocl_run generate <reverb|nytimes> <scale> <out.tsv>\n"
                "  jocl_run demo [scale] [--threads N] [--shards N]\n"
                "               [--schedule staged|residual]"
-               " [--kernel vectorized|scalar]\n"
-               "  jocl_run weights <out.tsv> [scale]\n");
+               " [--kernel vectorized|scalar]"
+               " [--trace-out PATH]\n"
+               "  jocl_run weights <out.tsv> [scale] [--trace-out PATH]\n");
   return 2;
 }
 
@@ -126,6 +135,40 @@ int ParseKernelFlags(int argc, char** argv, LbpOptions* lbp) {
   return kept;
 }
 
+// Strips --trace-out (either "--trace-out PATH" or "--trace-out=PATH")
+// from argv, returning the remaining positional count. An empty path
+// leaves tracing off.
+int ParseTraceFlag(int argc, char** argv, std::string* path) {
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      path->assign(argv[i] + 12);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      path->assign(argv[++i]);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  return kept;
+}
+
+// Uninstalls the session (no span may still be open), then writes the
+// dump. Shared exit path for demo and weights modes.
+int WriteTrace(std::optional<ScopedTraceSession>* session,
+               const TraceRecorder& recorder, const std::string& path) {
+  if (path.empty()) return 0;
+  session->reset();
+  if (!recorder.WriteChromeJson(path)) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu trace spans to %s\n", recorder.Spans().size(),
+              path.c_str());
+  return 0;
+}
+
 Dataset Generate(const char* kind, double scale) {
   if (std::strcmp(kind, "nytimes") == 0) {
     return GenerateNYTimes2018(scale).MoveValueOrDie();
@@ -152,6 +195,11 @@ int RunDemo(int argc, char** argv) {
   argc = ParseRuntimeFlags(argc, argv, &runtime_options);
   JoclOptions jocl_options;
   argc = ParseKernelFlags(argc, argv, &jocl_options.inference);
+  std::string trace_path;
+  argc = ParseTraceFlag(argc, argv, &trace_path);
+  TraceRecorder recorder;
+  std::optional<ScopedTraceSession> trace;
+  if (!trace_path.empty()) trace.emplace(&recorder);
   double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
   std::printf("generating ReVerb45K-like benchmark (scale %.2f)...\n", scale);
   Dataset ds = GenerateReVerb45K(scale).MoveValueOrDie();
@@ -191,6 +239,10 @@ int RunDemo(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // The evaluation/report stage is the demo's "publish": what a
+  // deployment does with the finished result.
+  std::optional<ScopedSpan> publish_span;
+  publish_span.emplace("publish");
   std::vector<size_t> gold_np;
   std::vector<int64_t> gold_entities;
   for (size_t t : ds.test_triples) {
@@ -213,23 +265,32 @@ int RunDemo(int argc, char** argv) {
               result.diagnostics.final_residual);
   std::printf("\nmost-adjusted weights:\n%s",
               FormatWeightReport(weights).c_str());
-  return 0;
+  publish_span.reset();
+  return WriteTrace(&trace, recorder, trace_path);
 }
 
 int RunWeights(int argc, char** argv) {
+  std::string trace_path;
+  argc = ParseTraceFlag(argc, argv, &trace_path);
   if (argc < 3) return Usage();
+  TraceRecorder recorder;
+  std::optional<ScopedTraceSession> trace;
+  if (!trace_path.empty()) trace.emplace(&recorder);
   double scale = argc > 3 ? std::atof(argv[3]) : 0.5;
   Dataset ds = GenerateReVerb45K(scale).MoveValueOrDie();
   SignalBundle sig = BuildSignals(ds).MoveValueOrDie();
   Jocl jocl;
   std::vector<double> weights = jocl.LearnWeights(ds, sig).MoveValueOrDie();
-  Status st = SaveWeights(weights, argv[2]);
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
+  {
+    ScopedSpan publish_span("publish");
+    Status st = SaveWeights(weights, argv[2]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   std::printf("saved %zu weights to %s\n", weights.size(), argv[2]);
-  return 0;
+  return WriteTrace(&trace, recorder, trace_path);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 //              [--snapshot PATH] [--snapshot-out PATH]
 //              [--serve-seconds N] [--retrain]
 //              [--idle-timeout-ms N] [--no-prerender]
+//              [--trace-out PATH]
 //
 //   scale             workload scale in live mode (default 0.2)
 //   --port N          TCP port (default 0 = ephemeral; printed on start)
@@ -46,6 +47,9 @@
 //                     into the running session via UpdateWeights — the
 //                     publish callback republishes the store while readers
 //                     keep being served (learn → infer → serve)
+//   --trace-out P     dump the ingestion/learning pipeline's spans as
+//                     Chrome trace-event JSON on exit (serving itself is
+//                     measured by /metrics histograms, not spans)
 //
 // Endpoints: /lookup?surface=S[&kind=np|rp], /cluster?id=N[&kind=..],
 // /link?surface=S[&kind=..], /stats. See docs/serving.md.
@@ -56,12 +60,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/session.h"
 #include "data/generator.h"
+#include "obs/trace.h"
 #include "serve/canon_store.h"
 #include "serve/router.h"
 #include "serve/server.h"
@@ -122,6 +128,7 @@ int main(int argc, char** argv) {
   bool retrain = false;
   std::string snapshot_in;
   std::string snapshot_out;
+  std::string trace_out;
   ServeOptions serve_options;
   for (int i = 1; i < argc; ++i) {
     auto value_of = [&](const char* flag) -> const char* {
@@ -148,6 +155,8 @@ int main(int argc, char** argv) {
       snapshot_in = v;
     } else if (const char* v = value_of("--snapshot-out")) {
       snapshot_out = v;
+    } else if (const char* v = value_of("--trace-out")) {
+      trace_out = v;
     } else if (const char* v = value_of("--serve-seconds")) {
       serve_seconds = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value_of("--idle-timeout-ms")) {
@@ -166,6 +175,9 @@ int main(int argc, char** argv) {
   if (batches == 0) batches = 1;
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  TraceRecorder recorder;
+  std::optional<ScopedTraceSession> trace;
+  if (!trace_out.empty()) trace.emplace(&recorder);
 
   // ---- topology ------------------------------------------------------------
   const bool distributed = router_mode || shards > 1;
@@ -340,6 +352,16 @@ int main(int argc, char** argv) {
       const std::string label = "shard " + std::to_string(k);
       PrintCounters(label.c_str(), counters);
     }
+  }
+  if (!trace_out.empty()) {
+    trace.reset();  // no span may still be open when we dump
+    if (!recorder.WriteChromeJson(trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace spans to %s\n", recorder.Spans().size(),
+                trace_out.c_str());
   }
   return 0;
 }

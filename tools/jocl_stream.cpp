@@ -10,7 +10,7 @@
 //
 // Usage:
 //   jocl_stream [scale] [--batches N] [--threads N] [--warm] [--no-remove]
-//               [--snapshot-out=PATH]
+//               [--snapshot-out=PATH] [--trace-out=PATH]
 //
 //   scale         workload scale (default 0.5; 1.0 ≈ 3K triples)
 //   --batches N   number of ingestion batches (default 8)
@@ -22,9 +22,14 @@
 //                 persist a CanonStore snapshot after every batch (the
 //                 final write is the replay's final state; serve it with
 //                 `jocl_serve --snapshot PATH`)
+//   --trace-out=PATH
+//                 dump the replay's pipeline spans as Chrome trace-event
+//                 JSON (open in chrome://tracing or Perfetto);
+//                 byte-identical across runs modulo timestamps
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +38,7 @@
 #include "data/generator.h"
 #include "eval/clustering_metrics.h"
 #include "eval/linking_metrics.h"
+#include "obs/trace.h"
 #include "serve/canon_store.h"
 #include "serve/snapshot_io.h"
 #include "util/stopwatch.h"
@@ -69,6 +75,9 @@ void PrintBatch(size_t index, const char* verb, size_t batch_size,
 size_t EmitSnapshot(const JoclSession& session, const Dataset& ds,
                     const std::string& path) {
   if (path.empty()) return 0;
+  // The snapshot write is the replay's "publish" stage: the moment the
+  // batch's result becomes visible outside the session.
+  ScopedSpan publish_span("publish");
   CanonStore store = BuildCanonStore(session.problem(), session.result(),
                                      ds.ckb, session.generation());
   size_t bytes = 0;
@@ -89,6 +98,7 @@ int main(int argc, char** argv) {
   SessionOptions session_options;
   bool do_remove = true;
   std::string snapshot_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
       batches = static_cast<size_t>(std::atoll(argv[++i]));
@@ -103,12 +113,19 @@ int main(int argc, char** argv) {
       snapshot_out = argv[i] + 15;
     } else if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
       snapshot_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       scale = std::atof(argv[i]);
       if (scale <= 0) scale = 0.5;
     }
   }
   if (batches == 0) batches = 1;
+  TraceRecorder recorder;
+  std::optional<ScopedTraceSession> trace;
+  if (!trace_out.empty()) trace.emplace(&recorder);
 
   std::printf("generating ReVerb45K-like benchmark (scale %.2f)...\n", scale);
   Dataset ds = GenerateReVerb45K(scale).MoveValueOrDie();
@@ -202,6 +219,16 @@ int main(int argc, char** argv) {
                       ? "yes"
                       : "NO (bug!)");
     }
+  }
+  if (!trace_out.empty()) {
+    trace.reset();  // no span may still be open when we dump
+    if (!recorder.WriteChromeJson(trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace spans to %s\n", recorder.Spans().size(),
+                trace_out.c_str());
   }
   return 0;
 }

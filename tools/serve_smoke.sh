@@ -71,6 +71,32 @@ check() {
 check "http://127.0.0.1:$PORT/stats"
 check "http://127.0.0.1:$PORT/lookup" -G --data-urlencode "surface=$SURFACE"
 
+# /metrics: Prometheus text exposition (not JSON). The /lookup above
+# already ran, so the data-path counter and its latency histogram must
+# both carry samples, and the generation gauge must be published.
+METRICS=$(curl -sS "http://127.0.0.1:$PORT/metrics") \
+  || { echo "/metrics scrape failed"; exit 1; }
+for family in \
+    'jocl_requests_total' \
+    'jocl_request_latency_seconds_bucket' \
+    'jocl_generation'; do
+  printf '%s\n' "$METRICS" | grep -q "^$family" \
+    || { echo "/metrics missing family $family:"; echo "$METRICS"; exit 1; }
+done
+printf '%s\n' "$METRICS" | grep -q '# TYPE jocl_request_latency_seconds histogram' \
+  || { echo "/metrics missing histogram TYPE line:"; echo "$METRICS"; exit 1; }
+if [ "$MODE" = "router" ]; then
+  # The router aggregates shard scrapes under per-shard labels and adds
+  # its own shard-health gauges.
+  for family in 'jocl_shard_generation' 'jocl_shard_port'; do
+    printf '%s\n' "$METRICS" | grep -q "^$family" \
+      || { echo "router /metrics missing $family:"; echo "$METRICS"; exit 1; }
+  done
+  printf '%s\n' "$METRICS" | grep -q 'shard="' \
+    || { echo "router /metrics has no shard labels:"; echo "$METRICS"; exit 1; }
+fi
+echo "OK  /metrics exposition ($MODE)"
+
 if [ "$MODE" = "router" ]; then
   # A /cluster miss broadcasts to every shard before reporting 404
   # (a hit stops at the first shard that owns the cluster), so after
