@@ -1,12 +1,21 @@
 // Incremental-session bench: what a JoclSession ingestion batch costs
 // versus rebuilding everything with JoclRuntime::Infer, across batch
-// sizes, plus the K-batch replay equivalence check and the warm-start
-// variant. Emits BENCH_incremental.json (path: JOCL_BENCH_OUT, default
-// ./BENCH_incremental.json) for CI tracking.
+// sizes, plus the K-batch replay equivalence check (with removals) and
+// the warm-start variant. Emits BENCH_incremental.json (path:
+// JOCL_BENCH_OUT, default ./BENCH_incremental.json) for CI tracking;
+// tools/check_bench_trend.sh diffs it against the committed baseline.
 //
-// Acceptance bar (ISSUE 3): a 1%-sized batch must be >= 5x faster than a
-// full rebuild, and the K-batch replay must be byte-identical to the
-// one-shot result.
+// Acceptance bars:
+//   * ISSUE 3 (kept): a longtail 1%-sized batch must be >= 5x faster
+//     than a full rebuild, and every K-batch replay must be
+//     byte-identical to the one-shot result.
+//   * ISSUE 10: the longtail 1% batch must be >= 3x faster end-to-end
+//     than the legacy front-end (scratch BuildProblem + PartitionProblem
+//     per batch, the PR 3 path) on the same batch; the head-component
+//     worst case must reach >= 2.5x vs a full rebuild under the residual
+//     schedule (byte-identical to the residual one-shot); and at scale
+//     >= 1 the longtail front-end (problem build + partition) must stay
+//     <= 25% of the batch wall — the bench hard-fails otherwise.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -25,13 +34,16 @@ struct BatchRun {
   double fraction = 0.0;
   size_t batch_triples = 0;
   double incremental_seconds = 0.0;
-  double speedup = 0.0;
+  double legacy_seconds = 0.0;  // same batch, incremental_frontend=false
+  double speedup = 0.0;         // vs full rebuild
+  double speedup_vs_legacy = 0.0;
   SessionStats stats;
 };
 
 struct ReplayRun {
   size_t k = 0;
   bool warm = false;
+  bool with_removal = false;
   double total_seconds = 0.0;
   double max_batch_seconds = 0.0;
   bool identical = false;      // byte-identical decode + marginals
@@ -44,34 +56,107 @@ bool SameDecode(const JoclResult& a, const JoclResult& b) {
          a.triples == b.triples;
 }
 
+bool SameBytes(const JoclResult& a, const JoclResult& b) {
+  return SameDecode(a, b) &&
+         a.diagnostics.marginals == b.diagnostics.marginals;
+}
+
+/// Problem build + partition — the stages the O(Δ) front-end shrinks.
+/// (Signal-cache upkeep is reported separately; it was already
+/// incremental before this front-end existed.)
+double FrontendSeconds(const SessionStats& stats) {
+  return stats.problem_seconds + stats.partition_seconds;
+}
+
+/// Replays \p stream as \p k batches through a fresh session. When
+/// \p with_removal is set, retires the first batch again after the full
+/// replay and re-adds it (for k == 1 that is remove-everything /
+/// re-add-everything), so the equivalence check also covers the removal
+/// repair path. Timings cover every operation including the removal.
 ReplayRun Replay(const Dataset& ds, const SignalBundle& sig,
                  const std::vector<size_t>& stream, size_t k, bool warm,
-                 const JoclResult& oneshot) {
+                 bool with_removal, const JoclResult& oneshot) {
   SessionOptions session_options;
   session_options.warm_start = warm;
   JoclSession session(&ds, &sig, {}, session_options);
   ReplayRun run;
   run.k = k;
   run.warm = warm;
+  run.with_removal = with_removal;
+  auto step = [&](bool remove, const std::vector<size_t>& batch) {
+    Stopwatch watch;
+    Status status = remove ? session.RemoveTriples(batch)
+                           : session.AddTriples(batch);
+    double seconds = watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::printf("ERROR: %s\n", status.ToString().c_str());
+      return false;
+    }
+    run.total_seconds += seconds;
+    if (seconds > run.max_batch_seconds) run.max_batch_seconds = seconds;
+    return true;
+  };
+  std::vector<size_t> first_batch;
   for (size_t b = 0; b < k; ++b) {
     size_t begin = b * stream.size() / k;
     size_t end = (b + 1) * stream.size() / k;
     std::vector<size_t> batch(stream.begin() + begin, stream.begin() + end);
-    Stopwatch watch;
-    Status status = session.AddTriples(batch);
-    double seconds = watch.ElapsedSeconds();
-    if (!status.ok()) {
-      std::printf("ERROR: %s\n", status.ToString().c_str());
-      return run;
-    }
-    run.total_seconds += seconds;
-    if (seconds > run.max_batch_seconds) run.max_batch_seconds = seconds;
+    if (b == 0) first_batch = batch;
+    if (!step(false, batch)) return run;
+  }
+  if (with_removal && !first_batch.empty()) {
+    if (!step(true, first_batch)) return run;
+    if (!step(false, first_batch)) return run;
   }
   run.decode_match = SameDecode(session.result(), oneshot);
   run.identical = run.decode_match &&
                   session.result().diagnostics.marginals ==
                       oneshot.diagnostics.marginals;
   return run;
+}
+
+/// Prefills a session with everything but \p batch, then times the batch
+/// — the steady-state cost against a warm store. Repeats the whole
+/// prefill + batch measurement \p reps times with a fresh session each
+/// (best-of, to shed scheduler noise on millisecond-scale batches) and
+/// returns the fastest batch wall seconds with its stats; bumps
+/// \p failures when any rep's landed result is not the one-shot result.
+double MeasureBatch(const Dataset& ds, const SignalBundle& sig,
+                    const std::vector<size_t>& stream,
+                    const std::vector<size_t>& batch,
+                    const JoclOptions& jocl_options,
+                    const SessionOptions& session_options,
+                    const JoclResult& oneshot, int reps, SessionStats* stats,
+                    int* failures) {
+  std::vector<size_t> prefill;
+  {
+    std::vector<size_t> sorted_batch = batch;
+    std::sort(sorted_batch.begin(), sorted_batch.end());
+    for (size_t t : stream) {
+      if (!std::binary_search(sorted_batch.begin(), sorted_batch.end(), t)) {
+        prefill.push_back(t);
+      }
+    }
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    JoclSession session(&ds, &sig, jocl_options, session_options);
+    session.AddTriples(prefill);
+    SessionStats rep_stats;
+    Stopwatch watch;
+    session.AddTriples(batch, &rep_stats);
+    double seconds = watch.ElapsedSeconds();
+    // The batch must land the session on the one-shot result exactly.
+    if (!SameBytes(session.result(), oneshot)) {
+      std::printf("ERROR: batch result differs from one-shot!\n");
+      ++*failures;
+    }
+    if (rep == 0 || seconds < best) {
+      best = seconds;
+      *stats = rep_stats;
+    }
+  }
+  return best;
 }
 
 int Run() {
@@ -84,7 +169,7 @@ int Run() {
   const std::vector<size_t>& stream = ds.test_triples;
   std::printf("%zu triples, %zu streamed\n\n", ds.okb.size(), stream.size());
 
-  // ---- full-rebuild baseline (best of 2, to shed cold-cache noise) --------
+  // ---- full-rebuild baselines (best of 2, to shed cold-cache noise) -------
   JoclRuntime runtime;
   double full_seconds = 0.0;
   JoclResult oneshot;
@@ -94,7 +179,25 @@ int Run() {
     double seconds = watch.ElapsedSeconds();
     if (rep == 0 || seconds < full_seconds) full_seconds = seconds;
   }
-  std::printf("full rebuild (one-shot runtime): %.3fs\n\n", full_seconds);
+  // The residual-schedule baseline for the head-component bar: both sides
+  // of that ratio run kResidual, so the comparison stays apples-to-apples.
+  JoclOptions residual_options;
+  residual_options.inference.schedule = LbpSchedule::kResidual;
+  JoclRuntime residual_runtime(residual_options);
+  double full_residual_seconds = 0.0;
+  JoclResult oneshot_residual;
+  for (int rep = 0; rep < 2; ++rep) {
+    Stopwatch watch;
+    oneshot_residual =
+        residual_runtime.Infer(ds, sig, stream).MoveValueOrDie();
+    double seconds = watch.ElapsedSeconds();
+    if (rep == 0 || seconds < full_residual_seconds) {
+      full_residual_seconds = seconds;
+    }
+  }
+  std::printf("full rebuild (one-shot runtime): %.3fs staged, "
+              "%.3fs residual\n\n",
+              full_seconds, full_residual_seconds);
 
   // ---- batch composition --------------------------------------------------
   // Incremental cost is proportional to the *dirty region*, not the batch
@@ -135,78 +238,124 @@ int Run() {
   };
 
   std::vector<BatchRun> batch_runs;
-  TablePrinter table({"Batch", "Triples", "Incremental (s)", "Dirty shards",
-                      "Speedup vs full"});
-  auto measure = [&](const char* kind, double fraction,
+  TablePrinter table({"Batch", "Triples", "Incremental (s)", "Legacy (s)",
+                      "Dirty shards", "vs full", "vs legacy"});
+  SessionOptions incremental_options;  // defaults: incremental front-end on
+  SessionOptions legacy_options;
+  legacy_options.incremental_frontend = false;  // the PR 3 path
+  auto measure = [&](const char* kind, double fraction, int reps,
                      const std::vector<size_t>& batch) {
-    // Prefill a session with everything but the batch, then time the
-    // batch — the steady-state cost against a warm store.
-    std::vector<size_t> head_set;
-    {
-      std::vector<size_t> sorted_batch = batch;
-      std::sort(sorted_batch.begin(), sorted_batch.end());
-      for (size_t t : stream) {
-        if (!std::binary_search(sorted_batch.begin(), sorted_batch.end(), t)) {
-          head_set.push_back(t);
-        }
-      }
-    }
-    JoclSession session(&ds, &sig, {}, {});
-    session.AddTriples(head_set);
     BatchRun run;
     run.kind = kind;
     run.fraction = fraction;
     run.batch_triples = batch.size();
-    Stopwatch watch;
-    session.AddTriples(batch, &run.stats);
-    run.incremental_seconds = watch.ElapsedSeconds();
+    run.incremental_seconds =
+        MeasureBatch(ds, sig, stream, batch, {}, incremental_options,
+                     oneshot, reps, &run.stats, &failures);
+    SessionStats legacy_stats;
+    run.legacy_seconds =
+        MeasureBatch(ds, sig, stream, batch, {}, legacy_options, oneshot,
+                     reps, &legacy_stats, &failures);
     run.speedup = run.incremental_seconds > 0.0
                       ? full_seconds / run.incremental_seconds
                       : 0.0;
-    // The batch must land the session on the one-shot result exactly.
-    if (!SameDecode(session.result(), oneshot)) {
-      std::printf("ERROR: batch result differs from one-shot!\n");
-      ++failures;
-    }
+    run.speedup_vs_legacy = run.incremental_seconds > 0.0
+                                ? run.legacy_seconds / run.incremental_seconds
+                                : 0.0;
     table.AddRow({kind, std::to_string(run.batch_triples),
                   TablePrinter::Num(run.incremental_seconds, 3),
+                  TablePrinter::Num(run.legacy_seconds, 3),
                   std::to_string(run.stats.dirty_shards) + "/" +
                       std::to_string(run.stats.shards),
-                  TablePrinter::Num(run.speedup, 1) + "x"});
+                  TablePrinter::Num(run.speedup, 1) + "x",
+                  TablePrinter::Num(run.speedup_vs_legacy, 1) + "x"});
     batch_runs.push_back(run);
   };
-  measure("longtail 1%", 0.01, take_tail(longtail_pool, one_pct));
-  measure("head 1%", 0.01, take_tail(head_pool, one_pct));
-  measure("mixed 5%", 0.05, take_tail(stream, 5 * one_pct));
-  measure("mixed 10%", 0.10, take_tail(stream, 10 * one_pct));
+  // The longtail batch runs in single-digit milliseconds, where scheduler
+  // noise rivals the measurement — best-of-3 for it, single-shot for the
+  // hundred-millisecond batches.
+  measure("longtail 1%", 0.01, /*reps=*/3, take_tail(longtail_pool, one_pct));
+  measure("head 1%", 0.01, /*reps=*/1, take_tail(head_pool, one_pct));
+  measure("mixed 5%", 0.05, /*reps=*/1, take_tail(stream, 5 * one_pct));
+  measure("mixed 10%", 0.10, /*reps=*/1, take_tail(stream, 10 * one_pct));
   std::printf("%s\n", table.Render().c_str());
 
-  const BatchRun& longtail = batch_runs.front();
-  std::printf("longtail 1%% stage split: problem %.3fs, cache %.3fs, "
-              "partition %.3fs, shards %.3fs (graph %.3fs + infer %.3fs), "
-              "decode %.3fs\n",
+  const BatchRun& longtail = batch_runs[0];
+  const BatchRun& head = batch_runs[1];
+  std::printf("longtail 1%% stage split: problem %.4fs, cache %.4fs, "
+              "partition %.4fs, shards %.4fs (graph %.4fs + infer %.4fs), "
+              "decode %.4fs\n",
               longtail.stats.problem_seconds, longtail.stats.cache_seconds,
               longtail.stats.partition_seconds, longtail.stats.shard_seconds,
               longtail.stats.graph_seconds, longtail.stats.infer_seconds,
               longtail.stats.decode_seconds);
-  std::printf("the head batch re-infers the largest component exactly — the "
-              "price of\nbyte-identical restart semantics; see "
-              "docs/benchmarks.md.\n");
-  std::printf("acceptance (longtail 1%% batch >= 5x): %s\n\n",
-              longtail.speedup >= 5.0 ? "PASS" : "FAIL");
-  if (longtail.speedup < 5.0) ++failures;
+  double frontend_share =
+      longtail.incremental_seconds > 0.0
+          ? FrontendSeconds(longtail.stats) / longtail.incremental_seconds
+          : 0.0;
+  std::printf("longtail 1%% front-end (problem + partition): %.4fs = "
+              "%.1f%% of batch wall\n",
+              FrontendSeconds(longtail.stats), frontend_share * 100.0);
+
+  // ---- head batch under the residual schedule -----------------------------
+  // The head batch re-infers the largest component exactly — the price of
+  // byte-identical restart semantics. The staged number above is that
+  // honest worst case; the residual schedule converges the head component
+  // early (against its own residual one-shot baseline, so the identity
+  // check still holds bit for bit).
+  SessionStats head_residual_stats;
+  double head_residual_seconds = MeasureBatch(
+      ds, sig, stream, take_tail(head_pool, one_pct), residual_options,
+      incremental_options, oneshot_residual, /*reps=*/2,
+      &head_residual_stats, &failures);
+  double head_residual_speedup = head_residual_seconds > 0.0
+                                     ? full_residual_seconds /
+                                           head_residual_seconds
+                                     : 0.0;
+  std::printf("head 1%% residual schedule: %.3fs (%.1fx vs %.3fs residual "
+              "full rebuild; staged: %.1fx)\n\n",
+              head_residual_seconds, head_residual_speedup,
+              full_residual_seconds, head.speedup);
+
+  // ---- acceptance gates ---------------------------------------------------
+  bool gate_5x = longtail.speedup >= 5.0;
+  bool gate_legacy_3x = longtail.speedup_vs_legacy >= 3.0;
+  bool gate_head_residual = head_residual_speedup >= 2.5;
+  bool gate_frontend_share = frontend_share <= 0.25;
+  bool enforce_frontend_share = env.scale >= 1.0;
+  std::printf("acceptance (longtail 1%% >= 5x vs full): %s\n",
+              gate_5x ? "PASS" : "FAIL");
+  std::printf("acceptance (longtail 1%% >= 3x vs legacy front-end): %s\n",
+              gate_legacy_3x ? "PASS" : "FAIL");
+  std::printf("acceptance (head 1%% residual >= 2.5x vs full): %s\n",
+              gate_head_residual ? "PASS" : "FAIL");
+  std::printf("acceptance (longtail front-end <= 25%% of batch wall): %s%s\n",
+              gate_frontend_share ? "PASS" : "FAIL",
+              enforce_frontend_share ? "" : " (recorded only; scale < 1)");
+  std::printf("\n");
+  if (!gate_5x) ++failures;
+  if (!gate_legacy_3x) ++failures;
+  if (!gate_head_residual) ++failures;
+  if (enforce_frontend_share && !gate_frontend_share) ++failures;
 
   // ---- K-batch replay: equivalence + totals -------------------------------
+  // Cold replays retire the first batch again and re-add it, so the
+  // equivalence also proves the removal repair path (K=1 is the
+  // remove-everything / re-add-everything stress).
   std::vector<ReplayRun> replays;
-  for (size_t k : {4u, 16u}) {
-    ReplayRun cold = Replay(ds, sig, stream, k, /*warm=*/false, oneshot);
-    std::printf("replay K=%-2zu cold: total %.3fs (max batch %.3fs), "
+  for (size_t k : {1u, 4u, 16u}) {
+    ReplayRun cold = Replay(ds, sig, stream, k, /*warm=*/false,
+                            /*with_removal=*/true, oneshot);
+    std::printf("replay K=%-2zu cold+removal: total %.3fs (max batch %.3fs), "
                 "byte-identical: %s\n",
                 k, cold.total_seconds, cold.max_batch_seconds,
                 cold.identical ? "yes" : "NO (bug!)");
     if (!cold.identical) ++failures;
     replays.push_back(cold);
-    ReplayRun warm = Replay(ds, sig, stream, k, /*warm=*/true, oneshot);
+  }
+  for (size_t k : {4u, 16u}) {
+    ReplayRun warm = Replay(ds, sig, stream, k, /*warm=*/true,
+                            /*with_removal=*/false, oneshot);
     std::printf("replay K=%-2zu warm: total %.3fs (max batch %.3fs), "
                 "decode match: %s\n",
                 k, warm.total_seconds, warm.max_batch_seconds,
@@ -228,45 +377,71 @@ int Run() {
   std::fprintf(out, "  \"triples\": %zu,\n  \"streamed_triples\": %zu,\n",
                ds.okb.size(), stream.size());
   std::fprintf(out, "  \"full_rebuild_seconds\": %.4f,\n", full_seconds);
+  std::fprintf(out, "  \"full_rebuild_residual_seconds\": %.4f,\n",
+               full_residual_seconds);
   std::fprintf(out, "  \"batches\": [\n");
   for (size_t i = 0; i < batch_runs.size(); ++i) {
     const BatchRun& run = batch_runs[i];
     std::fprintf(out,
                  "    {\"kind\": \"%s\", "
                  "\"fraction\": %.3f, \"batch_triples\": %zu, "
-                 "\"incremental_seconds\": %.4f, \"speedup_vs_full\": %.2f, "
+                 "\"incremental_seconds\": %.4f, "
+                 "\"legacy_frontend_seconds\": %.4f, "
+                 "\"speedup_vs_full\": %.2f, \"speedup_vs_legacy\": %.2f, "
                  "\"dirty_shards\": %zu, \"clean_shards\": %zu, "
                  "\"total_shards\": %zu, \"merged_shards\": %zu, "
                  "\"problem_seconds\": %.4f, \"cache_seconds\": %.4f, "
                  "\"partition_seconds\": %.4f, \"shard_seconds\": %.4f, "
                  "\"graph_seconds\": %.4f, \"infer_seconds\": %.4f, "
-                 "\"decode_seconds\": %.4f, \"cache_new_phrases\": %zu}%s\n",
+                 "\"decode_seconds\": %.4f, \"frontend_seconds\": %.4f, "
+                 "\"cache_new_phrases\": %zu}%s\n",
                  run.kind, run.fraction, run.batch_triples,
-                 run.incremental_seconds,
-                 run.speedup, run.stats.dirty_shards, run.stats.clean_shards,
-                 run.stats.shards, run.stats.merged_shards,
-                 run.stats.problem_seconds, run.stats.cache_seconds,
-                 run.stats.partition_seconds, run.stats.shard_seconds,
-                 run.stats.graph_seconds, run.stats.infer_seconds,
-                 run.stats.decode_seconds, run.stats.cache_new_phrases,
+                 run.incremental_seconds, run.legacy_seconds, run.speedup,
+                 run.speedup_vs_legacy, run.stats.dirty_shards,
+                 run.stats.clean_shards, run.stats.shards,
+                 run.stats.merged_shards, run.stats.problem_seconds,
+                 run.stats.cache_seconds, run.stats.partition_seconds,
+                 run.stats.shard_seconds, run.stats.graph_seconds,
+                 run.stats.infer_seconds, run.stats.decode_seconds,
+                 FrontendSeconds(run.stats), run.stats.cache_new_phrases,
                  i + 1 < batch_runs.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"head_residual\": {\"seconds\": %.4f, "
+               "\"speedup_vs_full\": %.2f},\n",
+               head_residual_seconds, head_residual_speedup);
   std::fprintf(out, "  \"replays\": [\n");
   for (size_t i = 0; i < replays.size(); ++i) {
     const ReplayRun& run = replays[i];
     std::fprintf(out,
                  "    {\"k\": %zu, \"warm_start\": %s, "
+                 "\"with_removal\": %s, "
                  "\"total_seconds\": %.4f, \"max_batch_seconds\": %.4f, "
                  "\"byte_identical\": %s, \"decode_match\": %s}%s\n",
-                 run.k, run.warm ? "true" : "false", run.total_seconds,
+                 run.k, run.warm ? "true" : "false",
+                 run.with_removal ? "true" : "false", run.total_seconds,
                  run.max_batch_seconds, run.identical ? "true" : "false",
                  run.decode_match ? "true" : "false",
                  i + 1 < replays.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"acceptance_1pct_speedup_ge_5x\": %s\n",
-               longtail.speedup >= 5.0 ? "true" : "false");
+  // Gated metrics — tools/check_bench_trend.sh diffs these against the
+  // committed baseline and warns on >20% regressions.
+  std::fprintf(out, "  \"longtail_speedup_vs_full\": %.2f,\n",
+               longtail.speedup);
+  std::fprintf(out, "  \"longtail_speedup_vs_legacy\": %.2f,\n",
+               longtail.speedup_vs_legacy);
+  std::fprintf(out, "  \"head_residual_speedup_vs_full\": %.2f,\n",
+               head_residual_speedup);
+  std::fprintf(out, "  \"longtail_frontend_share\": %.4f,\n", frontend_share);
+  std::fprintf(out, "  \"acceptance_1pct_speedup_ge_5x\": %s,\n",
+               gate_5x ? "true" : "false");
+  std::fprintf(out, "  \"acceptance_longtail_vs_legacy_ge_3x\": %s,\n",
+               gate_legacy_3x ? "true" : "false");
+  std::fprintf(out, "  \"acceptance_head_residual_ge_2_5x\": %s,\n",
+               gate_head_residual ? "true" : "false");
+  std::fprintf(out, "  \"acceptance_frontend_share_le_25pct\": %s\n",
+               gate_frontend_share ? "true" : "false");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path);

@@ -5,6 +5,7 @@
 
 #include "cluster/union_find.h"
 #include "core/jocl.h"
+#include "util/worker_pool.h"
 
 namespace jocl {
 namespace {
@@ -17,11 +18,30 @@ int64_t StateToId(const std::vector<Candidate>& candidates, size_t state) {
   return candidates[state - 1].id;
 }
 
+/// Find with path compression over a sparse map-backed forest (the
+/// per-group merge state of the parallel clustering path — group node
+/// sets are small and sparse in the global id space).
+size_t LocalFind(std::unordered_map<size_t, size_t>& parent, size_t x) {
+  auto it = parent.emplace(x, x).first;
+  size_t root = it->second;
+  while (true) {
+    auto next = parent.find(root);
+    if (next->second == root) break;
+    root = next->second;
+  }
+  while (parent[x] != root) {
+    size_t next = parent[x];
+    parent[x] = root;
+    x = next;
+  }
+  return root;
+}
+
 }  // namespace
 
 std::vector<size_t> ClusterPairGraph(size_t n,
                                      const std::vector<PairEdge>& edges,
-                                     double threshold) {
+                                     double threshold, size_t threads) {
   // Deduplicated edge lookup (max weight wins) + adjacency.
   std::unordered_map<uint64_t, double> weight_of;
   auto key_of = [](size_t a, size_t b) {
@@ -53,40 +73,109 @@ std::vector<size_t> ClusterPairGraph(size_t n,
             });
 
   UnionFind uf(n);
-  std::unordered_map<size_t, std::vector<size_t>> members;
-  auto members_of = [&](size_t root) -> std::vector<size_t>& {
-    auto [it, inserted] = members.emplace(root, std::vector<size_t>{});
-    if (inserted) it->second.push_back(root);
-    return it->second;
-  };
-  for (const auto& [weight, a, b] : ordered) {
-    size_t ra = uf.Find(a);
-    size_t rb = uf.Find(b);
-    if (ra == rb) continue;
-    std::vector<size_t>& ma = members_of(ra);
-    std::vector<size_t>& mb = members_of(rb);
-    // Average the model's beliefs over every OBSERVED cross edge.
-    double sum = 0.0;
-    size_t count = 0;
-    for (size_t x : ma) {
-      for (size_t y : mb) {
-        auto it = weight_of.find(key_of(x, y));
-        if (it != weight_of.end()) {
-          sum += it->second;
-          ++count;
+  if (threads <= 1 || ordered.size() < 2) {
+    // Sequential merge process over the global edge order.
+    std::unordered_map<size_t, std::vector<size_t>> members;
+    auto members_of = [&](size_t root) -> std::vector<size_t>& {
+      auto [it, inserted] = members.emplace(root, std::vector<size_t>{});
+      if (inserted) it->second.push_back(root);
+      return it->second;
+    };
+    for (const auto& [weight, a, b] : ordered) {
+      size_t ra = uf.Find(a);
+      size_t rb = uf.Find(b);
+      if (ra == rb) continue;
+      std::vector<size_t>& ma = members_of(ra);
+      std::vector<size_t>& mb = members_of(rb);
+      // Average the model's beliefs over every OBSERVED cross edge.
+      double sum = 0.0;
+      size_t count = 0;
+      for (size_t x : ma) {
+        for (size_t y : mb) {
+          auto it = weight_of.find(key_of(x, y));
+          if (it != weight_of.end()) {
+            sum += it->second;
+            ++count;
+          }
         }
       }
+      if (count > 0 && sum / static_cast<double>(count) < threshold) {
+        continue;  // contradicted merge
+      }
+      uf.Union(ra, rb);
+      size_t new_root = uf.Find(ra);
+      std::vector<size_t> merged = std::move(ma);
+      merged.insert(merged.end(), mb.begin(), mb.end());
+      members.erase(ra);
+      members.erase(rb);
+      members[new_root] = std::move(merged);
     }
-    if (count > 0 && sum / static_cast<double>(count) < threshold) {
-      continue;  // contradicted merge
-    }
-    uf.Union(ra, rb);
-    size_t new_root = uf.Find(ra);
-    std::vector<size_t> merged = std::move(ma);
-    merged.insert(merged.end(), mb.begin(), mb.end());
-    members.erase(ra);
-    members.erase(rb);
-    members[new_root] = std::move(merged);
+    return uf.Labels();
+  }
+
+  // Parallel path: merges never cross a connected component of the
+  // thresholded edge graph, and the veto only consults weight_of entries
+  // between members of merging clusters (same component), so components
+  // run independently. Each worker replays its component's edges in the
+  // global order against a component-local forest; the accepted unions
+  // are then applied to the shared structure. The partition — and hence
+  // Labels(), which is partition-determined — is byte-identical to the
+  // sequential run.
+  UnionFind pregroup(n);
+  for (const auto& [weight, a, b] : ordered) pregroup.Union(a, b);
+  std::unordered_map<size_t, size_t> group_index;
+  std::vector<std::vector<size_t>> group_edges;
+  for (size_t e = 0; e < ordered.size(); ++e) {
+    size_t root = pregroup.Find(std::get<1>(ordered[e]));
+    auto [it, inserted] = group_index.emplace(root, group_edges.size());
+    if (inserted) group_edges.emplace_back();
+    group_edges[it->second].push_back(e);
+  }
+  std::vector<std::vector<std::pair<size_t, size_t>>> accepted(
+      group_edges.size());
+  RunOnPool(
+      group_edges.size(), threads,
+      [&](size_t g) { return group_edges[g].size(); },
+      [&](size_t g) {
+        std::unordered_map<size_t, size_t> parent;
+        std::unordered_map<size_t, std::vector<size_t>> members;
+        auto members_of = [&](size_t root) -> std::vector<size_t>& {
+          auto [it, inserted] = members.emplace(root, std::vector<size_t>{});
+          if (inserted) it->second.push_back(root);
+          return it->second;
+        };
+        for (size_t e : group_edges[g]) {
+          const auto& [weight, a, b] = ordered[e];
+          size_t ra = LocalFind(parent, a);
+          size_t rb = LocalFind(parent, b);
+          if (ra == rb) continue;
+          std::vector<size_t>& ma = members_of(ra);
+          std::vector<size_t>& mb = members_of(rb);
+          double sum = 0.0;
+          size_t count = 0;
+          for (size_t x : ma) {
+            for (size_t y : mb) {
+              auto it = weight_of.find(key_of(x, y));
+              if (it != weight_of.end()) {
+                sum += it->second;
+                ++count;
+              }
+            }
+          }
+          if (count > 0 && sum / static_cast<double>(count) < threshold) {
+            continue;  // contradicted merge
+          }
+          parent[rb] = ra;
+          accepted[g].emplace_back(a, b);
+          std::vector<size_t> merged = std::move(ma);
+          merged.insert(merged.end(), mb.begin(), mb.end());
+          members.erase(ra);
+          members.erase(rb);
+          members[ra] = std::move(merged);
+        }
+      });
+  for (const auto& list : accepted) {
+    for (const auto& [a, b] : list) uf.Union(a, b);
   }
   return uf.Labels();
 }
@@ -105,73 +194,157 @@ void ResolveLinkConflicts(const JoclProblem& problem,
     np_link_confidence[t * 2] = beliefs.es_marg[t][beliefs.es_state[t]];
     np_link_confidence[t * 2 + 1] = beliefs.eo_marg[t][beliefs.eo_state[t]];
   }
-  // Link-group sizes: mentions per linked entity.
+  // Link-group sizes: mentions per linked entity/relation. Snapshots of
+  // the *initial* decode, never updated during resolution (read-only, so
+  // conflict groups can resolve concurrently).
   std::unordered_map<int64_t, size_t> entity_counts;
   for (int64_t e : *np_link) {
     if (e != kNilId) ++entity_counts[e];
   }
-  auto resolve = [&](const std::vector<SurfacePair>& pairs,
-                     const std::vector<size_t>& pair_state,
-                     const std::vector<std::vector<double>>& pair_marg,
-                     const std::vector<size_t>& representative,
-                     bool subject_role) {
-    for (size_t p = 0; p < pairs.size(); ++p) {
-      if (pair_state[p] != 1) continue;
-      if (pair_marg[p][1] < options.conflict_confidence) continue;
-      size_t mention_a =
-          representative[pairs[p].a] * 2 + (subject_role ? 0 : 1);
-      size_t mention_b =
-          representative[pairs[p].b] * 2 + (subject_role ? 0 : 1);
-      int64_t e_a = (*np_link)[mention_a];
-      int64_t e_b = (*np_link)[mention_b];
-      if (e_a == kNilId || e_b == kNilId || e_a == e_b) continue;
-      int64_t winner = entity_counts[e_a] >= entity_counts[e_b] ? e_a : e_b;
-      int64_t loser = winner == e_a ? e_b : e_a;
-      // Both NPs take the label of the larger link group: mentions of
-      // the two surfaces that sit in the losing group move over.
-      size_t surf_a = pairs[p].a;
-      size_t surf_b = pairs[p].b;
-      for (size_t t = 0; t < n; ++t) {
-        size_t surf_of_t =
-            subject_role ? problem.subject_of[t] : problem.object_of[t];
-        size_t mention = t * 2 + (subject_role ? 0 : 1);
-        if ((surf_of_t == surf_a || surf_of_t == surf_b) &&
-            (*np_link)[mention] == loser &&
-            np_link_confidence[mention] < options.overturn_guard) {
-          (*np_link)[mention] = winner;
-        }
-      }
-    }
-  };
-  resolve(problem.subject_pairs, beliefs.x_state, beliefs.x_marg,
-          problem.subject_rep, true);
-  resolve(problem.object_pairs, beliefs.z_state, beliefs.z_marg,
-          problem.object_rep, false);
-
   std::unordered_map<int64_t, size_t> relation_counts;
   for (int64_t r : *rp_link) {
     if (r != kNilId) ++relation_counts[r];
   }
-  for (size_t p = 0; p < problem.predicate_pairs.size(); ++p) {
-    if (beliefs.y_state[p] != 1) continue;
-    if (beliefs.y_marg[p][1] < options.conflict_confidence) continue;
-    size_t rep_a = problem.predicate_rep[problem.predicate_pairs[p].a];
-    size_t rep_b = problem.predicate_rep[problem.predicate_pairs[p].b];
-    int64_t r_a = (*rp_link)[rep_a];
-    int64_t r_b = (*rp_link)[rep_b];
-    if (r_a == kNilId || r_b == kNilId || r_a == r_b) continue;
-    int64_t winner = relation_counts[r_a] >= relation_counts[r_b] ? r_a : r_b;
-    int64_t loser = winner == r_a ? r_b : r_a;
-    size_t surf_a = problem.predicate_pairs[p].a;
-    size_t surf_b = problem.predicate_pairs[p].b;
-    for (size_t t = 0; t < n; ++t) {
-      if ((problem.predicate_of[t] == surf_a ||
-           problem.predicate_of[t] == surf_b) &&
-          (*rp_link)[t] == loser) {
-        (*rp_link)[t] = winner;
+  auto count_of = [](const std::unordered_map<int64_t, size_t>& counts,
+                     int64_t id) {
+    auto it = counts.find(id);
+    return it == counts.end() ? size_t{0} : it->second;
+  };
+
+  // Per-surface mention lists: relabeling a pair's losing group touches
+  // only the mentions of its two surfaces, not the whole triple set.
+  auto mentions_by_surface = [&](const std::vector<size_t>& of,
+                                 size_t n_surfaces) {
+    std::vector<std::vector<size_t>> mentions(n_surfaces);
+    for (size_t t = 0; t < n; ++t) mentions[of[t]].push_back(t);
+    return mentions;
+  };
+  auto subject_mentions =
+      mentions_by_surface(problem.subject_of, problem.subject_surfaces.size());
+  auto object_mentions =
+      mentions_by_surface(problem.object_of, problem.object_surfaces.size());
+  auto predicate_mentions = mentions_by_surface(
+      problem.predicate_of, problem.predicate_surfaces.size());
+
+  // Qualifying pairs grouped by surface connectivity (the conflict
+  // groups). A pair only reads and writes link state of its own group's
+  // surfaces, and the count snapshots above are read-only, so groups are
+  // independent: per-group processing in the original pair order is
+  // byte-identical to the sequential full scan.
+  auto group_pairs = [&](const std::vector<SurfacePair>& pairs,
+                         const std::vector<size_t>& pair_state,
+                         const std::vector<std::vector<double>>& pair_marg,
+                         size_t n_surfaces) {
+    std::vector<std::vector<size_t>> groups;
+    if (pair_marg.size() != pairs.size()) return groups;  // family ablated
+    std::vector<size_t> qualifying;
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      if (pair_state[p] != 1) continue;
+      if (pair_marg[p][1] < options.conflict_confidence) continue;
+      qualifying.push_back(p);
+    }
+    UnionFind uf(n_surfaces);
+    for (size_t p : qualifying) uf.Union(pairs[p].a, pairs[p].b);
+    std::unordered_map<size_t, size_t> index;
+    for (size_t p : qualifying) {
+      size_t root = uf.Find(pairs[p].a);
+      auto [it, inserted] = index.emplace(root, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(p);
+    }
+    return groups;
+  };
+  auto subject_groups =
+      group_pairs(problem.subject_pairs, beliefs.x_state, beliefs.x_marg,
+                  problem.subject_surfaces.size());
+  auto object_groups =
+      group_pairs(problem.object_pairs, beliefs.z_state, beliefs.z_marg,
+                  problem.object_surfaces.size());
+  auto predicate_groups =
+      group_pairs(problem.predicate_pairs, beliefs.y_state, beliefs.y_marg,
+                  problem.predicate_surfaces.size());
+
+  auto resolve_np_group = [&](const std::vector<size_t>& group,
+                              bool subject_role) {
+    const std::vector<SurfacePair>& pairs =
+        subject_role ? problem.subject_pairs : problem.object_pairs;
+    const std::vector<size_t>& representative =
+        subject_role ? problem.subject_rep : problem.object_rep;
+    const std::vector<std::vector<size_t>>& mentions =
+        subject_role ? subject_mentions : object_mentions;
+    const size_t offset = subject_role ? 0 : 1;
+    for (size_t p : group) {
+      size_t mention_a = representative[pairs[p].a] * 2 + offset;
+      size_t mention_b = representative[pairs[p].b] * 2 + offset;
+      int64_t e_a = (*np_link)[mention_a];
+      int64_t e_b = (*np_link)[mention_b];
+      if (e_a == kNilId || e_b == kNilId || e_a == e_b) continue;
+      int64_t winner = count_of(entity_counts, e_a) >=
+                               count_of(entity_counts, e_b)
+                           ? e_a
+                           : e_b;
+      int64_t loser = winner == e_a ? e_b : e_a;
+      // Both NPs take the label of the larger link group: mentions of
+      // the two surfaces that sit in the losing group move over.
+      for (size_t surf : {pairs[p].a, pairs[p].b}) {
+        for (size_t t : mentions[surf]) {
+          size_t mention = t * 2 + offset;
+          if ((*np_link)[mention] == loser &&
+              np_link_confidence[mention] < options.overturn_guard) {
+            (*np_link)[mention] = winner;
+          }
+        }
       }
     }
-  }
+  };
+  auto resolve_rp_group = [&](const std::vector<size_t>& group) {
+    for (size_t p : group) {
+      size_t rep_a = problem.predicate_rep[problem.predicate_pairs[p].a];
+      size_t rep_b = problem.predicate_rep[problem.predicate_pairs[p].b];
+      int64_t r_a = (*rp_link)[rep_a];
+      int64_t r_b = (*rp_link)[rep_b];
+      if (r_a == kNilId || r_b == kNilId || r_a == r_b) continue;
+      int64_t winner = count_of(relation_counts, r_a) >=
+                               count_of(relation_counts, r_b)
+                           ? r_a
+                           : r_b;
+      int64_t loser = winner == r_a ? r_b : r_a;
+      for (size_t surf :
+           {problem.predicate_pairs[p].a, problem.predicate_pairs[p].b}) {
+        for (size_t t : predicate_mentions[surf]) {
+          if ((*rp_link)[t] == loser) (*rp_link)[t] = winner;
+        }
+      }
+    }
+  };
+
+  // One task per (role, conflict group); subject and object roles write
+  // disjoint mention parities, predicates their own array, so every task
+  // touches state no other task reads or writes.
+  struct Task {
+    int role;  // 0 = subject, 1 = object, 2 = predicate
+    const std::vector<size_t>* group;
+  };
+  std::vector<Task> tasks;
+  for (const auto& group : subject_groups) tasks.push_back({0, &group});
+  for (const auto& group : object_groups) tasks.push_back({1, &group});
+  for (const auto& group : predicate_groups) tasks.push_back({2, &group});
+  RunOnPool(
+      tasks.size(), options.threads,
+      [&](size_t i) { return tasks[i].group->size(); },
+      [&](size_t i) {
+        switch (tasks[i].role) {
+          case 0:
+            resolve_np_group(*tasks[i].group, /*subject_role=*/true);
+            break;
+          case 1:
+            resolve_np_group(*tasks[i].group, /*subject_role=*/false);
+            break;
+          default:
+            resolve_rp_group(*tasks[i].group);
+            break;
+        }
+      });
 }
 
 void DecodeJointResult(const JoclProblem& problem, const JoclBeliefs& beliefs,
@@ -232,7 +405,8 @@ void DecodeJointResult(const JoclProblem& problem, const JoclBeliefs& beliefs,
                             beliefs.z_marg[p][1]);
     }
     np_labels = ClusterPairGraph(n_subject_surfaces + n_object_surfaces,
-                                 np_edges, options.cluster_threshold);
+                                 np_edges, options.cluster_threshold,
+                                 options.threads);
     std::vector<PairEdge> rp_edges;
     for (size_t p = 0; p < problem.predicate_pairs.size(); ++p) {
       rp_edges.emplace_back(problem.predicate_pairs[p].a,
@@ -240,7 +414,7 @@ void DecodeJointResult(const JoclProblem& problem, const JoclBeliefs& beliefs,
                             beliefs.y_marg[p][1]);
     }
     rp_labels = ClusterPairGraph(problem.predicate_surfaces.size(), rp_edges,
-                                 options.cluster_threshold);
+                                 options.cluster_threshold, options.threads);
   } else if (options.linking) {
     // JOCLlink fallback: group by linked entity/relation so the result is
     // still a complete joint output.

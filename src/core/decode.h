@@ -31,9 +31,15 @@ using PairEdge = std::tuple<size_t, size_t, double>;
 /// Duplicate edges keep their maximum weight. Returns dense cluster labels
 /// in `[0, k)` for nodes `0..n-1`; the result is deterministic (ties break
 /// on node ids).
+///
+/// \p threads > 1 fans the merge process out over the connected components
+/// of the *thresholded* edge graph: merges never cross a component and the
+/// veto only consults edges between members of merging clusters, so
+/// components are independent and the labels are byte-identical to the
+/// sequential run for any thread count.
 std::vector<size_t> ClusterPairGraph(size_t n,
                                      const std::vector<PairEdge>& edges,
-                                     double threshold);
+                                     double threshold, size_t threads = 1);
 
 /// \brief Inference outputs in the *global problem's* indexing — the
 /// contract between per-shard inference and the global decode.
@@ -68,6 +74,11 @@ struct JointDecodeOptions {
   /// Mentions whose own link confidence reaches this are never overturned
   /// by conflict resolution (the model is surer than the group vote).
   double overturn_guard = 0.85;
+  /// Worker threads for the decode's component-parallel stages
+  /// (clustering and conflict resolution): 1 = sequential. Output is
+  /// byte-identical for any setting — work is partitioned by conflict
+  /// group, and groups touch disjoint state.
+  size_t threads = 1;
 };
 
 /// \brief §3.5 conflict resolution, in isolation: for every decoded

@@ -158,7 +158,12 @@ ShardBeliefs RunShardInference(const JoclProblem& local,
 void SizeJoclBeliefs(const JoclProblem& problem,
                      const GraphBuilderOptions& builder,
                      JoclBeliefs* beliefs) {
-  *beliefs = JoclBeliefs();
+  // Sizes in place rather than resetting: a session passes the previous
+  // batch's arrays back in, and reusing the inner marginal vectors'
+  // capacity turns the per-slot scatter into assignment instead of tens
+  // of thousands of fresh allocations. Every slot inside the new sizes is
+  // overwritten by the scatters (shards partition the pair and triple
+  // spaces), so stale contents never leak into a result.
   if (builder.enable_canonicalization) {
     beliefs->x_marg.resize(problem.subject_pairs.size());
     beliefs->x_state.resize(problem.subject_pairs.size());
@@ -166,6 +171,13 @@ void SizeJoclBeliefs(const JoclProblem& problem,
     beliefs->y_state.resize(problem.predicate_pairs.size());
     beliefs->z_marg.resize(problem.object_pairs.size());
     beliefs->z_state.resize(problem.object_pairs.size());
+  } else {
+    beliefs->x_marg.clear();
+    beliefs->x_state.clear();
+    beliefs->y_marg.clear();
+    beliefs->y_state.clear();
+    beliefs->z_marg.clear();
+    beliefs->z_state.clear();
   }
   if (builder.enable_linking) {
     beliefs->es_marg.resize(problem.triples.size());
@@ -174,6 +186,13 @@ void SizeJoclBeliefs(const JoclProblem& problem,
     beliefs->rp_state.resize(problem.triples.size());
     beliefs->eo_marg.resize(problem.triples.size());
     beliefs->eo_state.resize(problem.triples.size());
+  } else {
+    beliefs->es_marg.clear();
+    beliefs->es_state.clear();
+    beliefs->rp_marg.clear();
+    beliefs->rp_state.clear();
+    beliefs->eo_marg.clear();
+    beliefs->eo_state.clear();
   }
 }
 
@@ -215,25 +234,36 @@ JoclResult AssembleJoclResult(const JoclProblem& problem,
                               const JoclBeliefs& beliefs,
                               const JoclOptions& options,
                               std::vector<double> weights,
-                              LbpResult diagnostics) {
+                              LbpResult diagnostics,
+                              size_t decode_threads) {
   JoclResult result;
   result.weights = std::move(weights);
   result.triples = problem.triples;
   result.diagnostics = std::move(diagnostics);
   // Canonical marginal order, independent of sharding: subject pairs,
-  // predicate pairs, object pairs, then es/rp/eo per triple.
-  result.diagnostics.marginals.clear();
-  for (const auto* group : {&beliefs.x_marg, &beliefs.y_marg, &beliefs.z_marg,
-                            &beliefs.es_marg, &beliefs.rp_marg,
-                            &beliefs.eo_marg}) {
-    result.diagnostics.marginals.insert(result.diagnostics.marginals.end(),
-                                        group->begin(), group->end());
+  // predicate pairs, object pairs, then es/rp/eo per triple. Filled by
+  // element assignment into whatever storage \p diagnostics arrived with:
+  // a session passes its previous result's marginal list back in, so the
+  // steady-state rebuild reuses those inner vectors instead of
+  // reallocating every marginal.
+  auto& marginals = result.diagnostics.marginals;
+  const auto groups = {&beliefs.x_marg,  &beliefs.y_marg, &beliefs.z_marg,
+                       &beliefs.es_marg, &beliefs.rp_marg, &beliefs.eo_marg};
+  size_t total = 0;
+  for (const auto* group : groups) total += group->size();
+  marginals.resize(total);
+  size_t slot = 0;
+  for (const auto* group : groups) {
+    for (const std::vector<double>& marginal : *group) {
+      marginals[slot++] = marginal;
+    }
   }
 
   JointDecodeOptions decode_options;
   decode_options.canonicalization = options.builder.enable_canonicalization;
   decode_options.linking = options.builder.enable_linking;
   decode_options.conflict_confidence = options.conflict_confidence;
+  decode_options.threads = decode_threads == 0 ? 1 : decode_threads;
   DecodeJointResult(problem, beliefs, decode_options, &result);
   return result;
 }
@@ -346,7 +376,8 @@ Result<JoclResult> JoclRuntime::Infer(const Dataset& dataset,
   local_stats.sweeps_skipped = diagnostics.sweeps_skipped;
   JoclResult result = AssembleJoclResult(problem, beliefs, options_,
                                          std::move(weights),
-                                         std::move(diagnostics));
+                                         std::move(diagnostics),
+                                         requested_threads);
   span.reset();
   local_stats.decode_seconds = watch.ElapsedSeconds();
 

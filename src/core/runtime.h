@@ -116,12 +116,15 @@ void MergeShardDiagnostics(const LbpResult& shard, LbpResult* merged);
 /// canonical marginal order (subject/predicate/object pairs, then
 /// es/rp/eo per triple), global decode and §3.5 conflict resolution.
 /// \p diagnostics is the already-merged convergence record (its marginals
-/// field is overwritten here).
+/// field is overwritten here). \p decode_threads > 1 runs the decode's
+/// component-parallel stages on the worker pool — byte-identical output
+/// for any setting.
 JoclResult AssembleJoclResult(const JoclProblem& problem,
                               const JoclBeliefs& beliefs,
                               const JoclOptions& options,
                               std::vector<double> weights,
-                              LbpResult diagnostics);
+                              LbpResult diagnostics,
+                              size_t decode_threads = 1);
 
 /// \brief The sharded end-to-end runtime (ROADMAP "production-scale"
 /// path): builds the problem and the signal cache once, partitions into

@@ -46,6 +46,18 @@ void MirrorSessionStats(const SessionStats& stats, uint64_t generation) {
                         "Converged sweeps the kernel skipped");
   static Gauge* gen = global.AddGauge("jocl_session_generation", "",
                                       "Generation of the latest batch");
+  static Histogram* stage_problem = global.AddHistogram(
+      "jocl_session_frontend_seconds", "stage=\"problem\"",
+      "Per-batch front-end stage wall time");
+  static Histogram* stage_cache = global.AddHistogram(
+      "jocl_session_frontend_seconds", "stage=\"signal_cache\"",
+      "Per-batch front-end stage wall time");
+  static Histogram* stage_partition = global.AddHistogram(
+      "jocl_session_frontend_seconds", "stage=\"partition\"",
+      "Per-batch front-end stage wall time");
+  static Histogram* stage_decode = global.AddHistogram(
+      "jocl_session_frontend_seconds", "stage=\"decode\"",
+      "Per-batch front-end stage wall time");
   batches->Add();
   dirty->Add(stats.dirty_shards);
   clean->Add(stats.clean_shards);
@@ -55,6 +67,13 @@ void MirrorSessionStats(const SessionStats& stats, uint64_t generation) {
   updates->Add(stats.message_updates);
   pops->Add(stats.residual_pops);
   skipped->Add(stats.sweeps_skipped);
+  auto record_seconds = [](Histogram* histogram, double seconds) {
+    histogram->Record(static_cast<uint64_t>(seconds * 1e9));
+  };
+  record_seconds(stage_problem, stats.problem_seconds);
+  record_seconds(stage_cache, stats.cache_seconds);
+  record_seconds(stage_partition, stats.partition_seconds);
+  record_seconds(stage_decode, stats.decode_seconds);
   gen->Set(static_cast<int64_t>(generation));
 }
 
@@ -258,7 +277,7 @@ Status JoclSession::AddTriples(const std::vector<size_t>& batch,
              std::back_inserter(merged));
   active_ = std::move(merged);
   if (stats != nullptr) stats->added = added.size();
-  return Refresh(added, stats);
+  return Refresh(added, {}, stats);
 }
 
 Status JoclSession::RemoveTriples(const std::vector<size_t>& batch,
@@ -283,7 +302,7 @@ Status JoclSession::RemoveTriples(const std::vector<size_t>& batch,
                       removed.end(), std::back_inserter(remaining));
   active_ = std::move(remaining);
   if (stats != nullptr) stats->removed = removed.size();
-  return Refresh(removed, stats);
+  return Refresh({}, removed, stats);
 }
 
 Status JoclSession::UpdateWeights(std::vector<double> weights,
@@ -300,10 +319,11 @@ Status JoclSession::UpdateWeights(std::vector<double> weights,
   // the reuse guard, so clearing it marks every component dirty.
   store_.clear();
   if (active_.empty()) return Status::OK();  // nothing to re-infer yet
-  return Refresh({}, stats);
+  return Refresh({}, {}, stats);
 }
 
-Status JoclSession::Refresh(const std::vector<size_t>& changed,
+Status JoclSession::Refresh(const std::vector<size_t>& added,
+                            const std::vector<size_t>& removed,
                             SessionStats* stats) {
   SessionStats local_stats;
   local_stats.added = stats != nullptr ? stats->added : 0;
@@ -312,12 +332,39 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
   ScopedSpan batch_span("ingest_batch");
   std::optional<ScopedSpan> span;
 
-  // ---- global problem rebuild (memoized candidate generation) -------------
+  const bool incremental = session_.incremental_frontend &&
+                           ProblemBuilder::Supports(options_.problem);
+  const size_t frontend_threads =
+      session_.frontend_threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : session_.frontend_threads;
+  // Weights-only refresh over an unchanged active set (UpdateWeights):
+  // the persisted problem and its partition are still exact — skip the
+  // whole front-end and go straight to (all-dirty) inference.
+  const bool reuse_frontend = added.empty() && removed.empty() &&
+                              generation_ > 0 && problem_.triples == active_;
+
+  // ---- global problem build (O(Δ) incremental, memoized scratch, or
+  // reused verbatim) --------------------------------------------------------
   span.emplace("build_problem");
   const size_t cache_hits_before = problem_cache_.hits;
   const size_t cache_misses_before = problem_cache_.misses;
-  JoclProblem problem = BuildProblem(*dataset_, *signals_, active_,
-                                     options_.problem, &problem_cache_);
+  JoclProblem problem;
+  FrontEndDelta fdelta;
+  if (reuse_frontend) {
+    problem = std::move(problem_);
+    local_stats.frontend_reused = true;
+  } else if (incremental) {
+    if (builder_ == nullptr) {
+      builder_ = std::make_unique<ProblemBuilder>(
+          dataset_, signals_, options_.problem, &problem_cache_);
+    }
+    builder_->Apply(added, removed, active_, frontend_threads, &problem,
+                    &fdelta);
+  } else {
+    problem = BuildProblem(*dataset_, *signals_, active_, options_.problem,
+                           &problem_cache_);
+  }
   local_stats.problem_cache_hits = problem_cache_.hits - cache_hits_before;
   local_stats.problem_cache_misses =
       problem_cache_.misses - cache_misses_before;
@@ -328,18 +375,69 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
   watch.Reset();
   span.emplace("signal_cache");
   const size_t phrases_before = cache_.size();
-  cache_.RegisterProblem(problem, dataset_->ckb);
-  cache_.Finalize(*signals_);
+  if (reuse_frontend) {
+    // Problem unchanged: every phrase is already registered and finalized.
+  } else if (incremental) {
+    // Delta registration: only surfaces first interned this batch (and
+    // their candidates' CKB names) can introduce new phrases — previously
+    // seen surfaces already registered theirs (Add is idempotent and the
+    // cache never evicts). Intern order differs from a scratch
+    // RegisterProblem walk, but phrase ids are only ever compared for
+    // equality, so query answers are identical.
+    for (uint32_t sid : builder_->new_np_sids()) {
+      cache_.Add(builder_->np_surface(sid));
+      for (const EntityCandidate& candidate : builder_->np_candidates(sid)) {
+        cache_.Add(dataset_->ckb.entity(candidate.id).name);
+      }
+    }
+    for (uint32_t sid : builder_->new_rp_sids()) {
+      cache_.Add(builder_->rp_surface(sid));
+      for (const RelationCandidate& candidate : builder_->rp_candidates(sid)) {
+        cache_.Add(dataset_->ckb.relation(candidate.id).name);
+        for (const std::string& alias :
+             dataset_->ckb.RelationAliases(candidate.id)) {
+          cache_.Add(alias);
+        }
+      }
+    }
+    cache_.Finalize(*signals_);
+  } else {
+    cache_.RegisterProblem(problem, dataset_->ckb);
+    cache_.Finalize(*signals_);
+  }
   local_stats.cache_new_phrases = cache_.size() - phrases_before;
   span.reset();
   local_stats.cache_seconds = watch.ElapsedSeconds();
 
   // ---- partition + delta classification -----------------------------------
   // One shard per connected component: dirtiness is per-component, and
-  // packing would only coarsen reuse.
+  // packing would only coarsen reuse. The incremental path labels
+  // components with the persistent union-find (O(Δ·α)); scratch and
+  // reused-problem batches derive them from the problem's pairs. Plans
+  // are lazy on the incremental path — dirty shards materialize their
+  // local problem bodies below, clean shards never do.
   watch.Reset();
   span.emplace("partition");
-  ShardPlan plan = PartitionProblem(problem, /*max_shards=*/0);
+  const std::vector<size_t>& changed = !added.empty() ? added : removed;
+  std::vector<size_t> comp_of_triple;
+  std::vector<size_t> comp_weight;
+  if (incremental && !reuse_frontend) {
+    if (partitioner_ == nullptr) {
+      partitioner_ =
+          std::make_unique<IncrementalPartitioner>(dataset_->okb.size());
+    }
+    partitioner_->Apply(fdelta);
+    if (fdelta.overflow) {
+      ComputeProblemComponents(problem, &comp_of_triple, &comp_weight);
+    } else {
+      partitioner_->Components(active_, &comp_of_triple, &comp_weight);
+    }
+  } else {
+    ComputeProblemComponents(problem, &comp_of_triple, &comp_weight);
+  }
+  const bool lazy_plan = incremental || reuse_frontend;
+  ShardPlan plan = MaterializeShardPlan(problem, comp_of_triple, comp_weight,
+                                        /*max_shards=*/0, lazy_plan);
   ShardDelta delta =
       ClassifyShardDelta(plan, previous_components_, changed);
   span.reset();
@@ -356,14 +454,69 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
   // that undid an earlier merge) is reusable, provided its local problem
   // is structurally identical — the byte-exactness guard.
   watch.Reset();
+
+  // Provably-clean skip: on a non-truncating incremental batch the
+  // front-end delta announces every emission change (surface rep moves,
+  // pair admissions/removals, candidate-blocked flips), and relative
+  // surface ranks only move when a rep does. So a shard whose triple
+  // membership is unchanged (kClean) and whose triples host no mention of
+  // any event surface is byte-identical to its cached body by
+  // construction — the structural compare would walk its strings for
+  // nothing. Everything else still pays the full guard.
+  std::vector<uint8_t> event_touched;
+  const bool can_skip_clean = incremental && !reuse_frontend &&
+                              !fdelta.overflow && !prev_overflow_ &&
+                              plan.shards.size() == plan.component_count;
+  if (can_skip_clean) {
+    event_touched.assign(plan.shards.size(), 0);
+    auto touch_sid = [&](size_t role, uint32_t sid) {
+      for (size_t t : builder_->mentions(role, sid)) {
+        auto it = std::lower_bound(problem.triples.begin(),
+                                   problem.triples.end(), t);
+        if (it != problem.triples.end() && *it == t) {
+          event_touched[comp_of_triple[it - problem.triples.begin()]] = 1;
+        }
+      }
+    };
+    for (size_t role = 0; role < 3; ++role) {
+      for (const auto& event : fdelta.surface_events[role]) {
+        touch_sid(role, event.sid);
+      }
+      for (uint64_t packed : fdelta.pair_events[role].added) {
+        touch_sid(role, static_cast<uint32_t>(packed >> 32));
+        touch_sid(role, static_cast<uint32_t>(packed));
+      }
+      for (uint64_t packed : fdelta.pair_events[role].removed) {
+        touch_sid(role, static_cast<uint32_t>(packed >> 32));
+        touch_sid(role, static_cast<uint32_t>(packed));
+      }
+    }
+  }
+  if (incremental && !reuse_frontend) prev_overflow_ = fdelta.overflow;
+
+  // Recycle the previous batch's arrays: SizeJoclBeliefs resizes in
+  // place, so the scatters below assign into existing inner-vector
+  // capacity instead of reallocating every marginal. Warm start still
+  // needs the old arrays for its hint index, so it forgoes the recycle.
   JoclBeliefs beliefs;
+  if (!session_.warm_start) beliefs = std::move(beliefs_);
   SizeJoclBeliefs(problem, options_.builder, &beliefs);
   std::vector<SolvedComponent*> reused(plan.shards.size(), nullptr);
   std::vector<size_t> dirty;
   for (size_t s = 0; s < plan.shards.size(); ++s) {
     auto it = store_.find(plan.shards[s].problem.triples);
-    if (it != store_.end() &&
-        ProblemsEqual(it->second.problem, plan.shards[s].problem)) {
+    const bool provably_clean = can_skip_clean &&
+                                delta.states[s] == ShardDeltaState::kClean &&
+                                !event_touched[s];
+    // Lazy shards have no local problem body yet: compare the cached body
+    // against the projection the shard *would* materialize instead.
+    bool match =
+        it != store_.end() &&
+        (provably_clean ||
+         (lazy_plan
+              ? ShardMatchesCached(problem, plan.shards[s], it->second.problem)
+              : ProblemsEqual(it->second.problem, plan.shards[s].problem)));
+    if (match) {
       reused[s] = &it->second;
       it->second.last_used = generation_;
     } else {
@@ -372,6 +525,23 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
   }
   local_stats.dirty_shards = dirty.size();
   local_stats.clean_shards = plan.shards.size() - dirty.size();
+
+  // Lazy plans materialize only the dirty shards' local problems (the
+  // per-component assembly fan-out); clean shards are scattered through
+  // their index maps alone.
+  if (lazy_plan && !dirty.empty()) {
+    RunOnPool(
+        dirty.size(),
+        std::min(frontend_threads, std::max<size_t>(1, dirty.size())),
+        [&](size_t d) { return plan.shards[dirty[d]].triple_map.size(); },
+        [&](size_t d) {
+          MaterializeShardProblem(problem, &plan.shards[dirty[d]]);
+        });
+  }
+  // Reuse-guard checks + dirty materialization are front-end work: count
+  // them toward the partition stage, and start the shard clock here.
+  local_stats.partition_seconds += watch.ElapsedSeconds();
+  watch.Reset();
 
   // Warm-start index over the previous batch's beliefs (approximate mode
   // only; see SessionOptions::warm_start).
@@ -447,19 +617,29 @@ Status JoclSession::Refresh(const std::vector<size_t>& changed,
       }
     }
   }
+  // Donate the previous result's marginal storage so the canonical list
+  // rebuild assigns in place (see AssembleJoclResult).
+  diagnostics.marginals = std::move(result_.diagnostics.marginals);
   result_ = AssembleJoclResult(problem, beliefs, options_, weights_,
-                               std::move(diagnostics));
+                               std::move(diagnostics), requested_threads);
   span.reset();
   local_stats.decode_seconds = watch.ElapsedSeconds();
 
   // ---- persist state + store upkeep ---------------------------------------
+  // Partition snapshot for the next batch's delta classification: clean
+  // shards donate their triple vectors outright (the plan is dead after
+  // this block), only the few dirty shards copy theirs — the bodies move
+  // into the store.
   previous_components_.clear();
-  previous_components_.reserve(plan.shards.size());
-  for (const ProblemShard& shard : plan.shards) {
-    previous_components_.push_back(shard.problem.triples);
+  previous_components_.resize(plan.shards.size());
+  for (size_t s = 0; s < plan.shards.size(); ++s) {
+    if (reused[s] != nullptr) {
+      previous_components_[s] = std::move(plan.shards[s].problem.triples);
+    }
   }
   for (size_t d = 0; d < dirty.size(); ++d) {
     ProblemShard& shard = plan.shards[dirty[d]];
+    previous_components_[dirty[d]] = shard.problem.triples;
     std::vector<size_t> key = shard.problem.triples;
     SolvedComponent& entry = store_[std::move(key)];
     entry.problem = std::move(shard.problem);

@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "core/problem_builder.h"
 #include "core/runtime.h"
 
 namespace jocl {
@@ -28,6 +30,19 @@ struct SessionOptions {
   /// restores components solved *before* the merge, and retaining them
   /// makes the split free.
   size_t stale_retention = 8;
+  /// Run the O(Δ) front-end: the persistent `ProblemBuilder` +
+  /// `IncrementalPartitioner` pair instead of a from-scratch
+  /// `BuildProblem` + `PartitionProblem` per batch. Byte-identical output
+  /// (property-tested); off reproduces the legacy rebuild path exactly —
+  /// the baseline `bench_incremental` gates speedups against. Ignored
+  /// (scratch path) when the problem options select a blocking stage the
+  /// incremental builder does not model (`ProblemBuilder::Supports`).
+  bool incremental_frontend = true;
+  /// Worker threads for the front-end's parallel stages (candidate
+  /// generation, similarity evaluation, dirty-shard materialization):
+  /// 1 = sequential, 0 = one per hardware thread. Results are
+  /// byte-identical for any setting.
+  size_t frontend_threads = 0;
 };
 
 /// \brief Per-batch report of one AddTriples / RemoveTriples call.
@@ -57,6 +72,10 @@ struct SessionStats {
   /// batch for CI visibility).
   size_t problem_cache_hits = 0;
   size_t problem_cache_misses = 0;
+  /// True when the batch skipped the front-end entirely because the
+  /// active set was unchanged (UpdateWeights re-inference): the persisted
+  /// problem and partition were reused verbatim.
+  bool frontend_reused = false;
   // ---- LBP kernel counters, summed over *dirty* shards only (clean
   // shards spend no kernel work — their beliefs come from the store) ----
   size_t message_updates = 0;  ///< factor message updates executed
@@ -171,8 +190,11 @@ class JoclSession {
     size_t last_used = 0;  ///< generation stamp for stale eviction
   };
 
-  /// Rebuild + delta partition + dirty-shard inference + global decode.
-  Status Refresh(const std::vector<size_t>& changed, SessionStats* stats);
+  /// Delta rebuild + delta partition + dirty-shard inference + global
+  /// decode. \p added / \p removed are the batch's disjoint sorted triple
+  /// ids (both empty = weights-only refresh over the unchanged set).
+  Status Refresh(const std::vector<size_t>& added,
+                 const std::vector<size_t>& removed, SessionStats* stats);
 
   const Dataset* dataset_;
   const SignalBundle* signals_;
@@ -183,6 +205,16 @@ class JoclSession {
   std::vector<size_t> active_;  ///< sorted, deduplicated
   SignalCache cache_;           ///< append-only, spans all batches
   ProblemCache problem_cache_;  ///< memoized candidate generation
+
+  /// The O(Δ) front-end pair (lazily constructed on the first batch;
+  /// null when `incremental_frontend` is off or unsupported).
+  std::unique_ptr<ProblemBuilder> builder_;
+  std::unique_ptr<IncrementalPartitioner> partitioner_;
+  /// Whether the previous non-reuse batch truncated the pair lists. A
+  /// truncating batch stores shard bodies cut by a *global* similarity
+  /// rank, so the provably-clean skip must stand down until one full
+  /// non-truncating batch has re-verified every shard.
+  bool prev_overflow_ = false;
 
   JoclProblem problem_;  ///< current global problem
   JoclBeliefs beliefs_;  ///< current global beliefs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cluster/union_find.h"
 #include "util/logging.h"
@@ -10,65 +11,113 @@
 namespace jocl {
 namespace {
 
-/// Scatters one role's pairs onto the shards owning them (the shard of
-/// the representative triple of pair.a) in one global-order pass, so each
-/// shard's pair list is a subsequence of the global order.
-void ScatterPairs(const std::vector<SurfacePair>& pairs,
-                  const std::vector<size_t>& representative,
-                  const std::vector<size_t>& shard_of_triple,
-                  const std::vector<std::unordered_map<size_t, size_t>>& g2l,
-                  std::vector<SurfacePair> JoclProblem::*local_pairs,
-                  std::vector<size_t> ProblemShard::*pair_map,
-                  std::vector<ProblemShard>* shards) {
-  for (size_t p = 0; p < pairs.size(); ++p) {
-    size_t shard_id = shard_of_triple[representative[pairs[p].a]];
-    ProblemShard& shard = (*shards)[shard_id];
-    SurfacePair local = pairs[p];
-    local.a = g2l[shard_id].at(pairs[p].a);
-    local.b = g2l[shard_id].at(pairs[p].b);
-    (shard.problem.*local_pairs).push_back(local);
-    (shard.*pair_map).push_back(p);
-  }
+/// Local surface index of a global surface id within a shard's sorted
+/// surface map (the map is strictly increasing, so binary search replaces
+/// the eager path's g2l hash without changing any value).
+size_t LocalIndexOf(const std::vector<size_t>& surface_map, size_t global) {
+  return static_cast<size_t>(
+      std::lower_bound(surface_map.begin(), surface_map.end(), global) -
+      surface_map.begin());
 }
 
-/// Builds one role of a shard's local problem: surfaces in ascending
-/// global-id order, per-triple surface indices, first-local-mention
-/// representatives, and copied candidate lists.
-template <typename Candidate>
-void BuildRole(const ProblemShard& shard,
-               const std::vector<std::string>& surfaces,
-               const std::vector<size_t>& of_triple,
-               const std::vector<std::vector<Candidate>>& candidates,
-               std::vector<std::string>* local_surfaces,
-               std::vector<size_t>* local_of, std::vector<size_t>* local_rep,
-               std::vector<size_t>* surface_map,
-               std::vector<std::vector<Candidate>>* local_candidates,
-               std::unordered_map<size_t, size_t>* g2l) {
-  std::vector<size_t> globals;
-  globals.reserve(shard.triple_map.size());
-  for (size_t t : shard.triple_map) globals.push_back(of_triple[t]);
-  std::vector<size_t> distinct = globals;
-  std::sort(distinct.begin(), distinct.end());
-  distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                 distinct.end());
+/// Distinct sorted global surface ids of one role over a shard's triples.
+void FillSurfaceMap(const std::vector<size_t>& triple_map,
+                    const std::vector<size_t>& of_triple,
+                    std::vector<size_t>* surface_map) {
+  surface_map->clear();
+  surface_map->reserve(triple_map.size());
+  for (size_t t : triple_map) surface_map->push_back(of_triple[t]);
+  std::sort(surface_map->begin(), surface_map->end());
+  surface_map->erase(std::unique(surface_map->begin(), surface_map->end()),
+                     surface_map->end());
+}
 
-  surface_map->assign(distinct.begin(), distinct.end());
-  local_surfaces->reserve(distinct.size());
-  local_candidates->reserve(distinct.size());
-  for (size_t global : distinct) {
-    g2l->emplace(global, local_surfaces->size());
+/// Completes one role of a lazily materialized shard: surfaces in
+/// ascending global-id order, per-triple indices, first-local-mention
+/// representatives, copied candidate lists.
+template <typename Candidate>
+void MaterializeRole(const std::vector<std::string>& surfaces,
+                     const std::vector<size_t>& of_triple,
+                     const std::vector<std::vector<Candidate>>& candidates,
+                     const std::vector<size_t>& triple_map,
+                     const std::vector<size_t>& surface_map,
+                     std::vector<std::string>* local_surfaces,
+                     std::vector<size_t>* local_of,
+                     std::vector<size_t>* local_rep,
+                     std::vector<std::vector<Candidate>>* local_candidates) {
+  local_surfaces->reserve(surface_map.size());
+  local_candidates->reserve(surface_map.size());
+  for (size_t global : surface_map) {
     local_surfaces->push_back(surfaces[global]);
     local_candidates->push_back(candidates[global]);
   }
-  local_of->reserve(globals.size());
-  local_rep->assign(distinct.size(), static_cast<size_t>(-1));
-  for (size_t t = 0; t < globals.size(); ++t) {
-    size_t local = g2l->at(globals[t]);
+  local_of->reserve(triple_map.size());
+  local_rep->assign(surface_map.size(), static_cast<size_t>(-1));
+  for (size_t t = 0; t < triple_map.size(); ++t) {
+    size_t local = LocalIndexOf(surface_map, of_triple[triple_map[t]]);
     local_of->push_back(local);
     if ((*local_rep)[local] == static_cast<size_t>(-1)) {
       (*local_rep)[local] = t;
     }
   }
+}
+
+/// One role of ShardMatchesCached: verifies the cached role against the
+/// projection without materializing it.
+template <typename Candidate, typename CandidateEqual>
+bool RoleMatches(const std::vector<std::string>& surfaces,
+                 const std::vector<size_t>& of_triple,
+                 const std::vector<std::vector<Candidate>>& candidates,
+                 const std::vector<size_t>& triple_map,
+                 const std::vector<size_t>& surface_map,
+                 const std::vector<std::string>& cached_surfaces,
+                 const std::vector<size_t>& cached_of,
+                 const std::vector<size_t>& cached_rep,
+                 const std::vector<std::vector<Candidate>>& cached_candidates,
+                 CandidateEqual&& candidate_equal) {
+  if (cached_surfaces.size() != surface_map.size() ||
+      cached_of.size() != triple_map.size() ||
+      cached_rep.size() != surface_map.size() ||
+      cached_candidates.size() != surface_map.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < surface_map.size(); ++i) {
+    if (cached_surfaces[i] != surfaces[surface_map[i]]) return false;
+    const auto& a = cached_candidates[i];
+    const auto& b = candidates[surface_map[i]];
+    if (a.size() != b.size()) return false;
+    for (size_t c = 0; c < a.size(); ++c) {
+      if (!candidate_equal(a[c], b[c])) return false;
+    }
+  }
+  std::vector<uint8_t> seen(surface_map.size(), 0);
+  for (size_t t = 0; t < triple_map.size(); ++t) {
+    size_t local = LocalIndexOf(surface_map, of_triple[triple_map[t]]);
+    if (cached_of[t] != local) return false;
+    if (!seen[local]) {
+      seen[local] = 1;
+      if (cached_rep[local] != t) return false;
+    }
+  }
+  return true;
+}
+
+bool PairsMatch(const std::vector<SurfacePair>& pairs,
+                const std::vector<size_t>& pair_map,
+                const std::vector<size_t>& surface_map,
+                const std::vector<SurfacePair>& cached_pairs) {
+  if (cached_pairs.size() != pair_map.size()) return false;
+  for (size_t i = 0; i < pair_map.size(); ++i) {
+    const SurfacePair& global = pairs[pair_map[i]];
+    const SurfacePair& local = cached_pairs[i];
+    if (local.a != LocalIndexOf(surface_map, global.a) ||
+        local.b != LocalIndexOf(surface_map, global.b) ||
+        local.idf != global.idf ||
+        local.candidate_blocked != global.candidate_blocked) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -99,7 +148,9 @@ std::vector<size_t> PackWeightedItems(const std::vector<size_t>& weights,
   return bin_of;
 }
 
-ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
+size_t ComputeProblemComponents(const JoclProblem& problem,
+                                std::vector<size_t>* comp_of_triple,
+                                std::vector<size_t>* comp_weight) {
   const size_t n_triples = problem.triples.size();
 
   // Union-find over triples: a pair variable joins the representative
@@ -118,14 +169,23 @@ ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
 
   // Components in first-appearance order over triples.
   std::unordered_map<size_t, size_t> comp_of_root;
-  std::vector<size_t> comp_of_triple(n_triples);
-  std::vector<size_t> comp_weight;  // triples per component
+  comp_of_triple->assign(n_triples, 0);
+  comp_weight->clear();
   for (size_t t = 0; t < n_triples; ++t) {
-    auto [it, inserted] = comp_of_root.emplace(uf.Find(t), comp_weight.size());
-    if (inserted) comp_weight.push_back(0);
-    comp_of_triple[t] = it->second;
-    ++comp_weight[it->second];
+    auto [it, inserted] =
+        comp_of_root.emplace(uf.Find(t), comp_weight->size());
+    if (inserted) comp_weight->push_back(0);
+    (*comp_of_triple)[t] = it->second;
+    ++(*comp_weight)[it->second];
   }
+  return comp_weight->size();
+}
+
+ShardPlan MaterializeShardPlan(const JoclProblem& problem,
+                               const std::vector<size_t>& comp_of_triple,
+                               const std::vector<size_t>& comp_weight,
+                               size_t max_shards, bool lazy) {
+  const size_t n_triples = problem.triples.size();
   const size_t n_components = comp_weight.size();
 
   ShardPlan plan;
@@ -136,6 +196,20 @@ ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
   std::vector<size_t> shard_of_comp = PackWeightedItems(comp_weight, n_shards);
   plan.shards.resize(n_shards);
 
+  // Exact reservations: the steady-state session calls this every batch
+  // over thousands of mostly-singleton shards, where growth reallocation
+  // churn would dominate the actual index writes.
+  {
+    std::vector<size_t> shard_triples(n_shards, 0);
+    for (size_t c = 0; c < comp_weight.size(); ++c) {
+      shard_triples[shard_of_comp[c]] += comp_weight[c];
+    }
+    for (size_t s = 0; s < n_shards; ++s) {
+      plan.shards[s].triple_map.reserve(shard_triples[s]);
+      plan.shards[s].problem.triples.reserve(shard_triples[s]);
+    }
+  }
+
   std::vector<size_t> shard_of_triple(n_triples);
   for (size_t t = 0; t < n_triples; ++t) {
     shard_of_triple[t] = shard_of_comp[comp_of_triple[t]];
@@ -144,56 +218,326 @@ ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
     shard.problem.triples.push_back(problem.triples[t]);
   }
 
-  // Local problems, one role at a time.
-  std::vector<std::unordered_map<size_t, size_t>> subject_g2l(n_shards);
-  std::vector<std::unordered_map<size_t, size_t>> predicate_g2l(n_shards);
-  std::vector<std::unordered_map<size_t, size_t>> object_g2l(n_shards);
-  for (size_t s = 0; s < n_shards; ++s) {
-    ProblemShard& shard = plan.shards[s];
-    JoclProblem& local = shard.problem;
-    BuildRole(shard, problem.subject_surfaces, problem.subject_of,
-              problem.subject_candidates, &local.subject_surfaces,
-              &local.subject_of, &local.subject_rep,
-              &shard.subject_surface_map, &local.subject_candidates,
-              &subject_g2l[s]);
-    BuildRole(shard, problem.predicate_surfaces, problem.predicate_of,
-              problem.predicate_candidates, &local.predicate_surfaces,
-              &local.predicate_of, &local.predicate_rep,
-              &shard.predicate_surface_map, &local.predicate_candidates,
-              &predicate_g2l[s]);
-    BuildRole(shard, problem.object_surfaces, problem.object_of,
-              problem.object_candidates, &local.object_surfaces,
-              &local.object_of, &local.object_rep,
-              &shard.object_surface_map, &local.object_candidates,
-              &object_g2l[s]);
+  for (ProblemShard& shard : plan.shards) {
+    FillSurfaceMap(shard.triple_map, problem.subject_of,
+                   &shard.subject_surface_map);
+    FillSurfaceMap(shard.triple_map, problem.predicate_of,
+                   &shard.predicate_surface_map);
+    FillSurfaceMap(shard.triple_map, problem.object_of,
+                   &shard.object_surface_map);
   }
 
-  ScatterPairs(problem.subject_pairs, problem.subject_rep, shard_of_triple,
-               subject_g2l, &JoclProblem::subject_pairs,
-               &ProblemShard::subject_pair_map, &plan.shards);
-  ScatterPairs(problem.predicate_pairs, problem.predicate_rep,
-               shard_of_triple, predicate_g2l, &JoclProblem::predicate_pairs,
-               &ProblemShard::predicate_pair_map, &plan.shards);
-  ScatterPairs(problem.object_pairs, problem.object_rep, shard_of_triple,
-               object_g2l, &JoclProblem::object_pairs,
-               &ProblemShard::object_pair_map, &plan.shards);
+  // Pair maps in one global-order pass per role, so each shard's pair
+  // list is a subsequence of the global order.
+  auto scatter_pair_maps = [&](const std::vector<SurfacePair>& pairs,
+                               const std::vector<size_t>& representative,
+                               std::vector<size_t> ProblemShard::*pair_map) {
+    std::vector<size_t> counts(n_shards, 0);
+    for (const SurfacePair& pair : pairs) {
+      ++counts[shard_of_triple[representative[pair.a]]];
+    }
+    for (size_t s = 0; s < n_shards; ++s) {
+      (plan.shards[s].*pair_map).reserve(counts[s]);
+    }
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      size_t shard_id = shard_of_triple[representative[pairs[p].a]];
+      (plan.shards[shard_id].*pair_map).push_back(p);
+    }
+  };
+  scatter_pair_maps(problem.subject_pairs, problem.subject_rep,
+                    &ProblemShard::subject_pair_map);
+  scatter_pair_maps(problem.predicate_pairs, problem.predicate_rep,
+                    &ProblemShard::predicate_pair_map);
+  scatter_pair_maps(problem.object_pairs, problem.object_rep,
+                    &ProblemShard::object_pair_map);
 
-  JOCL_LOG(kDebug) << "partition: " << n_triples << " triples -> "
-                   << n_components << " components in " << n_shards
-                   << " shards";
+  if (!lazy) {
+    for (ProblemShard& shard : plan.shards) {
+      MaterializeShardProblem(problem, &shard);
+    }
+  }
   return plan;
+}
+
+void MaterializeShardProblem(const JoclProblem& problem, ProblemShard* shard) {
+  JoclProblem& local = shard->problem;
+  MaterializeRole(problem.subject_surfaces, problem.subject_of,
+                  problem.subject_candidates, shard->triple_map,
+                  shard->subject_surface_map, &local.subject_surfaces,
+                  &local.subject_of, &local.subject_rep,
+                  &local.subject_candidates);
+  MaterializeRole(problem.predicate_surfaces, problem.predicate_of,
+                  problem.predicate_candidates, shard->triple_map,
+                  shard->predicate_surface_map, &local.predicate_surfaces,
+                  &local.predicate_of, &local.predicate_rep,
+                  &local.predicate_candidates);
+  MaterializeRole(problem.object_surfaces, problem.object_of,
+                  problem.object_candidates, shard->triple_map,
+                  shard->object_surface_map, &local.object_surfaces,
+                  &local.object_of, &local.object_rep,
+                  &local.object_candidates);
+
+  auto localize_pairs = [](const std::vector<SurfacePair>& pairs,
+                           const std::vector<size_t>& pair_map,
+                           const std::vector<size_t>& surface_map,
+                           std::vector<SurfacePair>* local_pairs) {
+    local_pairs->reserve(pair_map.size());
+    for (size_t p : pair_map) {
+      SurfacePair pair = pairs[p];
+      pair.a = LocalIndexOf(surface_map, pair.a);
+      pair.b = LocalIndexOf(surface_map, pair.b);
+      local_pairs->push_back(pair);
+    }
+  };
+  localize_pairs(problem.subject_pairs, shard->subject_pair_map,
+                 shard->subject_surface_map, &local.subject_pairs);
+  localize_pairs(problem.predicate_pairs, shard->predicate_pair_map,
+                 shard->predicate_surface_map, &local.predicate_pairs);
+  localize_pairs(problem.object_pairs, shard->object_pair_map,
+                 shard->object_surface_map, &local.object_pairs);
+}
+
+bool ShardMatchesCached(const JoclProblem& problem, const ProblemShard& shard,
+                        const JoclProblem& cached) {
+  if (cached.triples != shard.problem.triples) return false;
+  auto entity_equal = [](const EntityCandidate& a, const EntityCandidate& b) {
+    return a.id == b.id && a.popularity == b.popularity;
+  };
+  auto relation_equal = [](const RelationCandidate& a,
+                           const RelationCandidate& b) {
+    return a.id == b.id && a.score == b.score;
+  };
+  return RoleMatches(problem.subject_surfaces, problem.subject_of,
+                     problem.subject_candidates, shard.triple_map,
+                     shard.subject_surface_map, cached.subject_surfaces,
+                     cached.subject_of, cached.subject_rep,
+                     cached.subject_candidates, entity_equal) &&
+         RoleMatches(problem.predicate_surfaces, problem.predicate_of,
+                     problem.predicate_candidates, shard.triple_map,
+                     shard.predicate_surface_map, cached.predicate_surfaces,
+                     cached.predicate_of, cached.predicate_rep,
+                     cached.predicate_candidates, relation_equal) &&
+         RoleMatches(problem.object_surfaces, problem.object_of,
+                     problem.object_candidates, shard.triple_map,
+                     shard.object_surface_map, cached.object_surfaces,
+                     cached.object_of, cached.object_rep,
+                     cached.object_candidates, entity_equal) &&
+         PairsMatch(problem.subject_pairs, shard.subject_pair_map,
+                    shard.subject_surface_map, cached.subject_pairs) &&
+         PairsMatch(problem.predicate_pairs, shard.predicate_pair_map,
+                    shard.predicate_surface_map, cached.predicate_pairs) &&
+         PairsMatch(problem.object_pairs, shard.object_pair_map,
+                    shard.object_surface_map, cached.object_pairs);
+}
+
+ShardPlan PartitionProblem(const JoclProblem& problem, size_t max_shards) {
+  std::vector<size_t> comp_of_triple;
+  std::vector<size_t> comp_weight;
+  const size_t n_components =
+      ComputeProblemComponents(problem, &comp_of_triple, &comp_weight);
+  ShardPlan plan = MaterializeShardPlan(problem, comp_of_triple, comp_weight,
+                                        max_shards, /*lazy=*/false);
+  JOCL_LOG(kDebug) << "partition: " << problem.triples.size()
+                   << " triples -> " << n_components << " components in "
+                   << plan.shards.size() << " shards";
+  return plan;
+}
+
+// ---- IncrementalPartitioner -------------------------------------------------
+
+namespace {
+
+uint64_t EdgeKey(size_t u, size_t v) {
+  uint64_t lo = static_cast<uint64_t>(std::min(u, v));
+  uint64_t hi = static_cast<uint64_t>(std::max(u, v));
+  return (lo << 32) | hi;
+}
+
+}  // namespace
+
+IncrementalPartitioner::IncrementalPartitioner(size_t dataset_triples)
+    : base_(dataset_triples) {}
+
+void IncrementalPartitioner::EnsureNode(size_t node) {
+  if (node < parent_.size()) return;
+  size_t old = parent_.size();
+  parent_.resize(node + 1);
+  for (size_t i = old; i <= node; ++i) parent_[i] = i;
+  active_.resize(node + 1, 0);
+  rep_of_.resize(node + 1, FrontEndDelta::kRetired);
+}
+
+size_t IncrementalPartitioner::Find(size_t node) {
+  size_t root = node;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[node] != root) {
+    size_t next = parent_[node];
+    parent_[node] = root;
+    node = next;
+  }
+  return root;
+}
+
+void IncrementalPartitioner::Activate(size_t node) {
+  EnsureNode(node);
+  if (active_[node]) return;
+  active_[node] = 1;
+  parent_[node] = node;
+  Group& group = groups_[node];
+  group.members.assign(1, node);
+  group.edges.clear();
+}
+
+void IncrementalPartitioner::AddEdge(size_t u, size_t v) {
+  size_t ru = Find(u);
+  size_t rv = Find(v);
+  if (ru == rv) {
+    groups_[ru].edges.emplace_back(u, v);
+    return;
+  }
+  Group& gu = groups_[ru];
+  Group& gv = groups_[rv];
+  // Small-to-large: the lighter component's lists fold into the heavier's.
+  size_t big = gu.members.size() >= gv.members.size() ? ru : rv;
+  size_t small = big == ru ? rv : ru;
+  Group& gb = groups_[big];
+  Group& gs = groups_[small];
+  parent_[small] = big;
+  gb.members.insert(gb.members.end(), gs.members.begin(), gs.members.end());
+  gb.edges.insert(gb.edges.end(), gs.edges.begin(), gs.edges.end());
+  gb.edges.emplace_back(u, v);
+  groups_.erase(small);
+}
+
+void IncrementalPartitioner::Apply(const FrontEndDelta& delta) {
+  // ---- phase 1: collect retired edges and nodes ---------------------------
+  std::unordered_set<uint64_t> dead_edges;
+  std::vector<size_t> deactivate;
+  for (size_t role = 0; role < 3; ++role) {
+    for (const auto& event : delta.surface_events[role]) {
+      size_t node = NodeOf(role, event.sid);
+      if (node < parent_.size() && active_[node] &&
+          rep_of_[node] != FrontEndDelta::kRetired &&
+          rep_of_[node] != event.rep) {
+        dead_edges.insert(EdgeKey(node, rep_of_[node]));
+      }
+      if (event.rep == FrontEndDelta::kRetired && node < parent_.size() &&
+          active_[node]) {
+        deactivate.push_back(node);
+      }
+    }
+    for (uint64_t key : delta.pair_events[role].removed) {
+      size_t a = NodeOf(role, static_cast<uint32_t>(key >> 32));
+      size_t b = NodeOf(role, static_cast<uint32_t>(key & 0xffffffff));
+      dead_edges.insert(EdgeKey(a, b));
+    }
+  }
+  for (size_t t : delta.removed_triples) {
+    if (t < parent_.size() && active_[t]) deactivate.push_back(t);
+  }
+
+  // ---- phase 2: dissolve + rebuild the affected components ----------------
+  if (!dead_edges.empty() || !deactivate.empty()) {
+    std::unordered_set<size_t> roots;
+    for (uint64_t key : dead_edges) {
+      size_t u = static_cast<size_t>(key >> 32);
+      size_t v = static_cast<size_t>(key & 0xffffffff);
+      if (u < parent_.size() && active_[u]) roots.insert(Find(u));
+      if (v < parent_.size() && active_[v]) roots.insert(Find(v));
+    }
+    for (size_t node : deactivate) roots.insert(Find(node));
+
+    std::vector<size_t> members;
+    std::vector<std::pair<size_t, size_t>> edges;
+    for (size_t root : roots) {
+      auto it = groups_.find(root);
+      if (it == groups_.end()) continue;
+      members.insert(members.end(), it->second.members.begin(),
+                     it->second.members.end());
+      edges.insert(edges.end(), it->second.edges.begin(),
+                   it->second.edges.end());
+      groups_.erase(it);
+    }
+    for (size_t node : deactivate) active_[node] = 0;
+    for (size_t node : members) {
+      if (!active_[node]) continue;
+      parent_[node] = node;
+      Group& group = groups_[node];
+      group.members.assign(1, node);
+      group.edges.clear();
+    }
+    for (const auto& [u, v] : edges) {
+      if (!active_[u] || !active_[v]) continue;
+      if (dead_edges.count(EdgeKey(u, v)) > 0) continue;
+      AddEdge(u, v);
+    }
+  }
+
+  // ---- phase 3: additions -------------------------------------------------
+  for (size_t t : delta.added_triples) {
+    EnsureNode(t);
+    Activate(t);
+  }
+  for (size_t role = 0; role < 3; ++role) {
+    for (const auto& event : delta.surface_events[role]) {
+      size_t node = NodeOf(role, event.sid);
+      EnsureNode(node);
+      if (event.rep == FrontEndDelta::kRetired) {
+        rep_of_[node] = FrontEndDelta::kRetired;
+        continue;
+      }
+      Activate(node);
+      rep_of_[node] = event.rep;
+      AddEdge(node, event.rep);
+    }
+    for (uint64_t key : delta.pair_events[role].added) {
+      size_t a = NodeOf(role, static_cast<uint32_t>(key >> 32));
+      size_t b = NodeOf(role, static_cast<uint32_t>(key & 0xffffffff));
+      AddEdge(a, b);
+    }
+  }
+}
+
+size_t IncrementalPartitioner::Components(
+    const std::vector<size_t>& active_triples,
+    std::vector<size_t>* comp_of_triple, std::vector<size_t>* comp_weight) {
+  comp_of_triple->assign(active_triples.size(), 0);
+  comp_weight->clear();
+  std::unordered_map<size_t, size_t> comp_of_root;
+  comp_of_root.reserve(active_triples.size());
+  for (size_t t = 0; t < active_triples.size(); ++t) {
+    auto [it, inserted] =
+        comp_of_root.emplace(Find(active_triples[t]), comp_weight->size());
+    if (inserted) comp_weight->push_back(0);
+    (*comp_of_triple)[t] = it->second;
+    ++(*comp_weight)[it->second];
+  }
+  return comp_weight->size();
 }
 
 ShardDelta ClassifyShardDelta(
     const ShardPlan& plan,
     const std::vector<std::vector<size_t>>& previous_components,
     const std::vector<size_t>& changed_triples) {
-  std::unordered_map<size_t, size_t> prev_comp_of;  // dataset triple id
-  for (size_t c = 0; c < previous_components.size(); ++c) {
-    for (size_t t : previous_components[c]) prev_comp_of.emplace(t, c);
+  // Dataset triple ids are small dense integers, so flat arrays beat hash
+  // maps here: this runs on every batch and sits on the partition clock.
+  size_t max_id = 0;
+  for (const auto& comp : previous_components) {
+    for (size_t t : comp) max_id = std::max(max_id, t);
   }
-  const std::unordered_set<size_t> changed(changed_triples.begin(),
-                                           changed_triples.end());
+  for (const auto& shard : plan.shards) {
+    for (size_t t : shard.problem.triples) max_id = std::max(max_id, t);
+  }
+  for (size_t t : changed_triples) max_id = std::max(max_id, t);
+  constexpr size_t kNoComp = static_cast<size_t>(-1);
+  std::vector<size_t> prev_comp_of(max_id + 1, kNoComp);
+  for (size_t c = 0; c < previous_components.size(); ++c) {
+    for (size_t t : previous_components[c]) prev_comp_of[t] = c;
+  }
+  std::vector<uint8_t> changed(max_id + 1, 0);
+  for (size_t t : changed_triples) {
+    if (t <= max_id) changed[t] = 1;
+  }
 
   ShardDelta delta;
   delta.states.resize(plan.shards.size());
@@ -210,21 +554,21 @@ ShardDelta ClassifyShardDelta(
     std::vector<size_t> comps_seen;   // distinct previous homes (usually 1)
     bool touched = false;
     for (size_t t : triples) {
-      if (changed.count(t) > 0) touched = true;
-      auto it = prev_comp_of.find(t);
-      if (it == prev_comp_of.end()) {
+      if (changed[t] != 0) touched = true;
+      const size_t prev = prev_comp_of[t];
+      if (prev == kNoComp) {
         touched = true;  // brand-new triple
         continue;
       }
       ++known;
-      ++comp_survivors[it->second];
-      if (comp_last_shard[it->second] != s) {
-        comp_last_shard[it->second] = s;
-        ++comp_shard_count[it->second];
+      ++comp_survivors[prev];
+      if (comp_last_shard[prev] != s) {
+        comp_last_shard[prev] = s;
+        ++comp_shard_count[prev];
       }
-      if (std::find(comps_seen.begin(), comps_seen.end(), it->second) ==
+      if (std::find(comps_seen.begin(), comps_seen.end(), prev) ==
           comps_seen.end()) {
-        comps_seen.push_back(it->second);
+        comps_seen.push_back(prev);
       }
     }
     ShardDeltaState state;

@@ -249,6 +249,12 @@ TEST_F(LearnerRuntimeTest, UpdateWeightsEquivalentToColdRestart) {
   EXPECT_EQ(publishes, publishes_before + 1);  // republished for serving
   EXPECT_EQ(stats.dirty_shards, stats.shards);  // everything re-inferred
   EXPECT_EQ(stats.clean_shards, 0u);
+  // The active set is unchanged, so the hot-swap must take the front-end
+  // fast path: the persisted problem and partition are reused verbatim —
+  // no rebuild, no candidate-generation lookups.
+  EXPECT_TRUE(stats.frontend_reused);
+  EXPECT_EQ(stats.problem_cache_hits, 0u);
+  EXPECT_EQ(stats.problem_cache_misses, 0u);
   EXPECT_EQ(hot.weights(), learned.weights);
   EXPECT_EQ(hot.result().weights, learned.weights);
 

@@ -6,10 +6,15 @@
 // for K in {1, 4, 16}.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <string>
 #include <vector>
 
+#include "core/problem_builder.h"
 #include "core/runtime.h"
 #include "core/session.h"
+#include "core/shard.h"
 #include "data/generator.h"
 
 namespace jocl {
@@ -152,6 +157,172 @@ TEST_F(SessionDeltaTest, OutOfRangeIndexIsRejected) {
   EXPECT_EQ(session.active_triples(), (std::vector<size_t>{0}));
 }
 
+// ---------- O(Δ) front-end: byte-identity helpers ----------------------------
+
+::testing::AssertionResult ProblemsIdentical(const JoclProblem& a,
+                                             const JoclProblem& b) {
+  if (a.triples != b.triples)
+    return ::testing::AssertionFailure() << "triples differ";
+  if (a.subject_surfaces != b.subject_surfaces ||
+      a.predicate_surfaces != b.predicate_surfaces ||
+      a.object_surfaces != b.object_surfaces)
+    return ::testing::AssertionFailure() << "surface lists differ";
+  if (a.subject_of != b.subject_of || a.predicate_of != b.predicate_of ||
+      a.object_of != b.object_of)
+    return ::testing::AssertionFailure() << "per-triple surface maps differ";
+  if (a.subject_rep != b.subject_rep || a.predicate_rep != b.predicate_rep ||
+      a.object_rep != b.object_rep)
+    return ::testing::AssertionFailure() << "representatives differ";
+  const auto pairs_equal = [](const std::vector<SurfacePair>& x,
+                              const std::vector<SurfacePair>& y) {
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i].a != y[i].a || x[i].b != y[i].b || x[i].idf != y[i].idf ||
+          x[i].candidate_blocked != y[i].candidate_blocked)
+        return false;
+    }
+    return true;
+  };
+  if (!pairs_equal(a.subject_pairs, b.subject_pairs) ||
+      !pairs_equal(a.predicate_pairs, b.predicate_pairs) ||
+      !pairs_equal(a.object_pairs, b.object_pairs))
+    return ::testing::AssertionFailure() << "pair lists differ";
+  const auto np_cands_equal =
+      [](const std::vector<std::vector<EntityCandidate>>& x,
+         const std::vector<std::vector<EntityCandidate>>& y) {
+        if (x.size() != y.size()) return false;
+        for (size_t i = 0; i < x.size(); ++i) {
+          if (x[i].size() != y[i].size()) return false;
+          for (size_t j = 0; j < x[i].size(); ++j) {
+            if (x[i][j].id != y[i][j].id ||
+                x[i][j].popularity != y[i][j].popularity)
+              return false;
+          }
+        }
+        return true;
+      };
+  if (!np_cands_equal(a.subject_candidates, b.subject_candidates) ||
+      !np_cands_equal(a.object_candidates, b.object_candidates))
+    return ::testing::AssertionFailure() << "entity candidate lists differ";
+  if (a.predicate_candidates.size() != b.predicate_candidates.size())
+    return ::testing::AssertionFailure() << "relation candidate lists differ";
+  for (size_t i = 0; i < a.predicate_candidates.size(); ++i) {
+    const auto& x = a.predicate_candidates[i];
+    const auto& y = b.predicate_candidates[i];
+    if (x.size() != y.size())
+      return ::testing::AssertionFailure() << "relation candidate lists differ";
+    for (size_t j = 0; j < x.size(); ++j) {
+      if (x[j].id != y[j].id || x[j].score != y[j].score)
+        return ::testing::AssertionFailure()
+               << "relation candidate lists differ";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult PlansIdentical(const ShardPlan& a,
+                                          const ShardPlan& b) {
+  if (a.component_count != b.component_count)
+    return ::testing::AssertionFailure() << "component counts differ";
+  if (a.shards.size() != b.shards.size())
+    return ::testing::AssertionFailure() << "shard counts differ";
+  for (size_t s = 0; s < a.shards.size(); ++s) {
+    const ProblemShard& x = a.shards[s];
+    const ProblemShard& y = b.shards[s];
+    ::testing::AssertionResult local = ProblemsIdentical(x.problem, y.problem);
+    if (!local) return local << " in shard " << s;
+    if (x.triple_map != y.triple_map ||
+        x.subject_surface_map != y.subject_surface_map ||
+        x.predicate_surface_map != y.predicate_surface_map ||
+        x.object_surface_map != y.object_surface_map ||
+        x.subject_pair_map != y.subject_pair_map ||
+        x.predicate_pair_map != y.predicate_pair_map ||
+        x.object_pair_map != y.object_pair_map)
+      return ::testing::AssertionFailure() << "index maps differ in shard "
+                                           << s;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---------- adversarial sequences × front-end threads ------------------------
+//
+// Each step mutates the session (adds, then removals) and asserts the
+// session's problem is byte-identical to a from-scratch BuildProblem over
+// the active set, and its result byte-identical to one-shot inference —
+// for a sequential and a parallel front-end alike. The sequences target
+// the delta front-end's hard cases: a merge immediately undone, the
+// active set emptied and rebuilt, and the same surfaces entering and
+// leaving across consecutive batches.
+struct ChurnStep {
+  std::vector<size_t> add;
+  std::vector<size_t> remove;
+};
+
+class SessionAdversarialTest : public SessionDeltaTest {
+ protected:
+  void RunSequence(const std::vector<ChurnStep>& steps) {
+    for (size_t threads : {1u, 4u}) {
+      SessionOptions session_options;
+      session_options.frontend_threads = threads;
+      JoclSession session(dataset_, signals_, {}, session_options);
+      std::vector<size_t> active;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " step=" + std::to_string(i));
+        if (!steps[i].add.empty()) {
+          ASSERT_TRUE(session.AddTriples(steps[i].add).ok());
+          for (size_t t : steps[i].add) {
+            if (std::find(active.begin(), active.end(), t) == active.end())
+              active.push_back(t);
+          }
+        }
+        if (!steps[i].remove.empty()) {
+          ASSERT_TRUE(session.RemoveTriples(steps[i].remove).ok());
+          for (size_t t : steps[i].remove) {
+            active.erase(std::remove(active.begin(), active.end(), t),
+                         active.end());
+          }
+        }
+        std::sort(active.begin(), active.end());
+        ASSERT_EQ(session.active_triples(), active);
+        if (active.empty()) continue;  // nothing to compare against
+        JoclProblem scratch = BuildProblem(*dataset_, *signals_, active,
+                                           JoclOptions().problem);
+        ASSERT_TRUE(ProblemsIdentical(session.problem(), scratch));
+        ExpectByteIdentical(session.result(), OneShot(active));
+      }
+    }
+  }
+};
+
+TEST_F(SessionAdversarialTest, MergeThenSplitThenRemerge) {
+  RunSequence({{{0, 1, 2, 3}, {}},  // three components
+               {{4}, {}},           // bridge merges {t0,t1} and {t2}
+               {{}, {4}},           // split back
+               {{4}, {}},           // re-merge
+               {{5}, {4}}});        // merge undone while another grows
+}
+
+TEST_F(SessionAdversarialTest, RemoveAllThenReAdd) {
+  RunSequence({{{0, 1, 2, 3, 4, 5}, {}},
+               {{}, {0, 1, 2, 3, 4, 5}},  // active set emptied
+               {{0, 1, 2, 3, 4, 5}, {}},  // rebuilt from nothing
+               {{}, {1, 3, 5}},
+               {{1, 3, 5}, {}}});
+}
+
+TEST_F(SessionAdversarialTest, InterleavedChurnOfTheSameSurfaces) {
+  // t0/t1 carry the paired "barack obama" / "obama barack" surfaces;
+  // churning them exercises surface retire/revive and representative
+  // (first-mention) changes, which shift pair emission order.
+  RunSequence({{{0, 1, 2}, {}},
+               {{}, {0}},    // t1's surface keeps the pair alive; rep moves
+               {{0}, {1}},   // swap which mention carries the surface
+               {{1}, {}},
+               {{3, 4}, {0, 1}},  // drop the pair entirely mid-merge
+               {{0, 1}, {}}});
+}
+
 // ---------- generated world: the acceptance bar ------------------------------
 
 class SessionEquivalenceTest : public ::testing::Test {
@@ -278,6 +449,87 @@ TEST_F(SessionEquivalenceTest, WarmStartConvergesAndMatchesShapes) {
   EXPECT_EQ(session.result().np_cluster.size(), oneshot_->np_cluster.size());
   EXPECT_EQ(session.result().np_link.size(), oneshot_->np_link.size());
   EXPECT_EQ(session.result().triples, oneshot_->triples);
+}
+
+TEST_F(SessionEquivalenceTest, IncrementalFrontEndMatchesScratchUnderChurn) {
+  // Property test of the O(Δ) front-end pair against the from-scratch
+  // reference on a generated world: over a seeded random add/remove walk,
+  // after every batch the memoized ProblemBuilder must emit the same
+  // problem as BuildProblem, the persistent union-find must label the
+  // same components, and the materialized plan must be byte-identical to
+  // PartitionProblem — for a sequential and a parallel front-end alike.
+  const std::vector<size_t>& stream = dataset_->test_triples;
+  const ProblemOptions options = JoclOptions().problem;
+  ASSERT_TRUE(ProblemBuilder::Supports(options));
+  for (size_t threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ProblemBuilder builder(dataset_, signals_, options, nullptr);
+    IncrementalPartitioner partitioner(dataset_->okb.size());
+    std::vector<uint8_t> in_active(dataset_->okb.size(), 0);
+    std::vector<size_t> active;
+    std::mt19937 rng(17);
+    for (size_t step = 0; step < 10; ++step) {
+      SCOPED_TRACE("step=" + std::to_string(step));
+      // Toggle a random slice of the stream: first steps are add-heavy,
+      // later ones mix removals of long-active triples back in.
+      std::vector<size_t> added;
+      std::vector<size_t> removed;
+      std::vector<uint8_t> touched(dataset_->okb.size(), 0);
+      const size_t slice = 1 + rng() % (stream.size() / 3);
+      for (size_t i = 0; i < slice; ++i) {
+        const size_t t = stream[rng() % stream.size()];
+        if (touched[t]) continue;  // added/removed must stay disjoint
+        touched[t] = 1;
+        if (!in_active[t]) {
+          in_active[t] = 1;
+          added.push_back(t);
+        } else if (step >= 3) {
+          in_active[t] = 0;
+          removed.push_back(t);
+        }
+      }
+      std::sort(added.begin(), added.end());
+      added.erase(std::unique(added.begin(), added.end()), added.end());
+      std::sort(removed.begin(), removed.end());
+      removed.erase(std::unique(removed.begin(), removed.end()),
+                    removed.end());
+      active.clear();
+      for (size_t t = 0; t < in_active.size(); ++t) {
+        if (in_active[t]) active.push_back(t);
+      }
+      if (active.empty()) continue;
+
+      JoclProblem problem;
+      FrontEndDelta delta;
+      builder.Apply(added, removed, active, threads, &problem, &delta);
+      JoclProblem scratch = BuildProblem(*dataset_, *signals_, active, options);
+      ASSERT_TRUE(ProblemsIdentical(problem, scratch));
+
+      partitioner.Apply(delta);
+      std::vector<size_t> comp_of_triple;
+      std::vector<size_t> comp_weight;
+      size_t components;
+      if (delta.overflow) {
+        components =
+            ComputeProblemComponents(problem, &comp_of_triple, &comp_weight);
+      } else {
+        components =
+            partitioner.Components(active, &comp_of_triple, &comp_weight);
+      }
+      std::vector<size_t> scratch_comp_of;
+      std::vector<size_t> scratch_weight;
+      ASSERT_EQ(components, ComputeProblemComponents(scratch, &scratch_comp_of,
+                                                     &scratch_weight));
+      ASSERT_EQ(comp_of_triple, scratch_comp_of);
+      ASSERT_EQ(comp_weight, scratch_weight);
+
+      ShardPlan incremental = MaterializeShardPlan(
+          problem, comp_of_triple, comp_weight, /*max_shards=*/0,
+          /*lazy=*/false);
+      ASSERT_TRUE(
+          PlansIdentical(incremental, PartitionProblem(scratch, 0)));
+    }
+  }
 }
 
 TEST_F(SessionEquivalenceTest, StaleComponentsAreEvicted) {

@@ -223,12 +223,13 @@ int RunDemo(int argc, char** argv) {
       "runtime: %zu independent sub-problems in %zu shards\n"
       "  problem build   %.2fs\n"
       "  signal cache    %.2fs\n"
+      "  partition       %.2fs\n"
       "  shard stage     %.2fs wall (graph build %.2fs + inference %.2fs, "
       "summed over workers)\n"
       "  decode          %.2fs\n",
       stats.components, stats.shards, stats.problem_seconds,
-      stats.cache_seconds, stats.shard_seconds, stats.graph_seconds,
-      stats.infer_seconds, stats.decode_seconds);
+      stats.cache_seconds, stats.partition_seconds, stats.shard_seconds,
+      stats.graph_seconds, stats.infer_seconds, stats.decode_seconds);
   std::printf("  kernel          %zu message updates", stats.message_updates);
   if (jocl_options.inference.schedule == LbpSchedule::kResidual) {
     std::printf(", %zu residual pops, %zu sweeps' budget unspent",

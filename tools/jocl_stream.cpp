@@ -9,12 +9,19 @@
 // demonstrates removal by retiring the first batch again.
 //
 // Usage:
-//   jocl_stream [scale] [--batches N] [--threads N] [--warm] [--no-remove]
+//   jocl_stream [scale] [--batches N] [--threads N] [--frontend-threads N]
+//               [--legacy-frontend] [--warm] [--no-remove]
 //               [--snapshot-out=PATH] [--trace-out=PATH]
 //
 //   scale         workload scale (default 0.5; 1.0 ≈ 3K triples)
 //   --batches N   number of ingestion batches (default 8)
 //   --threads N   dirty-shard worker threads (0 = hardware, default)
+//   --frontend-threads N
+//                 front-end worker threads (candidate generation,
+//                 similarity, shard materialization; 0 = hardware)
+//   --legacy-frontend
+//                 disable the O(Δ) incremental front-end (scratch
+//                 BuildProblem + PartitionProblem per batch)
 //   --warm        warm-start dirty shards from previous beliefs
 //                 (approximate: skips the byte-identity check)
 //   --no-remove   skip the removal demonstration
@@ -68,6 +75,13 @@ void PrintBatch(size_t index, const char* verb, size_t batch_size,
     std::printf("  snapshot %zu bytes", snapshot_bytes);
   }
   std::printf("\n");
+  std::printf(
+      "            stages: problem %.1fms  cache %.1fms  partition %.1fms  "
+      "shards %.1fms  decode %.1fms%s\n",
+      stats.problem_seconds * 1e3, stats.cache_seconds * 1e3,
+      stats.partition_seconds * 1e3, stats.shard_seconds * 1e3,
+      stats.decode_seconds * 1e3,
+      stats.frontend_reused ? "  (front-end reused)" : "");
 }
 
 /// Persists the session's current state as a snapshot; returns the file
@@ -105,6 +119,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       session_options.num_threads =
           static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--frontend-threads") == 0 &&
+               i + 1 < argc) {
+      session_options.frontend_threads =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--legacy-frontend") == 0) {
+      session_options.incremental_frontend = false;
     } else if (std::strcmp(argv[i], "--warm") == 0) {
       session_options.warm_start = true;
     } else if (std::strcmp(argv[i], "--no-remove") == 0) {
